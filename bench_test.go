@@ -1,0 +1,269 @@
+// Benchmark harness: one benchmark per reproduced table/figure (E1–E9, see
+// DESIGN.md §4) plus micro-benchmarks for the implementation claims of §4.2
+// and §6.1 (M1–M5). Experiment benches print the regenerated table once per
+// run via b.Log; `go test -bench . -benchtime 1x -v` shows them all, and
+// cmd/mycroft-bench prints the same tables directly.
+package mycroft
+
+import (
+	"testing"
+	"time"
+
+	"mycroft/internal/clouddb"
+	"mycroft/internal/core"
+	"mycroft/internal/experiments"
+	"mycroft/internal/faults"
+	"mycroft/internal/sim"
+	"mycroft/internal/topo"
+	"mycroft/internal/trace"
+)
+
+// --- E-benchmarks: the paper's tables and figures ---
+
+func BenchmarkE1_CapabilityMatrix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunE1(1)
+		if i == 0 {
+			b.Log("\n" + r.Table())
+		}
+	}
+}
+
+func BenchmarkE2_FaultInjection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunE2(2)
+		if i == 0 {
+			b.Log("\n" + r.Table())
+		}
+	}
+}
+
+func BenchmarkE3_DetectionCDF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunE3(28)
+		if i == 0 {
+			b.Log("\n" + r.Table())
+		}
+	}
+}
+
+func BenchmarkE4_Overhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunE4(1)
+		if i == 0 {
+			b.Log("\n" + r.Table())
+		}
+	}
+}
+
+func BenchmarkE5_Propagation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunE5([]int{16, 64, 256})
+		if i == 0 {
+			b.Log("\n" + r.Table())
+		}
+	}
+}
+
+func BenchmarkE6_DataVolume(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunE6(1)
+		if i == 0 {
+			b.Log("\n" + r.Table())
+		}
+	}
+}
+
+func BenchmarkE7_Sampling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunE7(1)
+		if i == 0 {
+			b.Log("\n" + r.Table())
+		}
+	}
+}
+
+func BenchmarkE8_Thresholds(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunE8(1)
+		if i == 0 {
+			b.Log("\n" + r.Table())
+		}
+	}
+}
+
+func BenchmarkE9_Integration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunE9(1)
+		if i == 0 {
+			b.Log("\n" + r.Table())
+		}
+	}
+}
+
+// --- M-benchmarks: implementation claims ---
+
+// M1: the tracepoint write path ("virtually no overhead", §4.2). This is
+// real wall-clock cost of one fixed-size record into the preallocated ring.
+func BenchmarkM1_TracepointWrite(b *testing.B) {
+	ring := trace.NewRing(1 << 16)
+	rec := trace.Record{
+		Kind: trace.KindState, IP: "10.0.0.1", CommID: 1, Rank: 3,
+		Op: trace.OpAllReduce, TotalChunks: 128, GPUReady: 64, RDMATransmitted: 60, RDMADone: 58,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec.OpSeq = uint64(i)
+		ring.Emit(rec)
+	}
+}
+
+// M2: record encode/decode (the fixed 112-byte wire format).
+func BenchmarkM2_RecordMarshal(b *testing.B) {
+	rec := trace.Record{Kind: trace.KindState, IP: "10.0.0.1", CommID: 1, Rank: 3, Op: trace.OpAllReduce}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf, err := rec.MarshalBinary()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var out trace.Record
+		if err := out.UnmarshalBinary(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// M3: ring drain throughput (the per-host agent's read path).
+func BenchmarkM3_RingDrain(b *testing.B) {
+	ring := trace.NewRing(1 << 14)
+	rd := ring.NewReader()
+	rec := trace.Record{Kind: trace.KindState}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 64; j++ {
+			ring.Emit(rec)
+		}
+		if got := rd.Drain(); len(got) != 64 {
+			b.Fatalf("drained %d", len(got))
+		}
+	}
+}
+
+// M4: cloud-DB ingest + group query (the backend's data access path).
+func BenchmarkM4_DBIngestQuery(b *testing.B) {
+	eng := sim.NewEngine(1)
+	db := clouddb.New(eng, 0)
+	batch := make([]trace.Record, 64)
+	ts := sim.Time(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range batch {
+			ts += 1000
+			batch[j] = trace.Record{Kind: trace.KindState, Time: ts, Rank: topo.Rank(j % 8), CommID: 1, IP: "10.0.0.1"}
+		}
+		db.Ingest(batch)
+		if got := db.QueryGroup(1, ts-64000, ts); len(got) == 0 {
+			b.Fatal("empty query")
+		}
+	}
+}
+
+// M5: one full Algorithm 1 evaluation pass plus Algorithm 2 failure analysis
+// over a realistic stuck-state database (seconds-level analysis claim).
+func BenchmarkM5_TriggerAndRCA(b *testing.B) {
+	eng := sim.NewEngine(1)
+	db := clouddb.New(eng, 0)
+	// A stuck 32-rank group: 30 s of state logs at 10 Hz per rank.
+	ts := sim.Time(0)
+	for s := 0; s < 300; s++ {
+		ts = sim.Time(time.Duration(s) * 100 * time.Millisecond)
+		var batch []trace.Record
+		for r := topo.Rank(0); r < 32; r++ {
+			stuck := int64(0)
+			if s > 150 {
+				stuck = int64(time.Duration(s-150) * 100 * time.Millisecond)
+			}
+			batch = append(batch, trace.Record{
+				Kind: trace.KindState, Time: ts, Rank: r, CommID: 1,
+				IP: topo.IP("10.0.0.1"), Op: trace.OpAllReduce, OpSeq: 7,
+				TotalChunks: 256, GPUReady: 100, RDMATransmitted: 100, RDMADone: 96,
+				StuckNs: stuck,
+			})
+		}
+		db.Ingest(batch)
+	}
+	eng.RunUntil(ts)
+	bk := core.NewBackend(eng, db, core.SampleWorld(32, 10), core.Config{})
+	tr := core.Trigger{Kind: core.TriggerFailure, Rank: 0, IP: "10.0.0.1", At: ts, CommID: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bk.Evaluate(ts)
+		rep := bk.AnalyzeFailure(tr)
+		if rep.Suspect < 0 {
+			b.Fatal("no suspect")
+		}
+	}
+}
+
+// Ablation benches for the design choices DESIGN.md §5 calls out: virtual
+// end-to-end detection latency under different knobs, reported as
+// ns/op of simulated runtime (lower = same work simulated faster) with the
+// detection latency logged.
+func benchDetection(b *testing.B, mutate func(*core.Config, *experiments.JobProfile)) {
+	cfg := core.Config{}
+	profile := experiments.ComputeHeavy
+	mutate(&cfg, &profile)
+	var lastDetect time.Duration
+	for i := 0; i < b.N; i++ {
+		c := experiments.RunCase(int64(i+1), experiments.SmallTestbed(),
+			faults.Spec{Kind: faults.NICDown, Rank: 5}, 15*time.Second, 30*time.Second)
+		if !c.Detected {
+			b.Fatal("undetected")
+		}
+		lastDetect = c.DetectLatency
+	}
+	b.Logf("detection latency: %v", lastDetect)
+}
+
+func BenchmarkAblation_DetectionDefault(b *testing.B) {
+	benchDetection(b, func(*core.Config, *experiments.JobProfile) {})
+}
+
+func BenchmarkAblation_UploadLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunAblationUploadLatency(1)
+		if i == 0 {
+			b.Log("\n" + r.Table())
+		}
+	}
+}
+
+func BenchmarkAblation_StateLogPeriod(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunAblationStatePeriod(1)
+		if i == 0 {
+			b.Log("\n" + r.Table())
+		}
+	}
+}
+
+func BenchmarkAblation_Channels(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunAblationChannels(1)
+		if i == 0 {
+			b.Log("\n" + r.Table())
+		}
+	}
+}
+
+func BenchmarkAblation_ChunkSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunAblationChunkSize(1)
+		if i == 0 {
+			b.Log("\n" + r.Table())
+		}
+	}
+}

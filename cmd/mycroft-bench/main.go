@@ -1,0 +1,61 @@
+// mycroft-bench regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md §4 for the experiment index) and prints them as
+// text tables. Select experiments with -only (comma-separated ids, e.g.
+// "e2,e4"); default runs everything.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"mycroft/internal/experiments"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated experiment ids (e1..e9); empty = all")
+	trials := flag.Int("trials", 3, "trials per fault class in E2")
+	runs := flag.Int("runs", 35, "campaign size for E3")
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(strings.ToLower(id))] = true
+		}
+	}
+	sel := func(id string) bool { return len(want) == 0 || want[id] }
+
+	run := func(id, title string, fn func() string) {
+		if !sel(id) {
+			return
+		}
+		start := time.Now()
+		fmt.Printf("=== %s — %s ===\n", strings.ToUpper(id), title)
+		fmt.Println(fn())
+		fmt.Printf("(%s wall time: %v)\n\n", strings.ToUpper(id), time.Since(start).Round(time.Millisecond))
+	}
+
+	run("e1", "Table 1 capability matrix", func() string { return experiments.RunE1(1).Table() })
+	run("e2", "fault injection (§7.1)", func() string { return experiments.RunE2(*trials).Table() })
+	run("e3", "detection/RCA latency CDFs", func() string { return experiments.RunE3(*runs).Table() })
+	run("e4", "tracing overhead", func() string { return experiments.RunE4(1).Table() })
+	run("e5", "anomaly propagation", func() string { return experiments.RunE5([]int{16, 64, 256, 512}).Table() })
+	run("e6", "trace data volume", func() string { return experiments.RunE6(1).Table() })
+	run("e7", "sampling policy", func() string { return experiments.RunE7(1).Table() })
+	run("e8", "straggler thresholds (§9)", func() string { return experiments.RunE8(1).Table() })
+	run("e9", "integration triage (Fig. 6)", func() string { return experiments.RunE9(1).Table() })
+
+	if len(want) > 0 {
+		for id := range want {
+			switch id {
+			case "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9":
+			default:
+				fmt.Fprintf(os.Stderr, "unknown experiment id %q\n", id)
+				os.Exit(2)
+			}
+		}
+	}
+}

@@ -1,0 +1,84 @@
+// mycroft-trace exercises the cloud database's "observability tool" mode
+// (§6.1): run a scenario, then dump and summarize the raw Coll-level trace —
+// per-rank record counts, the distributed state machine at the end of the
+// run, and optionally the full record stream of one rank.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"mycroft"
+	"mycroft/internal/faults"
+	"mycroft/internal/topo"
+	"mycroft/internal/trace"
+)
+
+func main() {
+	var (
+		faultName = flag.String("fault", "nic-down", "fault kind (see mycroft-sim) or none")
+		rank      = flag.Int("rank", 5, "rank to inject at")
+		at        = flag.Duration("at", 15*time.Second, "injection time")
+		horizon   = flag.Duration("for", 40*time.Second, "virtual run time")
+		dumpRank  = flag.Int("dump", -1, "dump the last -n records of this rank")
+		dumpN     = flag.Int("n", 20, "records to dump with -dump")
+		seed      = flag.Int64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+
+	sys, err := mycroft.NewSystem(mycroft.Options{Seed: *seed})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	sys.Start()
+	if *faultName != "none" {
+		sys.Inject(mycroft.Fault{Kind: faults.Kind(*faultName), Rank: mycroft.Rank(*rank), At: *at})
+	}
+	sys.Run(*horizon)
+	db := sys.Job.DB
+	now := sys.Job.Eng.Now()
+
+	fmt.Printf("trace store after %v: %d records, %.1f MB, %d pruned\n\n",
+		*horizon, db.Ingested(), float64(db.BytesIngested())/1e6, db.Pruned())
+
+	fmt.Println("per-rank record summary:")
+	fmt.Printf("%6s %12s %12s %14s %s\n", "rank", "completions", "states", "last-record", "last-op")
+	for _, r := range db.Ranks() {
+		recs := db.QueryRank(r, 0, now)
+		var comp, st int
+		for _, rec := range recs {
+			if rec.Kind == trace.KindCompletion {
+				comp++
+			} else {
+				st++
+			}
+		}
+		last := recs[len(recs)-1]
+		fmt.Printf("%6d %12d %12d %14v %s seq=%d\n", r, comp, st, last.Time, last.Op, last.OpSeq)
+	}
+
+	fmt.Println("\ndistributed state machine (freshest state log per rank per comm):")
+	for _, r := range db.Ranks() {
+		for _, commID := range db.CommsOfRank(r) {
+			for ch, rec := range db.LastStatePerChannel(r, commID, now, 10*time.Second) {
+				fmt.Printf("  rank %2d comm %2d ch %d: %3d/%3d/%3d of %3d chunks, stuck %v\n",
+					r, commID, ch, rec.GPUReady, rec.RDMATransmitted, rec.RDMADone, rec.TotalChunks,
+					time.Duration(rec.StuckNs).Round(time.Millisecond))
+			}
+		}
+	}
+
+	if *dumpRank >= 0 {
+		fmt.Printf("\nlast %d records of rank %d:\n", *dumpN, *dumpRank)
+		recs := db.QueryRank(topo.Rank(*dumpRank), 0, now)
+		if len(recs) > *dumpN {
+			recs = recs[len(recs)-*dumpN:]
+		}
+		for i := range recs {
+			fmt.Println(" ", recs[i].String())
+		}
+	}
+}

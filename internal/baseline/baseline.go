@@ -1,0 +1,260 @@
+// Package baseline implements the comparator tracers of Table 1 so the
+// capability and overhead experiments can run all four observability designs
+// against the same faults:
+//
+//   - Op-level (Kineto/Chakra-style): records op completions only. While an
+//     op is stuck it produces nothing, so a gray failure is visible only as
+//     global silence — no rank or layer attribution.
+//   - Kernel-level (NPKit/Nsight-style): records every GPU-side chunk event
+//     synchronously, paying a critical-path cost per chunk. It sees which
+//     rank's GPU events stopped but has no RDMA visibility, so a dead NIC
+//     and a hung GPU look identical.
+//   - RDMA-level (Aegis-style): records per-WR activity at the NIC. It sees
+//     which NIC stopped but has no GPU visibility, so a starved NIC (victim)
+//     and a faulty one are hard to tell apart, and GPU-side faults are
+//     attributed to the network.
+//
+// Mycroft itself (Coll-level) is the trace/core packages; this package only
+// models the alternatives.
+package baseline
+
+import (
+	"sort"
+	"time"
+
+	"mycroft/internal/ccl"
+	"mycroft/internal/sim"
+	"mycroft/internal/topo"
+)
+
+// Kind names a tracing design.
+type Kind string
+
+const (
+	None        Kind = "none"
+	OpLevel     Kind = "op-level"
+	KernelLevel Kind = "kernel-level"
+	RDMALevel   Kind = "rdma-level"
+	Coll        Kind = "mycroft"
+)
+
+// Capabilities reproduces the Table 1 columns for each design.
+type Capabilities struct {
+	RDMAObservability bool
+	GPUObservability  bool
+	GrayFailure       bool
+	PerformanceIssues bool
+	Distributed       bool
+	RealTime          bool
+}
+
+// Caps returns the static capability row for a design (Table 1).
+func Caps(k Kind) Capabilities {
+	switch k {
+	case OpLevel:
+		return Capabilities{}
+	case KernelLevel:
+		return Capabilities{GPUObservability: true, GrayFailure: true, PerformanceIssues: true}
+	case RDMALevel:
+		return Capabilities{RDMAObservability: true, GrayFailure: true, PerformanceIssues: true, Distributed: true}
+	case Coll:
+		return Capabilities{RDMAObservability: true, GPUObservability: true, GrayFailure: true, PerformanceIssues: true, Distributed: true, RealTime: true}
+	default:
+		return Capabilities{}
+	}
+}
+
+// Per-event record sizes for volume accounting (bytes).
+const (
+	opEventBytes     = 64
+	kernelEventBytes = 64
+	rdmaEventBytes   = 32
+)
+
+// DefaultKernelOverhead is the synchronous per-chunk instrumentation cost of
+// the kernel-level tracer. It is calibrated so that tracing a 4 MiB-chunk
+// pipeline over 400 Gbps NICs costs about two thirds of the achievable bus
+// bandwidth, matching the NPKit measurement in §2.3.
+const DefaultKernelOverhead = 250 * time.Microsecond
+
+// Tracer is one attached comparator instance.
+type Tracer struct {
+	kind     Kind
+	overhead time.Duration
+
+	bytes       uint64
+	opEvents    uint64
+	chunkEvents uint64
+
+	lastEvent map[topo.Rank]sim.Time
+	everEvent map[topo.Rank]bool
+	posted    map[topo.Rank]uint64 // RDMA-level: WRs posted per rank
+	completed map[topo.Rank]uint64 // RDMA-level: CQEs per rank
+	now       func() sim.Time
+}
+
+// New creates a tracer of the given design with default costs.
+func New(kind Kind, now func() sim.Time) *Tracer {
+	t := &Tracer{
+		kind:      kind,
+		lastEvent: make(map[topo.Rank]sim.Time),
+		everEvent: make(map[topo.Rank]bool),
+		posted:    make(map[topo.Rank]uint64),
+		completed: make(map[topo.Rank]uint64),
+		now:       now,
+	}
+	if kind == KernelLevel {
+		t.overhead = DefaultKernelOverhead
+	}
+	return t
+}
+
+// Kind returns the design.
+func (t *Tracer) Kind() Kind { return t.kind }
+
+// SetOverhead overrides the per-chunk critical path cost (ablations).
+func (t *Tracer) SetOverhead(d time.Duration) { t.overhead = d }
+
+// BytesTraced returns the produced trace volume.
+func (t *Tracer) BytesTraced() uint64 { return t.bytes }
+
+// Events returns (op completions, chunk events) recorded.
+func (t *Tracer) Events() (ops, chunks uint64) { return t.opEvents, t.chunkEvents }
+
+// Wire installs the tracer's hooks into a CCL config. Op-level hooks
+// completions; kernel-level hooks GPU-side chunk events (and injects its
+// synchronous cost); RDMA-level hooks WR-level events.
+func (t *Tracer) Wire(cfg *ccl.Config) {
+	switch t.kind {
+	case None, Coll:
+		return
+	case OpLevel:
+		prev := cfg.OnComplete
+		cfg.OnComplete = func(r topo.Rank, m ccl.OpMeta, s, e sim.Time) {
+			t.opEvents++
+			t.bytes += opEventBytes
+			t.mark(r)
+			if prev != nil {
+				prev(r, m, s, e)
+			}
+		}
+	case KernelLevel:
+		prev := cfg.OnChunkEvent
+		cfg.OnChunkEvent = func(r topo.Rank, st ccl.ChunkStage, n int64) {
+			if st == ccl.StageGPUReady {
+				t.chunkEvents++
+				t.bytes += kernelEventBytes
+				t.mark(r)
+			}
+			if prev != nil {
+				prev(r, st, n)
+			}
+		}
+		if t.overhead > cfg.ChunkOverhead {
+			cfg.ChunkOverhead = t.overhead
+		}
+	case RDMALevel:
+		prev := cfg.OnChunkEvent
+		cfg.OnChunkEvent = func(r topo.Rank, st ccl.ChunkStage, n int64) {
+			switch st {
+			case ccl.StageTransmit:
+				t.chunkEvents++
+				t.bytes += rdmaEventBytes
+				t.posted[r]++
+				t.mark(r)
+			case ccl.StageDone:
+				t.chunkEvents++
+				t.bytes += rdmaEventBytes
+				t.completed[r]++
+				t.mark(r)
+			}
+			if prev != nil {
+				prev(r, st, n)
+			}
+		}
+	}
+}
+
+func (t *Tracer) mark(r topo.Rank) {
+	t.lastEvent[r] = t.now()
+	t.everEvent[r] = true
+}
+
+// LastEvent returns the newest event time per rank.
+func (t *Tracer) LastEvent(r topo.Rank) (sim.Time, bool) {
+	ts, ok := t.lastEvent[r]
+	return ts, ok
+}
+
+// Detected reports whether the tracer's event stream exposes a stall at all:
+// true when every previously-active rank has been silent for at least
+// timeout. This is the strongest detection any of these designs can make
+// without per-flow state.
+func (t *Tracer) Detected(now sim.Time, timeout time.Duration) bool {
+	if len(t.lastEvent) == 0 {
+		return false
+	}
+	for _, ts := range t.lastEvent {
+		if now.Sub(ts) < timeout {
+			return false
+		}
+	}
+	return true
+}
+
+// OutstandingRanks returns ranks whose WR accounting shows posted work
+// requests that never completed — the one localization the RDMA-level
+// design can make precisely (a wedged RNIC). GPU-side faults leave no
+// outstanding WRs anywhere, which is exactly the design's blind spot.
+func (t *Tracer) OutstandingRanks() []topo.Rank {
+	var out []topo.Rank
+	for r, p := range t.posted {
+		if p > t.completed[r] {
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Suspects is the design's best localization: the RDMA level prefers ranks
+// with frozen outstanding WRs; every design falls back to event-staleness
+// ordering.
+func (t *Tracer) Suspects(now sim.Time, timeout time.Duration) []topo.Rank {
+	if t.kind == RDMALevel {
+		if out := t.OutstandingRanks(); len(out) > 0 {
+			return out
+		}
+	}
+	return t.StalledRanks(now, timeout)
+}
+
+// StalledRanks returns ranks whose events ceased at least timeout ago,
+// ordered by staleness (earliest-stopped first). For designs with any
+// per-rank visibility this is the best localization available: the rank
+// whose events stopped first. The op-level design records too coarsely for
+// this to mean anything (every rank's "last op" is just the last completed
+// iteration), which the capability experiment demonstrates.
+func (t *Tracer) StalledRanks(now sim.Time, timeout time.Duration) []topo.Rank {
+	type rs struct {
+		r  topo.Rank
+		ts sim.Time
+	}
+	var out []rs
+	for r, ts := range t.lastEvent {
+		if now.Sub(ts) >= timeout {
+			out = append(out, rs{r, ts})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].ts != out[j].ts {
+			return out[i].ts < out[j].ts
+		}
+		return out[i].r < out[j].r
+	})
+	ranks := make([]topo.Rank, len(out))
+	for i, x := range out {
+		ranks[i] = x.r
+	}
+	return ranks
+}

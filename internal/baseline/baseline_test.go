@@ -1,0 +1,151 @@
+package baseline
+
+import (
+	"testing"
+	"time"
+
+	"mycroft/internal/ccl"
+	"mycroft/internal/sim"
+	"mycroft/internal/topo"
+)
+
+func TestCapsMatchTableOne(t *testing.T) {
+	if Caps(OpLevel) != (Capabilities{}) {
+		t.Fatal("op-level should have no capabilities")
+	}
+	k := Caps(KernelLevel)
+	if !k.GPUObservability || k.RDMAObservability || !k.GrayFailure || k.Distributed {
+		t.Fatalf("kernel caps = %+v", k)
+	}
+	r := Caps(RDMALevel)
+	if !r.RDMAObservability || r.GPUObservability || !r.Distributed {
+		t.Fatalf("rdma caps = %+v", r)
+	}
+	m := Caps(Coll)
+	if !(m.RDMAObservability && m.GPUObservability && m.GrayFailure && m.PerformanceIssues && m.Distributed && m.RealTime) {
+		t.Fatalf("mycroft caps = %+v", m)
+	}
+	if Caps(None) != (Capabilities{}) {
+		t.Fatal("none caps wrong")
+	}
+}
+
+func TestOpLevelWiring(t *testing.T) {
+	eng := sim.NewEngine(1)
+	tr := New(OpLevel, eng.Now)
+	var cfg ccl.Config
+	tr.Wire(&cfg)
+	cfg.OnComplete(3, ccl.OpMeta{}, 0, 0)
+	ops, chunks := tr.Events()
+	if ops != 1 || chunks != 0 {
+		t.Fatalf("events = %d/%d", ops, chunks)
+	}
+	if tr.BytesTraced() != opEventBytes {
+		t.Fatalf("bytes = %d", tr.BytesTraced())
+	}
+	if _, ok := tr.LastEvent(3); !ok {
+		t.Fatal("last event missing")
+	}
+}
+
+func TestKernelLevelWiring(t *testing.T) {
+	eng := sim.NewEngine(1)
+	tr := New(KernelLevel, eng.Now)
+	var cfg ccl.Config
+	tr.Wire(&cfg)
+	if cfg.ChunkOverhead != DefaultKernelOverhead {
+		t.Fatalf("overhead = %v", cfg.ChunkOverhead)
+	}
+	cfg.OnChunkEvent(1, ccl.StageGPUReady, 4<<20)
+	cfg.OnChunkEvent(1, ccl.StageTransmit, 4<<20) // not a GPU event: ignored
+	_, chunks := tr.Events()
+	if chunks != 1 {
+		t.Fatalf("chunks = %d", chunks)
+	}
+}
+
+func TestRDMALevelWiring(t *testing.T) {
+	eng := sim.NewEngine(1)
+	tr := New(RDMALevel, eng.Now)
+	var cfg ccl.Config
+	tr.Wire(&cfg)
+	if cfg.ChunkOverhead != 0 {
+		t.Fatal("rdma tracer should not add critical-path cost")
+	}
+	cfg.OnChunkEvent(1, ccl.StageGPUReady, 1) // not a WR event: ignored
+	cfg.OnChunkEvent(1, ccl.StageTransmit, 1)
+	cfg.OnChunkEvent(1, ccl.StageDone, 1)
+	_, chunks := tr.Events()
+	if chunks != 2 {
+		t.Fatalf("chunks = %d", chunks)
+	}
+	if tr.BytesTraced() != 2*rdmaEventBytes {
+		t.Fatalf("bytes = %d", tr.BytesTraced())
+	}
+}
+
+func TestWiringPreservesExistingHooks(t *testing.T) {
+	eng := sim.NewEngine(1)
+	called := 0
+	cfg := ccl.Config{OnComplete: func(topo.Rank, ccl.OpMeta, sim.Time, sim.Time) { called++ }}
+	New(OpLevel, eng.Now).Wire(&cfg)
+	cfg.OnComplete(0, ccl.OpMeta{}, 0, 0)
+	if called != 1 {
+		t.Fatal("pre-existing hook lost")
+	}
+}
+
+func TestNoneAndCollAreInert(t *testing.T) {
+	eng := sim.NewEngine(1)
+	for _, k := range []Kind{None, Coll} {
+		var cfg ccl.Config
+		New(k, eng.Now).Wire(&cfg)
+		if cfg.OnComplete != nil || cfg.OnChunkEvent != nil || cfg.ChunkOverhead != 0 {
+			t.Fatalf("%s tracer wired hooks", k)
+		}
+	}
+}
+
+func TestDetectionAndStalledRanks(t *testing.T) {
+	eng := sim.NewEngine(1)
+	tr := New(KernelLevel, eng.Now)
+	var cfg ccl.Config
+	tr.Wire(&cfg)
+	// Rank 1 stops first, rank 0 a second later.
+	cfg.OnChunkEvent(1, ccl.StageGPUReady, 1)
+	eng.RunFor(time.Second)
+	cfg.OnChunkEvent(0, ccl.StageGPUReady, 1)
+	if tr.Detected(eng.Now(), 5*time.Second) {
+		t.Fatal("detected too early")
+	}
+	eng.RunFor(10 * time.Second)
+	if !tr.Detected(eng.Now(), 5*time.Second) {
+		t.Fatal("stall not detected")
+	}
+	got := tr.StalledRanks(eng.Now(), 5*time.Second)
+	if len(got) != 2 || got[0] != 1 || got[1] != 0 {
+		t.Fatalf("stalled order = %v", got)
+	}
+}
+
+func TestDetectedEmptyTracer(t *testing.T) {
+	eng := sim.NewEngine(1)
+	tr := New(OpLevel, eng.Now)
+	if tr.Detected(eng.Now(), time.Second) {
+		t.Fatal("empty tracer detected a stall")
+	}
+}
+
+func TestSetOverhead(t *testing.T) {
+	eng := sim.NewEngine(1)
+	tr := New(KernelLevel, eng.Now)
+	tr.SetOverhead(5 * time.Microsecond)
+	var cfg ccl.Config
+	tr.Wire(&cfg)
+	if cfg.ChunkOverhead != 5*time.Microsecond {
+		t.Fatalf("overhead = %v", cfg.ChunkOverhead)
+	}
+	if tr.Kind() != KernelLevel {
+		t.Fatal("kind wrong")
+	}
+}

@@ -1,0 +1,410 @@
+// Package ccl implements an NCCL-like collective communication library on
+// top of the simulated RDMA and GPU substrates. It reproduces the structure
+// Mycroft instruments (§4.2 of the paper):
+//
+//   - A Communicator owns several "channels" (network flows). Each channel is
+//     a ring over the communicator's ranks; rings are rotated inside each
+//     node per channel so different channels cross nodes through different
+//     NICs, as NCCL does.
+//   - An operation's payload is split across channels, and each channel
+//     pipelines fixed-size chunks through the ring: step s on rank r may send
+//     only after (a) the local GPU staged the chunk into the proxy buffer and
+//     (b) step s−1 on rank r−1 was delivered. These are the intra- and
+//     inter-node dependencies of §3.1.
+//   - A per-rank proxy maintains the Table 2 chunk counters (total_chunks,
+//     GPU_ready, RDMA_transmitted, RDMA_done, stuck_time) and emits
+//     completion logs and periodic real-time state logs into a trace.Sink.
+//
+// Operations on one communicator serialize per rank (stream order), but
+// ranks progress independently: a healthy rank finishes op k and moves to
+// op k+1 while a faulty rank is still stuck on k — which is exactly what
+// makes the minimum-op_seq analysis of Algorithm 2 work.
+package ccl
+
+import (
+	"fmt"
+	"time"
+
+	"mycroft/internal/gpusim"
+	"mycroft/internal/rdma"
+	"mycroft/internal/sim"
+	"mycroft/internal/topo"
+	"mycroft/internal/trace"
+)
+
+// RankInfo binds a rank to its hardware resources.
+type RankInfo struct {
+	Rank topo.Rank
+	IP   topo.IP
+	Node topo.NodeID
+	GPU  *gpusim.GPU
+	NIC  *rdma.NIC
+}
+
+// ChunkStage identifies a chunk-pipeline tracepoint, consumed by
+// kernel-level baseline tracers.
+type ChunkStage uint8
+
+const (
+	// StageGPUReady: the GPU staged a chunk into the proxy buffer.
+	StageGPUReady ChunkStage = iota + 1
+	// StageTransmit: the NIC finished pushing a chunk onto the wire.
+	StageTransmit
+	// StageDone: the proxy polled the chunk's CQE.
+	StageDone
+)
+
+func (s ChunkStage) String() string {
+	switch s {
+	case StageGPUReady:
+		return "gpu_ready"
+	case StageTransmit:
+		return "rdma_transmitted"
+	case StageDone:
+		return "rdma_done"
+	default:
+		return fmt.Sprintf("stage(%d)", uint8(s))
+	}
+}
+
+// OpMeta is the framework-visible identity of one collective operation.
+type OpMeta struct {
+	CommID uint64
+	Seq    uint64
+	Kind   trace.OpKind
+	Bytes  int64
+}
+
+// Config tunes a communicator. Zero values take defaults.
+type Config struct {
+	// Channels is the number of network flows (NCCL channels). Default 2.
+	Channels int
+	// ChunkBytes is the pipeline chunk size — "the smallest data unit per
+	// network path" (§3.2). Default 4 MiB.
+	ChunkBytes int64
+	// PipelineDepth bounds chunks staged ahead of transmission (the
+	// preallocated GPU buffer slots). Default 4.
+	PipelineDepth int
+	// StateLogPeriod is the real-time state log interval. Default 100 ms.
+	StateLogPeriod time.Duration
+	// NVLink characteristics for intra-node hops. Defaults: 200 GB/s, 1 µs.
+	NVLinkBandwidth float64
+	NVLinkLatency   time.Duration
+
+	// SinkFor returns the trace sink for a rank (its host's ring buffer).
+	// Default: trace.Null for every rank.
+	SinkFor func(topo.Rank) trace.Sink
+
+	// OnLaunch fires when a rank's framework layer launches an op
+	// (Flight-Recorder integration point).
+	OnLaunch func(topo.Rank, OpMeta)
+	// OnComplete fires when a rank finishes an op (Op-level tracers).
+	OnComplete func(topo.Rank, OpMeta, sim.Time, sim.Time)
+	// OnChunkEvent fires for every chunk pipeline stage (Kernel-level
+	// tracers). High-volume.
+	OnChunkEvent func(topo.Rank, ChunkStage, int64)
+	// ChunkOverhead is added to the critical path before each chunk send is
+	// posted, modelling synchronous per-event instrumentation cost
+	// (kernel-level tracers pay this; Mycroft's asynchronous tracepoints do
+	// not). Default 0.
+	ChunkOverhead time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Channels <= 0 {
+		c.Channels = 2
+	}
+	if c.ChunkBytes <= 0 {
+		c.ChunkBytes = 4 << 20
+	}
+	if c.PipelineDepth <= 0 {
+		c.PipelineDepth = 4
+	}
+	if c.StateLogPeriod <= 0 {
+		c.StateLogPeriod = 100 * time.Millisecond
+	}
+	if c.NVLinkBandwidth <= 0 {
+		c.NVLinkBandwidth = 200e9
+	}
+	if c.NVLinkLatency <= 0 {
+		c.NVLinkLatency = time.Microsecond
+	}
+	if c.SinkFor == nil {
+		c.SinkFor = func(topo.Rank) trace.Sink { return trace.Null }
+	}
+	return c
+}
+
+// rankCtx is the per-rank proxy context, persistent across ops.
+type rankCtx struct {
+	comm    *Communicator
+	idx     int
+	info    RankInfo
+	sink    trace.Sink
+	crashed bool
+	held    bool // rank busy outside the CCL (compute, dataloader…)
+	cursor  int  // index into comm.ops of the next op this rank will work on
+	pumping bool // re-entrancy guard for pump
+	ticker  *sim.Ticker
+
+	overheadBusy sim.Time // serialization point for synchronous tracer cost
+}
+
+// Communicator is an ordered group of ranks with per-channel ring links.
+type Communicator struct {
+	eng    *sim.Engine
+	id     uint64
+	cfg    Config
+	ranks  []*rankCtx
+	byRank map[topo.Rank]*rankCtx
+
+	// Per channel: ring positions and links.
+	ringPos  [][]int       // [ch][rankIdx] -> position in ring
+	ringIdx  [][]int       // [ch][pos] -> rankIdx
+	nextIdx  [][]int       // [ch][rankIdx] -> successor rankIdx
+	prevIdx  [][]int       // [ch][rankIdx] -> predecessor rankIdx
+	sendLink [][]rdma.Link // [ch][rankIdx] -> link to successor
+	backLink [][]rdma.Link // [ch][rankIdx] -> link to predecessor
+	qpid     [][]int       // [ch][rankIdx] -> qp id of successor link
+
+	direct map[directKey]rdma.Link // lazy point-to-point links for SendRecv
+
+	ops     []*opRun
+	nextSeq uint64
+	nextQP  int
+	closed  bool
+}
+
+type directKey struct {
+	ch       int
+	src, dst int
+}
+
+// NewCommunicator builds a communicator over ranks (group order is
+// significant: pipeline stages, ring construction and root indices all use
+// it). id becomes comm_id in trace metadata.
+func NewCommunicator(eng *sim.Engine, id uint64, ranks []RankInfo, cfg Config) *Communicator {
+	if len(ranks) == 0 {
+		panic("ccl: empty communicator")
+	}
+	cfg = cfg.withDefaults()
+	c := &Communicator{
+		eng: eng, id: id, cfg: cfg,
+		byRank: make(map[topo.Rank]*rankCtx, len(ranks)),
+		direct: make(map[directKey]rdma.Link),
+	}
+	for i, ri := range ranks {
+		rc := &rankCtx{comm: c, idx: i, info: ri, sink: cfg.SinkFor(ri.Rank)}
+		c.ranks = append(c.ranks, rc)
+		if _, dup := c.byRank[ri.Rank]; dup {
+			panic(fmt.Sprintf("ccl: duplicate rank %d in communicator %d", ri.Rank, id))
+		}
+		c.byRank[ri.Rank] = rc
+	}
+	c.buildRings()
+	for _, rc := range c.ranks {
+		rc := rc
+		rc.ticker = eng.NewTicker(cfg.StateLogPeriod, func(now sim.Time) { rc.emitStateLogs(now) })
+	}
+	return c
+}
+
+// buildRings constructs one ring per channel. Ranks hosted on the same node
+// appear as contiguous runs (in group order); each channel rotates every run
+// by the channel index so the inter-node hop leaves through a different
+// GPU's NIC per channel, spreading load across NICs as NCCL does.
+func (c *Communicator) buildRings() {
+	R := len(c.ranks)
+	C := c.cfg.Channels
+	c.ringPos = make([][]int, C)
+	c.ringIdx = make([][]int, C)
+	c.nextIdx = make([][]int, C)
+	c.prevIdx = make([][]int, C)
+	c.sendLink = make([][]rdma.Link, C)
+	c.backLink = make([][]rdma.Link, C)
+	c.qpid = make([][]int, C)
+
+	// Group contiguous same-node runs (indices into c.ranks).
+	var runs [][]int
+	for i := 0; i < R; i++ {
+		if i > 0 && c.ranks[i].info.Node == c.ranks[i-1].info.Node {
+			runs[len(runs)-1] = append(runs[len(runs)-1], i)
+		} else {
+			runs = append(runs, []int{i})
+		}
+	}
+
+	for ch := 0; ch < C; ch++ {
+		ring := make([]int, 0, R)
+		for _, run := range runs {
+			off := ch % len(run)
+			for k := 0; k < len(run); k++ {
+				ring = append(ring, run[(off+k)%len(run)])
+			}
+		}
+		c.ringIdx[ch] = ring
+		c.ringPos[ch] = make([]int, R)
+		c.nextIdx[ch] = make([]int, R)
+		c.prevIdx[ch] = make([]int, R)
+		c.sendLink[ch] = make([]rdma.Link, R)
+		c.backLink[ch] = make([]rdma.Link, R)
+		c.qpid[ch] = make([]int, R)
+		for pos, idx := range ring {
+			c.ringPos[ch][idx] = pos
+		}
+		if R == 1 {
+			continue // single-rank comm: no links
+		}
+		for pos, idx := range ring {
+			succ := ring[(pos+1)%R]
+			pred := ring[(pos-1+R)%R]
+			c.nextIdx[ch][idx] = succ
+			c.prevIdx[ch][idx] = pred
+			c.sendLink[ch][idx] = c.makeLink(ch, idx, succ)
+			c.backLink[ch][idx] = c.makeLink(ch, idx, pred)
+			qpID, _ := c.sendLink[ch][idx].Describe()
+			c.qpid[ch][idx] = qpID
+		}
+	}
+}
+
+// makeLink creates the transport from rank index a to rank index b: NVLink
+// when co-located, an RDMA QP otherwise.
+func (c *Communicator) makeLink(ch, a, b int) rdma.Link {
+	c.nextQP++
+	id := int(c.id)*100000 + c.nextQP
+	ra, rb := c.ranks[a].info, c.ranks[b].info
+	if ra.Node == rb.Node {
+		return rdma.NewNVLink(c.eng, id, c.cfg.NVLinkBandwidth, c.cfg.NVLinkLatency)
+	}
+	return rdma.NewQP(id, ra.NIC, rb.NIC).AsLink()
+}
+
+// directLink returns (lazily creating) a dedicated point-to-point link for
+// SendRecv between arbitrary group members, reusing ring links when the pair
+// is ring-adjacent on the channel.
+func (c *Communicator) directLink(ch, src, dst int) rdma.Link {
+	if c.nextIdx[ch][src] == dst && c.sendLink[ch][src] != nil {
+		return c.sendLink[ch][src]
+	}
+	if c.prevIdx[ch][src] == dst && c.backLink[ch][src] != nil {
+		return c.backLink[ch][src]
+	}
+	k := directKey{ch: ch, src: src, dst: dst}
+	if l, ok := c.direct[k]; ok {
+		return l
+	}
+	l := c.makeLink(ch, src, dst)
+	c.direct[k] = l
+	return l
+}
+
+// ID returns the communicator id (comm_id in trace metadata).
+func (c *Communicator) ID() uint64 { return c.id }
+
+// Size returns the number of ranks.
+func (c *Communicator) Size() int { return len(c.ranks) }
+
+// Ranks returns the member ranks in group order.
+func (c *Communicator) Ranks() []topo.Rank {
+	out := make([]topo.Rank, len(c.ranks))
+	for i, rc := range c.ranks {
+		out[i] = rc.info.Rank
+	}
+	return out
+}
+
+// IndexOf returns the group index of rank r, or -1.
+func (c *Communicator) IndexOf(r topo.Rank) int {
+	if rc, ok := c.byRank[r]; ok {
+		return rc.idx
+	}
+	return -1
+}
+
+// NextSeq returns the op_seq the next submitted op will get.
+func (c *Communicator) NextSeq() uint64 { return c.nextSeq }
+
+// CrashProxy simulates the NCCL proxy thread of rank r exiting: counters
+// freeze, no further chunks move, and — critically — state logs stop being
+// emitted (§4.2: logs are generated "until the CollOp completes or the NCCL
+// proxy thread exits or crashes").
+func (c *Communicator) CrashProxy(r topo.Rank) {
+	rc, ok := c.byRank[r]
+	if !ok {
+		panic(fmt.Sprintf("ccl: rank %d not in communicator %d", r, c.id))
+	}
+	rc.crashed = true
+}
+
+// ProxyCrashed reports whether rank r's proxy has crashed.
+func (c *Communicator) ProxyCrashed(r topo.Rank) bool {
+	rc, ok := c.byRank[r]
+	return ok && rc.crashed
+}
+
+// Hold marks rank r busy outside the CCL (a compute phase, the dataloader, a
+// checkpoint write): it will not launch queued ops until Release. This is
+// how the training layer models each rank calling a collective only when its
+// own computation finishes — the source of late starts and lagging op_seq.
+func (c *Communicator) Hold(r topo.Rank) {
+	rc, ok := c.byRank[r]
+	if !ok {
+		panic(fmt.Sprintf("ccl: rank %d not in communicator %d", r, c.id))
+	}
+	rc.held = true
+}
+
+// Release lets a held rank resume launching queued ops.
+func (c *Communicator) Release(r topo.Rank) {
+	rc, ok := c.byRank[r]
+	if !ok {
+		panic(fmt.Sprintf("ccl: rank %d not in communicator %d", r, c.id))
+	}
+	if !rc.held {
+		return
+	}
+	rc.held = false
+	rc.pump()
+}
+
+// Close stops the per-rank state-log tickers. The communicator must not be
+// used afterwards.
+func (c *Communicator) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	for _, rc := range c.ranks {
+		rc.ticker.Stop()
+	}
+}
+
+// emitStateLogs writes one real-time state log per active channel for the
+// rank's in-flight op, if any.
+func (rc *rankCtx) emitStateLogs(now sim.Time) {
+	if rc.crashed || rc.comm.closed {
+		return
+	}
+	if rc.cursor >= len(rc.comm.ops) {
+		return // idle
+	}
+	op := rc.comm.ops[rc.cursor]
+	rr := op.rankRuns[rc.idx]
+	if rr == nil || !rr.started || rr.done {
+		return
+	}
+	for _, cr := range rr.chans {
+		rec := trace.Record{
+			Kind: trace.KindState, Time: now,
+			IP: rc.info.IP, CommID: rc.comm.id, Rank: rc.info.Rank,
+			GPUID: int32(rc.info.GPU.ID()), Channel: int32(cr.ch), QPID: int32(cr.qpid),
+			Op: op.meta.Kind, OpSeq: op.meta.Seq, MsgSize: op.meta.Bytes,
+			Start:       rr.start,
+			TotalChunks: uint32(len(cr.sends)),
+			GPUReady:    uint32(cr.staged), RDMATransmitted: uint32(cr.posted), RDMADone: uint32(cr.acked),
+			StuckNs: int64(now.Sub(cr.lastProgress)),
+		}
+		rc.sink.Emit(rec)
+	}
+}

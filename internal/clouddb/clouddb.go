@@ -1,0 +1,211 @@
+// Package clouddb is the in-memory stand-in for Mycroft's cloud trace
+// database (§6.1): the caching layer the always-on backend queries. It
+// indexes records by rank and by communicator, supports the time-window
+// queries Algorithms 1 and 2 issue, enforces a retention horizon (the
+// production system keeps one day), and accounts ingested volume so the
+// data-volume experiment (E6) can extrapolate to cluster scale.
+package clouddb
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"mycroft/internal/sim"
+	"mycroft/internal/topo"
+	"mycroft/internal/trace"
+)
+
+// DB stores trace records ordered by emission time per rank.
+type DB struct {
+	eng       *sim.Engine
+	retention time.Duration
+
+	byRank    map[topo.Rank][]trace.Record
+	commRanks map[uint64]map[topo.Rank]bool
+	rankIP    map[topo.Rank]topo.IP
+	ipRanks   map[topo.IP][]topo.Rank
+
+	ingested      uint64 // records
+	bytesIngested uint64
+	pruned        uint64
+}
+
+// New creates a DB with the given retention horizon (0 = keep forever).
+func New(eng *sim.Engine, retention time.Duration) *DB {
+	if retention < 0 {
+		panic(fmt.Sprintf("clouddb: negative retention %v", retention))
+	}
+	return &DB{
+		eng:       eng,
+		retention: retention,
+		byRank:    make(map[topo.Rank][]trace.Record),
+		commRanks: make(map[uint64]map[topo.Rank]bool),
+		rankIP:    make(map[topo.Rank]topo.IP),
+		ipRanks:   make(map[topo.IP][]topo.Rank),
+	}
+}
+
+// Ingest appends a batch. Records for one rank must arrive in emission
+// order, which the per-host agent guarantees (it drains an ordered ring).
+func (db *DB) Ingest(batch []trace.Record) {
+	for _, r := range batch {
+		rs := db.byRank[r.Rank]
+		if n := len(rs); n > 0 && rs[n-1].Time > r.Time {
+			panic(fmt.Sprintf("clouddb: out-of-order ingest for rank %d: %v after %v", r.Rank, r.Time, rs[n-1].Time))
+		}
+		db.byRank[r.Rank] = append(rs, r)
+		if _, seen := db.rankIP[r.Rank]; !seen {
+			db.rankIP[r.Rank] = r.IP
+			db.ipRanks[r.IP] = append(db.ipRanks[r.IP], r.Rank)
+		}
+		cr := db.commRanks[r.CommID]
+		if cr == nil {
+			cr = make(map[topo.Rank]bool)
+			db.commRanks[r.CommID] = cr
+		}
+		cr[r.Rank] = true
+		db.ingested++
+		db.bytesIngested += trace.WireSize
+	}
+	db.prune()
+}
+
+// prune drops records older than the retention horizon.
+func (db *DB) prune() {
+	if db.retention == 0 {
+		return
+	}
+	cut := db.eng.Now().Add(-db.retention)
+	if cut <= 0 {
+		return
+	}
+	for rank, rs := range db.byRank {
+		i := sort.Search(len(rs), func(i int) bool { return rs[i].Time >= cut })
+		if i > 0 {
+			db.pruned += uint64(i)
+			db.byRank[rank] = rs[i:]
+		}
+	}
+}
+
+// Ingested returns how many records have been stored.
+func (db *DB) Ingested() uint64 { return db.ingested }
+
+// BytesIngested returns the stored volume in encoded bytes.
+func (db *DB) BytesIngested() uint64 { return db.bytesIngested }
+
+// Pruned returns how many records retention dropped.
+func (db *DB) Pruned() uint64 { return db.pruned }
+
+// Ranks returns every rank that has ever produced a record.
+func (db *DB) Ranks() []topo.Rank {
+	out := make([]topo.Rank, 0, len(db.byRank))
+	for r := range db.byRank {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// IPOf returns the IP a rank reports from.
+func (db *DB) IPOf(r topo.Rank) (topo.IP, bool) {
+	ip, ok := db.rankIP[r]
+	return ip, ok
+}
+
+// RanksAt returns the ranks reporting from an IP (the paper keys triggers by
+// IP; one host carries several ranks).
+func (db *DB) RanksAt(ip topo.IP) []topo.Rank {
+	out := append([]topo.Rank(nil), db.ipRanks[ip]...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// RanksOfComm returns the member ranks observed for a communicator.
+func (db *DB) RanksOfComm(commID uint64) []topo.Rank {
+	set := db.commRanks[commID]
+	out := make([]topo.Rank, 0, len(set))
+	for r := range set {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// CommsOfRank returns the communicators rank r has produced records for.
+func (db *DB) CommsOfRank(r topo.Rank) []uint64 {
+	var out []uint64
+	for comm, set := range db.commRanks {
+		if set[r] {
+			out = append(out, comm)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// QueryRank returns rank r's records with Time in (from, to], in order.
+func (db *DB) QueryRank(r topo.Rank, from, to sim.Time) []trace.Record {
+	rs := db.byRank[r]
+	lo := sort.Search(len(rs), func(i int) bool { return rs[i].Time > from })
+	hi := sort.Search(len(rs), func(i int) bool { return rs[i].Time > to })
+	if lo >= hi {
+		return nil
+	}
+	return append([]trace.Record(nil), rs[lo:hi]...)
+}
+
+// QueryGroup returns, per member rank of the communicator, the records in
+// (from, to] that belong to that communicator.
+func (db *DB) QueryGroup(commID uint64, from, to sim.Time) map[topo.Rank][]trace.Record {
+	out := make(map[topo.Rank][]trace.Record)
+	for r := range db.commRanks[commID] {
+		var recs []trace.Record
+		for _, rec := range db.QueryRank(r, from, to) {
+			if rec.CommID == commID {
+				recs = append(recs, rec)
+			}
+		}
+		out[r] = recs
+	}
+	return out
+}
+
+// LastRecord returns rank r's most recent record at or before t for the
+// given communicator (commID 0 matches any), and whether one exists.
+func (db *DB) LastRecord(r topo.Rank, commID uint64, t sim.Time) (trace.Record, bool) {
+	rs := db.byRank[r]
+	i := sort.Search(len(rs), func(i int) bool { return rs[i].Time > t })
+	for i--; i >= 0; i-- {
+		if commID == 0 || rs[i].CommID == commID {
+			return rs[i], true
+		}
+	}
+	return trace.Record{}, false
+}
+
+// LastCompletion returns rank r's most recent completion log at or before t
+// (any communicator), and whether one exists.
+func (db *DB) LastCompletion(r topo.Rank, t sim.Time) (trace.Record, bool) {
+	rs := db.byRank[r]
+	i := sort.Search(len(rs), func(i int) bool { return rs[i].Time > t })
+	for i--; i >= 0; i-- {
+		if rs[i].Kind == trace.KindCompletion {
+			return rs[i], true
+		}
+	}
+	return trace.Record{}, false
+}
+
+// LastStatePerChannel returns rank r's most recent state log per channel for
+// a communicator, looking back at most window from t.
+func (db *DB) LastStatePerChannel(r topo.Rank, commID uint64, t sim.Time, window time.Duration) map[int32]trace.Record {
+	out := make(map[int32]trace.Record)
+	for _, rec := range db.QueryRank(r, t.Add(-window), t) {
+		if rec.Kind == trace.KindState && rec.CommID == commID {
+			out[rec.Channel] = rec // query order is ascending: last wins
+		}
+	}
+	return out
+}

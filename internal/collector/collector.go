@@ -1,0 +1,83 @@
+// Package collector implements the per-host read-only agent of §4.2: it
+// asynchronously drains the host's shared-memory trace ring and uploads
+// batches to the cloud database with a configurable pipeline latency
+// (standing in for the Kafka hop). The agent never applies back pressure to
+// the tracepoints — if it falls behind, the ring overwrites and the loss is
+// counted.
+package collector
+
+import (
+	"fmt"
+	"time"
+
+	"mycroft/internal/clouddb"
+	"mycroft/internal/sim"
+	"mycroft/internal/trace"
+)
+
+// Config tunes an agent.
+type Config struct {
+	// DrainPeriod is how often the agent polls the ring. Default 50 ms.
+	DrainPeriod time.Duration
+	// UploadLatency is the tracepoint-to-queryable delay through the
+	// pipeline. Default 1 s. This latency dominates Mycroft's detection
+	// time, so E3 sweeps it.
+	UploadLatency time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.DrainPeriod <= 0 {
+		c.DrainPeriod = 50 * time.Millisecond
+	}
+	if c.UploadLatency < 0 {
+		panic(fmt.Sprintf("collector: negative upload latency %v", c.UploadLatency))
+	}
+	if c.UploadLatency == 0 {
+		c.UploadLatency = time.Second
+	}
+	return c
+}
+
+// Agent drains one host's ring into the DB.
+type Agent struct {
+	eng    *sim.Engine
+	db     *clouddb.DB
+	reader *trace.Reader
+	cfg    Config
+	ticker *sim.Ticker
+
+	batches       uint64
+	recordsSent   uint64
+	bytesUploaded uint64
+}
+
+// NewAgent starts an agent over the host ring. It begins draining
+// immediately.
+func NewAgent(eng *sim.Engine, ring *trace.Ring, db *clouddb.DB, cfg Config) *Agent {
+	cfg = cfg.withDefaults()
+	a := &Agent{eng: eng, db: db, reader: ring.NewReader(), cfg: cfg}
+	a.ticker = eng.NewTicker(cfg.DrainPeriod, func(sim.Time) { a.drain() })
+	return a
+}
+
+func (a *Agent) drain() {
+	batch := a.reader.Drain()
+	if len(batch) == 0 {
+		return
+	}
+	a.batches++
+	a.recordsSent += uint64(len(batch))
+	a.bytesUploaded += uint64(len(batch)) * trace.WireSize
+	a.eng.After(a.cfg.UploadLatency, func() { a.db.Ingest(batch) })
+}
+
+// Stop halts the drain loop (host decommissioned).
+func (a *Agent) Stop() { a.ticker.Stop() }
+
+// Flush drains once immediately (tests and shutdown paths).
+func (a *Agent) Flush() { a.drain() }
+
+// Stats reports the agent's lifetime counters.
+func (a *Agent) Stats() (batches, records, bytes, lost uint64) {
+	return a.batches, a.recordsSent, a.bytesUploaded, a.reader.Lost()
+}

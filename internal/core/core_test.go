@@ -1,0 +1,456 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"mycroft/internal/clouddb"
+	"mycroft/internal/sim"
+	"mycroft/internal/topo"
+	"mycroft/internal/trace"
+)
+
+func sec(s float64) sim.Time { return sim.Time(s * float64(time.Second)) }
+
+type fixture struct {
+	eng *sim.Engine
+	db  *clouddb.DB
+	b   *Backend
+}
+
+func newFixture(t *testing.T, sampled []topo.Rank, cfg Config) *fixture {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	db := clouddb.New(eng, 0)
+	return &fixture{eng: eng, db: db, b: NewBackend(eng, db, sampled, cfg)}
+}
+
+func ipOf(r topo.Rank) topo.IP { return topo.IP("10.0.0." + string(rune('0'+int(r)))) }
+
+func (f *fixture) completion(r topo.Rank, comm, seq uint64, start, end sim.Time, bytes int64) {
+	f.db.Ingest([]trace.Record{{
+		Kind: trace.KindCompletion, Time: end, IP: ipOf(r), CommID: comm, Rank: r,
+		Op: trace.OpAllReduce, OpSeq: seq, MsgSize: bytes, Start: start, End: end,
+	}})
+}
+
+func (f *fixture) state(r topo.Rank, comm, seq uint64, at sim.Time, ch int32, total, ready, tx, done uint32, stuck time.Duration) {
+	f.db.Ingest([]trace.Record{{
+		Kind: trace.KindState, Time: at, IP: ipOf(r), CommID: comm, Rank: r,
+		Op: trace.OpAllReduce, OpSeq: seq, MsgSize: 1 << 30, Channel: ch,
+		TotalChunks: total, GPUReady: ready, RDMATransmitted: tx, RDMADone: done,
+		StuckNs: int64(stuck),
+	}})
+}
+
+func TestSampleRanksCoversDPGroups(t *testing.T) {
+	cl := topo.MustNew(topo.Config{Nodes: 4, GPUsPerNode: 8, TP: 2, PP: 4, DP: 4})
+	dp := cl.DPGroups() // 8 groups
+	s := SampleRanks(dp, 10)
+	if len(s) != 8 {
+		t.Fatalf("sampled %d ranks, want 8 (one per DP group)", len(s))
+	}
+	for i, g := range dp {
+		found := false
+		for _, r := range s {
+			if g.Contains(r) {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("DP group %d has no sampled rank", i)
+		}
+	}
+}
+
+func TestSampleRanksCap(t *testing.T) {
+	cl := topo.MustNew(topo.Config{Nodes: 8, GPUsPerNode: 8, TP: 4, PP: 4, DP: 4})
+	if got := SampleRanks(cl.DPGroups(), 10); len(got) != 10 {
+		t.Fatalf("cap not applied: %d", len(got))
+	}
+	if got := SampleRanks(nil, 10); got != nil {
+		t.Fatalf("no groups should sample nothing, got %v", got)
+	}
+}
+
+func TestSampleWorld(t *testing.T) {
+	s := SampleWorld(100, 10)
+	if len(s) != 10 || s[0] != 0 || s[9] != 90 {
+		t.Fatalf("SampleWorld = %v", s)
+	}
+	if got := SampleWorld(3, 10); len(got) != 3 {
+		t.Fatalf("small world: %v", got)
+	}
+	if SampleWorld(0, 10) != nil {
+		t.Fatal("empty world sampled")
+	}
+}
+
+func TestNoTriggerBeforeJobProducesLogs(t *testing.T) {
+	f := newFixture(t, []topo.Rank{0}, Config{})
+	f.b.Evaluate(sec(10))
+	if len(f.b.Triggers()) != 0 {
+		t.Fatal("triggered on silent pre-start rank")
+	}
+}
+
+func TestFailureTriggerOnStall(t *testing.T) {
+	f := newFixture(t, []topo.Rank{0}, Config{})
+	f.eng.RunUntil(sec(1))
+	f.completion(0, 7, 0, sec(0.2), sec(1), 1<<30)
+	// Then only state logs: op 1 in flight, stuck.
+	for i := 0; i < 10; i++ {
+		f.state(0, 7, 1, sec(2+0.1*float64(i)), 0, 100, 10, 10, 10, time.Duration(float64(time.Second)*0.1*float64(i)))
+	}
+	f.b.Evaluate(sec(8)) // window (3,8]: states only
+	trs := f.b.Triggers()
+	if len(trs) != 1 || trs[0].Kind != TriggerFailure {
+		t.Fatalf("triggers = %v", trs)
+	}
+	if trs[0].CommID != 7 || trs[0].Rank != 0 {
+		t.Fatalf("trigger meta wrong: %+v", trs[0])
+	}
+}
+
+func TestFailureTriggerOnTotalSilence(t *testing.T) {
+	f := newFixture(t, []topo.Rank{0}, Config{})
+	f.completion(0, 7, 0, sec(0.2), sec(0.5), 1<<30)
+	f.b.Evaluate(sec(30)) // window (25,30]: nothing at all, but rank was seen before
+	trs := f.b.Triggers()
+	if len(trs) != 1 || trs[0].Kind != TriggerFailure {
+		t.Fatalf("triggers = %v", trs)
+	}
+	if !strings.Contains(trs[0].Reason, "silent") {
+		t.Fatalf("reason = %q", trs[0].Reason)
+	}
+}
+
+func TestNoFalseTriggerOnHealthyCadence(t *testing.T) {
+	f := newFixture(t, []topo.Rank{0}, Config{})
+	for i := 0; i < 30; i++ {
+		ts := sec(float64(i))
+		f.completion(0, 7, uint64(i), ts, ts.Add(200*time.Millisecond), 1<<30)
+	}
+	for ts := 5.0; ts < 30; ts++ {
+		f.b.Evaluate(sec(ts))
+	}
+	if n := len(f.b.Triggers()); n != 0 {
+		t.Fatalf("healthy run produced %d triggers: %v", n, f.b.Triggers())
+	}
+}
+
+func TestStragglerTriggerOnThroughputDrop(t *testing.T) {
+	f := newFixture(t, []topo.Rank{0}, Config{})
+	// Warm baseline: 1 GiB per second-ish.
+	seq := uint64(0)
+	for i := 0; i < 10; i++ {
+		ts := sec(float64(i))
+		f.completion(0, 7, seq, ts, ts.Add(200*time.Millisecond), 1<<30)
+		seq++
+	}
+	for ts := 5.0; ts <= 10; ts++ {
+		f.b.Evaluate(sec(ts))
+	}
+	if len(f.b.Triggers()) != 0 {
+		t.Fatalf("premature trigger: %v", f.b.Triggers())
+	}
+	// Degrade: tiny ops (1/8 the bytes) at the same cadence.
+	for i := 0; i < 10; i++ {
+		ts := sec(float64(10 + i))
+		f.completion(0, 7, seq, ts, ts.Add(200*time.Millisecond), 1<<27)
+		seq++
+	}
+	for ts := 11.0; ts <= 20; ts++ {
+		f.b.Evaluate(sec(ts))
+	}
+	trs := f.b.Triggers()
+	if len(trs) != 1 || trs[0].Kind != TriggerStraggler {
+		t.Fatalf("triggers = %v", trs)
+	}
+	if !strings.Contains(trs[0].Reason, "throughput") {
+		t.Fatalf("reason = %q", trs[0].Reason)
+	}
+}
+
+func TestStragglerTriggerOnIntervalGrowth(t *testing.T) {
+	f := newFixture(t, []topo.Rank{0}, Config{})
+	seq := uint64(0)
+	// Baseline: completions every 1 s, 1 GiB each.
+	for i := 0; i < 12; i++ {
+		ts := sec(float64(i))
+		f.completion(0, 7, seq, ts, ts.Add(100*time.Millisecond), 1<<30)
+		seq++
+	}
+	for ts := 5.0; ts <= 12; ts++ {
+		f.b.Evaluate(sec(ts))
+	}
+	if len(f.b.Triggers()) != 0 {
+		t.Fatalf("premature trigger: %v", f.b.Triggers())
+	}
+	// Slow phase: completions every 2.5 s. Message size scales with the gap
+	// so windowed throughput stays at the baseline — only the interval rule
+	// can fire.
+	for i := 0; i < 6; i++ {
+		ts := sec(14.5 + 2.5*float64(i))
+		f.completion(0, 7, seq, ts, ts.Add(100*time.Millisecond), 5<<29) // 2.5 GiB
+		seq++
+	}
+	for ts := 13.0; ts <= 30; ts++ {
+		f.b.Evaluate(sec(ts))
+	}
+	trs := f.b.Triggers()
+	if len(trs) == 0 || trs[0].Kind != TriggerStraggler {
+		t.Fatalf("triggers = %v", trs)
+	}
+	if !strings.Contains(trs[0].Reason, "interval") {
+		t.Fatalf("reason = %q", trs[0].Reason)
+	}
+}
+
+func TestRearmMutesAfterTrigger(t *testing.T) {
+	f := newFixture(t, []topo.Rank{0}, Config{RearmDelay: 30 * time.Second})
+	f.completion(0, 7, 0, sec(0.1), sec(0.2), 1<<30)
+	f.state(0, 7, 1, sec(1), 0, 100, 5, 5, 5, 0)
+	f.b.Evaluate(sec(8))
+	f.b.Evaluate(sec(9))
+	f.b.Evaluate(sec(10))
+	if n := len(f.b.Triggers()); n != 1 {
+		t.Fatalf("muting failed: %d triggers", n)
+	}
+	f.b.Evaluate(sec(39))
+	if n := len(f.b.Triggers()); n != 2 {
+		t.Fatalf("rearm failed: %d triggers", n)
+	}
+}
+
+func TestStartStopTicker(t *testing.T) {
+	f := newFixture(t, []topo.Rank{0}, Config{Interval: time.Second})
+	f.b.Start()
+	f.eng.RunFor(5 * time.Second)
+	if f.b.Evaluations != 5 {
+		t.Fatalf("evaluations = %d, want 5", f.b.Evaluations)
+	}
+	f.b.Stop()
+	f.eng.RunFor(5 * time.Second)
+	if f.b.Evaluations != 5 {
+		t.Fatal("ticker survived Stop")
+	}
+	func() {
+		defer func() { recover() }()
+		f.b.Start()
+		f.b.Start()
+		t.Fatal("double Start did not panic")
+	}()
+}
+
+func TestEmptySampledPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("empty sampled did not panic")
+		}
+	}()
+	NewBackend(sim.NewEngine(1), clouddb.New(sim.NewEngine(1), 0), nil, Config{})
+}
+
+// --- Algorithm 2: failure analysis ---
+
+func stuckTrigger(f *fixture, comm uint64) Trigger {
+	return Trigger{Kind: TriggerFailure, Rank: 0, IP: ipOf(0), At: f.eng.Now(), CommID: comm}
+}
+
+func TestRCANetworkSendPath(t *testing.T) {
+	f := newFixture(t, []topo.Rank{0}, Config{})
+	f.eng.RunUntil(sec(10))
+	// 4 ranks on comm 7, all op seq 1. Rank 2 stalled first with outstanding
+	// WRs; others are dependency-starved victims with shorter stuck times.
+	for r := topo.Rank(0); r < 4; r++ {
+		if r == 2 {
+			f.state(r, 7, 1, sec(10), 0, 100, 24, 24, 20, 5*time.Second)
+		} else {
+			f.state(r, 7, 1, sec(10), 0, 100, 28, 24, 24, 4*time.Second)
+		}
+	}
+	rep := f.b.AnalyzeFailure(stuckTrigger(f, 7))
+	if rep.Suspect != 2 || rep.Category != CatNetworkSendPath || rep.Via != ViaMinData {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.SuspectIP != ipOf(2) {
+		t.Fatalf("suspect IP = %v", rep.SuspectIP)
+	}
+}
+
+func TestRCAGPUHang(t *testing.T) {
+	f := newFixture(t, []topo.Rank{0}, Config{})
+	f.eng.RunUntil(sec(10))
+	for r := topo.Rank(0); r < 4; r++ {
+		if r == 1 {
+			// staged == posted == acked < total: GPU stopped feeding.
+			f.state(r, 7, 1, sec(10), 0, 100, 30, 30, 30, 5*time.Second)
+		} else {
+			f.state(r, 7, 1, sec(10), 0, 100, 34, 30, 30, 4*time.Second)
+		}
+	}
+	rep := f.b.AnalyzeFailure(stuckTrigger(f, 7))
+	if rep.Suspect != 1 || rep.Category != CatGPUHang {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestRCASilentProxy(t *testing.T) {
+	f := newFixture(t, []topo.Rank{0}, Config{})
+	// Rank 3's last state log is stale; peers log freshly at t=10.
+	f.state(3, 7, 1, sec(4), 0, 100, 10, 10, 10, 100*time.Millisecond)
+	f.eng.RunUntil(sec(10))
+	for r := topo.Rank(0); r < 3; r++ {
+		f.state(r, 7, 1, sec(10), 0, 100, 20, 20, 20, 4*time.Second)
+	}
+	rep := f.b.AnalyzeFailure(stuckTrigger(f, 7))
+	if rep.Suspect != 3 || rep.Category != CatProxyCrash || rep.Via != ViaSilentProxy {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestRCAMinOpNotLaunched(t *testing.T) {
+	f := newFixture(t, []topo.Rank{0}, Config{})
+	// Rank 1 completed seq 4 and went quiet; others show seq 5 in flight.
+	f.completion(1, 7, 4, sec(3), sec(4), 1<<30)
+	f.eng.RunUntil(sec(10))
+	for _, r := range []topo.Rank{0, 2, 3} {
+		f.state(r, 7, 5, sec(10), 0, 100, 10, 10, 10, 4*time.Second)
+	}
+	rep := f.b.AnalyzeFailure(stuckTrigger(f, 7))
+	if rep.Suspect != 1 || rep.Category != CatNotLaunched || rep.Via != ViaMinOp {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestRCAChasesAcrossComms(t *testing.T) {
+	f := newFixture(t, []topo.Rank{0}, Config{})
+	// Comm 7 (DP): rank 1 finished seq 4, peers stuck at 5 → rank 1 lags.
+	f.completion(1, 7, 4, sec(3), sec(4), 1<<30)
+	// Comm 9 (rank 1's TP group): rank 1 is stuck with outstanding WRs —
+	// the true root cause. Peer rank 5 is a victim.
+	f.eng.RunUntil(sec(10))
+	for _, r := range []topo.Rank{0, 2, 3} {
+		f.state(r, 7, 5, sec(10), 0, 100, 10, 10, 10, 4*time.Second)
+	}
+	f.state(1, 9, 2, sec(10), 0, 50, 12, 12, 8, 5*time.Second)
+	f.state(5, 9, 2, sec(10), 0, 50, 16, 12, 12, 4*time.Second)
+	rep := f.b.AnalyzeFailure(stuckTrigger(f, 7))
+	if rep.Suspect != 1 || rep.Category != CatNetworkSendPath {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.CommID != 9 {
+		t.Fatalf("chase did not land on comm 9: %+v", rep)
+	}
+}
+
+func TestRCAMinOpStuckInComm(t *testing.T) {
+	f := newFixture(t, []topo.Rank{0}, Config{})
+	f.eng.RunUntil(sec(10))
+	// Rank 2's last record is a fresh state log at seq 4 while others are at
+	// seq 5: it is behind AND visibly stuck inside this comm.
+	f.state(2, 7, 4, sec(10), 0, 100, 24, 24, 20, 5*time.Second)
+	for _, r := range []topo.Rank{0, 1, 3} {
+		f.state(r, 7, 5, sec(10), 0, 100, 10, 10, 10, time.Second)
+	}
+	rep := f.b.AnalyzeFailure(stuckTrigger(f, 7))
+	if rep.Suspect != 2 || rep.Via != ViaMinOp || rep.Category != CatNetworkSendPath {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestRCAUnknownOnNoLogs(t *testing.T) {
+	f := newFixture(t, []topo.Rank{0}, Config{})
+	rep := f.b.AnalyzeFailure(stuckTrigger(f, 77))
+	if rep.Category != CatUnknown || rep.Suspect != -1 {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+// --- Algorithm 2: straggler analysis ---
+
+func TestStragglerLateStart(t *testing.T) {
+	f := newFixture(t, []topo.Rank{0}, Config{StragglerLate: time.Second, LateCount: 3})
+	// 4 ranks, 5 iterations 4 s apart; rank 2 starts 2 s late every time.
+	for i := 0; i < 5; i++ {
+		base := sec(float64(4 * i))
+		for r := topo.Rank(0); r < 4; r++ {
+			start := base
+			if r == 2 {
+				start = base.Add(2 * time.Second)
+			}
+			f.completion(r, 7, uint64(i), start, start.Add(500*time.Millisecond), 1<<30)
+		}
+	}
+	f.eng.RunUntil(sec(20))
+	tr := Trigger{Kind: TriggerStraggler, Rank: 0, IP: ipOf(0), At: sec(20), CommID: 7}
+	rep := f.b.AnalyzeStraggler(tr)
+	if rep.Suspect != 2 || rep.Category != CatComputeStraggler || rep.Via != ViaLateStart {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestStragglerFlowPressureNIC(t *testing.T) {
+	f := newFixture(t, []topo.Rank{0}, Config{})
+	// No late starts; rank 3's flows show outstanding WRs in every snapshot.
+	for i := 0; i < 10; i++ {
+		ts := sec(1 + 0.1*float64(i))
+		for r := topo.Rank(0); r < 4; r++ {
+			if r == 3 {
+				f.state(r, 7, 1, ts, 0, 100, uint32(10+i), uint32(10+i), uint32(8+i), 0)
+			} else {
+				f.state(r, 7, 1, ts, 0, 100, uint32(14+i), uint32(10+i), uint32(10+i), 0)
+			}
+		}
+	}
+	f.eng.RunUntil(sec(3))
+	tr := Trigger{Kind: TriggerStraggler, Rank: 0, IP: ipOf(0), At: sec(3), CommID: 7}
+	rep := f.b.AnalyzeStraggler(tr)
+	if rep.Suspect != 3 || rep.Category != CatNetworkDegrade || rep.Via != ViaFlowPressure {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestStragglerFlowPressurePCIe(t *testing.T) {
+	f := newFixture(t, []topo.Rank{0}, Config{})
+	// Rank 1 staging-bound (buffer empty), others buffer-full victims, and
+	// nobody shows outstanding WRs.
+	for i := 0; i < 10; i++ {
+		ts := sec(1 + 0.1*float64(i))
+		for r := topo.Rank(0); r < 4; r++ {
+			if r == 1 {
+				f.state(r, 7, 1, ts, 0, 100, uint32(10+i), uint32(10+i), uint32(10+i), 0)
+			} else {
+				f.state(r, 7, 1, ts, 0, 100, uint32(14+i), uint32(10+i), uint32(10+i), 0)
+			}
+		}
+	}
+	f.eng.RunUntil(sec(3))
+	tr := Trigger{Kind: TriggerStraggler, Rank: 0, IP: ipOf(0), At: sec(3), CommID: 7}
+	rep := f.b.AnalyzeStraggler(tr)
+	if rep.Suspect != 1 || rep.Category != CatPCIeDegrade || rep.Via != ViaFlowPressure {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestStragglerNoLogs(t *testing.T) {
+	f := newFixture(t, []topo.Rank{0}, Config{})
+	tr := Trigger{Kind: TriggerStraggler, Rank: 0, At: 0, CommID: 55}
+	rep := f.b.AnalyzeStraggler(tr)
+	if rep.Suspect != -1 || rep.Category != CatUnknown {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	tr := Trigger{Kind: TriggerFailure, Rank: 3, IP: "10.0.0.3", At: sec(1), CommID: 7, Reason: "x"}
+	if tr.String() == "" || TriggerStraggler.String() != "straggler" || TriggerKind(9).String() == "" {
+		t.Fatal("stringers broken")
+	}
+	rep := Report{Trigger: tr, Suspect: 3, Category: CatGPUHang, Via: ViaMinData}
+	if rep.String() == "" {
+		t.Fatal("report stringer broken")
+	}
+}

@@ -1,0 +1,387 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"mycroft/internal/sim"
+	"mycroft/internal/topo"
+	"mycroft/internal/trace"
+)
+
+// AnalyzeFailure is Algorithm 2's AnalyzeFailureRootCause: reconstruct the
+// group's distributed state machine from last logs, find the rank that is
+// behind (CheckMinOp) or, failing that, the rank whose flows stalled first
+// (CheckMinData), and classify it with the RC table.
+//
+// When the suspect never launched the blocked op, the cause lives in another
+// dependency: either outside the CCL entirely, or inside a *different*
+// communicator the suspect is stuck on (nested parallelism groups). The
+// analysis chases that dependency across communicators up to ChaseDepth.
+func (b *Backend) AnalyzeFailure(tr Trigger) Report {
+	t := tr.At
+	visited := map[uint64]bool{}
+	commID := tr.CommID
+	rep := Report{Trigger: tr, CommID: commID, Category: CatUnknown, Via: ViaNone, AnalyzedAt: t, Suspect: -1}
+
+	for depth := 0; depth < b.cfg.ChaseDepth; depth++ {
+		if commID == 0 || visited[commID] {
+			break
+		}
+		visited[commID] = true
+		suspect, via, cat, details := b.analyzeCommFailure(commID, t)
+		rep.CommID = commID
+		rep.Suspect = suspect
+		rep.Via = via
+		rep.Category = cat
+		rep.Details = details
+		if suspect < 0 {
+			break
+		}
+		rep.SuspectIP, _ = b.db.IPOf(suspect)
+		if cat != CatNotLaunched {
+			break
+		}
+		// The suspect never joined this comm's op. If it is visibly stuck
+		// inside another communicator, the true root cause is there.
+		next := b.inFlightComm(suspect, t, commID)
+		if next == 0 {
+			break // outside the CCL: hand off to py-spy / Flight Recorder
+		}
+		commID = next
+	}
+	rep.AnalyzedAt = b.eng.Now()
+	return rep
+}
+
+// analyzeCommFailure analyzes one communicator's stuck state.
+func (b *Backend) analyzeCommFailure(commID uint64, t sim.Time) (topo.Rank, Via, Category, string) {
+	members := b.db.RanksOfComm(commID)
+	if len(members) == 0 {
+		return -1, ViaNone, CatUnknown, fmt.Sprintf("no members known for comm %d", commID)
+	}
+
+	// AcquireGroupLastLog: the latest record per member for this comm.
+	last := make(map[topo.Rank]trace.Record, len(members))
+	var maxSeq uint64
+	haveFresh := false
+	freshCut := t.Add(-b.cfg.StateFresh)
+	for _, r := range members {
+		rec, ok := b.db.LastRecord(r, commID, t)
+		if !ok {
+			continue
+		}
+		last[r] = rec
+		if rec.OpSeq > maxSeq {
+			maxSeq = rec.OpSeq
+		}
+		if rec.Kind == trace.KindState && rec.Time >= freshCut {
+			haveFresh = true
+		}
+	}
+	if len(last) == 0 {
+		return -1, ViaNone, CatUnknown, fmt.Sprintf("no logs for comm %d", commID)
+	}
+
+	// Silent proxy: a member whose logging stopped mid-op (its last record
+	// is a stale state log) while peers still log. The absence of logs is
+	// the signal (§4.2).
+	if haveFresh {
+		for _, r := range members {
+			rec, ok := last[r]
+			if ok && rec.Kind == trace.KindState && rec.Time < freshCut {
+				return r, ViaSilentProxy, CatProxyCrash,
+					fmt.Sprintf("state logs stopped at %v mid-op seq %d while peers keep logging", rec.Time, rec.OpSeq)
+			}
+		}
+	}
+
+	// CheckMinOp: a member strictly behind in op sequence.
+	minRank := topo.Rank(-1)
+	minSeq := maxSeq
+	for _, r := range members {
+		rec, ok := last[r]
+		seq := rec.OpSeq
+		if !ok {
+			seq = 0 // never logged: maximally behind
+		}
+		if seq < minSeq || (!ok && minSeq > 0) {
+			minSeq = seq
+			minRank = r
+		}
+	}
+	if minRank >= 0 && minSeq < maxSeq {
+		rec, ok := last[minRank]
+		if ok && rec.Kind == trace.KindState {
+			// Behind and visibly stuck mid-op inside this comm.
+			cat, detail := b.checkRCTable(minRank, commID, t)
+			return minRank, ViaMinOp, cat, fmt.Sprintf("lagging at op seq %d < %d; %s", minSeq, maxSeq, detail)
+		}
+		// Cleanly finished an earlier op and never launched the next.
+		return minRank, ViaMinOp, CatNotLaunched,
+			fmt.Sprintf("last log is completion of seq %d while peers reached %d", minSeq, maxSeq)
+	}
+
+	// CheckMinData: everyone is on the same op; the root cause stalled
+	// first, so it carries the maximum stuck time across its flows.
+	suspect := topo.Rank(-1)
+	var worst int64 = -1
+	for _, r := range members {
+		for _, st := range b.db.LastStatePerChannel(r, commID, t, 2*b.cfg.Window) {
+			if st.TotalChunks == 0 {
+				continue
+			}
+			if st.StuckNs > worst {
+				worst = st.StuckNs
+				suspect = r
+			}
+		}
+	}
+	if suspect < 0 {
+		return -1, ViaNone, CatUnknown, "no per-channel state available"
+	}
+	cat, detail := b.checkRCTable(suspect, commID, t)
+	return suspect, ViaMinData, cat, detail
+}
+
+// checkRCTable classifies a suspect rank from its freshest per-channel state
+// logs — the paper's CheckRCTable.
+func (b *Backend) checkRCTable(r topo.Rank, commID uint64, t sim.Time) (Category, string) {
+	chans := b.db.LastStatePerChannel(r, commID, t, 2*b.cfg.Window)
+	var pick *trace.Record
+	for ch := range chans {
+		rec := chans[ch]
+		if rec.TotalChunks == 0 {
+			continue
+		}
+		if pick == nil || rec.StuckNs > pick.StuckNs {
+			pick = &rec
+		}
+	}
+	if pick == nil {
+		return CatUnknown, "no active flows in state logs"
+	}
+	outstanding := int64(pick.RDMATransmitted) - int64(pick.RDMADone)
+	fill := int64(pick.GPUReady) - int64(pick.RDMATransmitted)
+	detail := fmt.Sprintf("ch %d: chunks %d/%d/%d of %d, stuck %v",
+		pick.Channel, pick.GPUReady, pick.RDMATransmitted, pick.RDMADone, pick.TotalChunks, sim.Duration(pick.StuckNs))
+	switch {
+	case outstanding > 0:
+		// WRs handed to the NIC are not completing: local NIC or link.
+		return CatNetworkSendPath, detail + " — outstanding WRs frozen at NIC"
+	case fill == 0 && pick.GPUReady < pick.TotalChunks:
+		// Send path drained everything; the GPU stopped feeding.
+		return CatGPUHang, detail + " — staging stopped, send path drained"
+	case pick.GPUReady == pick.TotalChunks && pick.RDMADone == pick.TotalChunks:
+		return CatUnknown, detail + " — all local work done, waiting on peers"
+	default:
+		return CatUnknown, detail + " — dependency-starved (victim pattern)"
+	}
+}
+
+// inFlightComm finds a communicator (other than exclude) the rank has fresh
+// state logs on — i.e. an op it is visibly stuck inside.
+func (b *Backend) inFlightComm(r topo.Rank, t sim.Time, exclude uint64) uint64 {
+	recs := b.db.QueryRank(r, t.Add(-b.cfg.Window), t)
+	for i := len(recs) - 1; i >= 0; i-- {
+		rec := recs[i]
+		if rec.Kind == trace.KindState && rec.CommID != exclude {
+			return rec.CommID
+		}
+	}
+	return 0
+}
+
+// inFlightCommDuring finds a communicator (≠ exclude) the rank was visibly
+// executing an op on during (from, to] — evidence that a late start was
+// dependency-induced rather than compute-induced.
+func (b *Backend) inFlightCommDuring(r topo.Rank, from, to sim.Time, exclude uint64) uint64 {
+	for _, rec := range b.db.QueryRank(r, from, to) {
+		if rec.Kind == trace.KindState && rec.CommID != exclude {
+			return rec.CommID
+		}
+	}
+	return 0
+}
+
+// AnalyzeStraggler is Algorithm 2's AnalyzeStragglerRootCause plus the
+// flow-pressure analysis that chunk-level tracing makes possible: first look
+// for a rank with constant late starts (compute-side straggler); failing
+// that, find the flow whose NIC queue stays occupied (network degrade) or
+// whose staging is the bottleneck (PCIe degrade).
+func (b *Backend) AnalyzeStraggler(tr Trigger) Report {
+	rep := b.analyzeStragglerComm(tr, tr.CommID, map[uint64]bool{})
+	rep.AnalyzedAt = b.eng.Now()
+	return rep
+}
+
+func (b *Backend) analyzeStragglerComm(tr Trigger, commID uint64, visited map[uint64]bool) Report {
+	t := tr.At
+	visited[commID] = true
+	rep := Report{Trigger: tr, CommID: commID, Category: CatUnknown, Via: ViaNone, AnalyzedAt: t, Suspect: -1}
+	group := b.db.QueryGroup(commID, t.Add(-b.cfg.StragglerWindow), t)
+	if len(group) == 0 {
+		rep.Details = "no group logs in straggler window"
+		rep.AnalyzedAt = b.eng.Now()
+		return rep
+	}
+
+	// Late-start analysis per op seq. Completion logs carry the rank-local
+	// start; state logs do too, which lets the analysis see ops still in
+	// flight — a heavy straggler's current op counts before it finishes.
+	type se struct{ start, end sim.Time }
+	bySeq := make(map[uint64]map[topo.Rank]se)
+	for r, recs := range group {
+		for _, rec := range recs {
+			if rec.Start == 0 {
+				continue
+			}
+			m := bySeq[rec.OpSeq]
+			if m == nil {
+				m = make(map[topo.Rank]se)
+				bySeq[rec.OpSeq] = m
+			}
+			if prev, ok := m[r]; !ok || rec.Start < prev.start {
+				m[r] = se{start: rec.Start, end: rec.End}
+			}
+		}
+	}
+	late := make(map[topo.Rank]int)
+	type gapT struct{ from, to sim.Time }
+	lastGap := make(map[topo.Rank]gapT) // most recent late gap per rank
+	seqs := 0
+	for _, m := range bySeq {
+		if len(m) < 2 {
+			continue
+		}
+		seqs++
+		minStart := sim.Time(1<<63 - 1)
+		for _, v := range m {
+			if v.start < minStart {
+				minStart = v.start
+			}
+		}
+		for r, v := range m {
+			if v.start.Sub(minStart) > b.cfg.StragglerLate {
+				late[r]++
+				if g, ok := lastGap[r]; !ok || v.start > g.to {
+					lastGap[r] = gapT{from: minStart, to: v.start}
+				}
+			}
+		}
+	}
+	// "Constant late starts" (Algorithm 2): at least LateCount late ops AND
+	// a third of the observed ops — isolated skew from pipeline drift must
+	// not convict a rank.
+	lateNeed := b.cfg.LateCount
+	if frac := seqs / 3; frac > lateNeed {
+		lateNeed = frac
+	}
+	var lateRanks []topo.Rank
+	for r, n := range late {
+		if n >= lateNeed {
+			lateRanks = append(lateRanks, r)
+		}
+	}
+	if len(lateRanks) > 0 {
+		sort.Slice(lateRanks, func(i, j int) bool { return late[lateRanks[i]] > late[lateRanks[j]] })
+		r := lateRanks[0]
+		// A rank that starts late because it is still INSIDE another
+		// collective is a victim, not the cause: chase the dependency into
+		// that communicator (nested parallelism groups, §3.1).
+		if g, ok := lastGap[r]; ok && len(visited) < b.cfg.ChaseDepth {
+			if busy := b.inFlightCommDuring(r, g.from, g.to, commID); busy != 0 && !visited[busy] {
+				return b.analyzeStragglerComm(tr, busy, visited)
+			}
+		}
+		rep.Suspect = r
+		rep.SuspectIP, _ = b.db.IPOf(r)
+		rep.Category = CatComputeStraggler
+		rep.Via = ViaLateStart
+		rep.Details = fmt.Sprintf("late start (> %v) in %d/%d ops", b.cfg.StragglerLate, late[r], seqs)
+		rep.AnalyzedAt = b.eng.Now()
+		return rep
+	}
+	if len(late) > 0 && len(visited) < b.cfg.ChaseDepth {
+		// Sub-quorum lateness: not enough evidence to convict on this comm
+		// (slow cadences yield few ops per window), but the latest late gap
+		// still points at where the rank was held up — follow it.
+		var r topo.Rank = -1
+		best := 0
+		for cand, n := range late {
+			if n > best || (n == best && (r < 0 || cand < r)) {
+				best, r = n, cand
+			}
+		}
+		if g, ok := lastGap[r]; ok {
+			if busy := b.inFlightCommDuring(r, g.from, g.to, commID); busy != 0 && !visited[busy] {
+				if sub := b.analyzeStragglerComm(tr, busy, visited); sub.Suspect >= 0 {
+					return sub
+				}
+			}
+		}
+	}
+
+	// Flow-pressure analysis over state logs: which rank's flows are
+	// NIC-bound (outstanding WRs) or staging-bound (empty buffer)?
+	type pressure struct{ snaps, nicBound, gpuBound int }
+	per := make(map[topo.Rank]*pressure)
+	for r, recs := range group {
+		p := &pressure{}
+		per[r] = p
+		for _, rec := range recs {
+			if rec.Kind != trace.KindState || rec.TotalChunks == 0 {
+				continue
+			}
+			p.snaps++
+			if rec.RDMATransmitted > rec.RDMADone {
+				p.nicBound++
+			}
+			if rec.GPUReady == rec.RDMATransmitted && rec.GPUReady < rec.TotalChunks {
+				p.gpuBound++
+			}
+		}
+	}
+	best := topo.Rank(-1)
+	bestFrac := 0.0
+	for r, p := range per {
+		if p.snaps == 0 {
+			continue
+		}
+		f := float64(p.nicBound) / float64(p.snaps)
+		if f > bestFrac || (f == bestFrac && best >= 0 && r < best) {
+			bestFrac, best = f, r
+		}
+	}
+	if best >= 0 && bestFrac >= b.cfg.FlowPressureFrac {
+		rep.Suspect = best
+		rep.SuspectIP, _ = b.db.IPOf(best)
+		rep.Category = CatNetworkDegrade
+		rep.Via = ViaFlowPressure
+		rep.Details = fmt.Sprintf("NIC queue occupied in %.0f%% of state snapshots", 100*bestFrac)
+		rep.AnalyzedAt = b.eng.Now()
+		return rep
+	}
+	best, bestFrac = -1, 0
+	for r, p := range per {
+		if p.snaps == 0 {
+			continue
+		}
+		f := float64(p.gpuBound) / float64(p.snaps)
+		if f > bestFrac || (f == bestFrac && best >= 0 && r < best) {
+			bestFrac, best = f, r
+		}
+	}
+	if best >= 0 && bestFrac >= b.cfg.FlowPressureFrac {
+		rep.Suspect = best
+		rep.SuspectIP, _ = b.db.IPOf(best)
+		rep.Category = CatPCIeDegrade
+		rep.Via = ViaFlowPressure
+		rep.Details = fmt.Sprintf("staging-bound in %.0f%% of state snapshots", 100*bestFrac)
+		rep.AnalyzedAt = b.eng.Now()
+		return rep
+	}
+	rep.Details = "no straggler pattern matched"
+	rep.AnalyzedAt = b.eng.Now()
+	return rep
+}

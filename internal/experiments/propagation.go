@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"mycroft/internal/ccl"
+	"mycroft/internal/gpusim"
+	"mycroft/internal/rdma"
+	"mycroft/internal/sim"
+	"mycroft/internal/topo"
+)
+
+// E5Result reproduces the anomaly-propagation measurement (§4.1, §7.2):
+// after a single NIC fails mid-all-reduce, how long until every rank's
+// pipeline has stalled, as a function of cluster size. The paper observes
+// cluster-wide propagation within a few hundred milliseconds.
+type E5Result struct {
+	Rows        [][]string
+	Propagation map[int]time.Duration
+}
+
+// RunE5 measures propagation for each world size (one GPU per node: the
+// worst case where every hop crosses the network).
+func RunE5(sizes []int) E5Result {
+	res := E5Result{Propagation: make(map[int]time.Duration)}
+	for _, world := range sizes {
+		p := propagationTime(world)
+		res.Propagation[world] = p
+		res.Rows = append(res.Rows, []string{
+			fmt.Sprintf("%d", world), p.Round(time.Millisecond).String(),
+		})
+	}
+	return res
+}
+
+func propagationTime(world int) time.Duration {
+	eng := sim.NewEngine(1)
+	infos := make([]ccl.RankInfo, world)
+	nics := make([]*rdma.NIC, world)
+	for r := 0; r < world; r++ {
+		nics[r] = rdma.NewNIC(eng, rdma.NICID(r), fmt.Sprintf("nic%d", r), rdma.DefaultNIC())
+		infos[r] = ccl.RankInfo{
+			Rank: topo.Rank(r), IP: topo.IP(fmt.Sprintf("10.0.%d.%d", r/256, r%256)),
+			Node: topo.NodeID(r),
+			GPU:  gpusim.New(eng, gpusim.ID(r), gpusim.DefaultGPU()),
+			NIC:  nics[r],
+		}
+	}
+	comm := ccl.NewCommunicator(eng, 1, infos, ccl.Config{Channels: 1, ChunkBytes: 4 << 20})
+	defer comm.Close()
+
+	// A large all-reduce so the pipeline is in steady state when the fault
+	// lands: 64 MiB per ring segment keeps every rank sending for
+	// ~2.5 ms × (R−1), well past the fault instant at any size.
+	op := comm.AllReduce(int64(world)*64<<20, nil)
+	warm := 5 * time.Millisecond
+	faultAt := sim.Time(warm)
+	eng.At(faultAt, func() { nics[world/3].SetDown(true) })
+	eng.RunFor(warm + 10*time.Second)
+
+	// Every rank's last pipeline progress timestamp; the propagation time is
+	// when the last one froze.
+	var lastStall sim.Time
+	for r := 0; r < world; r++ {
+		for _, cs := range op.Snapshot(topo.Rank(r)) {
+			if cs.LastProgress > lastStall {
+				lastStall = cs.LastProgress
+			}
+		}
+	}
+	if lastStall < faultAt {
+		return 0 // stalled before the fault?! (should not happen)
+	}
+	return lastStall.Sub(faultAt)
+}
+
+// Table renders the propagation results.
+func (r E5Result) Table() string {
+	return "anomaly propagation — single NIC failure to cluster-wide stall\n" +
+		Table([]string{"ranks", "propagation"}, r.Rows)
+}

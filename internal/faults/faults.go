@@ -1,0 +1,195 @@
+// Package faults defines the fault-injection catalog used by the evaluation
+// (§7.1): seven fault classes covering common hardware and software issues,
+// plus the two integration faults of §6.2 (dataloader stall and
+// synchronization mismatch). Each spec knows how to apply itself to a
+// running train.Job and what verdict a correct diagnosis produces, so the
+// experiment harness can score detection and localization.
+package faults
+
+import (
+	"fmt"
+	"time"
+
+	"mycroft/internal/core"
+	"mycroft/internal/topo"
+	"mycroft/internal/train"
+)
+
+// Kind enumerates the injectable faults.
+type Kind string
+
+const (
+	// The seven CCL-visible classes of §7.1.
+	NICDown     Kind = "nic-down"     // RNIC stops completing WRs
+	NICFlap     Kind = "nic-flap"     // transient down/up
+	LinkLoss    Kind = "link-loss"    // bytes leave the NIC, never arrive
+	NICDegrade  Kind = "nic-degrade"  // bandwidth throttled
+	GPUHang     Kind = "gpu-hang"     // copy engine stuck
+	GPUSlow     Kind = "gpu-slow"     // compute straggler
+	PCIeDegrade Kind = "pcie-degrade" // staging path throttled
+	ProxyCrash  Kind = "proxy-crash"  // NCCL proxy thread exits
+	// Congestion: external traffic floods the rank's NIC (the rank's own
+	// flows slow with no local fault).
+	Congestion Kind = "congestion"
+	// Integration faults resolved by py-spy / Flight Recorder (§6.2).
+	DataloaderStall Kind = "dataloader-stall"
+	SyncMismatch    Kind = "sync-mismatch"
+	ComputeHang     Kind = "compute-hang"
+	CheckpointStall Kind = "checkpoint-stall"
+)
+
+// CoreSeven returns the seven CCL-layer fault classes the paper's injection
+// experiments cover.
+func CoreSeven() []Kind {
+	return []Kind{NICDown, LinkLoss, NICDegrade, GPUHang, GPUSlow, PCIeDegrade, ProxyCrash}
+}
+
+// All returns every fault kind, including the integration faults.
+func All() []Kind {
+	return append(CoreSeven(), NICFlap, Congestion, DataloaderStall, SyncMismatch, ComputeHang, CheckpointStall)
+}
+
+// Spec is one concrete injection.
+type Spec struct {
+	Kind Kind
+	Rank topo.Rank
+	// At is the injection delay from Inject time (scheduled on the engine).
+	At time.Duration
+	// Severity parameterizes degradations: bandwidth scale for NICDegrade /
+	// PCIeDegrade (default 0.1), slow factor for GPUSlow (default 4).
+	Severity float64
+	// Duration bounds transient faults (NICFlap; default 5 s).
+	Duration time.Duration
+}
+
+func (s Spec) withDefaults() Spec {
+	if s.Severity <= 0 {
+		switch s.Kind {
+		case GPUSlow:
+			s.Severity = 4
+		case Congestion:
+			s.Severity = 0.9
+		default:
+			s.Severity = 0.1
+		}
+	}
+	if s.Duration <= 0 {
+		s.Duration = 5 * time.Second
+	}
+	return s
+}
+
+func (s Spec) String() string {
+	return fmt.Sprintf("%s@rank%d(+%v)", s.Kind, s.Rank, s.At)
+}
+
+// Expectation describes what a correct diagnosis looks like, for scoring.
+type Expectation struct {
+	// Triggers acceptable for this fault. A hard network failure may fire
+	// the throughput rule first (the last window before total silence) —
+	// both firings mark the same suspicious time point.
+	Triggers []core.TriggerKind
+	// Categories acceptable for this fault (the RC table collapses some
+	// physically-indistinguishable cases, e.g. NIC-down vs. link black-hole,
+	// and a dying NIC classifies as degraded in its final window).
+	Categories []core.Category
+	// LocalizeRank: whether the suspect rank must equal the injected rank.
+	LocalizeRank bool
+	// CCLVisible: false for faults whose root cause is outside the CCL,
+	// where Mycroft should say "not launched" and hand off (§6.2).
+	CCLVisible bool
+}
+
+// TriggerOK reports whether a trigger kind satisfies the expectation.
+func (e Expectation) TriggerOK(k core.TriggerKind) bool {
+	for _, t := range e.Triggers {
+		if t == k {
+			return true
+		}
+	}
+	return false
+}
+
+// CategoryOK reports whether a category satisfies the expectation.
+func (e Expectation) CategoryOK(c core.Category) bool {
+	for _, x := range e.Categories {
+		if x == c {
+			return true
+		}
+	}
+	return false
+}
+
+// Expect returns the scoring expectation for a fault kind.
+func Expect(k Kind) Expectation {
+	both := []core.TriggerKind{core.TriggerFailure, core.TriggerStraggler}
+	switch k {
+	case NICDown, LinkLoss, NICFlap:
+		return Expectation{Triggers: both, Categories: []core.Category{core.CatNetworkSendPath, core.CatNetworkDegrade}, LocalizeRank: true, CCLVisible: true}
+	case NICDegrade, Congestion:
+		return Expectation{Triggers: []core.TriggerKind{core.TriggerStraggler}, Categories: []core.Category{core.CatNetworkDegrade}, LocalizeRank: true, CCLVisible: true}
+	case GPUHang:
+		return Expectation{Triggers: both, Categories: []core.Category{core.CatGPUHang}, LocalizeRank: true, CCLVisible: true}
+	case GPUSlow:
+		return Expectation{Triggers: []core.TriggerKind{core.TriggerStraggler}, Categories: []core.Category{core.CatComputeStraggler}, LocalizeRank: true, CCLVisible: true}
+	case PCIeDegrade:
+		return Expectation{Triggers: []core.TriggerKind{core.TriggerStraggler}, Categories: []core.Category{core.CatPCIeDegrade, core.CatNetworkDegrade}, LocalizeRank: true, CCLVisible: true}
+	case ProxyCrash:
+		// A proxy that dies mid-op is classified by its silent state logs; a
+		// proxy that dies between ops is indistinguishable from a rank that
+		// never launched — localization is still exact and the Fig. 6 triage
+		// cross-check with the Flight Recorder refines the category.
+		return Expectation{Triggers: both, Categories: []core.Category{core.CatProxyCrash, core.CatNotLaunched}, LocalizeRank: true, CCLVisible: true}
+	case DataloaderStall, ComputeHang, CheckpointStall:
+		return Expectation{Triggers: both, Categories: []core.Category{core.CatNotLaunched}, LocalizeRank: true, CCLVisible: false}
+	case SyncMismatch:
+		// The skipping rank runs AHEAD of its group, so Mycroft's
+		// minimum-based analysis sees only victims; the verdict comes from
+		// the Flight Recorder during triage (§6.2).
+		return Expectation{Triggers: both, Categories: []core.Category{core.CatUnknown, core.CatNotLaunched}, LocalizeRank: false, CCLVisible: false}
+	default:
+		return Expectation{}
+	}
+}
+
+// Inject schedules the fault on the job's engine.
+func Inject(j *train.Job, s Spec) {
+	s = s.withDefaults()
+	if int(s.Rank) < 0 || int(s.Rank) >= j.Cluster.WorldSize() {
+		panic(fmt.Sprintf("faults: rank %d out of range", s.Rank))
+	}
+	apply := func() {
+		switch s.Kind {
+		case NICDown:
+			j.NICs[s.Rank].SetDown(true)
+		case NICFlap:
+			j.NICs[s.Rank].FlapFor(s.Duration)
+		case LinkLoss:
+			j.NICs[s.Rank].SetWireLoss(true)
+		case NICDegrade:
+			j.NICs[s.Rank].SetBandwidthScale(s.Severity)
+		case GPUHang:
+			j.GPUs[s.Rank].SetHang(true)
+		case GPUSlow:
+			j.GPUs[s.Rank].SetSlowFactor(s.Severity)
+		case PCIeDegrade:
+			j.GPUs[s.Rank].SetCopyBandwidthScale(s.Severity)
+		case ProxyCrash:
+			j.CrashProxy(s.Rank)
+		case Congestion:
+			// Severity is the share of the NIC the flood occupies.
+			j.StartBackgroundTraffic(s.Rank, s.Severity)
+		case CheckpointStall:
+			j.StallCheckpoint(s.Rank)
+		case DataloaderStall:
+			j.StallDataloader(s.Rank)
+		case ComputeHang:
+			j.StallCompute(s.Rank)
+		case SyncMismatch:
+			j.SkipNextDPLaunch(s.Rank)
+		default:
+			panic(fmt.Sprintf("faults: unknown kind %q", s.Kind))
+		}
+	}
+	j.Eng.After(s.At, apply)
+}

@@ -1,0 +1,129 @@
+package flightrec
+
+import (
+	"testing"
+	"time"
+
+	"mycroft/internal/ccl"
+	"mycroft/internal/sim"
+	"mycroft/internal/topo"
+	"mycroft/internal/trace"
+)
+
+func meta(comm, seq uint64, bytes int64) ccl.OpMeta {
+	return ccl.OpMeta{CommID: comm, Seq: seq, Kind: trace.OpAllReduce, Bytes: bytes}
+}
+
+func TestRingBounded(t *testing.T) {
+	eng := sim.NewEngine(1)
+	rec := New(eng, 3)
+	for i := 0; i < 10; i++ {
+		rec.Record(0, meta(1, uint64(i), 100))
+	}
+	d := rec.Dump(0)
+	if len(d) != 3 || d[0].Meta.Seq != 7 || d[2].Meta.Seq != 9 {
+		t.Fatalf("dump = %+v", d)
+	}
+}
+
+func TestRanksSorted(t *testing.T) {
+	eng := sim.NewEngine(1)
+	rec := New(eng, 4)
+	rec.Record(3, meta(1, 0, 1))
+	rec.Record(1, meta(1, 0, 1))
+	got := rec.Ranks()
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("ranks = %v", got)
+	}
+}
+
+func TestAnalyzeHealthySkewTolerated(t *testing.T) {
+	eng := sim.NewEngine(1)
+	rec := New(eng, 8)
+	// Rank 1 is one op ahead — normal in-flight skew — and the comm is
+	// actively launching (fresh entries).
+	rec.Record(0, meta(1, 5, 100))
+	rec.Record(1, meta(1, 6, 100))
+	if fs := rec.Analyze(eng.Now(), 5*time.Second); len(fs) != 0 {
+		t.Fatalf("fresh comm produced findings: %+v", fs)
+	}
+}
+
+func TestAnalyzeLaunchAhead(t *testing.T) {
+	eng := sim.NewEngine(1)
+	rec := New(eng, 8)
+	for r := topo.Rank(0); r < 4; r++ {
+		seq := uint64(5)
+		if r == 2 {
+			seq = 6 // skipped op 5, ran ahead
+		}
+		rec.Record(r, meta(1, seq, 100))
+	}
+	eng.RunFor(time.Minute) // comm quiesces
+	fs := rec.Analyze(eng.Now(), 5*time.Second)
+	if len(fs) != 1 || fs[0].Kind != "launch-ahead" {
+		t.Fatalf("findings = %+v", fs)
+	}
+	if len(fs[0].Ranks) != 1 || fs[0].Ranks[0] != 2 {
+		t.Fatalf("ahead ranks = %v", fs[0].Ranks)
+	}
+}
+
+func TestAnalyzeLaunchBehind(t *testing.T) {
+	eng := sim.NewEngine(1)
+	rec := New(eng, 8)
+	for r := topo.Rank(0); r < 4; r++ {
+		seq := uint64(5)
+		if r == 3 {
+			seq = 3 // stopped launching
+		}
+		rec.Record(r, meta(1, seq, 100))
+	}
+	eng.RunFor(time.Minute)
+	fs := rec.Analyze(eng.Now(), 5*time.Second)
+	if len(fs) != 1 || fs[0].Kind != "launch-behind" {
+		t.Fatalf("findings = %+v", fs)
+	}
+	if len(fs[0].Ranks) != 1 || fs[0].Ranks[0] != 3 {
+		t.Fatalf("behind ranks = %v", fs[0].Ranks)
+	}
+}
+
+func TestAnalyzeSizeMismatch(t *testing.T) {
+	eng := sim.NewEngine(1)
+	rec := New(eng, 8)
+	rec.Record(0, meta(1, 5, 100))
+	rec.Record(1, meta(1, 5, 200)) // different payload for the same op
+	eng.RunFor(time.Minute)
+	fs := rec.Analyze(eng.Now(), 5*time.Second)
+	found := false
+	for _, f := range fs {
+		if f.Kind == "size-mismatch" && f.CommID == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("size mismatch not found: %+v", fs)
+	}
+}
+
+func TestLastOpPerRank(t *testing.T) {
+	eng := sim.NewEngine(1)
+	rec := New(eng, 8)
+	rec.Record(0, meta(1, 3, 100))
+	rec.Record(0, meta(1, 7, 100))
+	rec.Record(0, meta(2, 99, 100))
+	got := rec.LastOpPerRank(1)
+	if len(got) != 1 || got[0] != 7 {
+		t.Fatalf("LastOpPerRank = %v", got)
+	}
+}
+
+func TestInvalidSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero ring did not panic")
+		}
+	}()
+	New(sim.NewEngine(1), 0)
+}

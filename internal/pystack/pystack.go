@@ -1,0 +1,158 @@
+// Package pystack is the py-spy integration of §6.2: a sampling view of each
+// rank's "Python" call stack. The training simulator updates each rank's
+// current frame as its script advances; on a Mycroft trigger the orchestrator
+// dumps all stacks, groups identical ones onto a topology grid, and flags
+// outliers — stuck threads have different stacks from the rest and stand out.
+package pystack
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mycroft/internal/sim"
+	"mycroft/internal/topo"
+)
+
+// Frame labels used by the training simulator. Free-form strings are
+// accepted; these constants cover the states the analyzer knows about.
+const (
+	FrameDataloader = "dataloader.next"
+	FrameForward    = "model.forward"
+	FrameBackward   = "model.backward"
+	FrameCollWait   = "torch.distributed.all_reduce.wait"
+	FrameCheckpoint = "checkpoint.save"
+	FrameIdle       = "idle"
+)
+
+// Sampler tracks per-rank current stacks.
+type Sampler struct {
+	eng    *sim.Engine
+	stacks map[topo.Rank]string
+	since  map[topo.Rank]sim.Time
+}
+
+// New creates an empty sampler.
+func New(eng *sim.Engine) *Sampler {
+	return &Sampler{eng: eng, stacks: make(map[topo.Rank]string), since: make(map[topo.Rank]sim.Time)}
+}
+
+// Set records rank r's current top frame (called by the training loop as a
+// real process would naturally move between frames).
+func (s *Sampler) Set(r topo.Rank, frame string) {
+	if s.stacks[r] != frame {
+		s.stacks[r] = frame
+		s.since[r] = s.eng.Now()
+	}
+}
+
+// Stack is one rank's sampled call stack.
+type Stack struct {
+	Rank  topo.Rank
+	Frame string
+	Since sim.Time // when the rank entered this frame
+}
+
+// Dump samples every tracked rank, as the automatic dump on a Mycroft
+// trigger does.
+func (s *Sampler) Dump() []Stack {
+	out := make([]Stack, 0, len(s.stacks))
+	for r, f := range s.stacks {
+		out = append(out, Stack{Rank: r, Frame: f, Since: s.since[r]})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Rank < out[j].Rank })
+	return out
+}
+
+// Group is a set of ranks sharing a call stack — one color on the grid.
+type Group struct {
+	Frame string
+	Ranks []topo.Rank
+}
+
+// Analysis is the grouped grid view plus outlier detection.
+type Analysis struct {
+	Groups   []Group // largest first
+	Outliers []Stack // ranks outside the dominant group
+}
+
+// Analyze groups identical stacks and flags the minority groups, mirroring
+// the colored-grid troubleshooting view of §6.2.
+func Analyze(stacks []Stack) Analysis {
+	byFrame := make(map[string][]topo.Rank)
+	for _, st := range stacks {
+		byFrame[st.Frame] = append(byFrame[st.Frame], st.Rank)
+	}
+	var groups []Group
+	for f, ranks := range byFrame {
+		sort.Slice(ranks, func(i, j int) bool { return ranks[i] < ranks[j] })
+		groups = append(groups, Group{Frame: f, Ranks: ranks})
+	}
+	sort.Slice(groups, func(i, j int) bool {
+		if len(groups[i].Ranks) != len(groups[j].Ranks) {
+			return len(groups[i].Ranks) > len(groups[j].Ranks)
+		}
+		return groups[i].Frame < groups[j].Frame
+	})
+	a := Analysis{Groups: groups}
+	if len(groups) > 1 {
+		dominant := groups[0].Frame
+		for _, st := range stacks {
+			if st.Frame != dominant {
+				a.Outliers = append(a.Outliers, st)
+			}
+		}
+		sort.Slice(a.Outliers, func(i, j int) bool { return a.Outliers[i].Rank < a.Outliers[j].Rank })
+	}
+	return a
+}
+
+// StuckInDataPath reports ranks stuck in dataloader or checkpoint frames —
+// the cases py-spy triage resolves without touching the CCL.
+func (a Analysis) StuckInDataPath() []Stack {
+	var out []Stack
+	for _, st := range a.Outliers {
+		if strings.HasPrefix(st.Frame, "dataloader") || strings.HasPrefix(st.Frame, "checkpoint") {
+			out = append(out, st)
+		}
+	}
+	return out
+}
+
+// Grid renders the colored topology grid as text: one cell per rank, one
+// letter per stack group.
+func (a Analysis) Grid(perRow int) string {
+	if perRow <= 0 {
+		perRow = 8
+	}
+	letter := make(map[string]byte)
+	for i, g := range a.Groups {
+		letter[g.Frame] = byte('A' + i%26)
+	}
+	cells := make(map[topo.Rank]byte)
+	maxRank := topo.Rank(-1)
+	for _, g := range a.Groups {
+		for _, r := range g.Ranks {
+			cells[r] = letter[g.Frame]
+			if r > maxRank {
+				maxRank = r
+			}
+		}
+	}
+	var b strings.Builder
+	for r := topo.Rank(0); r <= maxRank; r++ {
+		if c, ok := cells[r]; ok {
+			b.WriteByte(c)
+		} else {
+			b.WriteByte('.')
+		}
+		if (int(r)+1)%perRow == 0 {
+			b.WriteByte('\n')
+		}
+	}
+	var legend []string
+	for _, g := range a.Groups {
+		legend = append(legend, fmt.Sprintf("%c=%s(%d)", letter[g.Frame], g.Frame, len(g.Ranks)))
+	}
+	return strings.TrimRight(b.String(), "\n") + "\n" + strings.Join(legend, " ")
+}

@@ -1,0 +1,114 @@
+package pystack
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"mycroft/internal/sim"
+	"mycroft/internal/topo"
+)
+
+func TestSetAndDump(t *testing.T) {
+	eng := sim.NewEngine(1)
+	s := New(eng)
+	s.Set(0, FrameForward)
+	eng.RunFor(time.Second)
+	s.Set(1, FrameDataloader)
+	s.Set(0, FrameForward) // no-op: Since must not reset
+	stacks := s.Dump()
+	if len(stacks) != 2 {
+		t.Fatalf("dumped %d stacks", len(stacks))
+	}
+	if stacks[0].Rank != 0 || stacks[0].Frame != FrameForward || stacks[0].Since != 0 {
+		t.Fatalf("stack 0 = %+v", stacks[0])
+	}
+	if stacks[1].Since != sim.Time(time.Second) {
+		t.Fatalf("stack 1 since = %v", stacks[1].Since)
+	}
+}
+
+func TestSinceResetsOnChange(t *testing.T) {
+	eng := sim.NewEngine(1)
+	s := New(eng)
+	s.Set(0, FrameForward)
+	eng.RunFor(time.Second)
+	s.Set(0, FrameBackward)
+	if got := s.Dump()[0].Since; got != sim.Time(time.Second) {
+		t.Fatalf("since = %v after frame change", got)
+	}
+}
+
+func TestAnalyzeFindsOutliers(t *testing.T) {
+	var stacks []Stack
+	for r := topo.Rank(0); r < 8; r++ {
+		f := FrameCollWait
+		if r == 5 {
+			f = FrameDataloader
+		}
+		stacks = append(stacks, Stack{Rank: r, Frame: f})
+	}
+	a := Analyze(stacks)
+	if len(a.Groups) != 2 || a.Groups[0].Frame != FrameCollWait || len(a.Groups[0].Ranks) != 7 {
+		t.Fatalf("groups = %+v", a.Groups)
+	}
+	if len(a.Outliers) != 1 || a.Outliers[0].Rank != 5 {
+		t.Fatalf("outliers = %+v", a.Outliers)
+	}
+	stuck := a.StuckInDataPath()
+	if len(stuck) != 1 || stuck[0].Rank != 5 {
+		t.Fatalf("data-path stuck = %+v", stuck)
+	}
+}
+
+func TestAnalyzeUniformNoOutliers(t *testing.T) {
+	var stacks []Stack
+	for r := topo.Rank(0); r < 4; r++ {
+		stacks = append(stacks, Stack{Rank: r, Frame: FrameCollWait})
+	}
+	a := Analyze(stacks)
+	if len(a.Groups) != 1 || len(a.Outliers) != 0 {
+		t.Fatalf("analysis = %+v", a)
+	}
+	if a.StuckInDataPath() != nil {
+		t.Fatal("uniform stacks reported data-path stuck")
+	}
+}
+
+func TestCheckpointCountsAsDataPath(t *testing.T) {
+	a := Analyze([]Stack{
+		{Rank: 0, Frame: FrameCollWait}, {Rank: 1, Frame: FrameCollWait},
+		{Rank: 2, Frame: FrameCheckpoint},
+	})
+	if got := a.StuckInDataPath(); len(got) != 1 || got[0].Rank != 2 {
+		t.Fatalf("checkpoint outlier = %+v", got)
+	}
+}
+
+func TestGridRendering(t *testing.T) {
+	var stacks []Stack
+	for r := topo.Rank(0); r < 16; r++ {
+		f := FrameCollWait
+		if r == 9 {
+			f = FrameDataloader
+		}
+		stacks = append(stacks, Stack{Rank: r, Frame: f})
+	}
+	grid := Analyze(stacks).Grid(8)
+	lines := strings.Split(grid, "\n")
+	if len(lines) != 3 { // two rows + legend
+		t.Fatalf("grid = %q", grid)
+	}
+	if lines[0] != "AAAAAAAA" {
+		t.Fatalf("row 0 = %q", lines[0])
+	}
+	if lines[1] != "ABAAAAAA" {
+		t.Fatalf("row 1 = %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "B=dataloader.next(1)") {
+		t.Fatalf("legend = %q", lines[2])
+	}
+	if Analyze(stacks).Grid(0) == "" {
+		t.Fatal("default perRow failed")
+	}
+}

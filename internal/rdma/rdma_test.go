@@ -1,0 +1,308 @@
+package rdma
+
+import (
+	"testing"
+	"time"
+
+	"mycroft/internal/sim"
+)
+
+func pair(t *testing.T) (*sim.Engine, *NIC, *NIC, *QP) {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	a := NewNIC(eng, 0, "nic-a", DefaultNIC())
+	b := NewNIC(eng, 1, "nic-b", DefaultNIC())
+	return eng, a, b, NewQP(0, a, b)
+}
+
+func TestWriteDeliveryAndCQE(t *testing.T) {
+	eng, a, b, qp := pair(t)
+	_ = b
+	var deliveredAt, cqeAt sim.Time = -1, -1
+	qp.PostWrite(50_000_000, // 1ms at 50GB/s
+		func() { deliveredAt = eng.Now() },
+		func() { cqeAt = eng.Now() })
+	eng.Run()
+	if deliveredAt < 0 || cqeAt < 0 {
+		t.Fatal("callbacks did not fire")
+	}
+	// transmit = 1ms + 1us setup; delivery adds 5us, CQE adds 10us.
+	wantDeliver := sim.Time(time.Millisecond + 1*time.Microsecond + 5*time.Microsecond)
+	if deliveredAt != wantDeliver {
+		t.Fatalf("deliveredAt = %v, want %v", deliveredAt, wantDeliver)
+	}
+	if cqeAt != wantDeliver.Add(5*time.Microsecond) {
+		t.Fatalf("cqeAt = %v, want %v", cqeAt, wantDeliver.Add(5*time.Microsecond))
+	}
+	if cqeAt <= deliveredAt {
+		t.Fatal("CQE must trail delivery")
+	}
+	c := a.Counters()
+	if c.WRsPosted != 1 || c.WRsCompleted != 1 || c.BytesSent != 50_000_000 || c.BytesAcked != 50_000_000 {
+		t.Fatalf("counters = %+v", c)
+	}
+	if qp.Posted() != 1 || qp.Completed() != 1 || qp.BytesSent() != 50_000_000 {
+		t.Fatalf("qp counters: posted=%d completed=%d bytes=%d", qp.Posted(), qp.Completed(), qp.BytesSent())
+	}
+}
+
+func TestNICSerializesWRs(t *testing.T) {
+	eng, _, _, qp := pair(t)
+	var done []sim.Time
+	for i := 0; i < 3; i++ {
+		qp.PostWrite(50_000_000, nil, func() { done = append(done, eng.Now()) })
+	}
+	eng.Run()
+	if len(done) != 3 {
+		t.Fatalf("got %d CQEs, want 3", len(done))
+	}
+	// Each transmit is ~1ms; CQEs must be spaced ~1ms apart (serialized).
+	for i := 1; i < 3; i++ {
+		gap := done[i].Sub(done[i-1])
+		if gap < 900*time.Microsecond || gap > 1100*time.Microsecond {
+			t.Fatalf("CQE gap %d = %v, want ~1ms", i, gap)
+		}
+	}
+}
+
+func TestTwoQPsShareNIC(t *testing.T) {
+	eng := sim.NewEngine(1)
+	a := NewNIC(eng, 0, "a", DefaultNIC())
+	b := NewNIC(eng, 1, "b", DefaultNIC())
+	c := NewNIC(eng, 2, "c", DefaultNIC())
+	q1 := NewQP(1, a, b)
+	q2 := NewQP(2, a, c)
+	var t1, t2 sim.Time
+	q1.PostWrite(50_000_000, nil, func() { t1 = eng.Now() })
+	q2.PostWrite(50_000_000, nil, func() { t2 = eng.Now() })
+	eng.Run()
+	// Sharing one 50GB/s NIC, the second flow finishes ~1ms after the first.
+	if t2.Sub(t1) < 900*time.Microsecond {
+		t.Fatalf("flows did not serialize on shared NIC: t1=%v t2=%v", t1, t2)
+	}
+}
+
+func TestDownNICStallsSilently(t *testing.T) {
+	eng, a, _, qp := pair(t)
+	a.SetDown(true)
+	fired := false
+	qp.PostWrite(1000, func() { fired = true }, nil)
+	eng.RunFor(10 * time.Second)
+	if fired {
+		t.Fatal("delivery fired while NIC down")
+	}
+	if !a.Down() {
+		t.Fatal("Down() = false")
+	}
+	// Gray failure: the WR was accepted (posted counter moves) but nothing
+	// completes — exactly what an Op-level tracer cannot see.
+	if a.Counters().WRsPosted != 1 || a.Counters().WRsCompleted != 0 {
+		t.Fatalf("counters = %+v", a.Counters())
+	}
+}
+
+func TestRecoveryReplaysPending(t *testing.T) {
+	eng, a, _, qp := pair(t)
+	a.SetDown(true)
+	var delivered []int
+	for i := 0; i < 3; i++ {
+		i := i
+		qp.PostWrite(1000, func() { delivered = append(delivered, i) }, nil)
+	}
+	eng.After(2*time.Second, func() { a.SetDown(false) })
+	eng.Run()
+	if len(delivered) != 3 {
+		t.Fatalf("delivered %d writes after recovery, want 3", len(delivered))
+	}
+	for i, d := range delivered {
+		if d != i {
+			t.Fatalf("recovery replay out of order: %v", delivered)
+		}
+	}
+	if eng.Now() < sim.Time(2*time.Second) {
+		t.Fatal("deliveries completed before recovery")
+	}
+}
+
+func TestFlapFor(t *testing.T) {
+	eng, a, _, qp := pair(t)
+	a.FlapFor(time.Second)
+	var deliveredAt sim.Time = -1
+	qp.PostWrite(1000, func() { deliveredAt = eng.Now() }, nil)
+	eng.Run()
+	if deliveredAt < sim.Time(time.Second) {
+		t.Fatalf("delivery at %v, want after 1s flap", deliveredAt)
+	}
+	if a.Down() {
+		t.Fatal("NIC still down after flap window")
+	}
+}
+
+func TestBandwidthScale(t *testing.T) {
+	eng, a, _, qp := pair(t)
+	a.SetBandwidthScale(0.5)
+	if a.BandwidthScale() != 0.5 {
+		t.Fatal("scale not recorded")
+	}
+	var done sim.Time
+	qp.PostWrite(50_000_000, nil, func() { done = eng.Now() })
+	eng.Run()
+	// At half bandwidth the 1ms transfer takes ~2ms.
+	if done < sim.Time(1900*time.Microsecond) || done > sim.Time(2200*time.Microsecond) {
+		t.Fatalf("done = %v, want ~2ms", done)
+	}
+}
+
+func TestLossInflatesGoodput(t *testing.T) {
+	eng, a, _, qp := pair(t)
+	a.SetLossRate(0.5)
+	var done sim.Time
+	qp.PostWrite(50_000_000, nil, func() { done = eng.Now() })
+	eng.Run()
+	if done < sim.Time(1900*time.Microsecond) {
+		t.Fatalf("done = %v, want ~2ms with 50%% loss", done)
+	}
+}
+
+func TestFaultHookValidation(t *testing.T) {
+	_, a, _, qp := pair(t)
+	for name, fn := range map[string]func(){
+		"zero bw scale":  func() { a.SetBandwidthScale(0) },
+		"neg bw scale":   func() { a.SetBandwidthScale(-1) },
+		"loss = 1":       func() { a.SetLossRate(1) },
+		"neg loss":       func() { a.SetLossRate(-0.1) },
+		"neg write size": func() { qp.PostWrite(-5, nil, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestNewNICValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero-bandwidth NIC did not panic")
+		}
+	}()
+	NewNIC(sim.NewEngine(1), 0, "bad", NICConfig{Bandwidth: 0})
+}
+
+func TestQPAsLink(t *testing.T) {
+	eng, _, _, qp := pair(t)
+	l := qp.AsLink()
+	id, kind := l.Describe()
+	if id != 0 || kind != "rdma" {
+		t.Fatalf("Describe = (%d, %s)", id, kind)
+	}
+	var stages []string
+	l.Send(100, SendCallbacks{
+		OnTransmit: func() { stages = append(stages, "tx") },
+		OnDeliver:  func() { stages = append(stages, "deliver") },
+		OnCQE:      func() { stages = append(stages, "cqe") },
+	})
+	eng.Run()
+	want := []string{"tx", "deliver", "cqe"}
+	if len(stages) != 3 || stages[0] != want[0] || stages[1] != want[1] || stages[2] != want[2] {
+		t.Fatalf("stages = %v, want %v", stages, want)
+	}
+}
+
+func TestWireLossTransmitsButNeverCompletes(t *testing.T) {
+	eng, a, _, qp := pair(t)
+	a.SetWireLoss(true)
+	if !a.WireLoss() {
+		t.Fatal("WireLoss() = false")
+	}
+	var tx, deliver, cqe bool
+	qp.Post(1000, SendCallbacks{
+		OnTransmit: func() { tx = true },
+		OnDeliver:  func() { deliver = true },
+		OnCQE:      func() { cqe = true },
+	})
+	eng.RunFor(10 * time.Second)
+	if !tx {
+		t.Fatal("transmit stage did not fire under wire loss")
+	}
+	if deliver || cqe {
+		t.Fatal("delivery or CQE fired despite wire loss")
+	}
+	// The signature: BytesSent advances, BytesAcked does not.
+	c := a.Counters()
+	if c.BytesSent != 1000 || c.BytesAcked != 0 {
+		t.Fatalf("counters = %+v, want sent=1000 acked=0", c)
+	}
+}
+
+func TestNVLink(t *testing.T) {
+	eng := sim.NewEngine(1)
+	l := NewNVLink(eng, 7, 200e9, time.Microsecond)
+	id, kind := l.Describe()
+	if id != 7 || kind != "nvlink" {
+		t.Fatalf("Describe = (%d, %s)", id, kind)
+	}
+	var done sim.Time
+	l.Send(200_000_000, SendCallbacks{OnDeliver: func() { done = eng.Now() }}) // 1ms at 200GB/s
+	eng.Run()
+	if done < sim.Time(time.Millisecond) || done > sim.Time(time.Millisecond+10*time.Microsecond) {
+		t.Fatalf("nvlink delivery at %v, want ~1ms", done)
+	}
+}
+
+func TestNVLinkSerializationAndScale(t *testing.T) {
+	eng := sim.NewEngine(1)
+	l := NewNVLink(eng, 0, 200e9, 0)
+	l.SetBandwidthScale(0.5)
+	var times []sim.Time
+	l.Send(100_000_000, SendCallbacks{OnDeliver: func() { times = append(times, eng.Now()) }})
+	l.Send(100_000_000, SendCallbacks{OnDeliver: func() { times = append(times, eng.Now()) }})
+	eng.Run()
+	if len(times) != 2 {
+		t.Fatal("sends incomplete")
+	}
+	// Each 100MB at 100GB/s effective = 1ms; serialized => 1ms, 2ms.
+	if times[0] != sim.Time(time.Millisecond) || times[1] != sim.Time(2*time.Millisecond) {
+		t.Fatalf("times = %v, want [1ms 2ms]", times)
+	}
+}
+
+func TestNVLinkValidation(t *testing.T) {
+	eng := sim.NewEngine(1)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("zero-bw nvlink did not panic")
+			}
+		}()
+		NewNVLink(eng, 0, 0, 0)
+	}()
+	l := NewNVLink(eng, 0, 1e9, 0)
+	defer func() {
+		if recover() == nil {
+			t.Error("zero nvlink scale did not panic")
+		}
+	}()
+	l.SetBandwidthScale(0)
+}
+
+func TestSetDownIdempotent(t *testing.T) {
+	eng, a, _, qp := pair(t)
+	a.SetDown(true)
+	a.SetDown(true) // no-op
+	fired := false
+	qp.PostWrite(10, func() { fired = true }, nil)
+	a.SetDown(false)
+	a.SetDown(false) // no-op; must not replay twice
+	eng.Run()
+	if !fired {
+		t.Fatal("write not delivered after recovery")
+	}
+	if qp.Completed() != 1 {
+		t.Fatalf("completed = %d, want 1 (double replay?)", qp.Completed())
+	}
+}

@@ -1,0 +1,182 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// Every substrate in this repository (RDMA NICs, GPUs, the collective
+// communication library, the trace pipeline and the Mycroft backend itself)
+// is an entity on a single Engine. Events are closures ordered by virtual
+// time with FIFO tie-breaking, so a run is fully deterministic for a given
+// seed. Virtual time is measured in nanoseconds from the start of the run.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is a point in virtual time, in nanoseconds since the start of the run.
+type Time int64
+
+// Duration re-exports time.Duration for call-site readability.
+type Duration = time.Duration
+
+// Add returns the time d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration between t and earlier time u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Seconds returns t expressed in seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(time.Second) }
+
+func (t Time) String() string {
+	return Duration(t).String()
+}
+
+// Infinity is a time later than any event a run will schedule.
+const Infinity = Time(1<<63 - 1)
+
+type event struct {
+	at  Time
+	seq uint64 // FIFO tie-break for equal times
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a single-threaded discrete-event scheduler. It is not safe for
+// concurrent use; all simulated concurrency is expressed as events.
+type Engine struct {
+	now        Time
+	seq        uint64
+	events     eventHeap
+	rng        *rand.Rand
+	dispatched uint64
+}
+
+// NewEngine returns an engine with virtual time 0 and a deterministic RNG
+// derived from seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic RNG. Components must draw all
+// randomness from it (or from RNGs seeded by it) to keep runs reproducible.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Dispatched reports how many events have run so far (useful for cost
+// accounting in experiments and tests).
+func (e *Engine) Dispatched() uint64 { return e.dispatched }
+
+// Pending reports how many events are scheduled but not yet dispatched.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// At schedules fn to run at time t. Scheduling in the past panics: it is
+// always a logic error in a discrete-event model.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, &event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d after the current time. Negative d panics.
+func (e *Engine) After(d Duration, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	e.At(e.now.Add(d), fn)
+}
+
+// Step dispatches the single earliest pending event. It reports false when no
+// events remain.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(*event)
+	e.now = ev.at
+	e.dispatched++
+	ev.fn()
+	return true
+}
+
+// Run dispatches events until none remain.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil dispatches events with time ≤ t, then advances the clock to t.
+// Events scheduled exactly at t do run.
+func (e *Engine) RunUntil(t Time) {
+	for len(e.events) > 0 && e.events[0].at <= t {
+		e.Step()
+	}
+	if t > e.now {
+		e.now = t
+	}
+}
+
+// RunFor advances the simulation by d. See RunUntil.
+func (e *Engine) RunFor(d Duration) { e.RunUntil(e.now.Add(d)) }
+
+// Ticker invokes a callback periodically until cancelled.
+type Ticker struct {
+	eng     *Engine
+	period  Duration
+	fn      func(Time)
+	stopped bool
+}
+
+// NewTicker starts a ticker whose first tick fires one period from now.
+// The callback receives the tick's virtual time. Stop cancels future ticks.
+func (e *Engine) NewTicker(period Duration, fn func(Time)) *Ticker {
+	if period <= 0 {
+		panic(fmt.Sprintf("sim: non-positive ticker period %v", period))
+	}
+	t := &Ticker{eng: e, period: period, fn: fn}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.eng.After(t.period, func() {
+		if t.stopped {
+			return
+		}
+		t.fn(t.eng.Now())
+		if !t.stopped {
+			t.arm()
+		}
+	})
+}
+
+// Stop cancels the ticker. It is safe to call from within the tick callback
+// and more than once.
+func (t *Ticker) Stop() { t.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (t *Ticker) Stopped() bool { return t.stopped }

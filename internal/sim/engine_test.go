@@ -1,0 +1,230 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	e.At(30, func() { got = append(got, 3) })
+	e.At(10, func() { got = append(got, 1) })
+	e.At(20, func() { got = append(got, 2) })
+	e.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("dispatch order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 30 {
+		t.Fatalf("Now() = %v after run, want 30", e.Now())
+	}
+}
+
+func TestEngineFIFOTieBreak(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("same-time events out of FIFO order: %v", got)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine(1)
+	var trace []Time
+	e.At(10, func() {
+		trace = append(trace, e.Now())
+		e.After(5, func() { trace = append(trace, e.Now()) })
+		e.At(e.Now(), func() { trace = append(trace, e.Now()) }) // same-time requeue
+	})
+	e.Run()
+	if len(trace) != 3 || trace[0] != 10 || trace[1] != 10 || trace[2] != 15 {
+		t.Fatalf("trace = %v, want [10 10 15]", trace)
+	}
+}
+
+func TestEnginePastSchedulingPanics(t *testing.T) {
+	e := NewEngine(1)
+	e.At(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(5, func() {})
+	})
+	e.Run()
+}
+
+func TestEngineNegativeAfterPanics(t *testing.T) {
+	e := NewEngine(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("negative After did not panic")
+		}
+	}()
+	e.After(-time.Second, func() {})
+}
+
+func TestRunUntilAdvancesClock(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	e.At(100, func() { fired = true })
+	e.RunUntil(50)
+	if fired {
+		t.Fatal("event at 100 fired during RunUntil(50)")
+	}
+	if e.Now() != 50 {
+		t.Fatalf("Now() = %v, want 50", e.Now())
+	}
+	e.RunUntil(100)
+	if !fired {
+		t.Fatal("event at 100 did not fire during RunUntil(100)")
+	}
+}
+
+func TestRunUntilInclusive(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	e.At(50, func() { fired = true })
+	e.RunUntil(50)
+	if !fired {
+		t.Fatal("event scheduled exactly at boundary did not fire")
+	}
+}
+
+func TestRunForAccumulates(t *testing.T) {
+	e := NewEngine(1)
+	e.RunFor(time.Second)
+	e.RunFor(time.Second)
+	if e.Now() != Time(2*time.Second) {
+		t.Fatalf("Now() = %v, want 2s", e.Now())
+	}
+}
+
+func TestTickerPeriodAndStop(t *testing.T) {
+	e := NewEngine(1)
+	var ticks []Time
+	tk := e.NewTicker(100*time.Millisecond, func(now Time) {
+		ticks = append(ticks, now)
+	})
+	e.RunUntil(Time(350 * time.Millisecond))
+	if len(ticks) != 3 {
+		t.Fatalf("got %d ticks, want 3: %v", len(ticks), ticks)
+	}
+	tk.Stop()
+	if !tk.Stopped() {
+		t.Fatal("Stopped() = false after Stop")
+	}
+	e.RunUntil(Time(time.Second))
+	if len(ticks) != 3 {
+		t.Fatalf("ticker fired after Stop: %v", ticks)
+	}
+}
+
+func TestTickerStopFromCallback(t *testing.T) {
+	e := NewEngine(1)
+	n := 0
+	var tk *Ticker
+	tk = e.NewTicker(time.Millisecond, func(Time) {
+		n++
+		if n == 2 {
+			tk.Stop()
+		}
+	})
+	e.Run()
+	if n != 2 {
+		t.Fatalf("ticker fired %d times, want 2", n)
+	}
+}
+
+func TestTickerZeroPeriodPanics(t *testing.T) {
+	e := NewEngine(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("zero-period ticker did not panic")
+		}
+	}()
+	e.NewTicker(0, func(Time) {})
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func(seed int64) []int64 {
+		e := NewEngine(seed)
+		var out []int64
+		for i := 0; i < 100; i++ {
+			d := Duration(e.Rand().Intn(1000)) * time.Microsecond
+			e.After(d, func() { out = append(out, int64(e.Now())) })
+		}
+		e.Run()
+		return out
+	}
+	a, b := run(42), run(42)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run diverged at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestDispatchedCount(t *testing.T) {
+	e := NewEngine(1)
+	for i := 0; i < 7; i++ {
+		e.At(Time(i), func() {})
+	}
+	e.Run()
+	if e.Dispatched() != 7 {
+		t.Fatalf("Dispatched() = %d, want 7", e.Dispatched())
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending() = %d, want 0", e.Pending())
+	}
+}
+
+// Property: for any set of non-negative offsets, events fire in sorted order
+// and the clock is monotone.
+func TestEventOrderProperty(t *testing.T) {
+	f := func(offsets []uint16) bool {
+		e := NewEngine(7)
+		var fired []Time
+		for _, off := range offsets {
+			e.At(Time(off), func() { fired = append(fired, e.Now()) })
+		}
+		e.Run()
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return len(fired) == len(offsets)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeHelpers(t *testing.T) {
+	tm := Time(0).Add(1500 * time.Millisecond)
+	if tm.Seconds() != 1.5 {
+		t.Fatalf("Seconds() = %v, want 1.5", tm.Seconds())
+	}
+	if tm.Sub(Time(time.Second)) != 500*time.Millisecond {
+		t.Fatalf("Sub = %v, want 500ms", tm.Sub(Time(time.Second)))
+	}
+	if tm.String() != "1.5s" {
+		t.Fatalf("String() = %q, want 1.5s", tm.String())
+	}
+}

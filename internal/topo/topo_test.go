@@ -1,0 +1,206 @@
+package topo
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func std() *Cluster {
+	// 4 nodes × 8 GPUs = 32 ranks; TP=2, PP=4, DP=4 (the paper's testbed size).
+	return MustNew(Config{Nodes: 4, GPUsPerNode: 8, TP: 2, PP: 4, DP: 4})
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{Nodes: 0, GPUsPerNode: 8, TP: 1, PP: 1, DP: 1},
+		{Nodes: 2, GPUsPerNode: 0, TP: 1, PP: 1, DP: 1},
+		{Nodes: 2, GPUsPerNode: 8, TP: 0, PP: 4, DP: 4},
+		{Nodes: 2, GPUsPerNode: 8, TP: 2, PP: 2, DP: 2}, // 8 != 16
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: config %+v validated unexpectedly", i, c)
+		}
+	}
+	if err := (Config{Nodes: 4, GPUsPerNode: 8, TP: 2, PP: 4, DP: 4}).Validate(); err != nil {
+		t.Errorf("good config rejected: %v", err)
+	}
+}
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	if _, err := New(Config{Nodes: 1, GPUsPerNode: 1, TP: 2, PP: 1, DP: 1}); err == nil {
+		t.Fatal("New accepted inconsistent config")
+	}
+}
+
+func TestWorldLayout(t *testing.T) {
+	cl := std()
+	if cl.WorldSize() != 32 {
+		t.Fatalf("WorldSize = %d, want 32", cl.WorldSize())
+	}
+	if len(cl.Nodes) != 4 {
+		t.Fatalf("nodes = %d, want 4", len(cl.Nodes))
+	}
+	// Rank 0..7 on node 0, 8..15 on node 1, ...
+	for r := 0; r < 32; r++ {
+		wantNode := NodeID(r / 8)
+		if cl.NodeOf(Rank(r)).ID != wantNode {
+			t.Fatalf("rank %d on node %v, want %v", r, cl.NodeOf(Rank(r)).ID, wantNode)
+		}
+		if cl.LocalRank(Rank(r)) != r%8 {
+			t.Fatalf("local rank of %d = %d", r, cl.LocalRank(Rank(r)))
+		}
+	}
+	if !cl.SameNode(0, 7) || cl.SameNode(7, 8) {
+		t.Fatal("SameNode boundaries wrong")
+	}
+	if cl.IPOf(0) == cl.IPOf(8) {
+		t.Fatal("distinct nodes share an IP")
+	}
+	if cl.IPOf(0) != cl.IPOf(7) {
+		t.Fatal("same node has differing IPs")
+	}
+}
+
+func TestCoordRoundTrip(t *testing.T) {
+	cl := std()
+	for r := 0; r < cl.WorldSize(); r++ {
+		c := cl.CoordOf(Rank(r))
+		if back := cl.RankAt(c); back != Rank(r) {
+			t.Fatalf("round trip failed: rank %d -> %+v -> %d", r, c, back)
+		}
+		if c.TP >= cl.TP || c.PP >= cl.PP || c.DP >= cl.DP {
+			t.Fatalf("coord out of bounds: %+v", c)
+		}
+	}
+}
+
+// Property: coordinate decomposition round-trips for arbitrary valid shapes.
+func TestCoordRoundTripProperty(t *testing.T) {
+	f := func(tpRaw, ppRaw, dpRaw uint8) bool {
+		tp := int(tpRaw%4) + 1
+		pp := int(ppRaw%4) + 1
+		dp := int(dpRaw%4) + 1
+		world := tp * pp * dp
+		gpus := 1
+		for _, g := range []int{8, 4, 2, 1} {
+			if world%g == 0 {
+				gpus = g
+				break
+			}
+		}
+		cl := MustNew(Config{Nodes: world / gpus, GPUsPerNode: gpus, TP: tp, PP: pp, DP: dp})
+		for r := 0; r < cl.WorldSize(); r++ {
+			if cl.RankAt(cl.CoordOf(Rank(r))) != Rank(r) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroupShapes(t *testing.T) {
+	cl := std()
+	tps := cl.TPGroups()
+	pps := cl.PPGroups()
+	dps := cl.DPGroups()
+	if len(tps) != cl.PP*cl.DP {
+		t.Fatalf("TP groups = %d, want %d", len(tps), cl.PP*cl.DP)
+	}
+	if len(pps) != cl.TP*cl.DP {
+		t.Fatalf("PP groups = %d, want %d", len(pps), cl.TP*cl.DP)
+	}
+	if len(dps) != cl.TP*cl.PP {
+		t.Fatalf("DP groups = %d, want %d", len(dps), cl.TP*cl.PP)
+	}
+	for _, g := range tps {
+		if len(g.Ranks) != cl.TP {
+			t.Fatalf("TP group size %d, want %d", len(g.Ranks), cl.TP)
+		}
+	}
+	for _, g := range pps {
+		if len(g.Ranks) != cl.PP {
+			t.Fatalf("PP group size %d, want %d", len(g.Ranks), cl.PP)
+		}
+	}
+	for _, g := range dps {
+		if len(g.Ranks) != cl.DP {
+			t.Fatalf("DP group size %d, want %d", len(g.Ranks), cl.DP)
+		}
+	}
+}
+
+// Each rank must appear in exactly one group of each kind: the groups of a
+// kind partition the world.
+func TestGroupsPartitionWorld(t *testing.T) {
+	cl := std()
+	for _, groups := range [][]*Group{cl.TPGroups(), cl.PPGroups(), cl.DPGroups()} {
+		seen := make(map[Rank]int)
+		for _, g := range groups {
+			for _, r := range g.Ranks {
+				seen[r]++
+			}
+		}
+		if len(seen) != cl.WorldSize() {
+			t.Fatalf("%s groups cover %d ranks, want %d", groups[0].Kind, len(seen), cl.WorldSize())
+		}
+		for r, n := range seen {
+			if n != 1 {
+				t.Fatalf("rank %d appears %d times in %s groups", r, n, groups[0].Kind)
+			}
+		}
+	}
+}
+
+// TP groups must be contiguous ranks (NVLink locality in Megatron placement).
+func TestTPGroupLocality(t *testing.T) {
+	cl := std()
+	for _, g := range cl.TPGroups() {
+		for i := 1; i < len(g.Ranks); i++ {
+			if g.Ranks[i] != g.Ranks[i-1]+1 {
+				t.Fatalf("TP group not contiguous: %v", g.Ranks)
+			}
+		}
+		// With TP=2 and 8 GPUs/node, every TP group stays on one node.
+		if !cl.SameNode(g.Ranks[0], g.Ranks[len(g.Ranks)-1]) {
+			t.Fatalf("TP group spans nodes: %v", g.Ranks)
+		}
+	}
+}
+
+func TestDPGroupStride(t *testing.T) {
+	cl := std()
+	stride := Rank(cl.TP * cl.PP)
+	for _, g := range cl.DPGroups() {
+		for i := 1; i < len(g.Ranks); i++ {
+			if g.Ranks[i]-g.Ranks[i-1] != stride {
+				t.Fatalf("DP group stride %d, want %d: %v", g.Ranks[i]-g.Ranks[i-1], stride, g.Ranks)
+			}
+		}
+	}
+}
+
+func TestWorldGroupAndContains(t *testing.T) {
+	cl := std()
+	w := cl.WorldGroup()
+	if len(w.Ranks) != 32 || w.Kind != GroupWorld {
+		t.Fatalf("world group wrong: %v", w)
+	}
+	if !w.Contains(31) || w.Contains(32) {
+		t.Fatal("Contains wrong")
+	}
+	if w.String() == "" {
+		t.Fatal("String empty")
+	}
+}
+
+func TestAllGroupsCount(t *testing.T) {
+	cl := std()
+	want := cl.PP*cl.DP + cl.TP*cl.DP + cl.TP*cl.PP
+	if got := len(cl.AllGroups()); got != want {
+		t.Fatalf("AllGroups = %d, want %d", got, want)
+	}
+}

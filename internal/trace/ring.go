@@ -1,0 +1,89 @@
+package trace
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Ring is the fixed-size circular buffer tracepoints write into. The
+// production system preallocates 512 MB of shared memory per host (§6.1) and
+// writes fixed-size slots with no locking against the reader; here the
+// writer/reader pair is the per-host agent, and a mutex stands in for the
+// single-producer/single-consumer memory protocol (the write path is still
+// O(1) and allocation-free).
+//
+// When the writer laps the reader the oldest records are overwritten and
+// counted as dropped — back-pressure never propagates to the critical path,
+// matching the paper's design.
+type Ring struct {
+	mu    sync.Mutex
+	slots []Record
+	head  uint64 // total records ever written
+}
+
+// NewRing creates a ring with the given slot capacity.
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("trace: non-positive ring capacity %d", capacity))
+	}
+	return &Ring{slots: make([]Record, capacity)}
+}
+
+// Capacity returns the slot count.
+func (rb *Ring) Capacity() int { return len(rb.slots) }
+
+// Written returns the total number of records ever written.
+func (rb *Ring) Written() uint64 {
+	rb.mu.Lock()
+	defer rb.mu.Unlock()
+	return rb.head
+}
+
+// Emit implements Sink: write one record, overwriting the oldest if full.
+func (rb *Ring) Emit(r Record) {
+	rb.mu.Lock()
+	rb.slots[rb.head%uint64(len(rb.slots))] = r
+	rb.head++
+	rb.mu.Unlock()
+}
+
+// Reader drains a Ring from a cursor, detecting overwritten (lost) records.
+type Reader struct {
+	ring   *Ring
+	cursor uint64
+	lost   uint64
+}
+
+// NewReader returns a reader positioned at the current head (it will only
+// see records emitted after its creation).
+func (rb *Ring) NewReader() *Reader {
+	rb.mu.Lock()
+	defer rb.mu.Unlock()
+	return &Reader{ring: rb, cursor: rb.head}
+}
+
+// Lost returns how many records were overwritten before being read.
+func (r *Reader) Lost() uint64 { return r.lost }
+
+// Drain returns all records emitted since the last drain. If the writer
+// lapped the reader, the overwritten records are skipped and counted in
+// Lost.
+func (r *Reader) Drain() []Record {
+	rb := r.ring
+	rb.mu.Lock()
+	defer rb.mu.Unlock()
+	head := rb.head
+	cap64 := uint64(len(rb.slots))
+	if head == r.cursor {
+		return nil
+	}
+	if head-r.cursor > cap64 {
+		r.lost += head - r.cursor - cap64
+		r.cursor = head - cap64
+	}
+	out := make([]Record, 0, head-r.cursor)
+	for ; r.cursor < head; r.cursor++ {
+		out = append(out, rb.slots[r.cursor%cap64])
+	}
+	return out
+}

@@ -1,0 +1,248 @@
+package trace
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"mycroft/internal/sim"
+	"mycroft/internal/topo"
+)
+
+func sample() Record {
+	return Record{
+		Kind: KindState, Time: sim.Time(12345),
+		IP: "10.0.0.3", CommID: 7, Rank: 13, GPUID: 13, Channel: 1, QPID: 42,
+		Op: OpAllReduce, OpSeq: 99, MsgSize: 1 << 30,
+		Start: sim.Time(time.Second), End: 0,
+		TotalChunks: 256, GPUReady: 100, RDMATransmitted: 90, RDMADone: 80,
+		StuckNs: int64(2 * time.Second),
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	r := sample()
+	b, err := r.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != WireSize {
+		t.Fatalf("encoded %d bytes, want %d", len(b), WireSize)
+	}
+	var got Record
+	if err := got.UnmarshalBinary(b); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r, got) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, r)
+	}
+}
+
+func TestMarshalRoundTripProperty(t *testing.T) {
+	f := func(commID, opSeq uint64, rank int32, ch, qp int32, msg int64, total, ready, tx, done uint32, stuck int64) bool {
+		r := Record{
+			Kind: KindCompletion, IP: "10.1.2.3", CommID: commID,
+			Rank: topo.Rank(rank), Channel: ch, QPID: qp,
+			Op: OpBroadcast, OpSeq: opSeq, MsgSize: msg,
+			TotalChunks: total, GPUReady: ready, RDMATransmitted: tx, RDMADone: done,
+			StuckNs: stuck,
+		}
+		b, err := r.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		var got Record
+		if err := got.UnmarshalBinary(b); err != nil {
+			return false
+		}
+		return reflect.DeepEqual(r, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMarshalRejectsLongIP(t *testing.T) {
+	r := sample()
+	r.IP = "123.456.789.12345" // 17 bytes
+	if _, err := r.MarshalBinary(); err == nil {
+		t.Fatal("long IP accepted")
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	var r Record
+	if err := r.UnmarshalBinary(make([]byte, WireSize-1)); err == nil {
+		t.Fatal("short buffer accepted")
+	}
+	b := make([]byte, WireSize)
+	b[2] = 200 // corrupt IP length
+	if err := r.UnmarshalBinary(b); err == nil {
+		t.Fatal("corrupt IP length accepted")
+	}
+}
+
+func TestStalledAndDone(t *testing.T) {
+	r := sample()
+	if !r.Stalled(time.Second) {
+		t.Fatal("2s stuck not detected at 1s threshold")
+	}
+	if r.Stalled(3 * time.Second) {
+		t.Fatal("2s stuck flagged at 3s threshold")
+	}
+	if r.Done() {
+		t.Fatal("incomplete record reported Done")
+	}
+	r.RDMADone = r.TotalChunks
+	if !r.Done() {
+		t.Fatal("complete record not Done")
+	}
+	c := Record{Kind: KindCompletion, StuckNs: int64(time.Hour)}
+	if c.Stalled(time.Second) {
+		t.Fatal("completion log reported Stalled")
+	}
+}
+
+func TestKindOpStrings(t *testing.T) {
+	if KindCompletion.String() != "completion" || KindState.String() != "state" {
+		t.Fatal("kind strings wrong")
+	}
+	if Kind(9).String() == "" {
+		t.Fatal("unknown kind empty")
+	}
+	if OpAllReduce.String() != "AllReduce" || OpBarrier.String() != "Barrier" {
+		t.Fatal("op strings wrong")
+	}
+	if OpKind(200).String() == "" {
+		t.Fatal("unknown op empty")
+	}
+	s := sample()
+	if s.String() == "" || (&Record{Kind: KindCompletion}).String() == "" {
+		t.Fatal("record String empty")
+	}
+}
+
+func TestSinks(t *testing.T) {
+	var got []Record
+	s := SinkFunc(func(r Record) { got = append(got, r) })
+	Tee(s, Null, s).Emit(sample())
+	if len(got) != 2 {
+		t.Fatalf("tee delivered %d copies, want 2", len(got))
+	}
+}
+
+func TestRingBasics(t *testing.T) {
+	rb := NewRing(4)
+	if rb.Capacity() != 4 {
+		t.Fatalf("capacity = %d", rb.Capacity())
+	}
+	rd := rb.NewReader()
+	if recs := rd.Drain(); recs != nil {
+		t.Fatalf("fresh reader drained %d records", len(recs))
+	}
+	for i := 0; i < 3; i++ {
+		r := sample()
+		r.OpSeq = uint64(i)
+		rb.Emit(r)
+	}
+	recs := rd.Drain()
+	if len(recs) != 3 {
+		t.Fatalf("drained %d, want 3", len(recs))
+	}
+	for i, r := range recs {
+		if r.OpSeq != uint64(i) {
+			t.Fatalf("order broken: %v", recs)
+		}
+	}
+	if rd.Lost() != 0 {
+		t.Fatalf("lost = %d, want 0", rd.Lost())
+	}
+	if rb.Written() != 3 {
+		t.Fatalf("written = %d", rb.Written())
+	}
+}
+
+func TestRingOverwriteCountsLost(t *testing.T) {
+	rb := NewRing(4)
+	rd := rb.NewReader()
+	for i := 0; i < 10; i++ {
+		r := sample()
+		r.OpSeq = uint64(i)
+		rb.Emit(r)
+	}
+	recs := rd.Drain()
+	if len(recs) != 4 {
+		t.Fatalf("drained %d, want 4 (capacity)", len(recs))
+	}
+	if recs[0].OpSeq != 6 || recs[3].OpSeq != 9 {
+		t.Fatalf("kept wrong window: %v..%v", recs[0].OpSeq, recs[3].OpSeq)
+	}
+	if rd.Lost() != 6 {
+		t.Fatalf("lost = %d, want 6", rd.Lost())
+	}
+}
+
+func TestRingReaderStartsAtHead(t *testing.T) {
+	rb := NewRing(8)
+	rb.Emit(sample())
+	rd := rb.NewReader()
+	if recs := rd.Drain(); len(recs) != 0 {
+		t.Fatalf("reader saw %d pre-existing records", len(recs))
+	}
+	rb.Emit(sample())
+	if recs := rd.Drain(); len(recs) != 1 {
+		t.Fatalf("reader saw %d new records, want 1", len(recs))
+	}
+}
+
+func TestRingIncrementalDrains(t *testing.T) {
+	rb := NewRing(16)
+	rd := rb.NewReader()
+	total := 0
+	for round := 0; round < 5; round++ {
+		for i := 0; i < 3; i++ {
+			rb.Emit(sample())
+		}
+		total += len(rd.Drain())
+	}
+	if total != 15 {
+		t.Fatalf("drained %d total, want 15", total)
+	}
+}
+
+func TestRingInvalidCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero capacity did not panic")
+		}
+	}()
+	NewRing(0)
+}
+
+// Property: drains never duplicate or reorder records.
+func TestRingNoDuplicationProperty(t *testing.T) {
+	f := func(batches []uint8) bool {
+		rb := NewRing(32)
+		rd := rb.NewReader()
+		next := uint64(0)
+		expect := uint64(0)
+		for _, n := range batches {
+			for i := 0; i < int(n%16); i++ {
+				r := Record{OpSeq: next}
+				next++
+				rb.Emit(r)
+			}
+			for _, rec := range rd.Drain() {
+				if rec.OpSeq < expect {
+					return false // duplicate or reorder
+				}
+				expect = rec.OpSeq + 1
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,283 @@
+package train
+
+import (
+	"testing"
+	"time"
+
+	"mycroft/internal/collector"
+	"mycroft/internal/pystack"
+	"mycroft/internal/sim"
+	"mycroft/internal/topo"
+	"mycroft/internal/trace"
+)
+
+// smallCfg is a 2-node × 4-GPU job (TP=2, PP=2, DP=2) with quick iterations.
+func smallCfg() Config {
+	return Config{
+		Topo:            topo.Config{Nodes: 2, GPUsPerNode: 4, TP: 2, PP: 2, DP: 2},
+		LayersPerStage:  2,
+		ComputePerLayer: 50 * time.Millisecond,
+		TPBytesPerLayer: 16 << 20,
+		PPBytes:         8 << 20,
+		DPBytes:         64 << 20,
+		DataloaderDelay: 10 * time.Millisecond,
+		Collector:       collector.Config{DrainPeriod: 50 * time.Millisecond, UploadLatency: 200 * time.Millisecond},
+	}
+}
+
+func TestIterationsComplete(t *testing.T) {
+	eng := sim.NewEngine(1)
+	j := MustNew(eng, smallCfg())
+	j.Start()
+	eng.RunFor(30 * time.Second)
+	n := j.IterationsDone()
+	if n < 5 {
+		t.Fatalf("only %d iterations in 30s", n)
+	}
+	s, e, ok := j.IterationTime(0)
+	if !ok || e <= s {
+		t.Fatalf("iteration 0 times: %v %v %v", s, e, ok)
+	}
+	if mean, ok := j.MeanIterationTime(n); !ok || mean <= 0 {
+		t.Fatalf("mean iteration time: %v %v", mean, ok)
+	}
+}
+
+func TestIterationTimesMonotone(t *testing.T) {
+	eng := sim.NewEngine(1)
+	j := MustNew(eng, smallCfg())
+	var ends []sim.Time
+	j.OnIteration = func(i int, start, end sim.Time) { ends = append(ends, end) }
+	j.Start()
+	eng.RunFor(20 * time.Second)
+	if len(ends) < 3 {
+		t.Fatalf("too few iterations: %d", len(ends))
+	}
+	for i := 1; i < len(ends); i++ {
+		if ends[i] <= ends[i-1] {
+			t.Fatalf("iteration ends not monotone: %v", ends)
+		}
+	}
+}
+
+func TestTraceRecordsReachDB(t *testing.T) {
+	eng := sim.NewEngine(1)
+	j := MustNew(eng, smallCfg())
+	j.Start()
+	eng.RunFor(15 * time.Second)
+	if j.DB.Ingested() == 0 {
+		t.Fatal("no records reached the cloud DB")
+	}
+	// Every rank must have produced completion logs on its DP comm.
+	for r := 0; r < j.Cluster.WorldSize(); r++ {
+		recs := j.DB.QueryRank(topo.Rank(r), 0, eng.Now())
+		var completions, states int
+		for _, rec := range recs {
+			switch rec.Kind {
+			case trace.KindCompletion:
+				completions++
+			case trace.KindState:
+				states++
+			}
+		}
+		if completions == 0 {
+			t.Fatalf("rank %d has no completion logs", r)
+		}
+		if states == 0 {
+			t.Fatalf("rank %d has no state logs", r)
+		}
+	}
+}
+
+func TestDPBusBandwidthSane(t *testing.T) {
+	eng := sim.NewEngine(1)
+	j := MustNew(eng, smallCfg())
+	j.Start()
+	eng.RunFor(20 * time.Second)
+	bw, ok := j.DPBusBandwidth()
+	if !ok {
+		t.Fatal("no DP bandwidth measured")
+	}
+	// Must be positive and below NIC line rate (50 GB/s).
+	if bw <= 0 || bw > 50e9 {
+		t.Fatalf("bus bandwidth %.3g B/s out of range", bw)
+	}
+}
+
+func TestFlightRecorderSeesLaunches(t *testing.T) {
+	eng := sim.NewEngine(1)
+	j := MustNew(eng, smallCfg())
+	j.Start()
+	eng.RunFor(10 * time.Second)
+	if len(j.FlightRec.Ranks()) != j.Cluster.WorldSize() {
+		t.Fatalf("flight recorder covers %d ranks", len(j.FlightRec.Ranks()))
+	}
+	if fs := j.FlightRec.Analyze(eng.Now(), 5*time.Second); len(fs) != 0 {
+		t.Fatalf("healthy job produced findings: %v", fs)
+	}
+}
+
+func TestPyStackFramesMove(t *testing.T) {
+	eng := sim.NewEngine(1)
+	j := MustNew(eng, smallCfg())
+	j.Start()
+	eng.RunFor(5 * time.Second)
+	stacks := j.PyStack.Dump()
+	if len(stacks) != j.Cluster.WorldSize() {
+		t.Fatalf("stacks for %d ranks", len(stacks))
+	}
+}
+
+func TestDataloaderStallFreezesRank(t *testing.T) {
+	eng := sim.NewEngine(1)
+	j := MustNew(eng, smallCfg())
+	j.Start()
+	eng.RunFor(5 * time.Second)
+	before := j.IterationsDone()
+	j.StallDataloader(2)
+	eng.RunFor(20 * time.Second)
+	if got := j.IterationsDone(); got > before+2 {
+		t.Fatalf("job progressed %d iterations past a dataloader stall", got-before)
+	}
+	a := pystack.Analyze(j.PyStack.Dump())
+	stuck := a.StuckInDataPath()
+	if len(stuck) != 1 || stuck[0].Rank != 2 {
+		t.Fatalf("py-spy outliers = %+v", stuck)
+	}
+}
+
+func TestComputeHangFreezesRank(t *testing.T) {
+	eng := sim.NewEngine(1)
+	j := MustNew(eng, smallCfg())
+	j.Start()
+	eng.RunFor(5 * time.Second)
+	j.StallCompute(1)
+	eng.RunFor(20 * time.Second)
+	// Rank 1 must stop completing ops; its TP peer blocks with it.
+	recs := j.DB.QueryRank(1, eng.Now().Add(-5*time.Second), eng.Now())
+	for _, rec := range recs {
+		if rec.Kind == trace.KindCompletion {
+			t.Fatalf("hung rank still completing ops: %+v", rec)
+		}
+	}
+}
+
+func TestSyncMismatchShowsInFlightRecorder(t *testing.T) {
+	eng := sim.NewEngine(1)
+	j := MustNew(eng, smallCfg())
+	j.Start()
+	eng.RunFor(5 * time.Second)
+	j.SkipNextDPLaunch(3)
+	eng.RunFor(25 * time.Second)
+	findings := j.FlightRec.Analyze(eng.Now(), 5*time.Second)
+	if len(findings) == 0 {
+		t.Fatal("flight recorder found nothing after a skipped launch")
+	}
+	found := false
+	for _, f := range findings {
+		if f.Kind == "launch-ahead" {
+			for _, r := range f.Ranks {
+				if r == 3 {
+					found = true
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("rank 3 not identified as running ahead: %+v", findings)
+	}
+}
+
+func TestProxyCrashStopsRankLogs(t *testing.T) {
+	eng := sim.NewEngine(1)
+	j := MustNew(eng, smallCfg())
+	j.Start()
+	eng.RunFor(5 * time.Second)
+	j.CrashProxy(2)
+	eng.RunFor(2 * time.Second) // let in-flight uploads land
+	mark := eng.Now()
+	eng.RunFor(10 * time.Second)
+	if recs := j.DB.QueryRank(2, mark, eng.Now()); len(recs) != 0 {
+		t.Fatalf("crashed rank produced %d records", len(recs))
+	}
+}
+
+func TestMasterExtraDelaysRankZero(t *testing.T) {
+	cfg := smallCfg()
+	cfg.MasterExtra = 200 * time.Millisecond
+	eng := sim.NewEngine(1)
+	j := MustNew(eng, cfg)
+	j.Start()
+	eng.RunFor(15 * time.Second)
+	// Rank 0's TP all-reduce starts must trail its TP peer's.
+	var start0, start1 sim.Time
+	for _, rec := range j.DB.QueryRank(0, 0, eng.Now()) {
+		if rec.Kind == trace.KindCompletion && rec.CommID == j.TPComms[0].ID() {
+			start0 = rec.Start
+			break
+		}
+	}
+	for _, rec := range j.DB.QueryRank(1, 0, eng.Now()) {
+		if rec.Kind == trace.KindCompletion && rec.CommID == j.TPComms[0].ID() {
+			start1 = rec.Start
+			break
+		}
+	}
+	if start0 == 0 || start1 == 0 {
+		t.Fatal("missing TP completion logs")
+	}
+	if start0.Sub(start1) < 150*time.Millisecond {
+		t.Fatalf("master extra not visible: start0=%v start1=%v", start0, start1)
+	}
+}
+
+func TestDisableTracingSilencesDB(t *testing.T) {
+	cfg := smallCfg()
+	cfg.DisableTracing = true
+	eng := sim.NewEngine(1)
+	j := MustNew(eng, cfg)
+	j.Start()
+	eng.RunFor(10 * time.Second)
+	if j.DB.Ingested() != 0 {
+		t.Fatalf("tracing disabled but %d records ingested", j.DB.Ingested())
+	}
+	if j.IterationsDone() < 2 {
+		t.Fatal("job did not progress with tracing disabled")
+	}
+}
+
+func TestStopHaltsEverything(t *testing.T) {
+	eng := sim.NewEngine(1)
+	j := MustNew(eng, smallCfg())
+	j.Start()
+	eng.RunFor(5 * time.Second)
+	j.Stop()
+	n := j.IterationsDone()
+	eng.RunFor(10 * time.Second)
+	if j.IterationsDone() > n+1 {
+		t.Fatal("iterations continued after Stop")
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	run := func() (int, uint64) {
+		eng := sim.NewEngine(7)
+		j := MustNew(eng, smallCfg())
+		j.Start()
+		eng.RunFor(15 * time.Second)
+		return j.IterationsDone(), j.DB.Ingested()
+	}
+	i1, r1 := run()
+	i2, r2 := run()
+	if i1 != i2 || r1 != r2 {
+		t.Fatalf("non-deterministic: (%d,%d) vs (%d,%d)", i1, r1, i2, r2)
+	}
+}
+
+func TestBadTopoRejected(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Topo.TP = 3
+	if _, err := New(sim.NewEngine(1), cfg); err == nil {
+		t.Fatal("inconsistent topo accepted")
+	}
+}

@@ -1,0 +1,205 @@
+// Package mycroft is a from-scratch reproduction of "Mycroft: Tracing
+// Dependencies in Collective Communication Towards Reliable LLM Training"
+// (SOSP 2025): a lightweight distributed tracing and root-cause-analysis
+// system for collective communication, together with the full substrate it
+// runs on — an NCCL-like collective library, a simulated RDMA fabric and GPU
+// fleet, a Megatron-style training-job driver, the trace pipeline, and the
+// always-on analysis backend.
+//
+// Everything runs on a deterministic discrete-event engine, so failures
+// reproduce bit-for-bit from a seed. The typical flow:
+//
+//	sys, _ := mycroft.NewSystem(mycroft.Options{Seed: 1})
+//	sys.OnReport = func(r mycroft.Report) { fmt.Println(r) }
+//	sys.Start()
+//	sys.Inject(mycroft.Fault{Kind: mycroft.NICDown, Rank: 5, At: 15 * time.Second})
+//	sys.Run(60 * time.Second)
+//
+// See DESIGN.md for the architecture and EXPERIMENTS.md for the
+// paper-vs-measured record of every reproduced table and figure.
+package mycroft
+
+import (
+	"time"
+
+	"mycroft/internal/core"
+	"mycroft/internal/experiments"
+	"mycroft/internal/faults"
+	"mycroft/internal/sim"
+	"mycroft/internal/topo"
+	"mycroft/internal/train"
+)
+
+// Re-exported domain types, so downstream users need only this package.
+type (
+	// Rank is a global training rank.
+	Rank = topo.Rank
+	// Trigger is an Algorithm 1 firing.
+	Trigger = core.Trigger
+	// Report is an Algorithm 2 root-cause verdict.
+	Report = core.Report
+	// Category is an RC-table failure category.
+	Category = core.Category
+	// Fault is an injectable fault specification.
+	Fault = faults.Spec
+	// FaultKind enumerates injectable faults.
+	FaultKind = faults.Kind
+	// TopoConfig sizes the simulated cluster.
+	TopoConfig = topo.Config
+	// TrainConfig tunes the simulated training job.
+	TrainConfig = train.Config
+	// BackendConfig tunes the analysis backend.
+	BackendConfig = core.Config
+)
+
+// Fault kinds (the seven §7.1 classes plus the §6.2 integration faults).
+const (
+	NICDown         = faults.NICDown
+	NICFlap         = faults.NICFlap
+	LinkLoss        = faults.LinkLoss
+	NICDegrade      = faults.NICDegrade
+	GPUHang         = faults.GPUHang
+	GPUSlow         = faults.GPUSlow
+	PCIeDegrade     = faults.PCIeDegrade
+	ProxyCrash      = faults.ProxyCrash
+	DataloaderStall = faults.DataloaderStall
+	SyncMismatch    = faults.SyncMismatch
+	ComputeHang     = faults.ComputeHang
+)
+
+// Root-cause categories.
+const (
+	CatNetworkSendPath  = core.CatNetworkSendPath
+	CatNetworkDegrade   = core.CatNetworkDegrade
+	CatGPUHang          = core.CatGPUHang
+	CatPCIeDegrade      = core.CatPCIeDegrade
+	CatComputeStraggler = core.CatComputeStraggler
+	CatProxyCrash       = core.CatProxyCrash
+	CatNotLaunched      = core.CatNotLaunched
+	CatUnknown          = core.CatUnknown
+)
+
+// Options configures a System. The zero value is a runnable 8-GPU job.
+type Options struct {
+	// Seed makes the run reproducible. Default 1.
+	Seed int64
+	// Topo sizes the cluster. Default: 2 nodes × 4 GPUs, TP=2 PP=2 DP=2.
+	Topo TopoConfig
+	// Train overrides the workload; leave zero to derive from Topo with
+	// defaults.
+	Train *TrainConfig
+	// Backend tunes the trigger/RCA thresholds (§9 heuristics).
+	Backend BackendConfig
+	// CommHeavy weights iterations toward communication.
+	CommHeavy bool
+}
+
+// System is a fully wired simulation: cluster, CCL, trace pipeline, training
+// job and Mycroft backend on one virtual clock.
+type System struct {
+	Eng     *sim.Engine
+	Job     *train.Job
+	Backend *core.Backend
+
+	// OnTrigger and OnReport observe the backend live (set before Start).
+	OnTrigger func(Trigger)
+	OnReport  func(Report)
+
+	started bool
+}
+
+// NewSystem builds a System.
+func NewSystem(opts Options) (*System, error) {
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	if opts.Topo.Nodes == 0 {
+		opts.Topo = TopoConfig{Nodes: 2, GPUsPerNode: 4, TP: 2, PP: 2, DP: 2}
+	}
+	eng := sim.NewEngine(opts.Seed)
+	var tc train.Config
+	if opts.Train != nil {
+		tc = *opts.Train
+		tc.Topo = opts.Topo
+	} else {
+		profile := experiments.ComputeHeavy
+		if opts.CommHeavy {
+			profile = experiments.CommHeavy
+		}
+		tc = experiments.JobConfig(opts.Topo, profile)
+	}
+	job, err := train.New(eng, tc)
+	if err != nil {
+		return nil, err
+	}
+	sys := &System{Eng: eng, Job: job}
+	sampled := core.SampleRanks(job.Cluster.DPGroups(), opts.Backend.MaxSampled)
+	if len(sampled) == 0 {
+		sampled = core.SampleWorld(job.Cluster.WorldSize(), opts.Backend.MaxSampled)
+	}
+	bk := core.NewBackend(eng, job.DB, sampled, opts.Backend)
+	bk.OnTrigger = func(tr Trigger) {
+		if sys.OnTrigger != nil {
+			sys.OnTrigger(tr)
+		}
+	}
+	bk.OnReport = func(r Report) {
+		if sys.OnReport != nil {
+			sys.OnReport(r)
+		}
+	}
+	sys.Backend = bk
+	return sys, nil
+}
+
+// MustNewSystem is NewSystem for known-good options.
+func MustNewSystem(opts Options) *System {
+	sys, err := NewSystem(opts)
+	if err != nil {
+		panic(err)
+	}
+	return sys
+}
+
+// Start launches the training job and the always-on backend.
+func (s *System) Start() {
+	if s.started {
+		return
+	}
+	s.started = true
+	s.Job.Start()
+	s.Backend.Start()
+}
+
+// Run advances virtual time by d.
+func (s *System) Run(d time.Duration) { s.Eng.RunFor(d) }
+
+// Now returns the current virtual time from the start of the run.
+func (s *System) Now() time.Duration { return time.Duration(s.Eng.Now()) }
+
+// Inject schedules a fault.
+func (s *System) Inject(f Fault) { faults.Inject(s.Job, f) }
+
+// Triggers returns every Algorithm 1 firing so far.
+func (s *System) Triggers() []Trigger { return s.Backend.Triggers() }
+
+// Reports returns every Algorithm 2 verdict so far.
+func (s *System) Reports() []Report { return s.Backend.Reports() }
+
+// Triage runs the Fig. 6 integration pipeline (py-spy → Flight Recorder →
+// Mycroft) over the latest report and returns the combined verdict source,
+// suspect rank and summary.
+func (s *System) Triage() (source string, rank Rank, summary string, ok bool) {
+	reps := s.Backend.Reports()
+	if len(reps) == 0 {
+		return "", -1, "", false
+	}
+	v := experiments.Triage(s.Job, reps[len(reps)-1], s.Eng.Now())
+	return v.Source, v.Rank, v.Summary, true
+}
+
+// Stop halts the job and backend.
+func (s *System) Stop() {
+	s.Backend.Stop()
+	s.Job.Stop()
+}

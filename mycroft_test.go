@@ -1,0 +1,87 @@
+package mycroft
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSystemDefaultsRun(t *testing.T) {
+	sys := MustNewSystem(Options{})
+	sys.Start()
+	sys.Start() // idempotent
+	sys.Run(20 * time.Second)
+	if sys.Job.IterationsDone() < 3 {
+		t.Fatalf("iterations = %d", sys.Job.IterationsDone())
+	}
+	if len(sys.Triggers()) != 0 {
+		t.Fatalf("healthy system triggered: %v", sys.Triggers())
+	}
+	if sys.Now() != 20*time.Second {
+		t.Fatalf("Now = %v", sys.Now())
+	}
+	sys.Stop()
+}
+
+func TestSystemDetectsInjectedFault(t *testing.T) {
+	sys := MustNewSystem(Options{Seed: 2})
+	var triggers, reports int
+	sys.OnTrigger = func(Trigger) { triggers++ }
+	sys.OnReport = func(Report) { reports++ }
+	sys.Start()
+	sys.Inject(Fault{Kind: NICDown, Rank: 5, At: 15 * time.Second})
+	sys.Run(45 * time.Second)
+	if triggers == 0 || reports == 0 {
+		t.Fatalf("triggers=%d reports=%d", triggers, reports)
+	}
+	rep := sys.Reports()[0]
+	if rep.Suspect != 5 {
+		t.Fatalf("suspect = %d, want 5 (%v)", rep.Suspect, rep)
+	}
+	if rep.Category != CatNetworkSendPath && rep.Category != CatNetworkDegrade {
+		t.Fatalf("category = %v", rep.Category)
+	}
+	source, rank, _, ok := sys.Triage()
+	if !ok || source != "mycroft" || rank != 5 {
+		t.Fatalf("triage = %q rank %d ok=%v", source, rank, ok)
+	}
+}
+
+func TestSystemTriageDataloader(t *testing.T) {
+	sys := MustNewSystem(Options{Seed: 3})
+	sys.Start()
+	sys.Inject(Fault{Kind: DataloaderStall, Rank: 2, At: 15 * time.Second})
+	sys.Run(45 * time.Second)
+	source, rank, summary, ok := sys.Triage()
+	if !ok || source != "py-spy" || rank != 2 || summary == "" {
+		t.Fatalf("triage = %q rank %d ok=%v", source, rank, ok)
+	}
+}
+
+func TestSystemRejectsBadTopo(t *testing.T) {
+	if _, err := NewSystem(Options{Topo: TopoConfig{Nodes: 1, GPUsPerNode: 1, TP: 2, PP: 1, DP: 1}}); err == nil {
+		t.Fatal("bad topo accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNewSystem did not panic")
+		}
+	}()
+	MustNewSystem(Options{Topo: TopoConfig{Nodes: 1, GPUsPerNode: 1, TP: 2, PP: 1, DP: 1}})
+}
+
+func TestSystemCustomTrainConfig(t *testing.T) {
+	tc := TrainConfig{ComputePerLayer: 100 * time.Millisecond, DPBytes: 64 << 20}
+	sys := MustNewSystem(Options{Train: &tc, CommHeavy: true})
+	sys.Start()
+	sys.Run(10 * time.Second)
+	if sys.Job.IterationsDone() == 0 {
+		t.Fatal("custom config did not run")
+	}
+}
+
+func TestTriageBeforeAnyReport(t *testing.T) {
+	sys := MustNewSystem(Options{})
+	if _, _, _, ok := sys.Triage(); ok {
+		t.Fatal("triage with no reports reported ok")
+	}
+}
