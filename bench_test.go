@@ -1,9 +1,13 @@
-// Benchmark harness: one benchmark per reproduced table/figure (E1–E9, see
-// DESIGN.md §4) plus micro-benchmarks for the implementation claims of §4.2
+// Benchmark harness: one benchmark per reproduced table/figure (E1–E9; the
+// experiments live in internal/experiments) plus micro-benchmarks for the
+// implementation claims of §4.2
 // and §6.1 (M1–M5). Experiment benches print the regenerated table once per
 // run via b.Log; `go test -bench . -benchtime 1x -v` shows them all, and
 // cmd/mycroft-bench prints the same tables directly.
-package mycroft
+//
+// This file is an external test package so it can pull in internal/scenario
+// (which itself imports mycroft) without an import cycle.
+package mycroft_test
 
 import (
 	"testing"
@@ -13,10 +17,30 @@ import (
 	"mycroft/internal/core"
 	"mycroft/internal/experiments"
 	"mycroft/internal/faults"
+	"mycroft/internal/scenario"
 	"mycroft/internal/sim"
 	"mycroft/internal/topo"
 	"mycroft/internal/trace"
 )
+
+// BenchmarkScenarioRun tracks scenario-runner throughput: one full run of
+// the canonical single-fault scenario (build, simulate 75 virtual seconds,
+// assert) per iteration.
+func BenchmarkScenarioRun(b *testing.B) {
+	spec, ok := scenario.Lookup("nic-down")
+	if !ok {
+		b.Fatal("nic-down builtin missing")
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := scenario.Run(spec, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Pass {
+			b.Fatalf("scenario failed:\n%s", res.Render())
+		}
+	}
+}
 
 // --- E-benchmarks: the paper's tables and figures ---
 
@@ -208,7 +232,7 @@ func BenchmarkM5_TriggerAndRCA(b *testing.B) {
 	}
 }
 
-// Ablation benches for the design choices DESIGN.md §5 calls out: virtual
+// Ablation benches for the backend's design knobs (§9 heuristics): virtual
 // end-to-end detection latency under different knobs, reported as
 // ns/op of simulated runtime (lower = same work simulated faster) with the
 // detection latency logged.

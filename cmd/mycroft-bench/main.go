@@ -1,6 +1,6 @@
 // mycroft-bench regenerates every table and figure of the paper's
-// evaluation (see DESIGN.md §4 for the experiment index) and prints them as
-// text tables. Select experiments with -only (comma-separated ids, e.g.
+// evaluation (the experiment index lives in internal/experiments) and
+// prints them as text tables. Select experiments with -only (comma-separated ids, e.g.
 // "e2,e4"); default runs everything.
 package main
 

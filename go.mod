@@ -1,0 +1,3 @@
+module mycroft
+
+go 1.22

@@ -26,7 +26,10 @@ type Config struct {
 }
 
 func (c Config) withDefaults() Config {
-	if c.DrainPeriod <= 0 {
+	if c.DrainPeriod < 0 {
+		panic(fmt.Sprintf("collector: negative drain period %v", c.DrainPeriod))
+	}
+	if c.DrainPeriod == 0 {
 		c.DrainPeriod = 50 * time.Millisecond
 	}
 	if c.UploadLatency < 0 {

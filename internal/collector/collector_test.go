@@ -109,3 +109,15 @@ func TestNegativeLatencyPanics(t *testing.T) {
 	}()
 	Config{UploadLatency: -time.Second}.withDefaults()
 }
+
+func TestNegativeDrainPeriodPanics(t *testing.T) {
+	// A negative DrainPeriod used to be silently replaced with the default
+	// while a negative UploadLatency panicked; both are config errors and
+	// both must panic.
+	defer func() {
+		if recover() == nil {
+			t.Error("negative drain period did not panic")
+		}
+	}()
+	Config{DrainPeriod: -time.Millisecond}.withDefaults()
+}

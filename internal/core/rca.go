@@ -148,8 +148,15 @@ func (b *Backend) analyzeCommFailure(commID uint64, t sim.Time) (topo.Rank, Via,
 // logs — the paper's CheckRCTable.
 func (b *Backend) checkRCTable(r topo.Rank, commID uint64, t sim.Time) (Category, string) {
 	chans := b.db.LastStatePerChannel(r, commID, t, 2*b.cfg.Window)
-	var pick *trace.Record
+	// Iterate channels in id order: map order would break StuckNs ties
+	// nondeterministically, and runs must reproduce bit-for-bit.
+	ids := make([]int32, 0, len(chans))
 	for ch := range chans {
+		ids = append(ids, ch)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var pick *trace.Record
+	for _, ch := range ids {
 		rec := chans[ch]
 		if rec.TotalChunks == 0 {
 			continue

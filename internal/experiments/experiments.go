@@ -1,8 +1,9 @@
 // Package experiments regenerates every table and figure of the paper's
 // evaluation (§7) on the simulated substrate. Each experiment returns a
 // structured result with a Table() renderer; cmd/mycroft-bench prints them
-// and bench_test.go wraps them in testing.B benchmarks. The per-experiment
-// index lives in DESIGN.md; paper-vs-measured is recorded in EXPERIMENTS.md.
+// and bench_test.go wraps them in testing.B benchmarks (one E-benchmark per
+// reproduced table/figure — run `go test -bench . -benchtime 1x -v` for the
+// paper-vs-measured record).
 package experiments
 
 import (
@@ -60,8 +61,10 @@ func JobConfig(tc topo.Config, profile JobProfile) train.Config {
 	return cfg
 }
 
-// profileFor picks the workload mix a fault class needs to be measurable.
-func profileFor(k faults.Kind) JobProfile {
+// ProfileFor picks the workload mix a fault class needs to be measurable.
+// The scenario engine shares this tuning so declarative runs match the
+// campaigns.
+func ProfileFor(k faults.Kind) JobProfile {
 	switch k {
 	case faults.NICDegrade, faults.PCIeDegrade:
 		return CommHeavy
@@ -70,9 +73,10 @@ func profileFor(k faults.Kind) JobProfile {
 	}
 }
 
-// severityFor returns the per-kind default severity used by the campaigns
-// (tuned so every class is detectable on the small testbed).
-func severityFor(k faults.Kind) float64 {
+// SeverityFor returns the per-kind default severity used by the campaigns
+// (tuned so every class is detectable on the small testbed). Zero means
+// "use the faults package default".
+func SeverityFor(k faults.Kind) float64 {
 	switch k {
 	case faults.NICDegrade:
 		return 0.01
@@ -100,15 +104,18 @@ type CaseResult struct {
 
 // RunCase executes one fault-injection scenario on a fresh job and backend.
 // warmup is the healthy period before injection; deadline bounds how long
-// after injection we wait for a verdict.
+// after injection we wait for a verdict. The canonical NIC-down case is
+// also available declaratively as the "nic-down" builtin of
+// internal/scenario, which shares this harness's ProfileFor/SeverityFor
+// tuning.
 func RunCase(seed int64, tc topo.Config, spec faults.Spec, warmup, deadline time.Duration) CaseResult {
 	eng := sim.NewEngine(seed)
-	job := train.MustNew(eng, JobConfig(tc, profileFor(spec.Kind)))
+	job := train.MustNew(eng, JobConfig(tc, ProfileFor(spec.Kind)))
 	bk := core.NewBackend(eng, job.DB, core.SampleRanks(job.Cluster.DPGroups(), 10), core.Config{})
 	job.Start()
 	bk.Start()
 	if spec.Severity == 0 {
-		spec.Severity = severityFor(spec.Kind)
+		spec.Severity = SeverityFor(spec.Kind)
 	}
 	spec.At = warmup
 	faults.Inject(job, spec)

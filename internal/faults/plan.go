@@ -1,0 +1,92 @@
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"mycroft/internal/train"
+)
+
+// Plan is a programmatic injection schedule: an ordered list of fault specs
+// applied to one job. The scenario engine compiles declarative event lists
+// and chaos samples into Plans; experiment code can build them directly.
+type Plan []Spec
+
+// Sorted returns a copy of the plan ordered by injection time (stable, so
+// specs sharing a time keep their relative order).
+func (p Plan) Sorted() Plan {
+	out := append(Plan(nil), p...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// Inject schedules every spec on the job's engine.
+func (p Plan) Inject(j *train.Job) {
+	for _, s := range p {
+		Inject(j, s)
+	}
+}
+
+// First returns the earliest injection time, or false for an empty plan.
+func (p Plan) First() (time.Duration, bool) {
+	if len(p) == 0 {
+		return 0, false
+	}
+	min := p[0].At
+	for _, s := range p[1:] {
+		if s.At < min {
+			min = s.At
+		}
+	}
+	return min, true
+}
+
+func (p Plan) String() string {
+	parts := make([]string, len(p))
+	for i, s := range p {
+		parts[i] = s.String()
+	}
+	return strings.Join(parts, ", ")
+}
+
+// Recoverable reports whether a fault kind can be cleanly undone by Recover:
+// the substrate replays queued work (NIC down, GPU hang) or the throttle is
+// simply restored. Link loss is not recoverable — black-holed bytes never
+// arrive, so the in-flight op stays stuck; crashes and stalls likewise have
+// no undo in the substrate.
+func Recoverable(k Kind) bool {
+	switch k {
+	case NICDown, NICDegrade, GPUHang, GPUSlow, PCIeDegrade:
+		return true
+	}
+	return false
+}
+
+// Recover schedules the undo of a previously injected fault at s.At on the
+// job's engine: the NIC comes back up (pending WRs replay), the GPU unhangs,
+// or the degraded bandwidth is restored. It panics for kinds that are not
+// Recoverable.
+func Recover(j *train.Job, s Spec) {
+	if int(s.Rank) < 0 || int(s.Rank) >= j.Cluster.WorldSize() {
+		panic(fmt.Sprintf("faults: rank %d out of range", s.Rank))
+	}
+	if !Recoverable(s.Kind) {
+		panic(fmt.Sprintf("faults: kind %q is not recoverable", s.Kind))
+	}
+	j.Eng.After(s.At, func() {
+		switch s.Kind {
+		case NICDown:
+			j.NICs[s.Rank].SetDown(false)
+		case NICDegrade:
+			j.NICs[s.Rank].SetBandwidthScale(1)
+		case GPUHang:
+			j.GPUs[s.Rank].SetHang(false)
+		case GPUSlow:
+			j.GPUs[s.Rank].SetSlowFactor(1)
+		case PCIeDegrade:
+			j.GPUs[s.Rank].SetCopyBandwidthScale(1)
+		}
+	})
+}

@@ -1,0 +1,85 @@
+package faults
+
+import (
+	"testing"
+	"time"
+
+	"mycroft/internal/collector"
+	"mycroft/internal/sim"
+	"mycroft/internal/topo"
+	"mycroft/internal/train"
+)
+
+func TestPlanSortedAndFirst(t *testing.T) {
+	p := Plan{
+		{Kind: GPUHang, Rank: 2, At: 30 * time.Second},
+		{Kind: NICDown, Rank: 5, At: 10 * time.Second},
+		{Kind: GPUSlow, Rank: 1, At: 20 * time.Second},
+	}
+	s := p.Sorted()
+	if s[0].Kind != NICDown || s[1].Kind != GPUSlow || s[2].Kind != GPUHang {
+		t.Fatalf("bad order: %v", s)
+	}
+	if p[0].Kind != GPUHang {
+		t.Fatal("Sorted mutated the receiver")
+	}
+	first, ok := p.First()
+	if !ok || first != 10*time.Second {
+		t.Fatalf("First = %v, %v", first, ok)
+	}
+	if _, ok := (Plan{}).First(); ok {
+		t.Fatal("empty plan has a First")
+	}
+}
+
+func TestRecoverableCatalog(t *testing.T) {
+	want := map[Kind]bool{
+		NICDown: true, NICDegrade: true, GPUHang: true, GPUSlow: true, PCIeDegrade: true,
+	}
+	for _, k := range All() {
+		if Recoverable(k) != want[k] {
+			t.Errorf("Recoverable(%v) = %v, want %v", k, Recoverable(k), want[k])
+		}
+	}
+}
+
+// TestPlanInjectAndRecover: a NIC dies via a plan and recovers via Recover;
+// the job must stall and then resume iterating (queued WRs replay).
+func TestPlanInjectAndRecover(t *testing.T) {
+	eng := sim.NewEngine(21)
+	job := train.MustNew(eng, train.Config{
+		Topo:            topo.Config{Nodes: 2, GPUsPerNode: 4, TP: 2, PP: 2, DP: 2},
+		ComputePerLayer: 300 * time.Millisecond,
+		Collector:       collector.Config{UploadLatency: 500 * time.Millisecond},
+	})
+	job.Start()
+	Plan{{Kind: NICDown, Rank: 5, At: 10 * time.Second}}.Inject(job)
+	Recover(job, Spec{Kind: NICDown, Rank: 5, At: 20 * time.Second})
+	eng.RunFor(20 * time.Second)
+	stalled := job.IterationsDone()
+	eng.RunFor(20 * time.Second)
+	if job.IterationsDone() <= stalled+2 {
+		t.Fatalf("job did not resume after recovery: %d then %d iterations", stalled, job.IterationsDone())
+	}
+}
+
+func TestRecoverRejectsBadSpecs(t *testing.T) {
+	eng := sim.NewEngine(22)
+	job := train.MustNew(eng, train.Config{
+		Topo:      topo.Config{Nodes: 2, GPUsPerNode: 4, TP: 2, PP: 2, DP: 2},
+		Collector: collector.Config{UploadLatency: 500 * time.Millisecond},
+	})
+	for _, spec := range []Spec{
+		{Kind: ProxyCrash, Rank: 1}, // no undo exists
+		{Kind: NICDown, Rank: 99},   // out of range
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Recover(%v) did not panic", spec)
+				}
+			}()
+			Recover(job, spec)
+		}()
+	}
+}

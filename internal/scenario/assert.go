@@ -1,0 +1,130 @@
+package scenario
+
+import (
+	"fmt"
+
+	"mycroft/internal/faults"
+	"mycroft/internal/sim"
+	"mycroft/internal/topo"
+)
+
+// evaluate checks every assertion against the run, expanding Job == -1 over
+// the whole fleet. It returns the number of checks performed and the
+// failure messages.
+func evaluate(spec Spec, res *Result) (checked int, failures []string) {
+	for ai, a := range spec.Assertions {
+		for ji := range res.Jobs {
+			if a.Job != -1 && a.Job != ji {
+				continue
+			}
+			checked++
+			if msg := checkJob(a, &res.Jobs[ji]); msg != "" {
+				failures = append(failures, fmt.Sprintf("assertion %d (%s) job %d: %s", ai, a.Kind, ji, msg))
+			}
+		}
+	}
+	return checked, failures
+}
+
+// checkJob evaluates one assertion against one job; "" means pass.
+func checkJob(a Assertion, j *JobResult) string {
+	switch a.Kind {
+	case AssertDetected:
+		inj, ok := j.injectionAt(a.Event)
+		if !ok {
+			return fmt.Sprintf("no injection %d (job saw %d)", a.Event, len(j.injected))
+		}
+		// Only triggers of a kind the fault's expectation accepts count:
+		// a residual firing of the wrong kind from an earlier fault must
+		// not pass as detection of this one.
+		exp := faults.Expect(inj.Kind)
+		at := sim.Time(inj.At)
+		for _, tr := range j.triggers {
+			if tr.At < at || !exp.TriggerOK(tr.Kind) {
+				continue
+			}
+			if a.Within > 0 && tr.At.Sub(at) > a.Within.D() {
+				return fmt.Sprintf("first acceptable trigger after %s came %v late (bound %v)", inj, tr.At.Sub(at), a.Within)
+			}
+			return ""
+		}
+		return fmt.Sprintf("no acceptable trigger after %s", inj)
+
+	case AssertDiagnosed:
+		inj, ok := j.injectionAt(a.Event)
+		if !ok {
+			return fmt.Sprintf("no injection %d (job saw %d)", a.Event, len(j.injected))
+		}
+		exp := faults.Expect(inj.Kind)
+		at := sim.Time(inj.At)
+		var last string
+		for _, rep := range j.reports {
+			if rep.AnalyzedAt < at {
+				continue
+			}
+			if a.Within > 0 && rep.AnalyzedAt.Sub(at) > a.Within.D() {
+				last = fmt.Sprintf("report came %v after injection (bound %v)", rep.AnalyzedAt.Sub(at), a.Within)
+				continue
+			}
+			if !exp.CategoryOK(rep.Category) {
+				last = fmt.Sprintf("category %s not in %v", rep.Category, exp.Categories)
+				continue
+			}
+			if exp.LocalizeRank && rep.Suspect != inj.Rank {
+				last = fmt.Sprintf("suspect %d, want %d", rep.Suspect, inj.Rank)
+				continue
+			}
+			return ""
+		}
+		if last == "" {
+			last = "no report"
+		}
+		return fmt.Sprintf("%s not diagnosed: %s", inj, last)
+
+	case AssertCategory:
+		for _, rep := range j.reports {
+			for _, c := range a.Categories {
+				if rep.Category == c {
+					return ""
+				}
+			}
+		}
+		return fmt.Sprintf("no report with category in %v (%d reports)", a.Categories, len(j.reports))
+
+	case AssertSuspect:
+		for _, rep := range j.reports {
+			if rep.Suspect == topo.Rank(a.Rank) {
+				return ""
+			}
+		}
+		return fmt.Sprintf("no report naming rank %d", a.Rank)
+
+	case AssertNoFalseTrigger:
+		first, any := j.injected.First()
+		for _, tr := range j.triggers {
+			if !any || tr.At < sim.Time(first) {
+				return fmt.Sprintf("trigger before any fault: %v", tr)
+			}
+		}
+		return ""
+
+	case AssertMinReports:
+		if len(j.reports) < a.Min {
+			return fmt.Sprintf("%d reports, want >= %d", len(j.reports), a.Min)
+		}
+		return ""
+
+	case AssertMinRecords:
+		if j.Records < uint64(a.Min) {
+			return fmt.Sprintf("%d records ingested, want >= %d", j.Records, a.Min)
+		}
+		return ""
+
+	case AssertMinIterations:
+		if j.Iterations < a.Min {
+			return fmt.Sprintf("%d iterations, want >= %d", j.Iterations, a.Min)
+		}
+		return ""
+	}
+	return fmt.Sprintf("unknown assertion kind %q", a.Kind)
+}

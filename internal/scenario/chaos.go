@@ -1,0 +1,218 @@
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"mycroft/internal/faults"
+	"mycroft/internal/topo"
+)
+
+// WeightedKind weights one fault kind in the chaos sampler's distribution.
+type WeightedKind struct {
+	Kind   faults.Kind `json:"kind"`
+	Weight int         `json:"weight"`
+}
+
+// Chaos samples an injection plan per job: fault kinds from a weighted
+// distribution, ranks uniform over the job's world, times uniform over
+// [Start, End] with a minimum gap. Cascades model correlated failures: with
+// probability Cascade each sampled fault spawns a follow-up shortly after,
+// on the same rank or the next rank in the world order. Every draw comes from an rng derived from the scenario
+// seed and the job index, so N-fault stress runs reproduce exactly.
+type Chaos struct {
+	// Faults per job. Default 1.
+	Faults int `json:"faults"`
+	// Kinds weights the fault distribution. Default: the recoverable,
+	// profile-agnostic kinds (nic-down, gpu-hang, gpu-slow), so multi-fault
+	// runs keep making progress between injections.
+	Kinds []WeightedKind `json:"kinds,omitempty"`
+	// Start/End bound injection times. Defaults: 15 s to 2/3 of the run.
+	Start Dur `json:"start,omitempty"`
+	End   Dur `json:"end,omitempty"`
+	// MinGap spaces sampled faults apart. Default 10 s. If spacing pushes a
+	// sample past End it spills later; samples pushed past the run horizon
+	// are dropped entirely (they could never fire, let alone be detected).
+	MinGap Dur `json:"min_gap,omitempty"`
+	// Cascade is the probability a fault spawns a correlated follow-up on
+	// the same node within CascadeSpread. Default 0.
+	Cascade       float64 `json:"cascade,omitempty"`
+	CascadeSpread Dur     `json:"cascade_spread,omitempty"`
+	// Recover undoes each recoverable fault RecoverAfter later (default
+	// 10 s), so the job survives to expose subsequent faults.
+	Recover      bool `json:"recover,omitempty"`
+	RecoverAfter Dur  `json:"recover_after,omitempty"`
+}
+
+// defaultChaosKinds are safe under any workload profile and recoverable.
+func defaultChaosKinds() []WeightedKind {
+	return []WeightedKind{
+		{Kind: faults.NICDown, Weight: 3},
+		{Kind: faults.GPUHang, Weight: 2},
+		{Kind: faults.GPUSlow, Weight: 2},
+	}
+}
+
+// guaranteedFaults returns how many sampled injections are certain to land
+// before the run horizon, for bounding assertion event indices statically:
+// cascade follow-ups are probabilistic (excluded), and min-gap spacing can
+// push samples past run_for where they are dropped, so the bound assumes
+// the worst case of every sample landing at the window's end.
+func (c Chaos) guaranteedFaults(runFor time.Duration) int {
+	n := c.Faults
+	if n <= 0 {
+		n = 1
+	}
+	start, end, gap := c.window(runFor)
+	// Worst case: all samples at end, spaced to end, end+gap, ...; the i-th
+	// survives the horizon drop iff end + i*gap < runFor.
+	if start >= runFor || end >= runFor {
+		return 0
+	}
+	if fit := int((runFor-end-1)/gap) + 1; fit < n {
+		n = fit
+	}
+	return n
+}
+
+func (c Chaos) validate(scen string) error {
+	if c.Faults < 0 {
+		return fmt.Errorf("scenario %s: chaos: negative fault count", scen)
+	}
+	for i, wk := range c.Kinds {
+		if !knownKind(wk.Kind) {
+			return fmt.Errorf("scenario %s: chaos kind %d: unknown %q", scen, i, wk.Kind)
+		}
+		if wk.Weight <= 0 {
+			return fmt.Errorf("scenario %s: chaos kind %d (%s): weight must be > 0", scen, i, wk.Kind)
+		}
+	}
+	if c.Cascade < 0 || c.Cascade > 1 {
+		return fmt.Errorf("scenario %s: chaos: cascade %v outside [0,1]", scen, c.Cascade)
+	}
+	if c.Start < 0 || c.End < 0 {
+		return fmt.Errorf("scenario %s: chaos: bad injection window [%v, %v]", scen, c.Start, c.End)
+	}
+	if c.MinGap < 0 || c.RecoverAfter < 0 || c.CascadeSpread < 0 {
+		return fmt.Errorf("scenario %s: chaos: negative spacing (min_gap %v, recover_after %v, cascade_spread %v)", scen, c.MinGap, c.RecoverAfter, c.CascadeSpread)
+	}
+	// An explicit End must leave a non-empty window after the (possibly
+	// defaulted) Start — otherwise plan() would silently widen it past the
+	// user's declared bound.
+	if c.End > 0 && c.End.D() <= c.effectiveStart() {
+		return fmt.Errorf("scenario %s: chaos: end %v does not exceed start %v", scen, c.End, Dur(c.effectiveStart()))
+	}
+	return nil
+}
+
+// effectiveStart is Start with its default applied.
+func (c Chaos) effectiveStart() time.Duration {
+	if c.Start > 0 {
+		return c.Start.D()
+	}
+	return 15 * time.Second
+}
+
+// window resolves the injection window and spacing with all defaults
+// applied. Both the sampler and the static assertion-index bound
+// (guaranteedFaults) use it, so they can never disagree.
+func (c Chaos) window(runFor time.Duration) (start, end, gap time.Duration) {
+	start = c.effectiveStart()
+	end = c.End.D()
+	if end <= start {
+		end = runFor * 2 / 3
+		if end <= start {
+			end = start + time.Second
+		}
+	}
+	gap = c.MinGap.D()
+	if gap <= 0 {
+		gap = 10 * time.Second
+	}
+	return start, end, gap
+}
+
+// chaosPlan is what the sampler hands the runner: the injections plus the
+// recovery points to schedule.
+type chaosPlan struct {
+	inject  faults.Plan
+	recover faults.Plan
+}
+
+// plan samples the job's injection schedule. world is the job's rank count;
+// runFor bounds the default injection window.
+func (c Chaos) plan(rng *rand.Rand, world int, runFor time.Duration) chaosPlan {
+	nfaults := c.Faults
+	if nfaults <= 0 {
+		nfaults = 1
+	}
+	kinds := c.Kinds
+	if len(kinds) == 0 {
+		kinds = defaultChaosKinds()
+	}
+	weights := make([]int, len(kinds))
+	for i, wk := range kinds {
+		weights[i] = wk.Weight
+	}
+	start, end, minGap := c.window(runFor)
+	recoverAfter := c.RecoverAfter.D()
+	if recoverAfter <= 0 {
+		recoverAfter = 10 * time.Second
+	}
+
+	pickKind := func() faults.Kind { return kinds[pickWeighted(rng, weights)].Kind }
+
+	// Sample injection times first, then space them out.
+	times := make([]time.Duration, nfaults)
+	for i := range times {
+		times[i] = start + time.Duration(rng.Int63n(int64(end-start)+1))
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	for i := 1; i < len(times); i++ {
+		if times[i] < times[i-1]+minGap {
+			times[i] = times[i-1] + minGap
+		}
+	}
+	// Min-gap spacing can spill past the window; drop anything pushed past
+	// the run horizon — a fault that never fires must not appear in the
+	// report or dilute the accuracy metric.
+	for len(times) > 0 && times[len(times)-1] >= runFor {
+		times = times[:len(times)-1]
+	}
+
+	var out chaosPlan
+	add := func(kind faults.Kind, rank topo.Rank, at time.Duration) {
+		spec := faults.Spec{Kind: kind, Rank: rank, At: at}
+		out.inject = append(out.inject, spec)
+		if c.Recover && faults.Recoverable(kind) {
+			rec := spec
+			rec.At = at + recoverAfter
+			out.recover = append(out.recover, rec)
+		}
+	}
+	for _, at := range times {
+		kind := pickKind()
+		rank := topo.Rank(rng.Intn(world))
+		add(kind, rank, at)
+		if c.Cascade > 0 && rng.Float64() < c.Cascade {
+			// Correlated follow-up: another fault lands near the first
+			// (same rank or a neighbour) shortly after.
+			spread := c.CascadeSpread.D()
+			if spread <= 0 {
+				spread = 5 * time.Second
+			}
+			r2 := rank
+			if rng.Intn(2) == 0 && world > 1 {
+				r2 = topo.Rank((int(rank) + 1) % world)
+			}
+			if at2 := at + time.Duration(rng.Int63n(int64(spread)+1)); at2 < runFor {
+				add(pickKind(), r2, at2)
+			}
+		}
+	}
+	out.inject = out.inject.Sorted()
+	out.recover = out.recover.Sorted()
+	return out
+}

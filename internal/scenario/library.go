@@ -1,0 +1,250 @@
+package scenario
+
+import (
+	"sort"
+	"time"
+
+	"mycroft/internal/core"
+	"mycroft/internal/faults"
+)
+
+// Builtins returns the built-in scenario library, sorted by name: one
+// scenario per fault kind (the §7.1 classes plus the §6.2 integration
+// faults) and the multi-fault, flapping, large-topology, fleet-chaos and
+// cascade variants. Every builtin passes its own assertions at its default
+// seed; the library test enforces that.
+func Builtins() []Spec {
+	out := []Spec{
+		healthyScenario(),
+		singleFault("nic-down", "RNIC stops completing WRs; the port of the quickstart example and experiments.RunCase's E2 NIC-down row.", faults.NICDown, 5, false),
+		singleFault("link-loss", "Bytes leave the NIC but never arrive (link black-hole).", faults.LinkLoss, 6, false),
+		singleFault("gpu-hang", "Copy engine stuck: the GPU stops feeding the proxy.", faults.GPUHang, 2, false),
+		singleFault("proxy-crash", "The NCCL proxy thread exits mid-run.", faults.ProxyCrash, 3, false),
+		singleFault("gpu-slow", "Compute straggler: one rank's kernels run slower.", faults.GPUSlow, 1, false),
+		singleFault("nic-degrade", "NIC bandwidth throttled on a comm-heavy job.", faults.NICDegrade, 4, true),
+		singleFault("pcie-degrade", "Staging path throttled on a comm-heavy job.", faults.PCIeDegrade, 7, true),
+		congestionScenario(),
+		integrationFault("dataloader-stall", "Dataloader blocks forever; Mycroft reports op-not-launched and hands off (§6.2).", faults.DataloaderStall, 0),
+		integrationFault("compute-hang", "A compute step never finishes outside the CCL.", faults.ComputeHang, 6),
+		checkpointStallScenario(),
+		syncMismatchScenario(),
+		flappingScenario(),
+		multiFaultScenario(),
+		large64Scenario(),
+		fleetChaosScenario(),
+		cascadeScenario(),
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Lookup finds a builtin scenario by name.
+func Lookup(name string) (Spec, bool) {
+	for _, s := range Builtins() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+const warmup = 15 * time.Second
+
+func injectAt(at time.Duration, kind faults.Kind, rank int, sev float64, dur time.Duration) Event {
+	return Event{At: Dur(at), Action: ActInject, Fault: &Fault{Kind: kind, Rank: rank, Severity: sev, Duration: Dur(dur)}}
+}
+
+func recoverAt(at time.Duration, kind faults.Kind, rank int) Event {
+	return Event{At: Dur(at), Action: ActRecover, Fault: &Fault{Kind: kind, Rank: rank}}
+}
+
+// healthyScenario is the false-positive baseline: no faults, no triggers.
+func healthyScenario() Spec {
+	return Spec{
+		Name:        "healthy",
+		Description: "Fault-free baseline: a full run with zero triggers and steady ingest.",
+		RunFor:      Dur(60 * time.Second),
+		Assertions: []Assertion{
+			{Kind: AssertNoFalseTrigger},
+			{Kind: AssertMinIterations, Min: 10},
+			{Kind: AssertMinRecords, Min: 1000},
+		},
+	}
+}
+
+// singleFault is the canonical one-fault scenario: warmup, inject, expect
+// detection and a correct verdict.
+func singleFault(name, desc string, kind faults.Kind, rank int, commHeavy bool) Spec {
+	return Spec{
+		Name:        name,
+		Description: desc,
+		Fleet:       Fleet{CommHeavy: commHeavy},
+		Events:      []Event{injectAt(warmup, kind, rank, 0, 0)},
+		Assertions: []Assertion{
+			{Kind: AssertNoFalseTrigger},
+			{Kind: AssertDetected, Within: Dur(30 * time.Second)},
+			{Kind: AssertDiagnosed},
+			{Kind: AssertMinRecords, Min: 1000},
+		},
+	}
+}
+
+func congestionScenario() Spec {
+	s := singleFault("congestion", "External traffic floods the victim's NIC: no local fault, only flow pressure.", faults.Congestion, 4, true)
+	s.Events = []Event{injectAt(warmup, faults.Congestion, 4, 0.999, 0)}
+	return s
+}
+
+// integrationFault covers the §6.2 faults whose root cause is outside the
+// CCL: Mycroft must say op-not-launched on the right rank and hand off.
+func integrationFault(name, desc string, kind faults.Kind, rank int) Spec {
+	return Spec{
+		Name:        name,
+		Description: desc,
+		Events:      []Event{injectAt(warmup, kind, rank, 0, 0)},
+		Assertions: []Assertion{
+			{Kind: AssertNoFalseTrigger},
+			{Kind: AssertDetected, Within: Dur(30 * time.Second)},
+			{Kind: AssertDiagnosed},
+		},
+	}
+}
+
+func checkpointStallScenario() Spec {
+	return Spec{
+		Name:        "checkpoint-stall",
+		Description: "A checkpoint write blocks forever (outside the CCL; py-spy's case).",
+		Fleet:       Fleet{CheckpointEvery: 3},
+		Events:      []Event{injectAt(warmup, faults.CheckpointStall, 6, 0, 0)},
+		Assertions: []Assertion{
+			{Kind: AssertNoFalseTrigger},
+			{Kind: AssertDetected},
+			{Kind: AssertCategory, Categories: []core.Category{core.CatNotLaunched}},
+		},
+	}
+}
+
+func syncMismatchScenario() Spec {
+	return Spec{
+		Name:        "sync-mismatch",
+		Description: "One rank silently skips a DP all-reduce; Mycroft sees only victims (§6.2).",
+		Events:      []Event{injectAt(warmup, faults.SyncMismatch, 3, 0, 0)},
+		Assertions: []Assertion{
+			{Kind: AssertNoFalseTrigger},
+			{Kind: AssertDetected},
+			{Kind: AssertCategory, Categories: []core.Category{core.CatUnknown, core.CatNotLaunched}},
+		},
+	}
+}
+
+func flappingScenario() Spec {
+	return Spec{
+		Name:        "nic-flapping",
+		Description: "A flapping NIC: a long flap that must be detected, then a short one the job rides out.",
+		RunFor:      Dur(85 * time.Second),
+		Events: []Event{
+			injectAt(warmup, faults.NICFlap, 5, 0, 10*time.Second),
+			injectAt(50*time.Second, faults.NICFlap, 5, 0, 3*time.Second),
+		},
+		Assertions: []Assertion{
+			{Kind: AssertNoFalseTrigger},
+			{Kind: AssertDetected, Event: 0, Within: Dur(20 * time.Second)},
+			{Kind: AssertMinIterations, Min: 10}, // the job resumes after both flaps
+		},
+	}
+}
+
+func multiFaultScenario() Spec {
+	return Spec{
+		Name:        "multi-fault",
+		Description: "Two faults in sequence: a NIC dies and recovers, then a GPU hangs after the backend re-arms.",
+		RunFor:      Dur(100 * time.Second),
+		Events: []Event{
+			injectAt(warmup, faults.NICDown, 5, 0, 0),
+			recoverAt(25*time.Second, faults.NICDown, 5),
+			injectAt(60*time.Second, faults.GPUHang, 2, 0, 0),
+		},
+		Assertions: []Assertion{
+			{Kind: AssertNoFalseTrigger},
+			{Kind: AssertDiagnosed, Event: 0},
+			{Kind: AssertDiagnosed, Event: 1},
+			{Kind: AssertMinReports, Min: 2},
+		},
+	}
+}
+
+// large64Scenario is the fleet-scale shape: 64 ranks, multiple faults, with
+// the first fault recovering so the second lands on a live job.
+func large64Scenario() Spec {
+	return Spec{
+		Name:        "large-64",
+		Description: "64-rank (8 nodes × 8 GPUs) multi-fault run: a NIC dies on a non-sampled rank and recovers, then a second NIC dies across the cluster.",
+		RunFor:      Dur(120 * time.Second),
+		// Iterations at this scale run ~7 s, so the trigger look-back must
+		// widen past the 5 s default or warm-up cadence reads as failure
+		// (the E7 sweep makes the same adjustment).
+		Fleet: Fleet{Topo: Topo{Nodes: 8, GPUsPerNode: 8, TP: 2, PP: 4, DP: 8}, Window: Dur(15 * time.Second)},
+		Events: []Event{
+			injectAt(warmup, faults.NICDown, 17, 0, 0),
+			recoverAt(40*time.Second, faults.NICDown, 17),
+			injectAt(70*time.Second, faults.NICDown, 33, 0, 0),
+		},
+		Assertions: []Assertion{
+			{Kind: AssertNoFalseTrigger},
+			{Kind: AssertDiagnosed, Event: 0},
+			{Kind: AssertDiagnosed, Event: 1},
+			{Kind: AssertMinReports, Min: 2},
+			{Kind: AssertMinRecords, Min: 10000},
+		},
+	}
+}
+
+func fleetChaosScenario() Spec {
+	return Spec{
+		Name:        "fleet-chaos",
+		Description: "Weighted-template fleet (8- and 16-rank jobs) with two sampled failure-class faults per job, each recovering.",
+		RunFor:      Dur(90 * time.Second),
+		Fleet: Fleet{Gen: &FleetGen{
+			Jobs: 3,
+			Templates: []Template{
+				{Name: "small-compute", Weight: 3, Topo: Topo{Nodes: 2, GPUsPerNode: 4, TP: 2, PP: 2, DP: 2}},
+				{Name: "medium-compute", Weight: 2, Topo: Topo{Nodes: 4, GPUsPerNode: 4, TP: 2, PP: 2, DP: 4}},
+			},
+		}},
+		Chaos: &Chaos{
+			Faults: 2,
+			Kinds: []WeightedKind{
+				{Kind: faults.NICDown, Weight: 2},
+				{Kind: faults.GPUHang, Weight: 1},
+			},
+			Start: Dur(warmup), End: Dur(45 * time.Second), MinGap: Dur(20 * time.Second),
+			Recover: true, RecoverAfter: Dur(10 * time.Second),
+		},
+		Assertions: []Assertion{
+			{Kind: AssertNoFalseTrigger, Job: -1},
+			{Kind: AssertDetected, Job: -1, Event: 0, Within: Dur(15 * time.Second)},
+			{Kind: AssertMinRecords, Job: -1, Min: 1000},
+		},
+	}
+}
+
+func cascadeScenario() Spec {
+	return Spec{
+		Name:        "cascade",
+		Description: "Correlated failure: a NIC dies and, moments later, a neighbour follows (cascade probability 1).",
+		RunFor:      Dur(80 * time.Second),
+		Fleet:       Fleet{Topo: Topo{Nodes: 4, GPUsPerNode: 4, TP: 2, PP: 2, DP: 4}},
+		Chaos: &Chaos{
+			Faults: 1,
+			Kinds:  []WeightedKind{{Kind: faults.NICDown, Weight: 1}},
+			Start:  Dur(warmup), End: Dur(20 * time.Second),
+			Cascade: 1, CascadeSpread: Dur(5 * time.Second),
+			Recover: true, RecoverAfter: Dur(15 * time.Second),
+		},
+		Assertions: []Assertion{
+			{Kind: AssertNoFalseTrigger},
+			{Kind: AssertDetected, Event: 0, Within: Dur(15 * time.Second)},
+			{Kind: AssertMinReports, Min: 1},
+		},
+	}
+}

@@ -1,0 +1,272 @@
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"mycroft"
+	"mycroft/internal/core"
+	"mycroft/internal/experiments"
+	"mycroft/internal/faults"
+	"mycroft/internal/sim"
+)
+
+// JobResult is the per-fleet-member outcome: what ran, what was injected,
+// and what Mycroft concluded.
+type JobResult struct {
+	Index      int    `json:"index"`
+	Template   string `json:"template"`
+	Topo       Topo   `json:"topo"`
+	CommHeavy  bool   `json:"comm_heavy,omitempty"`
+	WorldSize  int    `json:"world_size"`
+	Iterations int    `json:"iterations"`
+	// Records is how many trace records reached the cloud DB.
+	Records  uint64   `json:"records"`
+	Injected []string `json:"injected,omitempty"`
+	Triggers []string `json:"triggers,omitempty"`
+	Reports  []string `json:"reports,omitempty"`
+	// DetectLatency is first-trigger time minus first-injection time (0 when
+	// nothing fired or nothing was injected).
+	DetectLatency Dur `json:"detect_latency,omitempty"`
+	// RCALatency is first-verdict time minus first-injection time.
+	RCALatency Dur `json:"rca_latency,omitempty"`
+	// Accuracy is the fraction of injections whose expectation
+	// (faults.Expect) is satisfied by some later verdict.
+	Accuracy float64 `json:"accuracy"`
+
+	injected faults.Plan
+	triggers []core.Trigger
+	reports  []core.Report
+}
+
+// Result is the structured pass/fail outcome of one scenario run. Every
+// field derives from virtual time, so the same spec and seed render
+// byte-for-byte identical Results.
+type Result struct {
+	Name     string      `json:"name"`
+	Seed     int64       `json:"seed"`
+	Pass     bool        `json:"pass"`
+	Failures []string    `json:"failures,omitempty"`
+	Jobs     []JobResult `json:"jobs"`
+	// Asserted is how many assertions were evaluated (per-job expansions
+	// counted individually).
+	Asserted int `json:"asserted"`
+}
+
+// Render formats the result as a deterministic human-readable report.
+func (r *Result) Render() string {
+	var b strings.Builder
+	verdict := "PASS"
+	if !r.Pass {
+		verdict = "FAIL"
+	}
+	fmt.Fprintf(&b, "scenario %s (seed %d): %s\n", r.Name, r.Seed, verdict)
+	for _, j := range r.Jobs {
+		fmt.Fprintf(&b, "  job %d template=%s topo=%s world=%d comm-heavy=%v\n",
+			j.Index, j.Template, j.Topo, j.WorldSize, j.CommHeavy)
+		fmt.Fprintf(&b, "    iterations=%d records=%d triggers=%d reports=%d\n",
+			j.Iterations, j.Records, len(j.Triggers), len(j.Reports))
+		if len(j.Injected) > 0 {
+			fmt.Fprintf(&b, "    injected: %s\n", strings.Join(j.Injected, ", "))
+			fmt.Fprintf(&b, "    detect=%v rca=%v accuracy=%.2f\n", j.DetectLatency, j.RCALatency, j.Accuracy)
+		}
+		for _, tr := range j.Triggers {
+			fmt.Fprintf(&b, "    trigger: %s\n", tr)
+		}
+		for _, rep := range j.Reports {
+			fmt.Fprintf(&b, "    report:  %s\n", rep)
+		}
+	}
+	fmt.Fprintf(&b, "  assertions: %d checked, %d failed\n", r.Asserted, len(r.Failures))
+	for _, f := range r.Failures {
+		fmt.Fprintf(&b, "    FAIL %s\n", f)
+	}
+	return b.String()
+}
+
+// Run executes the scenario. seed overrides the spec's seed when non-zero.
+// Fleet members run sequentially on independent engines with seeds derived
+// from the scenario seed, so a fleet run is exactly reproducible.
+func Run(spec Spec, seed int64) (*Result, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if seed == 0 {
+		seed = spec.Seed
+	}
+	if seed == 0 {
+		seed = 1
+	}
+	res := &Result{Name: spec.Name, Seed: seed}
+	for i, js := range resolveFleet(spec.Fleet, seed) {
+		jr, err := runJob(spec, js, i, mix(seed, int64(i)))
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: job %d: %w", spec.Name, i, err)
+		}
+		res.Jobs = append(res.Jobs, jr)
+	}
+	res.Asserted, res.Failures = evaluate(spec, res)
+	res.Pass = len(res.Failures) == 0
+	return res, nil
+}
+
+// MustRun is Run for known-good specs (the built-in library).
+func MustRun(spec Spec, seed int64) *Result {
+	res, err := Run(spec, seed)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// fillSeverity applies the campaign-tuned per-kind severity when the spec
+// left it unset, mirroring experiments.RunCase.
+func fillSeverity(s faults.Spec) faults.Spec {
+	if s.Severity == 0 {
+		s.Severity = experiments.SeverityFor(s.Kind)
+	}
+	return s
+}
+
+func runJob(spec Spec, js jobSpec, idx int, seed int64) (JobResult, error) {
+	opts := mycroft.Options{Seed: seed, Topo: js.Topo.Config(), CommHeavy: js.CommHeavy}
+	if js.Window > 0 {
+		opts.Backend.Window = js.Window.D()
+	}
+	if js.MaxSampled > 0 {
+		opts.Backend.MaxSampled = js.MaxSampled
+	}
+	if js.CheckpointEvery > 0 || js.UploadLatency > 0 {
+		profile := experiments.ComputeHeavy
+		if js.CommHeavy {
+			profile = experiments.CommHeavy
+		}
+		tc := experiments.JobConfig(js.Topo.Config(), profile)
+		tc.CheckpointEvery = js.CheckpointEvery
+		if js.UploadLatency > 0 {
+			tc.Collector.UploadLatency = js.UploadLatency.D()
+		}
+		opts.Train = &tc
+	}
+	sys, err := mycroft.NewSystem(opts)
+	if err != nil {
+		return JobResult{}, err
+	}
+	world := sys.WorldSize()
+
+	// Compile this job's schedule: explicit events, then chaos samples.
+	var plan, recoveries faults.Plan
+	backendRunning := true
+	for _, ev := range spec.Events {
+		if ev.Job != -1 && ev.Job != idx {
+			continue
+		}
+		switch ev.Action {
+		case ActInject:
+			plan = append(plan, fillSeverity(ev.Fault.spec(ev.At)))
+		case ActRecover:
+			recoveries = append(recoveries, ev.Fault.spec(ev.At))
+		case ActBackendStop:
+			sys.Eng.After(ev.At.D(), func() {
+				if backendRunning {
+					backendRunning = false
+					sys.Backend.Stop()
+				}
+			})
+		case ActBackendStart:
+			sys.Eng.After(ev.At.D(), func() {
+				if !backendRunning {
+					backendRunning = true
+					sys.Backend.Start()
+				}
+			})
+		case ActCollectorStop:
+			sys.Eng.After(ev.At.D(), func() {
+				for _, a := range sys.Job.Agents {
+					a.Stop()
+				}
+			})
+		}
+	}
+	if spec.Chaos != nil {
+		rng := rand.New(rand.NewSource(mix(seed, 0x6368616f73))) // "chaos"
+		cp := spec.Chaos.plan(rng, world, spec.runFor())
+		for _, s := range cp.inject {
+			plan = append(plan, fillSeverity(s))
+		}
+		recoveries = append(recoveries, cp.recover...)
+	}
+	plan = plan.Sorted()
+
+	plan.Inject(sys.Job)
+	for _, s := range recoveries.Sorted() {
+		faults.Recover(sys.Job, s)
+	}
+	sys.Start()
+	sys.Run(spec.runFor())
+	defer sys.Stop()
+
+	jr := JobResult{
+		Index: idx, Template: js.Template, Topo: js.Topo, CommHeavy: js.CommHeavy,
+		WorldSize: world, Iterations: sys.Job.IterationsDone(), Records: sys.RecordsIngested(),
+		injected: plan, triggers: sys.Triggers(), reports: sys.Reports(),
+	}
+	for _, s := range plan {
+		jr.Injected = append(jr.Injected, s.String())
+	}
+	for _, tr := range jr.triggers {
+		jr.Triggers = append(jr.Triggers, tr.String())
+	}
+	for _, rep := range jr.reports {
+		jr.Reports = append(jr.Reports, rep.String())
+	}
+	if first, ok := plan.First(); ok {
+		faultAt := sim.Time(first)
+		for _, tr := range jr.triggers {
+			if tr.At >= faultAt {
+				jr.DetectLatency = Dur(tr.At.Sub(faultAt))
+				break
+			}
+		}
+		for _, rep := range jr.reports {
+			if rep.AnalyzedAt >= faultAt {
+				jr.RCALatency = Dur(rep.AnalyzedAt.Sub(faultAt))
+				break
+			}
+		}
+		jr.Accuracy = accuracy(plan, jr.reports)
+	}
+	return jr, nil
+}
+
+// accuracy scores the run: the fraction of injections for which some verdict
+// analyzed after the injection satisfies faults.Expect (category, and the
+// suspect rank when the fault localizes).
+func accuracy(plan faults.Plan, reports []core.Report) float64 {
+	if len(plan) == 0 {
+		return 0
+	}
+	hit := 0
+	for _, s := range plan {
+		exp := faults.Expect(s.Kind)
+		for _, rep := range reports {
+			if rep.AnalyzedAt < sim.Time(s.At) {
+				continue
+			}
+			if exp.CategoryOK(rep.Category) && (!exp.LocalizeRank || rep.Suspect == s.Rank) {
+				hit++
+				break
+			}
+		}
+	}
+	return float64(hit) / float64(len(plan))
+}
+
+// injectionAt returns the job's i-th time-ordered injection.
+func (j JobResult) injectionAt(i int) (faults.Spec, bool) {
+	if i < 0 || i >= len(j.injected) {
+		return faults.Spec{}, false
+	}
+	return j.injected[i], true
+}

@@ -1,0 +1,302 @@
+package scenario
+
+import (
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"mycroft/internal/faults"
+)
+
+// TestBuiltinsPass runs every shipped scenario at its default seed and
+// checks (a) its own assertions pass and (b) for every injected fault, some
+// verdict's category is one the fault's expectation accepts — the library
+// is the regression suite for the whole detection pipeline.
+func TestBuiltinsPass(t *testing.T) {
+	builtins := Builtins()
+	if len(builtins) < 12 {
+		t.Fatalf("library has %d scenarios, want >= 12", len(builtins))
+	}
+	for _, spec := range builtins {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			res, err := Run(spec, 0)
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if !res.Pass {
+				t.Fatalf("scenario failed:\n%s", res.Render())
+			}
+			for _, j := range res.Jobs {
+				for _, inj := range j.injected {
+					exp := faults.Expect(inj.Kind)
+					ok := false
+					for _, rep := range j.reports {
+						if exp.CategoryOK(rep.Category) {
+							ok = true
+							break
+						}
+					}
+					// Recovered faults may legitimately outrun diagnosis
+					// (the backend is muted or the fault healed first); hard
+					// single-fault scenarios must always be categorized.
+					if !ok && len(j.injected) == 1 {
+						t.Errorf("job %d: no verdict with category in %v for %v:\n%s",
+							j.Index, exp.Categories, inj, res.Render())
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestBuiltinsCoverAllKinds: the library exercises the full fault catalog.
+func TestBuiltinsCoverAllKinds(t *testing.T) {
+	covered := map[faults.Kind]bool{}
+	for _, s := range Builtins() {
+		for _, k := range s.FaultKinds() {
+			covered[k] = true
+		}
+	}
+	for _, k := range faults.All() {
+		if !covered[k] {
+			t.Errorf("no builtin scenario covers fault kind %q", k)
+		}
+	}
+}
+
+// TestRunDeterministic: same spec and seed render byte-identical reports —
+// the property every stress campaign leans on.
+func TestRunDeterministic(t *testing.T) {
+	spec, ok := Lookup("fleet-chaos")
+	if !ok {
+		t.Fatal("fleet-chaos builtin missing")
+	}
+	a := MustRun(spec, 3).Render()
+	b := MustRun(spec, 3).Render()
+	if a != b {
+		t.Fatalf("same seed diverged:\n--- first\n%s\n--- second\n%s", a, b)
+	}
+	c := MustRun(spec, 4).Render()
+	if a == c {
+		t.Fatal("different seeds produced identical chaos runs (rng not wired through)")
+	}
+}
+
+func TestChaosPlanDeterministic(t *testing.T) {
+	c := Chaos{Faults: 3, Cascade: 0.5, Recover: true}
+	p1 := c.plan(rand.New(rand.NewSource(9)), 16, 90*time.Second)
+	p2 := c.plan(rand.New(rand.NewSource(9)), 16, 90*time.Second)
+	if p1.inject.String() != p2.inject.String() || p1.recover.String() != p2.recover.String() {
+		t.Fatalf("chaos plan not deterministic:\n%v\n%v", p1.inject, p2.inject)
+	}
+	if len(p1.inject) < 3 {
+		t.Fatalf("wanted >= 3 faults, got %v", p1.inject)
+	}
+	for _, s := range p1.inject {
+		if int(s.Rank) < 0 || int(s.Rank) >= 16 {
+			t.Errorf("rank %d out of world", s.Rank)
+		}
+	}
+	for _, r := range p1.recover {
+		if !faults.Recoverable(r.Kind) {
+			t.Errorf("recovery scheduled for unrecoverable %v", r.Kind)
+		}
+	}
+}
+
+// TestChaosDropsPastHorizonFaults: min-gap spacing must not produce phantom
+// injections scheduled beyond the run horizon (they would never fire yet
+// would dilute accuracy and mislead assertions).
+func TestChaosDropsPastHorizonFaults(t *testing.T) {
+	c := Chaos{Faults: 8, Start: Dur(15 * time.Second), End: Dur(20 * time.Second), MinGap: Dur(10 * time.Second)}
+	runFor := 60 * time.Second
+	p := c.plan(rand.New(rand.NewSource(3)), 8, runFor)
+	if len(p.inject) == 0 {
+		t.Fatal("everything dropped")
+	}
+	if len(p.inject) >= 8 {
+		t.Fatalf("8 faults with 10s gaps cannot fit before 60s, got %d", len(p.inject))
+	}
+	for _, s := range p.inject {
+		if s.At >= runFor {
+			t.Errorf("injection %v scheduled past the %v horizon", s, runFor)
+		}
+	}
+}
+
+func TestFleetGenWeightedSampling(t *testing.T) {
+	f := Fleet{Gen: &FleetGen{
+		Jobs: 40,
+		Templates: []Template{
+			{Name: "a", Weight: 3, Topo: DefaultTopo},
+			{Name: "b", Weight: 1, Topo: Topo{Nodes: 4, GPUsPerNode: 4, TP: 2, PP: 2, DP: 4}},
+		},
+	}}
+	jobs := resolveFleet(f, 11)
+	if len(jobs) != 40 {
+		t.Fatalf("got %d jobs, want 40", len(jobs))
+	}
+	counts := map[string]int{}
+	for _, j := range jobs {
+		counts[j.Template]++
+	}
+	if counts["a"]+counts["b"] != 40 || counts["a"] == 0 || counts["b"] == 0 {
+		t.Fatalf("bad template sampling: %v", counts)
+	}
+	if counts["a"] <= counts["b"] {
+		t.Errorf("weight-3 template drew %d <= weight-1's %d", counts["a"], counts["b"])
+	}
+	again := resolveFleet(f, 11)
+	for i := range jobs {
+		if jobs[i] != again[i] {
+			t.Fatalf("fleet generation not deterministic at job %d", i)
+		}
+	}
+}
+
+// TestSpecJSONRoundTrip: every builtin survives marshal → Parse unchanged.
+func TestSpecJSONRoundTrip(t *testing.T) {
+	for _, spec := range Builtins() {
+		data, err := json.Marshal(spec)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", spec.Name, err)
+		}
+		back, err := Parse(data)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", spec.Name, err)
+		}
+		data2, err := json.Marshal(back)
+		if err != nil {
+			t.Fatalf("%s: re-marshal: %v", spec.Name, err)
+		}
+		if string(data) != string(data2) {
+			t.Errorf("%s: round trip changed the spec:\n%s\n%s", spec.Name, data, data2)
+		}
+	}
+}
+
+func TestDurParsing(t *testing.T) {
+	var d Dur
+	if err := json.Unmarshal([]byte(`"1m30s"`), &d); err != nil || d.D() != 90*time.Second {
+		t.Fatalf(`"1m30s" -> %v, %v`, d, err)
+	}
+	if err := json.Unmarshal([]byte(`5000000000`), &d); err != nil || d.D() != 5*time.Second {
+		t.Fatalf("5e9 ns -> %v, %v", d, err)
+	}
+	if err := json.Unmarshal([]byte(`"nope"`), &d); err == nil {
+		t.Fatal("bad duration accepted")
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	inject := func(kind faults.Kind, rank int) []Event {
+		return []Event{{At: Dur(time.Second), Action: ActInject, Fault: &Fault{Kind: kind, Rank: rank}}}
+	}
+	cases := []struct {
+		name string
+		spec Spec
+		want string
+	}{
+		{"missing name", Spec{}, "missing name"},
+		{"bad topo", Spec{Name: "x", Fleet: Fleet{Topo: Topo{Nodes: 2, GPUsPerNode: 4, TP: 3, PP: 2, DP: 2}}}, "does not cover"},
+		{"unknown kind", Spec{Name: "x", Events: inject("warp-core-breach", 0)}, "unknown fault kind"},
+		{"rank out of range", Spec{Name: "x", Events: inject(faults.NICDown, 99)}, "out of range"},
+		{"unknown action", Spec{Name: "x", Events: []Event{{Action: "explode"}}}, "unknown action"},
+		{"recover unrecoverable", Spec{Name: "x", Events: []Event{{Action: ActRecover, Fault: &Fault{Kind: faults.ProxyCrash}}}}, "not recoverable"},
+		{"inject without fault", Spec{Name: "x", Events: []Event{{Action: ActInject}}}, "needs a fault"},
+		{"checkpoint without phase", Spec{Name: "x", Events: inject(faults.CheckpointStall, 0)}, "checkpoint_every"},
+		{"bad assertion kind", Spec{Name: "x", Assertions: []Assertion{{Kind: "vibes"}}}, "unknown kind"},
+		{"assertion event range", Spec{Name: "x", Events: inject(faults.NICDown, 0), Assertions: []Assertion{{Kind: AssertDetected, Event: 5}}}, "out of range"},
+		{"min without value", Spec{Name: "x", Assertions: []Assertion{{Kind: AssertMinReports}}}, "min > 0"},
+		{"gen without templates", Spec{Name: "x", Fleet: Fleet{Gen: &FleetGen{Jobs: 2}}}, "needs templates"},
+		{"gen bad weight", Spec{Name: "x", Fleet: Fleet{Gen: &FleetGen{Jobs: 2, Templates: []Template{{Name: "t", Topo: DefaultTopo}}}}}, "weight"},
+		{"chaos bad kind", Spec{Name: "x", Chaos: &Chaos{Kinds: []WeightedKind{{Kind: "nope", Weight: 1}}}}, "unknown"},
+		{"chaos bad cascade", Spec{Name: "x", Chaos: &Chaos{Cascade: 2}}, "cascade"},
+		{"negative severity", Spec{Name: "x", Events: []Event{{Action: ActInject, Fault: &Fault{Kind: faults.NICDegrade, Rank: 0, Severity: -0.5}}}}, "negative severity"},
+		{"negative fault duration", Spec{Name: "x", Events: []Event{{Action: ActInject, Fault: &Fault{Kind: faults.NICFlap, Rank: 0, Duration: Dur(-time.Second)}}}}, "negative duration"},
+		{"chaos checkpoint without phase", Spec{Name: "x", Chaos: &Chaos{Kinds: []WeightedKind{{Kind: faults.CheckpointStall, Weight: 1}}}}, "checkpoint_every"},
+		{"chaos end before default start", Spec{Name: "x", Chaos: &Chaos{End: Dur(10 * time.Second)}}, "does not exceed start"},
+		{"chaos window past horizon", Spec{Name: "x", RunFor: Dur(30 * time.Second), Chaos: &Chaos{Start: Dur(100 * time.Second), End: Dur(101 * time.Second)}}, "beyond run_for"},
+		{"chaos end past horizon", Spec{Name: "x", RunFor: Dur(60 * time.Second), Chaos: &Chaos{End: Dur(120 * time.Second)}}, "beyond run_for"},
+		{"negative fleet override", Spec{Name: "x", Fleet: Fleet{UploadLatency: Dur(-time.Second)}}, "negative fleet"},
+		{"negative max sampled", Spec{Name: "x", Fleet: Fleet{MaxSampled: -1}}, "negative fleet"},
+		{"negative chaos spacing", Spec{Name: "x", Chaos: &Chaos{MinGap: Dur(-5 * time.Second)}}, "negative spacing"},
+		{"event past horizon", Spec{Name: "x", RunFor: Dur(60 * time.Second),
+			Events: []Event{{At: Dur(70 * time.Second), Action: ActInject, Fault: &Fault{Kind: faults.NICDown, Rank: 1}}}}, "beyond run_for"},
+		{"negative assertion within", Spec{Name: "x", Events: inject(faults.NICDown, 0), Assertions: []Assertion{{Kind: AssertDetected, Within: Dur(-10 * time.Second)}}}, "negative within"},
+		{"suspect rank out of range", Spec{Name: "x", Assertions: []Assertion{{Kind: AssertSuspect, Rank: 99}}}, "suspect rank 99 out of range"},
+		{"assertion targets cascade-only injection", Spec{Name: "x", Chaos: &Chaos{Faults: 1, Cascade: 0.5},
+			Assertions: []Assertion{{Kind: AssertDetected, Event: 1}}}, "out of range"},
+		{"assertion targets horizon-dropped injection", Spec{Name: "x", RunFor: Dur(60 * time.Second),
+			Chaos:      &Chaos{Faults: 8, Start: Dur(15 * time.Second), End: Dur(20 * time.Second), MinGap: Dur(10 * time.Second)},
+			Assertions: []Assertion{{Kind: AssertDetected, Event: 7}}}, "out of range"},
+		{"assertion event unreachable for its job", Spec{
+			Name:  "x",
+			Fleet: Fleet{Gen: &FleetGen{Jobs: 2, Templates: []Template{{Name: "t", Weight: 1, Topo: DefaultTopo}}}},
+			Events: []Event{
+				{At: Dur(time.Second), Action: ActInject, Job: 0, Fault: &Fault{Kind: faults.NICDown, Rank: 0}},
+				{At: Dur(2 * time.Second), Action: ActInject, Job: 1, Fault: &Fault{Kind: faults.NICDown, Rank: 0}},
+			},
+			Assertions: []Assertion{{Kind: AssertDetected, Job: 0, Event: 1}},
+		}, "out of range"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := c.spec.Validate()
+			if err == nil {
+				t.Fatalf("validated: %+v", c.spec)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %q does not mention %q", err, c.want)
+			}
+			if _, err := Run(c.spec, 1); err == nil {
+				t.Fatal("Run accepted an invalid spec")
+			}
+		})
+	}
+}
+
+// TestCollectorStopEvent: killing the trace agents freezes cloud-DB ingest
+// — record counts must stop growing once the agents are down.
+func TestCollectorStopEvent(t *testing.T) {
+	base := Spec{Name: "baseline", RunFor: Dur(40 * time.Second)}
+	healthy := MustRun(base, 1).Jobs[0].Records
+	stopped := Spec{
+		Name:   "collector-outage",
+		RunFor: Dur(40 * time.Second),
+		Events: []Event{{At: Dur(10 * time.Second), Action: ActCollectorStop}},
+	}
+	got := MustRun(stopped, 1).Jobs[0].Records
+	if got == 0 {
+		t.Fatal("no records before the agents stopped")
+	}
+	if got >= healthy {
+		t.Fatalf("ingest did not freeze: %d records with agents stopped at 10s vs %d healthy", got, healthy)
+	}
+}
+
+// TestBackendStopEvent: stopping the analysis backend during the fault
+// window suppresses detection — the operational-change actions really act.
+func TestBackendStopEvent(t *testing.T) {
+	spec := Spec{
+		Name:   "backend-outage",
+		RunFor: Dur(60 * time.Second),
+		Events: []Event{
+			{At: Dur(10 * time.Second), Action: ActBackendStop},
+			{At: Dur(15 * time.Second), Action: ActInject, Fault: &Fault{Kind: faults.NICDown, Rank: 5}},
+		},
+	}
+	res := MustRun(spec, 1)
+	if n := len(res.Jobs[0].triggers); n != 0 {
+		t.Fatalf("stopped backend still fired %d triggers", n)
+	}
+	// Restarting it mid-run restores detection.
+	spec.Events = append(spec.Events, Event{At: Dur(30 * time.Second), Action: ActBackendStart})
+	res = MustRun(spec, 1)
+	if n := len(res.Jobs[0].triggers); n == 0 {
+		t.Fatal("restarted backend never fired")
+	}
+}

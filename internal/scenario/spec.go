@@ -1,0 +1,489 @@
+// Package scenario is the declarative fault-scenario engine: a Spec names a
+// cluster (or a generated fleet of clusters), a timed event list of fault
+// injections and operational changes, and assertions over the triggers and
+// verdicts Mycroft produces. The runner executes a Spec on the existing
+// mycroft.System deterministic engine and emits a structured pass/fail
+// Result, so stress campaigns reproduce bit-for-bit from a seed.
+//
+// Specs are plain data: they round-trip through JSON (cmd/mycroft-scenario
+// loads them from files) and a built-in library in library.go covers every
+// fault kind plus multi-fault, flapping, large-topology and fleet-chaos
+// variants.
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"time"
+
+	"mycroft/internal/core"
+	"mycroft/internal/faults"
+	"mycroft/internal/topo"
+)
+
+// Dur is a time.Duration that marshals as a human-readable string ("15s")
+// and unmarshals from either a string or a nanosecond count.
+type Dur time.Duration
+
+// D converts to the standard duration type.
+func (d Dur) D() time.Duration { return time.Duration(d) }
+
+func (d Dur) String() string { return time.Duration(d).String() }
+
+// MarshalJSON renders the duration as its String form.
+func (d Dur) MarshalJSON() ([]byte, error) {
+	return []byte(strconv.Quote(time.Duration(d).String())), nil
+}
+
+// UnmarshalJSON accepts "15s" strings or raw nanosecond numbers.
+func (d *Dur) UnmarshalJSON(b []byte) error {
+	if len(b) > 0 && b[0] == '"' {
+		s, err := strconv.Unquote(string(b))
+		if err != nil {
+			return err
+		}
+		v, err := time.ParseDuration(s)
+		if err != nil {
+			return fmt.Errorf("scenario: bad duration %q: %w", s, err)
+		}
+		*d = Dur(v)
+		return nil
+	}
+	n, err := strconv.ParseInt(string(b), 10, 64)
+	if err != nil {
+		return fmt.Errorf("scenario: bad duration %s", b)
+	}
+	*d = Dur(n)
+	return nil
+}
+
+// Topo sizes one simulated cluster in the scenario file format.
+type Topo struct {
+	Nodes       int `json:"nodes"`
+	GPUsPerNode int `json:"gpus_per_node"`
+	TP          int `json:"tp"`
+	PP          int `json:"pp"`
+	DP          int `json:"dp"`
+}
+
+// Config converts to the topo package's config.
+func (t Topo) Config() topo.Config {
+	return topo.Config{Nodes: t.Nodes, GPUsPerNode: t.GPUsPerNode, TP: t.TP, PP: t.PP, DP: t.DP}
+}
+
+// IsZero reports whether the shape is unset (the runner substitutes the
+// default 2×4 testbed).
+func (t Topo) IsZero() bool { return t == Topo{} }
+
+func (t Topo) String() string {
+	return fmt.Sprintf("%d×%d tp=%d pp=%d dp=%d", t.Nodes, t.GPUsPerNode, t.TP, t.PP, t.DP)
+}
+
+// DefaultTopo is the 8-GPU testbed shape used when a spec leaves the
+// topology unset.
+var DefaultTopo = Topo{Nodes: 2, GPUsPerNode: 4, TP: 2, PP: 2, DP: 2}
+
+// Fleet declares the job(s) a scenario runs: either one explicit cluster or
+// a generated fleet of weighted templates.
+type Fleet struct {
+	// Topo shapes the single job (ignored when Gen is set). Zero takes
+	// DefaultTopo.
+	Topo Topo `json:"topo,omitempty"`
+	// CommHeavy weights iterations toward communication (degradation-class
+	// faults need it to be measurable).
+	CommHeavy bool `json:"comm_heavy,omitempty"`
+	// CheckpointEvery enables the checkpoint phase every N iterations
+	// (required for checkpoint-stall faults).
+	CheckpointEvery int `json:"checkpoint_every,omitempty"`
+	// UploadLatency overrides the collector pipeline latency.
+	UploadLatency Dur `json:"upload_latency,omitempty"`
+	// Window overrides the backend's Algorithm 1 look-back Δ. Large
+	// topologies with long iterations need it wider than the 5 s default,
+	// or warm-up cadence reads as failure.
+	Window Dur `json:"window,omitempty"`
+	// MaxSampled overrides the backend's sampled-rank cap (§4.3).
+	MaxSampled int `json:"max_sampled,omitempty"`
+	// Gen generates a fleet instead of a single job.
+	Gen *FleetGen `json:"gen,omitempty"`
+}
+
+// FleetGen generates Jobs clusters by weighted sampling over Templates.
+type FleetGen struct {
+	Jobs      int        `json:"jobs"`
+	Templates []Template `json:"templates"`
+}
+
+// Template is one weighted cluster shape in a generated fleet.
+type Template struct {
+	Name      string `json:"name"`
+	Weight    int    `json:"weight"`
+	Topo      Topo   `json:"topo"`
+	CommHeavy bool   `json:"comm_heavy,omitempty"`
+}
+
+// Action is what a timed event does.
+type Action string
+
+const (
+	// ActInject applies a fault at the event time.
+	ActInject Action = "inject"
+	// ActRecover undoes a recoverable fault at the event time.
+	ActRecover Action = "recover"
+	// ActBackendStop halts trigger evaluation (analysis-service maintenance
+	// window).
+	ActBackendStop Action = "backend-stop"
+	// ActBackendStart re-arms trigger evaluation after a stop.
+	ActBackendStart Action = "backend-start"
+	// ActCollectorStop kills the job's collector agents (the ring keeps
+	// overwriting; loss is counted).
+	ActCollectorStop Action = "collector-stop"
+)
+
+// Fault parameterizes an inject/recover event.
+type Fault struct {
+	Kind     faults.Kind `json:"kind"`
+	Rank     int         `json:"rank"`
+	Severity float64     `json:"severity,omitempty"`
+	Duration Dur         `json:"duration,omitempty"`
+}
+
+// spec converts to the faults package's injection spec at time at.
+func (f Fault) spec(at Dur) faults.Spec {
+	return faults.Spec{
+		Kind: f.Kind, Rank: topo.Rank(f.Rank), At: at.D(),
+		Severity: f.Severity, Duration: f.Duration.D(),
+	}
+}
+
+// Event is one timed entry in the scenario's schedule.
+type Event struct {
+	At     Dur    `json:"at"`
+	Action Action `json:"action"`
+	// Job selects the fleet member the event applies to; -1 applies it to
+	// every job. Default 0.
+	Job   int    `json:"job,omitempty"`
+	Fault *Fault `json:"fault,omitempty"`
+}
+
+// AssertKind enumerates the checks a scenario can declare.
+type AssertKind string
+
+const (
+	// AssertDetected: a trigger fires at/after injection [Event] (within the
+	// optional bound).
+	AssertDetected AssertKind = "detected"
+	// AssertDiagnosed: a report matches faults.Expect for injection [Event]:
+	// acceptable category, and the suspect rank when the fault localizes.
+	AssertDiagnosed AssertKind = "diagnosed"
+	// AssertCategory: some report's category is in Categories.
+	AssertCategory AssertKind = "category"
+	// AssertSuspect: some report names Rank as the suspect.
+	AssertSuspect AssertKind = "suspect"
+	// AssertNoFalseTrigger: no trigger fires before the first injection (or
+	// at all, in a fault-free scenario).
+	AssertNoFalseTrigger AssertKind = "no-false-trigger"
+	// AssertMinReports: at least Min verdicts were produced.
+	AssertMinReports AssertKind = "min-reports"
+	// AssertMinRecords: at least Min trace records reached the cloud DB.
+	AssertMinRecords AssertKind = "min-records"
+	// AssertMinIterations: the job completed at least Min iterations.
+	AssertMinIterations AssertKind = "min-iterations"
+)
+
+// Assertion is one declarative check evaluated after the run.
+type Assertion struct {
+	Kind AssertKind `json:"kind"`
+	// Job selects which fleet member(s) the check applies to; -1 = every
+	// job. Default 0.
+	Job int `json:"job,omitempty"`
+	// Event indexes the job's time-ordered injection list (inject events
+	// plus chaos samples) for detected/diagnosed.
+	Event int `json:"event,omitempty"`
+	// Within bounds detection/diagnosis latency from the injection.
+	Within     Dur             `json:"within,omitempty"`
+	Min        int             `json:"min,omitempty"`
+	Categories []core.Category `json:"categories,omitempty"`
+	Rank       int             `json:"rank,omitempty"`
+}
+
+// Spec is a complete declarative scenario.
+type Spec struct {
+	Name        string `json:"name"`
+	Description string `json:"description,omitempty"`
+	// Seed is the default seed (overridable at run time). Default 1.
+	Seed int64 `json:"seed,omitempty"`
+	// RunFor is the virtual time the scenario simulates. Default 75 s.
+	RunFor     Dur         `json:"run_for,omitempty"`
+	Fleet      Fleet       `json:"fleet"`
+	Events     []Event     `json:"events,omitempty"`
+	Chaos      *Chaos      `json:"chaos,omitempty"`
+	Assertions []Assertion `json:"assertions,omitempty"`
+}
+
+// DefaultRunFor is the virtual horizon when a spec leaves RunFor unset: a
+// 15 s warmup plus a 60 s detection window.
+const DefaultRunFor = 75 * time.Second
+
+func (s Spec) runFor() time.Duration {
+	if s.RunFor > 0 {
+		return s.RunFor.D()
+	}
+	return DefaultRunFor
+}
+
+// JobCount returns how many jobs the fleet declares.
+func (s Spec) JobCount() int {
+	if s.Fleet.Gen != nil {
+		return s.Fleet.Gen.Jobs
+	}
+	return 1
+}
+
+// FaultKinds returns the sorted set of fault kinds the scenario can
+// exercise: explicit inject events plus the chaos distribution (including
+// the sampler's default kinds when a chaos block declares none).
+func (s Spec) FaultKinds() []faults.Kind {
+	set := map[faults.Kind]bool{}
+	for _, ev := range s.Events {
+		if ev.Action == ActInject && ev.Fault != nil {
+			set[ev.Fault.Kind] = true
+		}
+	}
+	if s.Chaos != nil {
+		kinds := s.Chaos.Kinds
+		if len(kinds) == 0 {
+			kinds = defaultChaosKinds()
+		}
+		for _, wk := range kinds {
+			set[wk.Kind] = true
+		}
+	}
+	out := make([]faults.Kind, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Parse decodes a JSON scenario and validates it.
+func Parse(data []byte) (Spec, error) {
+	var s Spec
+	if err := json.Unmarshal(data, &s); err != nil {
+		return Spec{}, fmt.Errorf("scenario: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}
+
+// knownKind reports whether k is in the fault catalog.
+func knownKind(k faults.Kind) bool {
+	for _, x := range faults.All() {
+		if x == k {
+			return true
+		}
+	}
+	return false
+}
+
+// minWorld returns the smallest world size any fleet member can have, for
+// validating explicit ranks up front.
+func (s Spec) minWorld() int {
+	if s.Fleet.Gen == nil {
+		t := s.Fleet.Topo
+		if t.IsZero() {
+			t = DefaultTopo
+		}
+		return t.Nodes * t.GPUsPerNode
+	}
+	min := 0
+	for _, tpl := range s.Fleet.Gen.Templates {
+		w := tpl.Topo.Nodes * tpl.Topo.GPUsPerNode
+		if min == 0 || w < min {
+			min = w
+		}
+	}
+	return min
+}
+
+// Validate checks the spec for structural errors before any simulation is
+// built. Explicit fault ranks are bounded by the smallest possible fleet
+// member's world size, so a validated spec runs on any sampled template.
+func (s Spec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("scenario: missing name")
+	}
+	if s.RunFor < 0 {
+		return fmt.Errorf("scenario %s: negative run_for", s.Name)
+	}
+	if g := s.Fleet.Gen; g != nil {
+		if g.Jobs <= 0 {
+			return fmt.Errorf("scenario %s: fleet gen needs jobs > 0", s.Name)
+		}
+		if len(g.Templates) == 0 {
+			return fmt.Errorf("scenario %s: fleet gen needs templates", s.Name)
+		}
+		total := 0
+		for i, tpl := range g.Templates {
+			if tpl.Weight <= 0 {
+				return fmt.Errorf("scenario %s: template %d (%s) needs weight > 0", s.Name, i, tpl.Name)
+			}
+			total += tpl.Weight
+			if err := tpl.Topo.Config().Validate(); err != nil {
+				return fmt.Errorf("scenario %s: template %d (%s): %w", s.Name, i, tpl.Name, err)
+			}
+		}
+		if total <= 0 {
+			return fmt.Errorf("scenario %s: zero total template weight", s.Name)
+		}
+	} else if !s.Fleet.Topo.IsZero() {
+		if err := s.Fleet.Topo.Config().Validate(); err != nil {
+			return fmt.Errorf("scenario %s: %w", s.Name, err)
+		}
+	}
+	// Negative overrides would otherwise be silently replaced with the
+	// defaults at run time — the same silent-default trap the collector
+	// config used to have.
+	if s.Fleet.UploadLatency < 0 || s.Fleet.Window < 0 {
+		return fmt.Errorf("scenario %s: negative fleet duration override", s.Name)
+	}
+	if s.Fleet.MaxSampled < 0 || s.Fleet.CheckpointEvery < 0 {
+		return fmt.Errorf("scenario %s: negative fleet count override", s.Name)
+	}
+	world := s.minWorld()
+	jobs := s.JobCount()
+	for i, ev := range s.Events {
+		if ev.At < 0 {
+			return fmt.Errorf("scenario %s: event %d: negative time", s.Name, i)
+		}
+		// An event at or past the horizon never fires; an injection there
+		// would still count in the report and dilute accuracy (the chaos
+		// sampler drops such samples for the same reason).
+		if ev.At.D() >= s.runFor() {
+			return fmt.Errorf("scenario %s: event %d at %v, at or beyond run_for %v", s.Name, i, ev.At, Dur(s.runFor()))
+		}
+		if ev.Job < -1 || ev.Job >= jobs {
+			return fmt.Errorf("scenario %s: event %d: job %d out of range (fleet has %d)", s.Name, i, ev.Job, jobs)
+		}
+		switch ev.Action {
+		case ActInject, ActRecover:
+			if ev.Fault == nil {
+				return fmt.Errorf("scenario %s: event %d: %s needs a fault", s.Name, i, ev.Action)
+			}
+			if !knownKind(ev.Fault.Kind) {
+				return fmt.Errorf("scenario %s: event %d: unknown fault kind %q", s.Name, i, ev.Fault.Kind)
+			}
+			if ev.Fault.Rank < 0 || ev.Fault.Rank >= world {
+				return fmt.Errorf("scenario %s: event %d: rank %d out of range (world %d)", s.Name, i, ev.Fault.Rank, world)
+			}
+			if ev.Fault.Severity < 0 {
+				return fmt.Errorf("scenario %s: event %d: negative severity %v", s.Name, i, ev.Fault.Severity)
+			}
+			if ev.Fault.Duration < 0 {
+				return fmt.Errorf("scenario %s: event %d: negative duration %v", s.Name, i, ev.Fault.Duration)
+			}
+			if ev.Action == ActRecover && !faults.Recoverable(ev.Fault.Kind) {
+				return fmt.Errorf("scenario %s: event %d: %q is not recoverable", s.Name, i, ev.Fault.Kind)
+			}
+			// CheckpointEvery is fleet-wide, so this holds for generated
+			// fleets too: without a checkpoint phase the stall can never
+			// manifest.
+			if ev.Fault.Kind == faults.CheckpointStall && s.Fleet.CheckpointEvery <= 0 {
+				return fmt.Errorf("scenario %s: event %d: checkpoint-stall needs fleet.checkpoint_every > 0", s.Name, i)
+			}
+		case ActBackendStop, ActBackendStart, ActCollectorStop:
+			if ev.Fault != nil {
+				return fmt.Errorf("scenario %s: event %d: %s takes no fault", s.Name, i, ev.Action)
+			}
+		default:
+			return fmt.Errorf("scenario %s: event %d: unknown action %q", s.Name, i, ev.Action)
+		}
+	}
+	if s.Chaos != nil {
+		if err := s.Chaos.validate(s.Name); err != nil {
+			return err
+		}
+		if start := s.Chaos.effectiveStart(); start >= s.runFor() {
+			return fmt.Errorf("scenario %s: chaos window starts at %v, at or beyond run_for %v — nothing can inject", s.Name, Dur(start), Dur(s.runFor()))
+		}
+		if end := s.Chaos.End.D(); end > 0 && end >= s.runFor() {
+			return fmt.Errorf("scenario %s: chaos window ends at %v, at or beyond run_for %v — samples past the horizon are dropped", s.Name, s.Chaos.End, Dur(s.runFor()))
+		}
+		for _, wk := range s.Chaos.Kinds {
+			// Same workload precondition explicit events get: a sampled
+			// checkpoint stall can never manifest without the phase.
+			if wk.Kind == faults.CheckpointStall && s.Fleet.CheckpointEvery <= 0 {
+				return fmt.Errorf("scenario %s: chaos kind checkpoint-stall needs fleet.checkpoint_every > 0", s.Name)
+			}
+		}
+	}
+	for i, a := range s.Assertions {
+		if a.Job < -1 || a.Job >= jobs {
+			return fmt.Errorf("scenario %s: assertion %d: job %d out of range (fleet has %d)", s.Name, i, a.Job, jobs)
+		}
+		if a.Within < 0 {
+			return fmt.Errorf("scenario %s: assertion %d: negative within bound %v", s.Name, i, a.Within)
+		}
+		if a.Rank < 0 {
+			return fmt.Errorf("scenario %s: assertion %d: negative rank %d", s.Name, i, a.Rank)
+		}
+		switch a.Kind {
+		case AssertDetected, AssertDiagnosed:
+			injections := s.minInjections(a.Job, jobs)
+			if a.Event < 0 || a.Event >= injections {
+				return fmt.Errorf("scenario %s: assertion %d: event %d out of range (job(s) see %d injections)", s.Name, i, a.Event, injections)
+			}
+		case AssertCategory:
+			if len(a.Categories) == 0 {
+				return fmt.Errorf("scenario %s: assertion %d: category needs categories", s.Name, i)
+			}
+		case AssertSuspect:
+			if a.Rank >= world {
+				return fmt.Errorf("scenario %s: assertion %d: suspect rank %d out of range (world %d)", s.Name, i, a.Rank, world)
+			}
+		case AssertNoFalseTrigger:
+		case AssertMinReports, AssertMinRecords, AssertMinIterations:
+			if a.Min <= 0 {
+				return fmt.Errorf("scenario %s: assertion %d: %s needs min > 0", s.Name, i, a.Kind)
+			}
+		default:
+			return fmt.Errorf("scenario %s: assertion %d: unknown kind %q", s.Name, i, a.Kind)
+		}
+	}
+	return nil
+}
+
+// injectionsFor counts the injections one job can see: inject events
+// targeting it (or all jobs) plus chaos samples.
+func (s Spec) injectionsFor(job int) int {
+	n := 0
+	for _, ev := range s.Events {
+		if ev.Action == ActInject && (ev.Job == -1 || ev.Job == job) {
+			n++
+		}
+	}
+	if s.Chaos != nil {
+		n += s.Chaos.guaranteedFaults(s.runFor())
+	}
+	return n
+}
+
+// minInjections bounds an assertion's Event index: for a specific job, that
+// job's injection count; for job == -1 the minimum across the fleet, since
+// the assertion must hold for every member.
+func (s Spec) minInjections(job, jobs int) int {
+	if job >= 0 {
+		return s.injectionsFor(job)
+	}
+	min := s.injectionsFor(0)
+	for j := 1; j < jobs; j++ {
+		if n := s.injectionsFor(j); n < min {
+			min = n
+		}
+	}
+	return min
+}

@@ -15,8 +15,9 @@
 //	sys.Inject(mycroft.Fault{Kind: mycroft.NICDown, Rank: 5, At: 15 * time.Second})
 //	sys.Run(60 * time.Second)
 //
-// See DESIGN.md for the architecture and EXPERIMENTS.md for the
-// paper-vs-measured record of every reproduced table and figure.
+// See README.md for the build, the CLI tools (including the declarative
+// scenario runner, cmd/mycroft-scenario) and the scenario file format;
+// bench_test.go regenerates every reproduced table and figure.
 package mycroft
 
 import (
@@ -62,9 +63,11 @@ const (
 	GPUSlow         = faults.GPUSlow
 	PCIeDegrade     = faults.PCIeDegrade
 	ProxyCrash      = faults.ProxyCrash
+	Congestion      = faults.Congestion
 	DataloaderStall = faults.DataloaderStall
 	SyncMismatch    = faults.SyncMismatch
 	ComputeHang     = faults.ComputeHang
+	CheckpointStall = faults.CheckpointStall
 )
 
 // Root-cause categories.
@@ -179,6 +182,19 @@ func (s *System) Now() time.Duration { return time.Duration(s.Eng.Now()) }
 
 // Inject schedules a fault.
 func (s *System) Inject(f Fault) { faults.Inject(s.Job, f) }
+
+// InjectPlan schedules a whole programmatic injection plan.
+func (s *System) InjectPlan(p faults.Plan) { p.Inject(s.Job) }
+
+// Recover schedules the undo of a recoverable fault (see faults.Recover).
+func (s *System) Recover(f Fault) { faults.Recover(s.Job, f) }
+
+// WorldSize returns the number of ranks in the simulated cluster.
+func (s *System) WorldSize() int { return s.Job.Cluster.WorldSize() }
+
+// RecordsIngested returns how many trace records have reached the cloud DB
+// (the scenario runner's ingest metric).
+func (s *System) RecordsIngested() uint64 { return s.Job.DB.Ingested() }
 
 // Triggers returns every Algorithm 1 firing so far.
 func (s *System) Triggers() []Trigger { return s.Backend.Triggers() }
