@@ -13,6 +13,7 @@ import (
 	"testing"
 	"time"
 
+	"mycroft"
 	"mycroft/internal/clouddb"
 	"mycroft/internal/core"
 	"mycroft/internal/experiments"
@@ -22,6 +23,83 @@ import (
 	"mycroft/internal/topo"
 	"mycroft/internal/trace"
 )
+
+// BenchmarkServiceMultiJob tracks multi-tenant throughput: one Service
+// hosting four concurrent 8-GPU jobs on a shared engine, simulating 30
+// virtual seconds per iteration with a fault on one tenant.
+func BenchmarkServiceMultiJob(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		svc := mycroft.NewService(mycroft.ServiceOptions{Seed: 1})
+		for j := 0; j < 4; j++ {
+			svc.MustAddJob("", mycroft.JobOptions{})
+		}
+		svc.Start()
+		lead, _ := svc.Job("job-0")
+		lead.Inject(mycroft.Fault{Kind: faults.NICDown, Rank: 5, At: 15 * time.Second})
+		svc.Run(30 * time.Second)
+		svc.Stop()
+		if len(lead.Triggers()) == 0 {
+			b.Fatal("fault undetected")
+		}
+	}
+}
+
+// BenchmarkQueryWindow measures the Algorithm 1/2 access pattern — "recent
+// window, specific kind, across ranks" — on the sharded store versus the
+// pre-refactor access pattern, which fetched each rank's full history and
+// filtered caller-side (what cmd/mycroft-trace and ad-hoc tooling did
+// before the unified query layer existed).
+func BenchmarkQueryWindow(b *testing.B) {
+	eng := sim.NewEngine(1)
+	db := clouddb.New(eng, 0)
+	// 32 ranks × 10 minutes of logs at 10 Hz: the window under query is
+	// ~0.2% of the retained history.
+	const ranks, hz, secs = 32, 10, 600
+	for s := 0; s < secs*hz; s++ {
+		ts := sim.Time(time.Duration(s) * 100 * time.Millisecond)
+		batch := make([]trace.Record, 0, ranks)
+		for r := topo.Rank(0); r < ranks; r++ {
+			kind := trace.KindState
+			if s%4 == 3 {
+				kind = trace.KindCompletion
+			}
+			batch = append(batch, trace.Record{
+				Kind: kind, Time: ts, Rank: r, CommID: uint64(r%4 + 1), IP: "10.0.0.1",
+			})
+		}
+		db.Ingest(batch)
+	}
+	now := sim.Time(time.Duration(secs) * time.Second)
+	from := now.Add(-time.Second)
+
+	b.Run("sharded-query", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res := db.Query(clouddb.Query{
+				Kinds: []trace.Kind{trace.KindCompletion}, From: from, To: now,
+			})
+			if len(res.Records) == 0 {
+				b.Fatal("empty window")
+			}
+		}
+	})
+	b.Run("fullscan-baseline", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var got []trace.Record
+			for _, r := range db.Ranks() {
+				for _, rec := range db.QueryRank(r, 0, now) {
+					if rec.Kind == trace.KindCompletion && rec.Time > from {
+						got = append(got, rec)
+					}
+				}
+			}
+			if len(got) == 0 {
+				b.Fatal("empty window")
+			}
+		}
+	})
+}
 
 // BenchmarkScenarioRun tracks scenario-runner throughput: one full run of
 // the canonical single-fault scenario (build, simulate 75 virtual seconds,

@@ -1,7 +1,8 @@
 // mycroft-bench regenerates every table and figure of the paper's
 // evaluation (the experiment index lives in internal/experiments) and
-// prints them as text tables. Select experiments with -only (comma-separated ids, e.g.
-// "e2,e4"); default runs everything.
+// prints them as text tables, plus a multi-tenant service smoke table
+// ("svc") exercising the mycroft.Service API. Select with -only
+// (comma-separated ids, e.g. "e2,e4,svc"); default runs everything.
 package main
 
 import (
@@ -11,7 +12,9 @@ import (
 	"strings"
 	"time"
 
+	"mycroft"
 	"mycroft/internal/experiments"
+	"mycroft/internal/faults"
 )
 
 func main() {
@@ -47,15 +50,46 @@ func main() {
 	run("e7", "sampling policy", func() string { return experiments.RunE7(1).Table() })
 	run("e8", "straggler thresholds (§9)", func() string { return experiments.RunE8(1).Table() })
 	run("e9", "integration triage (Fig. 6)", func() string { return experiments.RunE9(1).Table() })
+	run("svc", "multi-job service (one engine, 4 tenants)", serviceTable)
 
 	if len(want) > 0 {
 		for id := range want {
 			switch id {
-			case "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9":
+			case "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "svc":
 			default:
 				fmt.Fprintf(os.Stderr, "unknown experiment id %q\n", id)
 				os.Exit(2)
 			}
 		}
 	}
+}
+
+// serviceTable hosts four identical jobs on one Service, kills a NIC on job
+// 0 at 15 s, and tabulates per-tenant outcomes: the fault must localize to
+// the faulty tenant only.
+func serviceTable() string {
+	svc := mycroft.NewService(mycroft.ServiceOptions{Seed: 1})
+	for i := 0; i < 4; i++ {
+		svc.MustAddJob("", mycroft.JobOptions{})
+	}
+	svc.Start()
+	lead, _ := svc.Job("job-0")
+	lead.Inject(mycroft.Fault{Kind: faults.NICDown, Rank: 5, At: 15 * time.Second})
+	svc.Run(45 * time.Second)
+	defer svc.Stop()
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %10s %10s %8s %8s %s\n", "job", "iters", "records", "triggers", "reports", "first verdict")
+	for _, id := range svc.Jobs() {
+		h, _ := svc.Job(id)
+		reps, _ := svc.QueryReports(mycroft.ReportQuery{Jobs: []mycroft.JobID{id}})
+		verdict := "-"
+		if len(reps.Reports) > 0 {
+			r := reps.Reports[0]
+			verdict = fmt.Sprintf("rank %d %s", r.Suspect, r.Category)
+		}
+		fmt.Fprintf(&b, "%-8s %10d %10d %8d %8d %s\n",
+			id, h.Job.IterationsDone(), h.RecordsIngested(), len(h.Triggers()), len(h.Reports()), verdict)
+	}
+	return b.String()
 }

@@ -6,8 +6,10 @@
 //	mycroft-scenario run <name|file.json> [-seed N] [-json]
 //
 // Scenarios are JSON files (see README.md for the format) or names from the
-// built-in library. Runs are deterministic: the same spec and seed produce
-// a byte-identical report.
+// built-in library. A fleet declares one or many jobs; with
+// "shared_engine": true the whole fleet runs concurrently on one
+// mycroft.Service (the multi-tenant production shape). Runs are
+// deterministic: the same spec and seed produce a byte-identical report.
 package main
 
 import (
@@ -110,8 +112,12 @@ func validate(args []string) {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Printf("%s: valid (%d events, %d assertions, %d job(s))\n",
-		spec.Name, len(spec.Events), len(spec.Assertions), spec.JobCount())
+	engine := "independent engines"
+	if spec.Fleet.SharedEngine {
+		engine = "one shared engine"
+	}
+	fmt.Printf("%s: valid (%d events, %d assertions, %d job(s) on %s)\n",
+		spec.Name, len(spec.Events), len(spec.Assertions), spec.JobCount(), engine)
 }
 
 func run(args []string) {

@@ -1,11 +1,12 @@
-// mycroft-sim runs one fault scenario end to end on a simulated training
-// job with the Mycroft backend attached, printing the live timeline:
-// iterations, the trigger firing, the root-cause verdict and the Fig. 6
-// triage outcome.
+// mycroft-sim runs one fault scenario end to end on a multi-tenant Mycroft
+// service, printing the live timeline: iterations, the trigger firing, the
+// root-cause verdict and the Fig. 6 triage outcome. With -jobs N the
+// service hosts N identical training jobs on one deterministic engine and
+// the fault is injected into job 0 only — the others must stay quiet.
 //
 // Example:
 //
-//	mycroft-sim -fault nic-down -rank 5 -at 15s -for 60s
+//	mycroft-sim -fault nic-down -rank 5 -at 15s -for 60s -jobs 2
 package main
 
 import (
@@ -22,53 +23,76 @@ import (
 func main() {
 	var (
 		faultName = flag.String("fault", "nic-down", "fault kind: nic-down|nic-flap|link-loss|nic-degrade|gpu-hang|gpu-slow|pcie-degrade|proxy-crash|dataloader-stall|sync-mismatch|compute-hang|none")
-		rank      = flag.Int("rank", 5, "rank to inject at")
+		rank      = flag.Int("rank", 5, "rank to inject at (job 0)")
 		at        = flag.Duration("at", 15*time.Second, "injection time")
 		horizon   = flag.Duration("for", 60*time.Second, "virtual run time")
 		severity  = flag.Float64("severity", 0, "fault severity (0 = per-kind default)")
 		seed      = flag.Int64("seed", 1, "simulation seed")
-		nodes     = flag.Int("nodes", 2, "nodes")
+		nodes     = flag.Int("nodes", 2, "nodes per job")
 		gpus      = flag.Int("gpus", 4, "GPUs per node")
 		tp        = flag.Int("tp", 2, "tensor parallel size")
 		pp        = flag.Int("pp", 2, "pipeline parallel size")
 		dp        = flag.Int("dp", 2, "data parallel size")
 		commHeavy = flag.Bool("comm-heavy", false, "weight iterations toward communication")
+		jobs      = flag.Int("jobs", 1, "concurrent jobs hosted on the service")
 	)
 	flag.Parse()
+	if *jobs < 1 {
+		fmt.Fprintln(os.Stderr, "error: -jobs must be >= 1")
+		os.Exit(2)
+	}
 
-	sys, err := mycroft.NewSystem(mycroft.Options{
-		Seed:      *seed,
+	svc := mycroft.NewService(mycroft.ServiceOptions{Seed: *seed})
+	opts := mycroft.JobOptions{
 		Topo:      mycroft.TopoConfig{Nodes: *nodes, GPUsPerNode: *gpus, TP: *tp, PP: *pp, DP: *dp},
 		CommHeavy: *commHeavy,
-	})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "error:", err)
-		os.Exit(1)
 	}
+	handles := make([]*mycroft.JobHandle, *jobs)
+	for i := range handles {
+		h, err := svc.AddJob("", opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		handles[i] = h
+	}
+	lead := handles[0]
 
-	sys.Job.OnIteration = func(i int, start, end sim.Time) {
+	lead.Job.OnIteration = func(i int, start, end sim.Time) {
 		if i%5 == 0 {
-			fmt.Printf("[%8v] iteration %d done (%v)\n", end, i, end.Sub(start).Round(time.Millisecond))
+			fmt.Printf("[%8v] job %s iteration %d done (%v)\n", end, lead.ID, i, end.Sub(start).Round(time.Millisecond))
 		}
 	}
-	sys.OnTrigger = func(tr mycroft.Trigger) { fmt.Printf("[%8v] TRIGGER  %v\n", tr.At, tr) }
-	sys.OnReport = func(r mycroft.Report) { fmt.Printf("[%8v] VERDICT  %v\n", r.AnalyzedAt, r) }
+	svc.Subscribe(mycroft.EventFilter{
+		Kinds: []mycroft.EventKind{mycroft.EventTrigger, mycroft.EventReport},
+	}).Each(func(e mycroft.Event) {
+		switch e.Kind {
+		case mycroft.EventTrigger:
+			fmt.Printf("[%8v] TRIGGER  %v\n", e.At, e)
+		case mycroft.EventReport:
+			fmt.Printf("[%8v] VERDICT  %v\n", e.At, e)
+		}
+	})
 
-	fmt.Printf("cluster: %d nodes × %d GPUs (TP=%d PP=%d DP=%d), sampled ranks: %v\n",
-		*nodes, *gpus, *tp, *pp, *dp, sys.Backend.Sampled())
-	sys.Start()
+	fmt.Printf("service: %d job(s), each %d nodes × %d GPUs (TP=%d PP=%d DP=%d), sampled ranks: %v\n",
+		*jobs, *nodes, *gpus, *tp, *pp, *dp, lead.Backend.Sampled())
+	svc.Start()
 
 	if *faultName != "none" {
 		spec := mycroft.Fault{Kind: faults.Kind(*faultName), Rank: mycroft.Rank(*rank), At: *at, Severity: *severity}
-		fmt.Printf("injecting %v\n", spec)
-		sys.Inject(spec)
+		fmt.Printf("injecting into job %s: %v\n", lead.ID, spec)
+		lead.Inject(spec)
 	}
-	sys.Run(*horizon)
+	svc.Run(*horizon)
 
 	fmt.Printf("\n--- summary after %v virtual ---\n", *horizon)
-	fmt.Printf("iterations completed: %d\n", sys.Job.IterationsDone())
-	fmt.Printf("trace records stored: %d (%0.1f MB)\n", sys.Job.DB.Ingested(), float64(sys.Job.DB.BytesIngested())/1e6)
-	if source, suspect, summary, ok := sys.Triage(); ok {
+	for _, h := range handles {
+		st := h.StoreStats()
+		fmt.Printf("job %s: %d iterations, %d trace records (%0.1f MB, %d shards), %d trigger(s), %d report(s)\n",
+			h.ID, h.Job.IterationsDone(), st.Ingested, float64(st.BytesIngested)/1e6, len(st.Shards),
+			len(h.Triggers()), len(h.Reports()))
+	}
+	if source, suspect, summary, ok := lead.Triage(); ok {
 		fmt.Printf("triage: resolved by %s → rank %d\n  %s\n", source, suspect, summary)
 	} else {
 		fmt.Println("triage: no anomaly reported")

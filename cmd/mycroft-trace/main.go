@@ -1,7 +1,9 @@
 // mycroft-trace exercises the cloud database's "observability tool" mode
-// (§6.1): run a scenario, then dump and summarize the raw Coll-level trace —
-// per-rank record counts, the distributed state machine at the end of the
-// run, and optionally the full record stream of one rank.
+// (§6.1): run a scenario, then interrogate the sharded trace store through
+// the unified query layer — per-rank record counts, the distributed state
+// machine at the end of the run, shard occupancy, and optionally the full
+// record stream of one rank (fetched in pages, the way an operator console
+// would).
 package main
 
 import (
@@ -12,8 +14,6 @@ import (
 
 	"mycroft"
 	"mycroft/internal/faults"
-	"mycroft/internal/topo"
-	"mycroft/internal/trace"
 )
 
 func main() {
@@ -24,46 +24,58 @@ func main() {
 		horizon   = flag.Duration("for", 40*time.Second, "virtual run time")
 		dumpRank  = flag.Int("dump", -1, "dump the last -n records of this rank")
 		dumpN     = flag.Int("n", 20, "records to dump with -dump")
+		pageSize  = flag.Int("page", 512, "query page size for the dump")
 		seed      = flag.Int64("seed", 1, "simulation seed")
 	)
 	flag.Parse()
 
-	sys, err := mycroft.NewSystem(mycroft.Options{Seed: *seed})
+	svc := mycroft.NewService(mycroft.ServiceOptions{Seed: *seed})
+	job, err := svc.AddJob("trace", mycroft.JobOptions{})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
 	}
-	sys.Start()
+	svc.Start()
 	if *faultName != "none" {
-		sys.Inject(mycroft.Fault{Kind: faults.Kind(*faultName), Rank: mycroft.Rank(*rank), At: *at})
+		job.Inject(mycroft.Fault{Kind: faults.Kind(*faultName), Rank: mycroft.Rank(*rank), At: *at})
 	}
-	sys.Run(*horizon)
-	db := sys.Job.DB
-	now := sys.Job.Eng.Now()
+	svc.Run(*horizon)
+	db := job.Job.DB
+	now := svc.Now()
 
-	fmt.Printf("trace store after %v: %d records, %.1f MB, %d pruned\n\n",
-		*horizon, db.Ingested(), float64(db.BytesIngested())/1e6, db.Pruned())
+	st := job.StoreStats()
+	fmt.Printf("trace store after %v: %d records live, %.1f MB ingested, %d pruned, %d shards\n",
+		*horizon, st.Records, float64(st.BytesIngested)/1e6, st.Pruned, len(st.Shards))
+	fmt.Print("shard occupancy:")
+	for i, ss := range st.Shards {
+		fmt.Printf(" s%d=%d", i, ss.Records)
+	}
+	fmt.Print("\n\n")
 
 	fmt.Println("per-rank record summary:")
 	fmt.Printf("%6s %12s %12s %14s %s\n", "rank", "completions", "states", "last-record", "last-op")
 	for _, r := range db.Ranks() {
-		recs := db.QueryRank(r, 0, now)
+		all, _ := svc.QueryTrace(mycroft.TraceQuery{Ranks: []mycroft.Rank{r}})
+		if len(all.Records) == 0 {
+			continue
+		}
 		var comp, st int
-		for _, rec := range recs {
-			if rec.Kind == trace.KindCompletion {
+		for _, rec := range all.Records {
+			if rec.Kind == mycroft.RecordCompletion {
 				comp++
 			} else {
 				st++
 			}
 		}
-		last := recs[len(recs)-1]
-		fmt.Printf("%6d %12d %12d %14v %s seq=%d\n", r, comp, st, last.Time, last.Op, last.OpSeq)
+		last := all.Records[len(all.Records)-1]
+		fmt.Printf("%6d %12d %12d %14v %s seq=%d\n",
+			r, comp, st, last.Time, last.Op, last.OpSeq)
 	}
 
 	fmt.Println("\ndistributed state machine (freshest state log per rank per comm):")
 	for _, r := range db.Ranks() {
 		for _, commID := range db.CommsOfRank(r) {
-			for ch, rec := range db.LastStatePerChannel(r, commID, now, 10*time.Second) {
+			for ch, rec := range db.LastStatePerChannel(r, commID, job.Job.Eng.Now(), 10*time.Second) {
 				fmt.Printf("  rank %2d comm %2d ch %d: %3d/%3d/%3d of %3d chunks, stuck %v\n",
 					r, commID, ch, rec.GPUReady, rec.RDMATransmitted, rec.RDMADone, rec.TotalChunks,
 					time.Duration(rec.StuckNs).Round(time.Millisecond))
@@ -72,13 +84,29 @@ func main() {
 	}
 
 	if *dumpRank >= 0 {
-		fmt.Printf("\nlast %d records of rank %d:\n", *dumpN, *dumpRank)
-		recs := db.QueryRank(topo.Rank(*dumpRank), 0, now)
+		fmt.Printf("\nlast %d records of rank %d (paged, %d per query):\n", *dumpN, *dumpRank, *pageSize)
+		var recs []mycroft.TraceRecord
+		q := mycroft.TraceQuery{Ranks: []mycroft.Rank{mycroft.Rank(*dumpRank)}, To: now, Limit: *pageSize}
+		pages := 0
+		for {
+			res, err := svc.QueryTrace(q)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				os.Exit(1)
+			}
+			recs = append(recs, res.Records...)
+			pages++
+			if res.Next == nil {
+				break
+			}
+			q.Cursor = res.Next
+		}
 		if len(recs) > *dumpN {
 			recs = recs[len(recs)-*dumpN:]
 		}
 		for i := range recs {
 			fmt.Println(" ", recs[i].String())
 		}
+		fmt.Printf("  (%d pages)\n", pages)
 	}
 }

@@ -1,0 +1,181 @@
+package mycroft
+
+import (
+	"fmt"
+	"slices"
+	"time"
+
+	"mycroft/internal/core"
+)
+
+// EventKind discriminates service events.
+type EventKind = core.EventKind
+
+const (
+	// EventTrigger carries an Algorithm 1 firing.
+	EventTrigger = core.EventTrigger
+	// EventReport carries an Algorithm 2 root-cause verdict.
+	EventReport = core.EventReport
+	// EventLifecycle marks a job or backend state change (Phase names it).
+	EventLifecycle = core.EventLifecycle
+)
+
+// Lifecycle phases a Service publishes. Backend phases re-export the core
+// package's constants.
+const (
+	PhaseJobStarted     = "job-started"
+	PhaseJobStopped     = "job-stopped"
+	PhaseBackendStarted = core.PhaseBackendStarted
+	PhaseBackendStopped = core.PhaseBackendStopped
+)
+
+// Event is one observation delivered to a subscription: which hosted job it
+// came from, when (virtual time), and exactly one of Trigger, Report or
+// Phase matching Kind.
+type Event struct {
+	Job  JobID
+	Kind EventKind
+	At   time.Duration
+
+	Trigger *Trigger // EventTrigger
+	Report  *Report  // EventReport
+	Phase   string   // EventLifecycle
+}
+
+func (e Event) String() string {
+	switch e.Kind {
+	case EventTrigger:
+		return fmt.Sprintf("job %s: %v", e.Job, *e.Trigger)
+	case EventReport:
+		return fmt.Sprintf("job %s: %v", e.Job, *e.Report)
+	case EventLifecycle:
+		return fmt.Sprintf("job %s: [%v] %s", e.Job, e.At, e.Phase)
+	default:
+		return fmt.Sprintf("job %s: %v", e.Job, e.Kind)
+	}
+}
+
+// EventFilter selects which events a subscription receives. Zero-value
+// fields match everything; set fields are ANDed together.
+type EventFilter struct {
+	// Jobs restricts to these hosted jobs.
+	Jobs []JobID
+	// Kinds restricts event kinds.
+	Kinds []EventKind
+	// Ranks restricts to events about these ranks: a trigger's sampled rank
+	// or a report's suspect. Lifecycle events carry no rank and are
+	// filtered out when Ranks is set.
+	Ranks []Rank
+	// Categories restricts to reports with one of these verdicts; setting
+	// it implies reports-only.
+	Categories []Category
+	// From and To bound the event's virtual time, inclusive. To 0 means
+	// unbounded.
+	From, To time.Duration
+}
+
+func (f EventFilter) matches(e Event) bool {
+	if len(f.Jobs) > 0 && !slices.Contains(f.Jobs, e.Job) {
+		return false
+	}
+	if len(f.Kinds) > 0 && !slices.Contains(f.Kinds, e.Kind) {
+		return false
+	}
+	if len(f.Ranks) > 0 {
+		var r Rank
+		switch {
+		case e.Trigger != nil:
+			r = e.Trigger.Rank
+		case e.Report != nil:
+			r = e.Report.Suspect
+		default:
+			return false
+		}
+		if !slices.Contains(f.Ranks, r) {
+			return false
+		}
+	}
+	if len(f.Categories) > 0 {
+		if e.Report == nil || !slices.Contains(f.Categories, e.Report.Category) {
+			return false
+		}
+	}
+	if e.At < f.From {
+		return false
+	}
+	if f.To > 0 && e.At > f.To {
+		return false
+	}
+	return true
+}
+
+// Stream is one live subscription. Events matching the filter are buffered
+// as the simulation produces them; consume them by polling (Next, Drain) or
+// push-style by installing a handler with Each. The engine is
+// single-threaded, so delivery is synchronous and deterministic.
+type Stream struct {
+	svc    *Service
+	filter EventFilter
+	fn     func(Event)
+	buf    []Event
+	closed bool
+}
+
+// Subscribe attaches a typed subscription to the service. Close the stream
+// to detach it.
+func (s *Service) Subscribe(f EventFilter) *Stream {
+	st := &Stream{svc: s, filter: f}
+	s.streams = append(s.streams, st)
+	return st
+}
+
+func (st *Stream) deliver(e Event) {
+	if st.fn != nil {
+		st.fn(e)
+		return
+	}
+	st.buf = append(st.buf, e)
+}
+
+// Each installs a push handler: already-buffered events are flushed through
+// it immediately, then every future match is delivered as it happens. It
+// returns the stream for chaining.
+func (st *Stream) Each(fn func(Event)) *Stream {
+	for _, e := range st.buf {
+		fn(e)
+	}
+	st.buf = nil
+	st.fn = fn
+	return st
+}
+
+// Next pops the oldest buffered event.
+func (st *Stream) Next() (Event, bool) {
+	if len(st.buf) == 0 {
+		return Event{}, false
+	}
+	e := st.buf[0]
+	st.buf = st.buf[1:]
+	return e, true
+}
+
+// Drain returns and clears every buffered event.
+func (st *Stream) Drain() []Event {
+	out := st.buf
+	st.buf = nil
+	return out
+}
+
+// Len reports how many events are buffered.
+func (st *Stream) Len() int { return len(st.buf) }
+
+// Close detaches the subscription from the service; buffered events remain
+// consumable.
+func (st *Stream) Close() {
+	st.closed = true
+	if st.svc == nil {
+		return
+	}
+	st.svc.streams = slices.DeleteFunc(st.svc.streams, func(x *Stream) bool { return x == st })
+	st.svc = nil
+}

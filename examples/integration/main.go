@@ -22,17 +22,18 @@ import (
 
 func scenario(name string, kind mycroft.FaultKind, rank mycroft.Rank, seed int64) {
 	fmt.Printf("=== %s (fault at rank %d) ===\n", name, rank)
-	sys := mycroft.MustNewSystem(mycroft.Options{Seed: seed})
-	sys.Start()
-	sys.Inject(mycroft.Fault{Kind: kind, Rank: rank, At: 15 * time.Second})
-	sys.Run(55 * time.Second)
+	svc := mycroft.NewService(mycroft.ServiceOptions{Seed: seed})
+	job := svc.MustAddJob("triage", mycroft.JobOptions{})
+	svc.Start()
+	job.Inject(mycroft.Fault{Kind: kind, Rank: rank, At: 15 * time.Second})
+	svc.Run(55 * time.Second)
 
 	if kind == mycroft.DataloaderStall {
 		// Show the colored stack grid the operator would see.
-		a := pystack.Analyze(sys.Job.PyStack.Dump())
+		a := pystack.Analyze(job.Job.PyStack.Dump())
 		fmt.Println(a.Grid(4))
 	}
-	if source, suspect, summary, ok := sys.Triage(); ok {
+	if source, suspect, summary, ok := job.Triage(); ok {
 		fmt.Printf("resolved by %-15s → rank %d\n  %s\n\n", source, suspect, summary)
 	} else {
 		fmt.Print("no verdict\n\n")

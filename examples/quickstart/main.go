@@ -1,6 +1,8 @@
-// Quickstart: build a simulated 8-GPU training job with Mycroft attached,
-// kill one NIC mid-training, and watch the trigger fire and the root cause
-// land on the right rank — all in deterministic virtual time.
+// Quickstart: host a simulated 8-GPU training job on a Mycroft service,
+// kill one NIC mid-training, and watch the subscription stream the trigger
+// and the root-cause verdict — all in deterministic virtual time. The
+// query layer then answers "what did rank 5 log around the fault?", a
+// question the old callbacks could not express.
 //
 //	go run ./examples/quickstart
 package main
@@ -13,32 +15,42 @@ import (
 )
 
 func main() {
-	sys := mycroft.MustNewSystem(mycroft.Options{Seed: 42})
+	svc := mycroft.NewService(mycroft.ServiceOptions{Seed: 42})
+	job := svc.MustAddJob("llm-8gpu", mycroft.JobOptions{})
 
-	sys.OnTrigger = func(tr mycroft.Trigger) {
-		fmt.Printf("  %v\n", tr)
-	}
-	sys.OnReport = func(r mycroft.Report) {
-		fmt.Printf("  %v\n", r)
-	}
+	svc.Subscribe(mycroft.EventFilter{
+		Kinds: []mycroft.EventKind{mycroft.EventTrigger, mycroft.EventReport},
+	}).Each(func(e mycroft.Event) {
+		fmt.Printf("  %v\n", e)
+	})
 
 	fmt.Println("training 8 ranks (2 nodes × 4 GPUs, TP=2 PP=2 DP=2)...")
-	sys.Start()
-	sys.Run(15 * time.Second)
+	svc.Start()
+	svc.Run(15 * time.Second)
 	fmt.Printf("  healthy: %d iterations, %d trace records\n",
-		sys.Job.IterationsDone(), sys.Job.DB.Ingested())
+		job.Job.IterationsDone(), job.RecordsIngested())
 
 	fmt.Println("\ninjecting: NIC of rank 5 goes down (gray failure — nothing errors out)")
-	sys.Inject(mycroft.Fault{Kind: mycroft.NICDown, Rank: 5})
-	sys.Run(30 * time.Second)
+	job.Inject(mycroft.Fault{Kind: mycroft.NICDown, Rank: 5})
+	svc.Run(30 * time.Second)
 
-	if len(sys.Reports()) == 0 {
+	reports, _ := svc.QueryReports(mycroft.ReportQuery{})
+	if len(reports.Reports) == 0 {
 		fmt.Println("\nno verdict — unexpected")
 		return
 	}
-	rep := sys.Reports()[0]
+	rep := reports.Reports[0]
 	faultAt := 15 * time.Second
 	detect := time.Duration(rep.Trigger.At) - faultAt
 	fmt.Printf("\ndetected %v after the fault; root cause: rank %d, category %q\n",
 		detect.Round(100*time.Millisecond), rep.Suspect, rep.Category)
+
+	// The query layer: rank 5's state logs in the 2 s around the fault.
+	recs, _ := svc.QueryTrace(mycroft.TraceQuery{
+		Ranks: []mycroft.Rank{5},
+		Kinds: []mycroft.RecordKind{mycroft.RecordState},
+		From:  faultAt - time.Second, To: faultAt + time.Second,
+	})
+	fmt.Printf("rank 5 emitted %d state logs in the 2 s around the fault; last: %v\n",
+		len(recs.Records), recs.Records[len(recs.Records)-1].String())
 }

@@ -1,6 +1,7 @@
 // Straggler: one GPU computes 6× slower than its peers — nothing fails, the
 // job just quietly loses throughput. The trigger's interval rule fires and
-// the late-start analysis (Algorithm 2) names the rank.
+// the late-start analysis (Algorithm 2) names the rank. The subscription is
+// filtered to exactly the verdict we care about.
 //
 //	go run ./examples/straggler
 package main
@@ -13,26 +14,28 @@ import (
 )
 
 func main() {
-	sys := mycroft.MustNewSystem(mycroft.Options{Seed: 7})
-	sys.OnTrigger = func(tr mycroft.Trigger) { fmt.Printf("  %v\n", tr) }
-	sys.OnReport = func(r mycroft.Report) { fmt.Printf("  %v\n", r) }
+	svc := mycroft.NewService(mycroft.ServiceOptions{Seed: 7})
+	job := svc.MustAddJob("throttled", mycroft.JobOptions{})
+	svc.Subscribe(mycroft.EventFilter{}).Each(func(e mycroft.Event) { fmt.Printf("  %v\n", e) })
 
 	fmt.Println("warming up a healthy job (the backend learns its baselines)...")
-	sys.Start()
-	sys.Run(15 * time.Second)
-	healthyIters := sys.Job.IterationsDone()
+	svc.Start()
+	svc.Run(15 * time.Second)
+	healthyIters := job.Job.IterationsDone()
 
 	fmt.Println("injecting: rank 1's GPU slows 6× (thermal throttling, say)")
-	sys.Inject(mycroft.Fault{Kind: mycroft.GPUSlow, Rank: 1, Severity: 6})
-	sys.Run(60 * time.Second)
+	job.Inject(mycroft.Fault{Kind: mycroft.GPUSlow, Rank: 1, Severity: 6})
+	svc.Run(60 * time.Second)
 
 	fmt.Printf("\niterations: %d healthy, then %d more in 60 s of degraded running\n",
-		healthyIters, sys.Job.IterationsDone()-healthyIters)
-	for _, rep := range sys.Reports() {
-		if rep.Category == mycroft.CatComputeStraggler {
-			fmt.Printf("straggler verdict: rank %d via %s — %s\n", rep.Suspect, rep.Via, rep.Details)
-			return
-		}
+		healthyIters, job.Job.IterationsDone()-healthyIters)
+	res, _ := svc.QueryReports(mycroft.ReportQuery{
+		Categories: []mycroft.Category{mycroft.CatComputeStraggler},
+	})
+	if len(res.Reports) == 0 {
+		fmt.Println("no straggler verdict — unexpected")
+		return
 	}
-	fmt.Println("no straggler verdict — unexpected")
+	rep := res.Reports[0]
+	fmt.Printf("straggler verdict: rank %d via %s — %s\n", rep.Suspect, rep.Via, rep.Details)
 }

@@ -1,9 +1,12 @@
 // Package clouddb is the in-memory stand-in for Mycroft's cloud trace
-// database (§6.1): the caching layer the always-on backend queries. It
-// indexes records by rank and by communicator, supports the time-window
-// queries Algorithms 1 and 2 issue, enforces a retention horizon (the
-// production system keeps one day), and accounts ingested volume so the
-// data-volume experiment (E6) can extrapolate to cluster scale.
+// database (§6.1): the caching layer the always-on backend queries. Records
+// are sharded by rank-hash into independently pruned shards, each with its
+// own per-rank series, IP index and communicator index, so fleet-scale
+// ingest and the Algorithms 1/2 window queries never walk one global map.
+// The store supports the time-window lookups the backend issues, a unified
+// predicate/pagination query layer (see query.go), a retention horizon (the
+// production system keeps one day), and volume accounting so the data-volume
+// experiment (E6) can extrapolate to cluster scale.
 package clouddb
 
 import (
@@ -16,63 +19,146 @@ import (
 	"mycroft/internal/trace"
 )
 
+// DefaultShards is the shard count New uses. Sharding is by rank modulo
+// shard count: one host's ranks are consecutive, so a host's traffic spreads
+// across shards instead of hammering one.
+const DefaultShards = 8
+
+// maxShards bounds the shard count so a batch's touched-shard set fits in a
+// word (Ingest tracks which shards to prune with a bitmask).
+const maxShards = 64
+
+// rankSeries holds one rank's records in emission order plus the per-rank
+// facts Ingest would otherwise re-derive per record (reporting IP, the set
+// of communicators already indexed).
+type rankSeries struct {
+	ip    topo.IP
+	recs  []trace.Record
+	comms map[uint64]bool
+}
+
+// shard is one independently pruned partition of the store.
+type shard struct {
+	byRank    map[topo.Rank]*rankSeries
+	ipRanks   map[topo.IP][]topo.Rank
+	commRanks map[uint64]map[topo.Rank]bool
+
+	ingested uint64
+	pruned   uint64
+	maxTime  sim.Time
+}
+
+func newShard() *shard {
+	return &shard{
+		byRank:    make(map[topo.Rank]*rankSeries),
+		ipRanks:   make(map[topo.IP][]topo.Rank),
+		commRanks: make(map[uint64]map[topo.Rank]bool),
+	}
+}
+
 // DB stores trace records ordered by emission time per rank.
 type DB struct {
 	eng       *sim.Engine
 	retention time.Duration
-
-	byRank    map[topo.Rank][]trace.Record
-	commRanks map[uint64]map[topo.Rank]bool
-	rankIP    map[topo.Rank]topo.IP
-	ipRanks   map[topo.IP][]topo.Rank
+	shards    []*shard
 
 	ingested      uint64 // records
 	bytesIngested uint64
-	pruned        uint64
 }
 
-// New creates a DB with the given retention horizon (0 = keep forever).
+// New creates a DB with the given retention horizon (0 = keep forever) and
+// the default shard count.
 func New(eng *sim.Engine, retention time.Duration) *DB {
+	return NewSharded(eng, retention, DefaultShards)
+}
+
+// NewSharded is New with an explicit shard count in [1, 64].
+func NewSharded(eng *sim.Engine, retention time.Duration, shards int) *DB {
 	if retention < 0 {
 		panic(fmt.Sprintf("clouddb: negative retention %v", retention))
 	}
-	return &DB{
-		eng:       eng,
-		retention: retention,
-		byRank:    make(map[topo.Rank][]trace.Record),
-		commRanks: make(map[uint64]map[topo.Rank]bool),
-		rankIP:    make(map[topo.Rank]topo.IP),
-		ipRanks:   make(map[topo.IP][]topo.Rank),
+	if shards < 1 || shards > maxShards {
+		panic(fmt.Sprintf("clouddb: shard count %d outside [1, %d]", shards, maxShards))
 	}
+	db := &DB{eng: eng, retention: retention, shards: make([]*shard, shards)}
+	for i := range db.shards {
+		db.shards[i] = newShard()
+	}
+	return db
+}
+
+// shardIdx maps a rank to its shard.
+func (db *DB) shardIdx(r topo.Rank) int {
+	if r < 0 {
+		r = -r
+	}
+	return int(r) % len(db.shards)
+}
+
+// seriesFor returns (creating on first sight) the series for a rank. First
+// sight is the only time the IP index is touched — the per-record lookups
+// the unsharded store did are hoisted here.
+func (db *DB) seriesFor(r topo.Rank, ip topo.IP) (int, *shard, *rankSeries) {
+	idx := db.shardIdx(r)
+	sh := db.shards[idx]
+	s := sh.byRank[r]
+	if s == nil {
+		s = &rankSeries{ip: ip, comms: make(map[uint64]bool)}
+		sh.byRank[r] = s
+		sh.ipRanks[ip] = append(sh.ipRanks[ip], r)
+	}
+	return idx, sh, s
 }
 
 // Ingest appends a batch. Records for one rank must arrive in emission
 // order, which the per-host agent guarantees (it drains an ordered ring).
+// Only the shards the batch touches are pruned; untouched shards keep their
+// over-horizon records until their next ingest (retention is a horizon, not
+// an instant).
 func (db *DB) Ingest(batch []trace.Record) {
-	for _, r := range batch {
-		rs := db.byRank[r.Rank]
-		if n := len(rs); n > 0 && rs[n-1].Time > r.Time {
-			panic(fmt.Sprintf("clouddb: out-of-order ingest for rank %d: %v after %v", r.Rank, r.Time, rs[n-1].Time))
-		}
-		db.byRank[r.Rank] = append(rs, r)
-		if _, seen := db.rankIP[r.Rank]; !seen {
-			db.rankIP[r.Rank] = r.IP
-			db.ipRanks[r.IP] = append(db.ipRanks[r.IP], r.Rank)
-		}
-		cr := db.commRanks[r.CommID]
-		if cr == nil {
-			cr = make(map[topo.Rank]bool)
-			db.commRanks[r.CommID] = cr
-		}
-		cr[r.Rank] = true
-		db.ingested++
-		db.bytesIngested += trace.WireSize
+	if len(batch) == 0 {
+		return
 	}
-	db.prune()
+	var (
+		series  *rankSeries
+		sh      *shard
+		last    topo.Rank
+		touched uint64
+	)
+	for i := range batch {
+		r := &batch[i]
+		if series == nil || r.Rank != last {
+			var idx int
+			idx, sh, series = db.seriesFor(r.Rank, r.IP)
+			last = r.Rank
+			touched |= 1 << uint(idx)
+		}
+		if n := len(series.recs); n > 0 && series.recs[n-1].Time > r.Time {
+			panic(fmt.Sprintf("clouddb: out-of-order ingest for rank %d: %v after %v", r.Rank, r.Time, series.recs[n-1].Time))
+		}
+		series.recs = append(series.recs, *r)
+		if !series.comms[r.CommID] {
+			series.comms[r.CommID] = true
+			cr := sh.commRanks[r.CommID]
+			if cr == nil {
+				cr = make(map[topo.Rank]bool)
+				sh.commRanks[r.CommID] = cr
+			}
+			cr[r.Rank] = true
+		}
+		if r.Time > sh.maxTime {
+			sh.maxTime = r.Time
+		}
+		sh.ingested++
+	}
+	db.ingested += uint64(len(batch))
+	db.bytesIngested += uint64(len(batch)) * trace.WireSize
+	db.prune(touched)
 }
 
-// prune drops records older than the retention horizon.
-func (db *DB) prune() {
+// prune drops records older than the retention horizon from the touched
+// shards.
+func (db *DB) prune(touched uint64) {
 	if db.retention == 0 {
 		return
 	}
@@ -80,13 +166,23 @@ func (db *DB) prune() {
 	if cut <= 0 {
 		return
 	}
-	for rank, rs := range db.byRank {
-		i := sort.Search(len(rs), func(i int) bool { return rs[i].Time >= cut })
-		if i > 0 {
-			db.pruned += uint64(i)
-			db.byRank[rank] = rs[i:]
+	for idx, sh := range db.shards {
+		if touched&(1<<uint(idx)) == 0 {
+			continue
+		}
+		for _, s := range sh.byRank {
+			i := sort.Search(len(s.recs), func(i int) bool { return s.recs[i].Time >= cut })
+			if i > 0 {
+				sh.pruned += uint64(i)
+				s.recs = s.recs[i:]
+			}
 		}
 	}
+}
+
+// series returns the series for a rank, or nil.
+func (db *DB) series(r topo.Rank) *rankSeries {
+	return db.shards[db.shardIdx(r)].byRank[r]
 }
 
 // Ingested returns how many records have been stored.
@@ -95,14 +191,60 @@ func (db *DB) Ingested() uint64 { return db.ingested }
 // BytesIngested returns the stored volume in encoded bytes.
 func (db *DB) BytesIngested() uint64 { return db.bytesIngested }
 
-// Pruned returns how many records retention dropped.
-func (db *DB) Pruned() uint64 { return db.pruned }
+// Pruned returns how many records retention dropped, across all shards.
+func (db *DB) Pruned() uint64 {
+	var n uint64
+	for _, sh := range db.shards {
+		n += sh.pruned
+	}
+	return n
+}
+
+// Shards returns the shard count.
+func (db *DB) Shards() int { return len(db.shards) }
+
+// ShardStats describes one shard's live state.
+type ShardStats struct {
+	Ranks    int    // ranks with a series in this shard
+	Records  int    // live (unpruned) records
+	Ingested uint64 // lifetime records ingested
+	Pruned   uint64 // lifetime records dropped by retention
+}
+
+// Stats aggregates the store's live state.
+type Stats struct {
+	Ranks         int
+	Records       int // live records across all shards
+	Ingested      uint64
+	BytesIngested uint64
+	Pruned        uint64
+	Shards        []ShardStats
+}
+
+// Stats reports per-shard and aggregate counters. The query layer and the
+// CLIs use it; it never walks record payloads, only per-shard metadata.
+func (db *DB) Stats() Stats {
+	st := Stats{Ingested: db.ingested, BytesIngested: db.bytesIngested, Shards: make([]ShardStats, len(db.shards))}
+	for i, sh := range db.shards {
+		ss := ShardStats{Ranks: len(sh.byRank), Ingested: sh.ingested, Pruned: sh.pruned}
+		for _, s := range sh.byRank {
+			ss.Records += len(s.recs)
+		}
+		st.Shards[i] = ss
+		st.Ranks += ss.Ranks
+		st.Records += ss.Records
+		st.Pruned += ss.Pruned
+	}
+	return st
+}
 
 // Ranks returns every rank that has ever produced a record.
 func (db *DB) Ranks() []topo.Rank {
-	out := make([]topo.Rank, 0, len(db.byRank))
-	for r := range db.byRank {
-		out = append(out, r)
+	var out []topo.Rank
+	for _, sh := range db.shards {
+		for r := range sh.byRank {
+			out = append(out, r)
+		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
@@ -110,24 +252,30 @@ func (db *DB) Ranks() []topo.Rank {
 
 // IPOf returns the IP a rank reports from.
 func (db *DB) IPOf(r topo.Rank) (topo.IP, bool) {
-	ip, ok := db.rankIP[r]
-	return ip, ok
+	if s := db.series(r); s != nil {
+		return s.ip, true
+	}
+	return "", false
 }
 
 // RanksAt returns the ranks reporting from an IP (the paper keys triggers by
-// IP; one host carries several ranks).
+// IP; one host carries several ranks, and its ranks spread across shards).
 func (db *DB) RanksAt(ip topo.IP) []topo.Rank {
-	out := append([]topo.Rank(nil), db.ipRanks[ip]...)
+	var out []topo.Rank
+	for _, sh := range db.shards {
+		out = append(out, sh.ipRanks[ip]...)
+	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
 // RanksOfComm returns the member ranks observed for a communicator.
 func (db *DB) RanksOfComm(commID uint64) []topo.Rank {
-	set := db.commRanks[commID]
-	out := make([]topo.Rank, 0, len(set))
-	for r := range set {
-		out = append(out, r)
+	var out []topo.Rank
+	for _, sh := range db.shards {
+		for r := range sh.commRanks[commID] {
+			out = append(out, r)
+		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
@@ -135,11 +283,13 @@ func (db *DB) RanksOfComm(commID uint64) []topo.Rank {
 
 // CommsOfRank returns the communicators rank r has produced records for.
 func (db *DB) CommsOfRank(r topo.Rank) []uint64 {
-	var out []uint64
-	for comm, set := range db.commRanks {
-		if set[r] {
-			out = append(out, comm)
-		}
+	s := db.series(r)
+	if s == nil {
+		return nil
+	}
+	out := make([]uint64, 0, len(s.comms))
+	for comm := range s.comms {
+		out = append(out, comm)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
@@ -147,20 +297,29 @@ func (db *DB) CommsOfRank(r topo.Rank) []uint64 {
 
 // QueryRank returns rank r's records with Time in (from, to], in order.
 func (db *DB) QueryRank(r topo.Rank, from, to sim.Time) []trace.Record {
-	rs := db.byRank[r]
-	lo := sort.Search(len(rs), func(i int) bool { return rs[i].Time > from })
-	hi := sort.Search(len(rs), func(i int) bool { return rs[i].Time > to })
+	s := db.series(r)
+	if s == nil {
+		return nil
+	}
+	lo, hi := window(s.recs, from, to)
 	if lo >= hi {
 		return nil
 	}
-	return append([]trace.Record(nil), rs[lo:hi]...)
+	return append([]trace.Record(nil), s.recs[lo:hi]...)
+}
+
+// window returns the half-open index range of records with Time in (from, to].
+func window(rs []trace.Record, from, to sim.Time) (lo, hi int) {
+	lo = sort.Search(len(rs), func(i int) bool { return rs[i].Time > from })
+	hi = sort.Search(len(rs), func(i int) bool { return rs[i].Time > to })
+	return lo, hi
 }
 
 // QueryGroup returns, per member rank of the communicator, the records in
 // (from, to] that belong to that communicator.
 func (db *DB) QueryGroup(commID uint64, from, to sim.Time) map[topo.Rank][]trace.Record {
 	out := make(map[topo.Rank][]trace.Record)
-	for r := range db.commRanks[commID] {
+	for _, r := range db.RanksOfComm(commID) {
 		var recs []trace.Record
 		for _, rec := range db.QueryRank(r, from, to) {
 			if rec.CommID == commID {
@@ -175,11 +334,14 @@ func (db *DB) QueryGroup(commID uint64, from, to sim.Time) map[topo.Rank][]trace
 // LastRecord returns rank r's most recent record at or before t for the
 // given communicator (commID 0 matches any), and whether one exists.
 func (db *DB) LastRecord(r topo.Rank, commID uint64, t sim.Time) (trace.Record, bool) {
-	rs := db.byRank[r]
-	i := sort.Search(len(rs), func(i int) bool { return rs[i].Time > t })
+	s := db.series(r)
+	if s == nil {
+		return trace.Record{}, false
+	}
+	i := sort.Search(len(s.recs), func(i int) bool { return s.recs[i].Time > t })
 	for i--; i >= 0; i-- {
-		if commID == 0 || rs[i].CommID == commID {
-			return rs[i], true
+		if commID == 0 || s.recs[i].CommID == commID {
+			return s.recs[i], true
 		}
 	}
 	return trace.Record{}, false
@@ -188,11 +350,14 @@ func (db *DB) LastRecord(r topo.Rank, commID uint64, t sim.Time) (trace.Record, 
 // LastCompletion returns rank r's most recent completion log at or before t
 // (any communicator), and whether one exists.
 func (db *DB) LastCompletion(r topo.Rank, t sim.Time) (trace.Record, bool) {
-	rs := db.byRank[r]
-	i := sort.Search(len(rs), func(i int) bool { return rs[i].Time > t })
+	s := db.series(r)
+	if s == nil {
+		return trace.Record{}, false
+	}
+	i := sort.Search(len(s.recs), func(i int) bool { return s.recs[i].Time > t })
 	for i--; i >= 0; i-- {
-		if rs[i].Kind == trace.KindCompletion {
-			return rs[i], true
+		if s.recs[i].Kind == trace.KindCompletion {
+			return s.recs[i], true
 		}
 	}
 	return trace.Record{}, false

@@ -1,0 +1,132 @@
+package clouddb
+
+import (
+	"slices"
+	"sort"
+
+	"mycroft/internal/sim"
+	"mycroft/internal/topo"
+	"mycroft/internal/trace"
+)
+
+// Query is the unified predicate query the service API exposes: a record
+// matches when it falls in the (From, To] window and passes every non-zero
+// predicate. Results are ordered by (rank, time) — the same deterministic
+// order for a given store regardless of shard count.
+type Query struct {
+	// Ranks restricts to these ranks (nil = every rank; when Comm is set,
+	// every member rank of that communicator).
+	Ranks []topo.Rank
+	// Comm restricts to records of one communicator (0 = any).
+	Comm uint64
+	// Kinds restricts record kinds (nil = any).
+	Kinds []trace.Kind
+	// From, To bound emission time: (From, To]. To 0 means unbounded.
+	From, To sim.Time
+	// Limit caps the returned records (0 = no cap). When more matches
+	// remain, Result.Next resumes after the last returned record.
+	Limit int
+	// Cursor resumes a paginated query. Pass Result.Next verbatim with the
+	// rest of the query unchanged.
+	Cursor *Cursor
+}
+
+// Cursor marks the position after the last returned record of a page.
+// Emitted disambiguates several matching records at the same (rank, time).
+type Cursor struct {
+	Rank    topo.Rank
+	Time    sim.Time
+	Emitted int
+}
+
+// Result is one page of query matches.
+type Result struct {
+	Records []trace.Record
+	// Next is non-nil when Limit cut the page short; resubmitting the query
+	// with it continues where this page ended.
+	Next *Cursor
+}
+
+// matches applies the non-window predicates.
+func (q *Query) matches(r *trace.Record) bool {
+	if q.Comm != 0 && r.CommID != q.Comm {
+		return false
+	}
+	return len(q.Kinds) == 0 || slices.Contains(q.Kinds, r.Kind)
+}
+
+// queryRanks resolves the rank list a query walks, ascending.
+func (db *DB) queryRanks(q Query) []topo.Rank {
+	if len(q.Ranks) > 0 {
+		out := append([]topo.Rank(nil), q.Ranks...)
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		return out
+	}
+	if q.Comm != 0 {
+		return db.RanksOfComm(q.Comm)
+	}
+	return db.Ranks()
+}
+
+// Query runs one page of a unified query. Shards whose newest record
+// predates the window are skipped wholesale; within a shard only the
+// binary-searched window of each rank's series is touched, so the cost
+// scales with the window, not the retained history.
+func (db *DB) Query(q Query) Result {
+	to := q.To
+	if to == 0 {
+		to = sim.Infinity
+	}
+	var res Result
+	for _, r := range db.queryRanks(q) {
+		resuming := false
+		if q.Cursor != nil {
+			if r < q.Cursor.Rank {
+				continue
+			}
+			resuming = r == q.Cursor.Rank
+		}
+		sh := db.shards[db.shardIdx(r)]
+		if sh.maxTime <= q.From {
+			continue // the whole shard predates the window
+		}
+		s := sh.byRank[r]
+		if s == nil {
+			continue
+		}
+		lo, hi := window(s.recs, q.From, to)
+		if resuming {
+			// Restart at the cursor time, then skip the matches already
+			// emitted at exactly that time.
+			lo = sort.Search(len(s.recs), func(i int) bool { return s.recs[i].Time >= q.Cursor.Time })
+		}
+		skip := 0
+		for i := lo; i < hi; i++ {
+			rec := &s.recs[i]
+			if !q.matches(rec) {
+				continue
+			}
+			if resuming && rec.Time == q.Cursor.Time && skip < q.Cursor.Emitted {
+				skip++
+				continue
+			}
+			if q.Limit > 0 && len(res.Records) == q.Limit {
+				last := res.Records[len(res.Records)-1]
+				emitted := 1
+				if q.Cursor != nil && last.Rank == q.Cursor.Rank && last.Time == q.Cursor.Time {
+					emitted += q.Cursor.Emitted
+				}
+				for j := len(res.Records) - 2; j >= 0; j-- {
+					if res.Records[j].Rank != last.Rank || res.Records[j].Time != last.Time {
+						break
+					}
+					emitted++
+				}
+				res.Next = &Cursor{Rank: last.Rank, Time: last.Time, Emitted: emitted}
+				return res
+			}
+			res.Records = append(res.Records, *rec)
+		}
+	}
+	return res
+}

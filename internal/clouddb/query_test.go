@@ -1,0 +1,143 @@
+package clouddb
+
+import (
+	"testing"
+
+	"mycroft/internal/sim"
+	"mycroft/internal/topo"
+	"mycroft/internal/trace"
+)
+
+// fill ingests n records per rank at 100ns spacing starting at t=100
+// (queries are (from, to], so t=0 records would fall outside a from=0
+// window), alternating kinds, comm = rank%2 + 1.
+func fill(db *DB, ranks, n int) {
+	for i := 0; i < n; i++ {
+		var batch []trace.Record
+		for r := 0; r < ranks; r++ {
+			kind := trace.KindState
+			if i%4 == 3 {
+				kind = trace.KindCompletion
+			}
+			batch = append(batch, trace.Record{
+				Kind: kind, Time: sim.Time((i + 1) * 100), Rank: topo.Rank(r),
+				CommID: uint64(r%2 + 1), IP: topo.IP("10.0.0.1"),
+			})
+		}
+		db.Ingest(batch)
+	}
+}
+
+func TestQueryPredicates(t *testing.T) {
+	db := New(sim.NewEngine(1), 0)
+	fill(db, 4, 20)
+
+	// All records, no predicates, unbounded To.
+	if got := db.Query(Query{}); len(got.Records) != 80 || got.Next != nil {
+		t.Fatalf("unfiltered query: %d records, next=%v", len(got.Records), got.Next)
+	}
+	// Rank predicate, ordered by (rank, time).
+	got := db.Query(Query{Ranks: []topo.Rank{2, 1}})
+	if len(got.Records) != 40 {
+		t.Fatalf("rank query: %d records", len(got.Records))
+	}
+	if got.Records[0].Rank != 1 || got.Records[39].Rank != 2 {
+		t.Fatalf("rank order wrong: first %d last %d", got.Records[0].Rank, got.Records[39].Rank)
+	}
+	// Comm predicate implies the member ranks (1 and 3 produce comm 2).
+	got = db.Query(Query{Comm: 2})
+	if len(got.Records) != 40 {
+		t.Fatalf("comm query: %d records", len(got.Records))
+	}
+	for _, r := range got.Records {
+		if r.CommID != 2 {
+			t.Fatalf("comm leak: %+v", r)
+		}
+	}
+	// Kind + window: completions land at times 400, 800, 1200, ...; the
+	// (300, 1100] window keeps 400 and 800.
+	got = db.Query(Query{Kinds: []trace.Kind{trace.KindCompletion}, From: 300, To: 1100})
+	if len(got.Records) != 8 { // 2 times × 4 ranks
+		t.Fatalf("kind+window query: %d records", len(got.Records))
+	}
+}
+
+func TestQueryPagination(t *testing.T) {
+	db := New(sim.NewEngine(1), 0)
+	fill(db, 4, 20)
+
+	var pages int
+	var all []trace.Record
+	q := Query{Limit: 7}
+	for {
+		res := db.Query(q)
+		pages++
+		all = append(all, res.Records...)
+		if res.Next == nil {
+			break
+		}
+		if len(res.Records) != 7 {
+			t.Fatalf("page %d has %d records with a next cursor", pages, len(res.Records))
+		}
+		q.Cursor = res.Next
+	}
+	if len(all) != 80 {
+		t.Fatalf("pagination returned %d records, want 80", len(all))
+	}
+	if pages != 12 { // ceil(80/7) = 12
+		t.Fatalf("pagination took %d pages, want 12", pages)
+	}
+	// Paged result must equal the unpaged result exactly.
+	whole := db.Query(Query{})
+	for i := range whole.Records {
+		if all[i] != whole.Records[i] {
+			t.Fatalf("page stitching diverges at %d: %+v vs %+v", i, all[i], whole.Records[i])
+		}
+	}
+}
+
+// TestQueryPaginationEqualTimes: several records at one (rank, time) — the
+// cursor's Emitted field must disambiguate them.
+func TestQueryPaginationEqualTimes(t *testing.T) {
+	db := New(sim.NewEngine(1), 0)
+	var batch []trace.Record
+	for ch := int32(0); ch < 5; ch++ {
+		batch = append(batch, trace.Record{
+			Kind: trace.KindState, Time: 100, Rank: 3, CommID: 1, Channel: ch, IP: "10.0.0.1",
+		})
+	}
+	db.Ingest(batch)
+	var all []trace.Record
+	q := Query{Limit: 2}
+	for {
+		res := db.Query(q)
+		all = append(all, res.Records...)
+		if res.Next == nil {
+			break
+		}
+		q.Cursor = res.Next
+	}
+	if len(all) != 5 {
+		t.Fatalf("equal-time pagination returned %d records, want 5", len(all))
+	}
+	for i := range all {
+		if all[i].Channel != int32(i) {
+			t.Fatalf("record %d is channel %d (duplicate or skip)", i, all[i].Channel)
+		}
+	}
+}
+
+func TestQueryMatchesQueryRank(t *testing.T) {
+	db := New(sim.NewEngine(1), 0)
+	fill(db, 4, 20)
+	want := db.QueryRank(2, 300, 1500)
+	got := db.Query(Query{Ranks: []topo.Rank{2}, From: 300, To: 1500})
+	if len(got.Records) != len(want) {
+		t.Fatalf("Query %d vs QueryRank %d", len(got.Records), len(want))
+	}
+	for i := range want {
+		if got.Records[i] != want[i] {
+			t.Fatalf("diverges at %d", i)
+		}
+	}
+}

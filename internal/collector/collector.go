@@ -10,10 +10,15 @@ import (
 	"fmt"
 	"time"
 
-	"mycroft/internal/clouddb"
 	"mycroft/internal/sim"
 	"mycroft/internal/trace"
 )
+
+// Ingester is the downstream the agent uploads batches into. The production
+// store is *clouddb.DB; tests can substitute a capture.
+type Ingester interface {
+	Ingest(batch []trace.Record)
+}
 
 // Config tunes an agent.
 type Config struct {
@@ -44,7 +49,7 @@ func (c Config) withDefaults() Config {
 // Agent drains one host's ring into the DB.
 type Agent struct {
 	eng    *sim.Engine
-	db     *clouddb.DB
+	db     Ingester
 	reader *trace.Reader
 	cfg    Config
 	ticker *sim.Ticker
@@ -56,7 +61,7 @@ type Agent struct {
 
 // NewAgent starts an agent over the host ring. It begins draining
 // immediately.
-func NewAgent(eng *sim.Engine, ring *trace.Ring, db *clouddb.DB, cfg Config) *Agent {
+func NewAgent(eng *sim.Engine, ring *trace.Ring, db Ingester, cfg Config) *Agent {
 	cfg = cfg.withDefaults()
 	a := &Agent{eng: eng, db: db, reader: ring.NewReader(), cfg: cfg}
 	a.ticker = eng.NewTicker(cfg.DrainPeriod, func(sim.Time) { a.drain() })

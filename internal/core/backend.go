@@ -55,9 +55,16 @@ type Backend struct {
 	triggers []Trigger
 	reports  []Report
 
+	publish func(Event)
+
 	// OnTrigger fires on every Algorithm 1 firing, before analysis.
+	//
+	// Deprecated: install a publisher with SetPublisher (or subscribe via
+	// the mycroft.Service API); the callback remains as a thin shim.
 	OnTrigger func(Trigger)
 	// OnReport fires with each Algorithm 2 verdict.
+	//
+	// Deprecated: see OnTrigger.
 	OnReport func(Report)
 	// Evaluations counts trigger passes (for the M-benchmarks).
 	Evaluations uint64
@@ -97,6 +104,7 @@ func (b *Backend) Start() {
 		panic("core: backend already started")
 	}
 	b.ticker = b.eng.NewTicker(b.cfg.Interval, func(now sim.Time) { b.Evaluate(now) })
+	b.emit(Event{Kind: EventLifecycle, At: b.eng.Now(), Phase: PhaseBackendStarted})
 }
 
 // Stop disarms the timer.
@@ -104,6 +112,7 @@ func (b *Backend) Stop() {
 	if b.ticker != nil {
 		b.ticker.Stop()
 		b.ticker = nil
+		b.emit(Event{Kind: EventLifecycle, At: b.eng.Now(), Phase: PhaseBackendStopped})
 	}
 }
 
@@ -252,14 +261,12 @@ func (b *Backend) implicatedComm(rank topo.Rank, t sim.Time) uint64 {
 	return 0
 }
 
-// fire records a trigger, runs Algorithm 2, and mutes the backend while the
-// fault is being handled.
+// fire records a trigger, publishes it, runs Algorithm 2, and mutes the
+// backend while the fault is being handled.
 func (b *Backend) fire(tr Trigger) {
 	b.triggers = append(b.triggers, tr)
 	b.muteUntil = tr.At.Add(b.cfg.RearmDelay)
-	if b.OnTrigger != nil {
-		b.OnTrigger(tr)
-	}
+	b.emit(Event{Kind: EventTrigger, At: tr.At, Trigger: &tr})
 	switch tr.Kind {
 	case TriggerFailure:
 		b.deliver(b.AnalyzeFailure(tr))
@@ -286,7 +293,5 @@ func (b *Backend) fire(tr Trigger) {
 
 func (b *Backend) deliver(rep Report) {
 	b.reports = append(b.reports, rep)
-	if b.OnReport != nil {
-		b.OnReport(rep)
-	}
+	b.emit(Event{Kind: EventReport, At: rep.AnalyzedAt, Report: &rep})
 }

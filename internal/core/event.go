@@ -1,0 +1,70 @@
+package core
+
+import (
+	"fmt"
+
+	"mycroft/internal/sim"
+)
+
+// EventKind discriminates what a backend publishes.
+type EventKind uint8
+
+const (
+	// EventTrigger carries an Algorithm 1 firing.
+	EventTrigger EventKind = iota + 1
+	// EventReport carries an Algorithm 2 verdict.
+	EventReport
+	// EventLifecycle marks a backend state change (Phase names it).
+	EventLifecycle
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EventTrigger:
+		return "trigger"
+	case EventReport:
+		return "report"
+	case EventLifecycle:
+		return "lifecycle"
+	default:
+		return fmt.Sprintf("event(%d)", uint8(k))
+	}
+}
+
+// Lifecycle phases.
+const (
+	PhaseBackendStarted = "backend-started"
+	PhaseBackendStopped = "backend-stopped"
+)
+
+// Event is one published backend observation. Exactly one of Trigger,
+// Report or Phase is set, matching Kind.
+type Event struct {
+	Kind    EventKind
+	At      sim.Time
+	Trigger *Trigger
+	Report  *Report
+	Phase   string
+}
+
+// SetPublisher routes every subsequent event (triggers, reports, lifecycle
+// changes) to fn. The multi-job service layer installs one publisher per
+// hosted job; the legacy OnTrigger/OnReport callbacks keep firing alongside.
+func (b *Backend) SetPublisher(fn func(Event)) { b.publish = fn }
+
+// emit fans an event out to the publisher and the deprecated callbacks.
+func (b *Backend) emit(ev Event) {
+	if b.publish != nil {
+		b.publish(ev)
+	}
+	switch ev.Kind {
+	case EventTrigger:
+		if b.OnTrigger != nil {
+			b.OnTrigger(*ev.Trigger)
+		}
+	case EventReport:
+		if b.OnReport != nil {
+			b.OnReport(*ev.Report)
+		}
+	}
+}

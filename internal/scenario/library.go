@@ -33,6 +33,7 @@ func Builtins() []Spec {
 		large64Scenario(),
 		fleetChaosScenario(),
 		cascadeScenario(),
+		multiJobSharedScenario(),
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
@@ -223,6 +224,34 @@ func fleetChaosScenario() Spec {
 		Assertions: []Assertion{
 			{Kind: AssertNoFalseTrigger, Job: -1},
 			{Kind: AssertDetected, Job: -1, Event: 0, Within: Dur(15 * time.Second)},
+			{Kind: AssertMinRecords, Job: -1, Min: 1000},
+		},
+	}
+}
+
+// multiJobSharedScenario is the multi-tenant isolation check: three jobs on
+// one mycroft.Service share the virtual clock, one loses a NIC, and the
+// fault must be detected on that job without a single false trigger on its
+// neighbours.
+func multiJobSharedScenario() Spec {
+	return Spec{
+		Name:        "multi-job-shared",
+		Description: "Three concurrent jobs on one shared-engine Service; a NIC dies on job 0 and must not trigger jobs 1 or 2.",
+		Fleet: Fleet{
+			SharedEngine: true,
+			Gen: &FleetGen{
+				Jobs: 3,
+				Templates: []Template{
+					{Name: "small-compute", Weight: 1, Topo: DefaultTopo},
+				},
+			},
+		},
+		Events: []Event{{At: Dur(warmup), Action: ActInject, Job: 0, Fault: &Fault{Kind: faults.NICDown, Rank: 5}}},
+		Assertions: []Assertion{
+			{Kind: AssertDetected, Job: 0, Within: Dur(30 * time.Second)},
+			{Kind: AssertDiagnosed, Job: 0},
+			{Kind: AssertNoFalseTrigger, Job: 1},
+			{Kind: AssertNoFalseTrigger, Job: 2},
 			{Kind: AssertMinRecords, Job: -1, Min: 1000},
 		},
 	}

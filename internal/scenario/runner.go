@@ -15,7 +15,9 @@ import (
 // JobResult is the per-fleet-member outcome: what ran, what was injected,
 // and what Mycroft concluded.
 type JobResult struct {
-	Index      int    `json:"index"`
+	Index int `json:"index"`
+	// JobID is the job's service address ("job-N").
+	JobID      string `json:"job_id"`
 	Template   string `json:"template"`
 	Topo       Topo   `json:"topo"`
 	CommHeavy  bool   `json:"comm_heavy,omitempty"`
@@ -63,8 +65,8 @@ func (r *Result) Render() string {
 	}
 	fmt.Fprintf(&b, "scenario %s (seed %d): %s\n", r.Name, r.Seed, verdict)
 	for _, j := range r.Jobs {
-		fmt.Fprintf(&b, "  job %d template=%s topo=%s world=%d comm-heavy=%v\n",
-			j.Index, j.Template, j.Topo, j.WorldSize, j.CommHeavy)
+		fmt.Fprintf(&b, "  job %s template=%s topo=%s world=%d comm-heavy=%v\n",
+			j.JobID, j.Template, j.Topo, j.WorldSize, j.CommHeavy)
 		fmt.Fprintf(&b, "    iterations=%d records=%d triggers=%d reports=%d\n",
 			j.Iterations, j.Records, len(j.Triggers), len(j.Reports))
 		if len(j.Injected) > 0 {
@@ -86,8 +88,10 @@ func (r *Result) Render() string {
 }
 
 // Run executes the scenario. seed overrides the spec's seed when non-zero.
-// Fleet members run sequentially on independent engines with seeds derived
-// from the scenario seed, so a fleet run is exactly reproducible.
+// By default fleet members run sequentially on independent engines with
+// seeds derived from the scenario seed; with Fleet.SharedEngine every
+// member is hosted concurrently on one mycroft.Service. Both modes are
+// exactly reproducible from the seed.
 func Run(spec Spec, seed int64) (*Result, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
@@ -99,16 +103,46 @@ func Run(spec Spec, seed int64) (*Result, error) {
 		seed = 1
 	}
 	res := &Result{Name: spec.Name, Seed: seed}
-	for i, js := range resolveFleet(spec.Fleet, seed) {
-		jr, err := runJob(spec, js, i, mix(seed, int64(i)))
-		if err != nil {
-			return nil, fmt.Errorf("scenario %s: job %d: %w", spec.Name, i, err)
+	jobs := resolveFleet(spec.Fleet, seed)
+	if spec.Fleet.SharedEngine {
+		if err := runShared(spec, jobs, seed, res); err != nil {
+			return nil, err
 		}
-		res.Jobs = append(res.Jobs, jr)
+	} else {
+		for i, js := range jobs {
+			jr, err := runJob(spec, js, i, mix(seed, int64(i)))
+			if err != nil {
+				return nil, fmt.Errorf("scenario %s: job %d: %w", spec.Name, i, err)
+			}
+			res.Jobs = append(res.Jobs, jr)
+		}
 	}
 	res.Asserted, res.Failures = evaluate(spec, res)
 	res.Pass = len(res.Failures) == 0
 	return res, nil
+}
+
+// runShared hosts the whole fleet on one Service: every member shares the
+// virtual clock and the chaos of one job unfolds while the others train.
+func runShared(spec Spec, jobs []jobSpec, seed int64, res *Result) error {
+	svc := mycroft.NewService(mycroft.ServiceOptions{Seed: seed})
+	handles := make([]*mycroft.JobHandle, len(jobs))
+	plans := make([]faults.Plan, len(jobs))
+	for i, js := range jobs {
+		h, err := svc.AddJob(mycroft.JobID(fmt.Sprintf("job-%d", i)), jobOptions(js))
+		if err != nil {
+			return fmt.Errorf("scenario %s: job %d: %w", spec.Name, i, err)
+		}
+		handles[i] = h
+		plans[i] = schedule(spec, i, mix(seed, int64(i)), h)
+	}
+	svc.Start()
+	svc.Run(spec.runFor())
+	defer svc.Stop()
+	for i, js := range jobs {
+		res.Jobs = append(res.Jobs, collect(js, i, handles[i], plans[i]))
+	}
+	return nil
 }
 
 // MustRun is Run for known-good specs (the built-in library).
@@ -129,8 +163,9 @@ func fillSeverity(s faults.Spec) faults.Spec {
 	return s
 }
 
-func runJob(spec Spec, js jobSpec, idx int, seed int64) (JobResult, error) {
-	opts := mycroft.Options{Seed: seed, Topo: js.Topo.Config(), CommHeavy: js.CommHeavy}
+// jobOptions maps one resolved fleet member to the service job options.
+func jobOptions(js jobSpec) mycroft.JobOptions {
+	opts := mycroft.JobOptions{Topo: js.Topo.Config(), CommHeavy: js.CommHeavy}
 	if js.Window > 0 {
 		opts.Backend.Window = js.Window.D()
 	}
@@ -149,15 +184,16 @@ func runJob(spec Spec, js jobSpec, idx int, seed int64) (JobResult, error) {
 		}
 		opts.Train = &tc
 	}
-	sys, err := mycroft.NewSystem(opts)
-	if err != nil {
-		return JobResult{}, err
-	}
-	world := sys.WorldSize()
+	return opts
+}
 
-	// Compile this job's schedule: explicit events, then chaos samples.
+// schedule compiles one job's timed schedule — explicit events targeting
+// it, then its chaos samples — onto the handle, and returns the
+// time-ordered injection plan.
+func schedule(spec Spec, idx int, jobSeed int64, h *mycroft.JobHandle) faults.Plan {
 	var plan, recoveries faults.Plan
 	backendRunning := true
+	eng := h.Job.Eng
 	for _, ev := range spec.Events {
 		if ev.Job != -1 && ev.Job != idx {
 			continue
@@ -168,49 +204,49 @@ func runJob(spec Spec, js jobSpec, idx int, seed int64) (JobResult, error) {
 		case ActRecover:
 			recoveries = append(recoveries, ev.Fault.spec(ev.At))
 		case ActBackendStop:
-			sys.Eng.After(ev.At.D(), func() {
+			eng.After(ev.At.D(), func() {
 				if backendRunning {
 					backendRunning = false
-					sys.Backend.Stop()
+					h.Backend.Stop()
 				}
 			})
 		case ActBackendStart:
-			sys.Eng.After(ev.At.D(), func() {
+			eng.After(ev.At.D(), func() {
 				if !backendRunning {
 					backendRunning = true
-					sys.Backend.Start()
+					h.Backend.Start()
 				}
 			})
 		case ActCollectorStop:
-			sys.Eng.After(ev.At.D(), func() {
-				for _, a := range sys.Job.Agents {
+			eng.After(ev.At.D(), func() {
+				for _, a := range h.Job.Agents {
 					a.Stop()
 				}
 			})
 		}
 	}
 	if spec.Chaos != nil {
-		rng := rand.New(rand.NewSource(mix(seed, 0x6368616f73))) // "chaos"
-		cp := spec.Chaos.plan(rng, world, spec.runFor())
+		rng := rand.New(rand.NewSource(mix(jobSeed, 0x6368616f73))) // "chaos"
+		cp := spec.Chaos.plan(rng, h.WorldSize(), spec.runFor())
 		for _, s := range cp.inject {
 			plan = append(plan, fillSeverity(s))
 		}
 		recoveries = append(recoveries, cp.recover...)
 	}
 	plan = plan.Sorted()
-
-	plan.Inject(sys.Job)
+	h.InjectPlan(plan)
 	for _, s := range recoveries.Sorted() {
-		faults.Recover(sys.Job, s)
+		h.Recover(s)
 	}
-	sys.Start()
-	sys.Run(spec.runFor())
-	defer sys.Stop()
+	return plan
+}
 
+// collect builds the per-job result after the horizon.
+func collect(js jobSpec, idx int, h *mycroft.JobHandle, plan faults.Plan) JobResult {
 	jr := JobResult{
-		Index: idx, Template: js.Template, Topo: js.Topo, CommHeavy: js.CommHeavy,
-		WorldSize: world, Iterations: sys.Job.IterationsDone(), Records: sys.RecordsIngested(),
-		injected: plan, triggers: sys.Triggers(), reports: sys.Reports(),
+		Index: idx, JobID: string(h.ID), Template: js.Template, Topo: js.Topo, CommHeavy: js.CommHeavy,
+		WorldSize: h.WorldSize(), Iterations: h.Job.IterationsDone(), Records: h.RecordsIngested(),
+		injected: plan, triggers: h.Triggers(), reports: h.Reports(),
 	}
 	for _, s := range plan {
 		jr.Injected = append(jr.Injected, s.String())
@@ -237,7 +273,21 @@ func runJob(spec Spec, js jobSpec, idx int, seed int64) (JobResult, error) {
 		}
 		jr.Accuracy = accuracy(plan, jr.reports)
 	}
-	return jr, nil
+	return jr
+}
+
+// runJob runs one fleet member on its own single-job Service.
+func runJob(spec Spec, js jobSpec, idx int, seed int64) (JobResult, error) {
+	svc := mycroft.NewService(mycroft.ServiceOptions{Seed: seed})
+	h, err := svc.AddJob(mycroft.JobID(fmt.Sprintf("job-%d", idx)), jobOptions(js))
+	if err != nil {
+		return JobResult{}, err
+	}
+	plan := schedule(spec, idx, seed, h)
+	svc.Start()
+	svc.Run(spec.runFor())
+	defer svc.Stop()
+	return collect(js, idx, h, plan), nil
 }
 
 // accuracy scores the run: the fraction of injections for which some verdict

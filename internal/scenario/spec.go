@@ -107,6 +107,11 @@ type Fleet struct {
 	MaxSampled int `json:"max_sampled,omitempty"`
 	// Gen generates a fleet instead of a single job.
 	Gen *FleetGen `json:"gen,omitempty"`
+	// SharedEngine hosts every fleet member on one mycroft.Service (one
+	// virtual clock, one event interleaving) instead of running members
+	// sequentially on independent engines. This is the multi-tenant
+	// production shape: faults on one job must not trigger another.
+	SharedEngine bool `json:"shared_engine,omitempty"`
 }
 
 // FleetGen generates Jobs clusters by weighted sampling over Templates.

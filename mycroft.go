@@ -7,13 +7,22 @@
 // always-on analysis backend.
 //
 // Everything runs on a deterministic discrete-event engine, so failures
-// reproduce bit-for-bit from a seed. The typical flow:
+// reproduce bit-for-bit from a seed. The public API is the multi-tenant
+// Service: N independent training jobs hosted on one engine, observed
+// through typed subscriptions and a unified query layer over each job's
+// sharded trace store:
 //
-//	sys, _ := mycroft.NewSystem(mycroft.Options{Seed: 1})
-//	sys.OnReport = func(r mycroft.Report) { fmt.Println(r) }
-//	sys.Start()
-//	sys.Inject(mycroft.Fault{Kind: mycroft.NICDown, Rank: 5, At: 15 * time.Second})
-//	sys.Run(60 * time.Second)
+//	svc := mycroft.NewService(mycroft.ServiceOptions{Seed: 1})
+//	job := svc.MustAddJob("llm-70b", mycroft.JobOptions{})
+//	svc.Subscribe(mycroft.EventFilter{Kinds: []mycroft.EventKind{mycroft.EventReport}}).
+//		Each(func(e mycroft.Event) { fmt.Println(e) })
+//	svc.Start()
+//	job.Inject(mycroft.Fault{Kind: mycroft.NICDown, Rank: 5, At: 15 * time.Second})
+//	svc.Run(60 * time.Second)
+//	res, _ := svc.QueryReports(mycroft.ReportQuery{Suspects: []mycroft.Rank{5}})
+//
+// The single-job System with its OnTrigger/OnReport callbacks remains as a
+// deprecated shim over a one-job Service.
 //
 // See README.md for the build, the CLI tools (including the declarative
 // scenario runner, cmd/mycroft-scenario) and the scenario file format;
@@ -24,10 +33,10 @@ import (
 	"time"
 
 	"mycroft/internal/core"
-	"mycroft/internal/experiments"
 	"mycroft/internal/faults"
 	"mycroft/internal/sim"
 	"mycroft/internal/topo"
+	"mycroft/internal/trace"
 	"mycroft/internal/train"
 )
 
@@ -37,6 +46,8 @@ type (
 	Rank = topo.Rank
 	// Trigger is an Algorithm 1 firing.
 	Trigger = core.Trigger
+	// TriggerKind distinguishes failure from straggler triggers.
+	TriggerKind = core.TriggerKind
 	// Report is an Algorithm 2 root-cause verdict.
 	Report = core.Report
 	// Category is an RC-table failure category.
@@ -51,6 +62,22 @@ type (
 	TrainConfig = train.Config
 	// BackendConfig tunes the analysis backend.
 	BackendConfig = core.Config
+	// TraceRecord is one raw Coll-level trace log line (Table 2).
+	TraceRecord = trace.Record
+	// RecordKind discriminates completion from state records.
+	RecordKind = trace.Kind
+)
+
+// Trigger kinds (Algorithm 1's two outputs).
+const (
+	TriggerFailure   = core.TriggerFailure
+	TriggerStraggler = core.TriggerStraggler
+)
+
+// Trace record kinds (§4.2).
+const (
+	RecordCompletion = trace.KindCompletion
+	RecordState      = trace.KindState
 )
 
 // Fault kinds (the seven §7.1 classes plus the §6.2 integration faults).
@@ -83,13 +110,16 @@ const (
 )
 
 // Options configures a System. The zero value is a runnable 8-GPU job.
+//
+// Deprecated: build a Service with ServiceOptions and JobOptions instead;
+// Options remains for the single-job shim.
 type Options struct {
 	// Seed makes the run reproducible. Default 1.
 	Seed int64
 	// Topo sizes the cluster. Default: 2 nodes × 4 GPUs, TP=2 PP=2 DP=2.
 	Topo TopoConfig
 	// Train overrides the workload; leave zero to derive from Topo with
-	// defaults.
+	// defaults. If both Train.Topo and Topo are set they must agree.
 	Train *TrainConfig
 	// Backend tunes the trigger/RCA thresholds (§9 heuristics).
 	Backend BackendConfig
@@ -97,61 +127,49 @@ type Options struct {
 	CommHeavy bool
 }
 
-// System is a fully wired simulation: cluster, CCL, trace pipeline, training
-// job and Mycroft backend on one virtual clock.
+// System is a fully wired single-job simulation: cluster, CCL, trace
+// pipeline, training job and Mycroft backend on one virtual clock.
+//
+// Deprecated: System is a thin shim over a one-job Service. New code should
+// use NewService/AddJob, Subscribe for observation, and the Query* layer
+// for trace access.
 type System struct {
 	Eng     *sim.Engine
 	Job     *train.Job
 	Backend *core.Backend
 
 	// OnTrigger and OnReport observe the backend live (set before Start).
+	//
+	// Deprecated: use Service.Subscribe with an EventFilter.
 	OnTrigger func(Trigger)
 	OnReport  func(Report)
 
-	started bool
+	svc *Service
+	h   *JobHandle
 }
 
-// NewSystem builds a System.
+// NewSystem builds a System: a Service hosting exactly one job.
 func NewSystem(opts Options) (*System, error) {
-	if opts.Seed == 0 {
-		opts.Seed = 1
-	}
-	if opts.Topo.Nodes == 0 {
-		opts.Topo = TopoConfig{Nodes: 2, GPUsPerNode: 4, TP: 2, PP: 2, DP: 2}
-	}
-	eng := sim.NewEngine(opts.Seed)
-	var tc train.Config
-	if opts.Train != nil {
-		tc = *opts.Train
-		tc.Topo = opts.Topo
-	} else {
-		profile := experiments.ComputeHeavy
-		if opts.CommHeavy {
-			profile = experiments.CommHeavy
-		}
-		tc = experiments.JobConfig(opts.Topo, profile)
-	}
-	job, err := train.New(eng, tc)
+	svc := NewService(ServiceOptions{Seed: opts.Seed})
+	h, err := svc.AddJob("job-0", JobOptions{
+		Topo: opts.Topo, Train: opts.Train, Backend: opts.Backend, CommHeavy: opts.CommHeavy,
+	})
 	if err != nil {
 		return nil, err
 	}
-	sys := &System{Eng: eng, Job: job}
-	sampled := core.SampleRanks(job.Cluster.DPGroups(), opts.Backend.MaxSampled)
-	if len(sampled) == 0 {
-		sampled = core.SampleWorld(job.Cluster.WorldSize(), opts.Backend.MaxSampled)
-	}
-	bk := core.NewBackend(eng, job.DB, sampled, opts.Backend)
-	bk.OnTrigger = func(tr Trigger) {
-		if sys.OnTrigger != nil {
-			sys.OnTrigger(tr)
+	sys := &System{Eng: svc.Eng, Job: h.Job, Backend: h.Backend, svc: svc, h: h}
+	svc.Subscribe(EventFilter{Kinds: []EventKind{EventTrigger, EventReport}}).Each(func(e Event) {
+		switch e.Kind {
+		case EventTrigger:
+			if sys.OnTrigger != nil {
+				sys.OnTrigger(*e.Trigger)
+			}
+		case EventReport:
+			if sys.OnReport != nil {
+				sys.OnReport(*e.Report)
+			}
 		}
-	}
-	bk.OnReport = func(r Report) {
-		if sys.OnReport != nil {
-			sys.OnReport(r)
-		}
-	}
-	sys.Backend = bk
+	})
 	return sys, nil
 }
 
@@ -164,58 +182,47 @@ func MustNewSystem(opts Options) *System {
 	return sys
 }
 
+// Service returns the one-job Service backing the shim, for incremental
+// migration to the subscription and query APIs.
+func (s *System) Service() *Service { return s.svc }
+
 // Start launches the training job and the always-on backend.
-func (s *System) Start() {
-	if s.started {
-		return
-	}
-	s.started = true
-	s.Job.Start()
-	s.Backend.Start()
-}
+func (s *System) Start() { s.svc.Start() }
 
 // Run advances virtual time by d.
-func (s *System) Run(d time.Duration) { s.Eng.RunFor(d) }
+func (s *System) Run(d time.Duration) { s.svc.Run(d) }
 
 // Now returns the current virtual time from the start of the run.
-func (s *System) Now() time.Duration { return time.Duration(s.Eng.Now()) }
+func (s *System) Now() time.Duration { return s.svc.Now() }
 
 // Inject schedules a fault.
-func (s *System) Inject(f Fault) { faults.Inject(s.Job, f) }
+func (s *System) Inject(f Fault) { s.h.Inject(f) }
 
 // InjectPlan schedules a whole programmatic injection plan.
-func (s *System) InjectPlan(p faults.Plan) { p.Inject(s.Job) }
+func (s *System) InjectPlan(p faults.Plan) { s.h.InjectPlan(p) }
 
 // Recover schedules the undo of a recoverable fault (see faults.Recover).
-func (s *System) Recover(f Fault) { faults.Recover(s.Job, f) }
+func (s *System) Recover(f Fault) { s.h.Recover(f) }
 
 // WorldSize returns the number of ranks in the simulated cluster.
-func (s *System) WorldSize() int { return s.Job.Cluster.WorldSize() }
+func (s *System) WorldSize() int { return s.h.WorldSize() }
 
 // RecordsIngested returns how many trace records have reached the cloud DB
 // (the scenario runner's ingest metric).
-func (s *System) RecordsIngested() uint64 { return s.Job.DB.Ingested() }
+func (s *System) RecordsIngested() uint64 { return s.h.RecordsIngested() }
 
 // Triggers returns every Algorithm 1 firing so far.
-func (s *System) Triggers() []Trigger { return s.Backend.Triggers() }
+func (s *System) Triggers() []Trigger { return s.h.Triggers() }
 
 // Reports returns every Algorithm 2 verdict so far.
-func (s *System) Reports() []Report { return s.Backend.Reports() }
+func (s *System) Reports() []Report { return s.h.Reports() }
 
 // Triage runs the Fig. 6 integration pipeline (py-spy → Flight Recorder →
 // Mycroft) over the latest report and returns the combined verdict source,
 // suspect rank and summary.
 func (s *System) Triage() (source string, rank Rank, summary string, ok bool) {
-	reps := s.Backend.Reports()
-	if len(reps) == 0 {
-		return "", -1, "", false
-	}
-	v := experiments.Triage(s.Job, reps[len(reps)-1], s.Eng.Now())
-	return v.Source, v.Rank, v.Summary, true
+	return s.h.Triage()
 }
 
 // Stop halts the job and backend.
-func (s *System) Stop() {
-	s.Backend.Stop()
-	s.Job.Stop()
-}
+func (s *System) Stop() { s.svc.Stop() }

@@ -1,0 +1,196 @@
+package mycroft
+
+import (
+	"slices"
+	"sort"
+	"time"
+
+	"mycroft/internal/clouddb"
+	"mycroft/internal/sim"
+)
+
+// TraceQuery asks one hosted job's sharded trace store for raw Coll-level
+// records. Zero-value predicates match everything.
+type TraceQuery struct {
+	// Job selects the hosted job. Empty is allowed only when the service
+	// hosts exactly one.
+	Job JobID
+	// Ranks restricts to these ranks (nil = all; with Comm set, the
+	// communicator's members).
+	Ranks []Rank
+	// Comm restricts to one communicator (0 = any).
+	Comm uint64
+	// Kinds restricts record kinds (nil = any).
+	Kinds []RecordKind
+	// From and To bound emission time as (From, To] in virtual time.
+	// To 0 means "now".
+	From, To time.Duration
+	// Limit caps the page size (0 = everything). Resume with Cursor.
+	Limit int
+	// Cursor continues a paginated query; pass TraceResult.Next verbatim.
+	Cursor *TraceCursor
+}
+
+// TraceCursor marks where a paginated TraceQuery resumes.
+type TraceCursor = clouddb.Cursor
+
+// TraceResult is one page of matching records, ordered by (rank, time).
+type TraceResult struct {
+	Job     JobID
+	Records []TraceRecord
+	// Next is non-nil when Limit cut the page short.
+	Next *TraceCursor
+}
+
+// QueryTrace answers a TraceQuery against the job's sharded store.
+func (s *Service) QueryTrace(q TraceQuery) (TraceResult, error) {
+	h, err := s.resolveJob(q.Job)
+	if err != nil {
+		return TraceResult{}, err
+	}
+	to := sim.Time(q.To)
+	if q.To == 0 {
+		to = s.Eng.Now()
+	}
+	res := h.Job.DB.Query(clouddb.Query{
+		Ranks: q.Ranks, Comm: q.Comm, Kinds: q.Kinds,
+		From: sim.Time(q.From), To: to,
+		Limit: q.Limit, Cursor: q.Cursor,
+	})
+	return TraceResult{Job: h.ID, Records: res.Records, Next: res.Next}, nil
+}
+
+// TriggerQuery asks for Algorithm 1 firings across hosted jobs.
+type TriggerQuery struct {
+	// Jobs restricts to these hosted jobs (nil = all).
+	Jobs []JobID
+	// Ranks restricts to triggers fired by these sampled ranks.
+	Ranks []Rank
+	// Kinds restricts to failure and/or straggler triggers.
+	Kinds []TriggerKind
+	// From and To bound the firing time, inclusive. To 0 means unbounded.
+	From, To time.Duration
+	// Offset and Limit paginate the matched set (Limit 0 = everything).
+	Offset, Limit int
+}
+
+// JobTrigger is a trigger tagged with the job it fired on.
+type JobTrigger struct {
+	Job JobID
+	Trigger
+}
+
+// TriggerResult is one page of matches, ordered by firing time (job arrival
+// order breaks ties). Total counts all matches before pagination.
+type TriggerResult struct {
+	Triggers []JobTrigger
+	Total    int
+}
+
+// QueryTriggers answers a TriggerQuery across the selected jobs.
+func (s *Service) QueryTriggers(q TriggerQuery) (TriggerResult, error) {
+	hs, err := s.selectJobs(q.Jobs)
+	if err != nil {
+		return TriggerResult{}, err
+	}
+	var all []JobTrigger
+	for _, h := range hs {
+		for _, tr := range h.Backend.Triggers() {
+			if len(q.Ranks) > 0 && !slices.Contains(q.Ranks, tr.Rank) {
+				continue
+			}
+			if len(q.Kinds) > 0 && !slices.Contains(q.Kinds, tr.Kind) {
+				continue
+			}
+			if !inWindow(time.Duration(tr.At), q.From, q.To) {
+				continue
+			}
+			all = append(all, JobTrigger{Job: h.ID, Trigger: tr})
+		}
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].At < all[j].At })
+	total := len(all)
+	return TriggerResult{Triggers: paginate(all, q.Offset, q.Limit), Total: total}, nil
+}
+
+// ReportQuery asks for Algorithm 2 verdicts across hosted jobs.
+type ReportQuery struct {
+	// Jobs restricts to these hosted jobs (nil = all).
+	Jobs []JobID
+	// Suspects restricts to verdicts naming these ranks.
+	Suspects []Rank
+	// Categories restricts to these RC-table categories.
+	Categories []Category
+	// Comm restricts to verdicts reached on one communicator (0 = any).
+	Comm uint64
+	// From and To bound the analysis time, inclusive. To 0 means unbounded.
+	From, To time.Duration
+	// Offset and Limit paginate the matched set (Limit 0 = everything).
+	Offset, Limit int
+}
+
+// JobReport is a verdict tagged with the job it was produced for.
+type JobReport struct {
+	Job JobID
+	Report
+}
+
+// ReportResult is one page of matches, ordered by analysis time (job
+// arrival order breaks ties). Total counts all matches before pagination.
+type ReportResult struct {
+	Reports []JobReport
+	Total   int
+}
+
+// QueryReports answers a ReportQuery across the selected jobs.
+func (s *Service) QueryReports(q ReportQuery) (ReportResult, error) {
+	hs, err := s.selectJobs(q.Jobs)
+	if err != nil {
+		return ReportResult{}, err
+	}
+	var all []JobReport
+	for _, h := range hs {
+		for _, rep := range h.Backend.Reports() {
+			if len(q.Suspects) > 0 && !slices.Contains(q.Suspects, rep.Suspect) {
+				continue
+			}
+			if len(q.Categories) > 0 && !slices.Contains(q.Categories, rep.Category) {
+				continue
+			}
+			if q.Comm != 0 && rep.CommID != q.Comm {
+				continue
+			}
+			if !inWindow(time.Duration(rep.AnalyzedAt), q.From, q.To) {
+				continue
+			}
+			all = append(all, JobReport{Job: h.ID, Report: rep})
+		}
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].AnalyzedAt < all[j].AnalyzedAt })
+	total := len(all)
+	return ReportResult{Reports: paginate(all, q.Offset, q.Limit), Total: total}, nil
+}
+
+func inWindow(at, from, to time.Duration) bool {
+	if at < from {
+		return false
+	}
+	if to > 0 && at > to {
+		return false
+	}
+	return true
+}
+
+func paginate[T any](all []T, offset, limit int) []T {
+	if offset < 0 {
+		offset = 0
+	}
+	if offset >= len(all) {
+		return nil
+	}
+	all = all[offset:]
+	if limit > 0 && len(all) > limit {
+		all = all[:limit]
+	}
+	return all
+}

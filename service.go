@@ -1,0 +1,295 @@
+package mycroft
+
+import (
+	"fmt"
+	"time"
+
+	"mycroft/internal/clouddb"
+	"mycroft/internal/core"
+	"mycroft/internal/experiments"
+	"mycroft/internal/faults"
+	"mycroft/internal/sim"
+	"mycroft/internal/train"
+)
+
+// JobID addresses one hosted training job inside a Service.
+type JobID string
+
+// ServiceOptions configures a Service.
+type ServiceOptions struct {
+	// Seed makes every hosted job's run reproducible. Default 1.
+	Seed int64
+}
+
+// Service is Mycroft's multi-tenant analysis backend: N independent training
+// jobs — each with its own topology, workload profile, trace store and
+// always-on backend — hosted on one deterministic discrete-event engine.
+// Jobs are addressed by JobID; observers attach with Subscribe and the
+// QueryTrace/QueryTriggers/QueryReports layer answers questions the old
+// single-job callbacks could not express.
+type Service struct {
+	Eng *sim.Engine
+
+	jobs    map[JobID]*JobHandle
+	order   []JobID
+	streams []*Stream
+	started bool
+}
+
+// NewService builds an empty Service; add jobs with AddJob.
+func NewService(opts ServiceOptions) *Service {
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	return &Service{Eng: sim.NewEngine(opts.Seed), jobs: make(map[JobID]*JobHandle)}
+}
+
+// JobOptions sizes one hosted job. The zero value is a runnable 8-GPU job.
+type JobOptions struct {
+	// Topo sizes the cluster. Default: 2 nodes × 4 GPUs, TP=2 PP=2 DP=2.
+	Topo TopoConfig
+	// Train overrides the workload; leave zero to derive from Topo with
+	// defaults. If both Train.Topo and Topo are set they must agree.
+	Train *TrainConfig
+	// Backend tunes the trigger/RCA thresholds (§9 heuristics).
+	Backend BackendConfig
+	// CommHeavy weights iterations toward communication.
+	CommHeavy bool
+}
+
+// resolve fills defaults and reconciles the two places a topology can be
+// declared. A caller-supplied Train.Topo that disagrees with Topo is an
+// error, not something to silently clobber.
+func (o JobOptions) resolve() (train.Config, error) {
+	topoSet := o.Topo != (TopoConfig{})
+	if o.Train == nil {
+		if !topoSet {
+			o.Topo = TopoConfig{Nodes: 2, GPUsPerNode: 4, TP: 2, PP: 2, DP: 2}
+		}
+		profile := experiments.ComputeHeavy
+		if o.CommHeavy {
+			profile = experiments.CommHeavy
+		}
+		return experiments.JobConfig(o.Topo, profile), nil
+	}
+	tc := *o.Train
+	trainTopoSet := tc.Topo != (TopoConfig{})
+	switch {
+	case trainTopoSet && topoSet && tc.Topo != o.Topo:
+		return train.Config{}, fmt.Errorf("mycroft: Train.Topo %+v conflicts with Topo %+v (set one, or make them agree)", tc.Topo, o.Topo)
+	case trainTopoSet:
+		// The workload's own topology wins when Topo is unset.
+	default:
+		if !topoSet {
+			o.Topo = TopoConfig{Nodes: 2, GPUsPerNode: 4, TP: 2, PP: 2, DP: 2}
+		}
+		tc.Topo = o.Topo
+	}
+	return tc, nil
+}
+
+// AddJob hosts a new job on the service's engine. An empty id is assigned
+// "job-N" in arrival order; a duplicate id is an error. The job is built
+// immediately but idle until Start.
+func (s *Service) AddJob(id JobID, opts JobOptions) (*JobHandle, error) {
+	if id == "" {
+		for i := len(s.order); ; i++ {
+			candidate := JobID(fmt.Sprintf("job-%d", i))
+			if _, taken := s.jobs[candidate]; !taken {
+				id = candidate
+				break
+			}
+		}
+	}
+	if _, dup := s.jobs[id]; dup {
+		return nil, fmt.Errorf("mycroft: job %q already hosted", id)
+	}
+	tc, err := opts.resolve()
+	if err != nil {
+		return nil, err
+	}
+	job, err := train.New(s.Eng, tc)
+	if err != nil {
+		return nil, err
+	}
+	sampled := core.SampleRanks(job.Cluster.DPGroups(), opts.Backend.MaxSampled)
+	if len(sampled) == 0 {
+		sampled = core.SampleWorld(job.Cluster.WorldSize(), opts.Backend.MaxSampled)
+	}
+	bk := core.NewBackend(s.Eng, job.DB, sampled, opts.Backend)
+	h := &JobHandle{ID: id, svc: s, Job: job, Backend: bk}
+	bk.SetPublisher(func(ev core.Event) {
+		s.dispatch(Event{
+			Job: id, Kind: ev.Kind, At: time.Duration(ev.At),
+			Trigger: ev.Trigger, Report: ev.Report, Phase: ev.Phase,
+		})
+	})
+	s.jobs[id] = h
+	s.order = append(s.order, id)
+	if s.started {
+		h.Start()
+	}
+	return h, nil
+}
+
+// MustAddJob is AddJob for known-good options.
+func (s *Service) MustAddJob(id JobID, opts JobOptions) *JobHandle {
+	h, err := s.AddJob(id, opts)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// Job returns the handle for a hosted job.
+func (s *Service) Job(id JobID) (*JobHandle, bool) {
+	h, ok := s.jobs[id]
+	return h, ok
+}
+
+// Jobs lists hosted job ids in arrival order.
+func (s *Service) Jobs() []JobID { return append([]JobID(nil), s.order...) }
+
+// Start launches every hosted job and its backend. Jobs added later start
+// immediately.
+func (s *Service) Start() {
+	s.started = true
+	for _, id := range s.order {
+		s.jobs[id].Start()
+	}
+}
+
+// Stop halts every hosted job and backend.
+func (s *Service) Stop() {
+	for _, id := range s.order {
+		s.jobs[id].Stop()
+	}
+	s.started = false
+}
+
+// Run advances virtual time by d for every hosted job.
+func (s *Service) Run(d time.Duration) { s.Eng.RunFor(d) }
+
+// Now returns the current virtual time from the start of the run.
+func (s *Service) Now() time.Duration { return time.Duration(s.Eng.Now()) }
+
+// dispatch fans one event out to every live subscription, in subscribe
+// order.
+func (s *Service) dispatch(e Event) {
+	for _, st := range s.streams {
+		if !st.closed && st.filter.matches(e) {
+			st.deliver(e)
+		}
+	}
+}
+
+// resolveJob maps a query's job field to a handle; empty means "the sole
+// hosted job" and is an error when the service hosts several.
+func (s *Service) resolveJob(id JobID) (*JobHandle, error) {
+	if id == "" {
+		if len(s.order) == 1 {
+			return s.jobs[s.order[0]], nil
+		}
+		return nil, fmt.Errorf("mycroft: query needs a Job id (service hosts %d jobs)", len(s.order))
+	}
+	h, ok := s.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("mycroft: no job %q", id)
+	}
+	return h, nil
+}
+
+// selectJobs resolves a multi-job filter: nil/empty = every job, else the
+// named jobs in arrival order.
+func (s *Service) selectJobs(ids []JobID) ([]*JobHandle, error) {
+	if len(ids) == 0 {
+		out := make([]*JobHandle, 0, len(s.order))
+		for _, id := range s.order {
+			out = append(out, s.jobs[id])
+		}
+		return out, nil
+	}
+	want := make(map[JobID]bool, len(ids))
+	for _, id := range ids {
+		if _, ok := s.jobs[id]; !ok {
+			return nil, fmt.Errorf("mycroft: no job %q", id)
+		}
+		want[id] = true
+	}
+	var out []*JobHandle
+	for _, id := range s.order {
+		if want[id] {
+			out = append(out, s.jobs[id])
+		}
+	}
+	return out, nil
+}
+
+// JobHandle is one hosted job: the simulated training run, its trace store
+// and its analysis backend.
+type JobHandle struct {
+	ID      JobID
+	Job     *train.Job
+	Backend *core.Backend
+
+	svc     *Service
+	started bool
+}
+
+// Start launches the job's training script and backend (idempotent).
+func (h *JobHandle) Start() {
+	if h.started {
+		return
+	}
+	h.started = true
+	h.svc.dispatch(Event{Job: h.ID, Kind: EventLifecycle, At: h.svc.Now(), Phase: PhaseJobStarted})
+	h.Job.Start()
+	h.Backend.Start()
+}
+
+// Stop halts the job and its backend (idempotent).
+func (h *JobHandle) Stop() {
+	if !h.started {
+		return
+	}
+	h.started = false
+	h.Backend.Stop()
+	h.Job.Stop()
+	h.svc.dispatch(Event{Job: h.ID, Kind: EventLifecycle, At: h.svc.Now(), Phase: PhaseJobStopped})
+}
+
+// Inject schedules a fault on this job.
+func (h *JobHandle) Inject(f Fault) { faults.Inject(h.Job, f) }
+
+// InjectPlan schedules a whole programmatic injection plan.
+func (h *JobHandle) InjectPlan(p faults.Plan) { p.Inject(h.Job) }
+
+// Recover schedules the undo of a recoverable fault (see faults.Recover).
+func (h *JobHandle) Recover(f Fault) { faults.Recover(h.Job, f) }
+
+// WorldSize returns the number of ranks in this job's cluster.
+func (h *JobHandle) WorldSize() int { return h.Job.Cluster.WorldSize() }
+
+// RecordsIngested returns how many trace records reached this job's store.
+func (h *JobHandle) RecordsIngested() uint64 { return h.Job.DB.Ingested() }
+
+// StoreStats reports the job's sharded trace-store counters.
+func (h *JobHandle) StoreStats() clouddb.Stats { return h.Job.DB.Stats() }
+
+// Triggers returns every Algorithm 1 firing so far.
+func (h *JobHandle) Triggers() []Trigger { return h.Backend.Triggers() }
+
+// Reports returns every Algorithm 2 verdict so far.
+func (h *JobHandle) Reports() []Report { return h.Backend.Reports() }
+
+// Triage runs the Fig. 6 integration pipeline (py-spy → Flight Recorder →
+// Mycroft) over the latest report and returns the combined verdict source,
+// suspect rank and summary.
+func (h *JobHandle) Triage() (source string, rank Rank, summary string, ok bool) {
+	reps := h.Backend.Reports()
+	if len(reps) == 0 {
+		return "", -1, "", false
+	}
+	v := experiments.Triage(h.Job, reps[len(reps)-1], h.svc.Eng.Now())
+	return v.Source, v.Rank, v.Summary, true
+}
