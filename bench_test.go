@@ -16,6 +16,7 @@ import (
 	"mycroft"
 	"mycroft/internal/clouddb"
 	"mycroft/internal/core"
+	"mycroft/internal/depgraph"
 	"mycroft/internal/experiments"
 	"mycroft/internal/faults"
 	"mycroft/internal/scenario"
@@ -97,6 +98,72 @@ func BenchmarkQueryWindow(b *testing.B) {
 			if len(got) == 0 {
 				b.Fatal("empty window")
 			}
+		}
+	})
+}
+
+// BenchmarkDepGraphBuild compares the two ways to answer a trigger's
+// dependency questions (where is this rank stuck, who is blocked by whom)
+// over a long-retention store:
+//
+//   - incremental: the depgraph frontier is maintained as batches ingest, so
+//     each trigger costs only the graph walk;
+//   - rescan-baseline: rebuild the frontier from the trace store on every
+//     trigger — the pattern the pre-depgraph RCA used, cost proportional to
+//     retained history instead of to the answer.
+func BenchmarkDepGraphBuild(b *testing.B) {
+	const ranks, hz, secs = 32, 10, 600
+	mkBatch := func(s int) []trace.Record {
+		ts := sim.Time(time.Duration(s) * 100 * time.Millisecond)
+		batch := make([]trace.Record, 0, ranks)
+		for r := topo.Rank(0); r < ranks; r++ {
+			kind := trace.KindState
+			if s%4 == 3 {
+				kind = trace.KindCompletion
+			}
+			stuck := int64(0)
+			if s > secs*hz-100 { // the last ~10 s: everything wedges mid-op
+				kind = trace.KindState
+				stuck = int64(time.Duration(s-(secs*hz-100)) * 100 * time.Millisecond)
+			}
+			batch = append(batch, trace.Record{
+				Kind: kind, Time: ts, Rank: r, CommID: uint64(r%4 + 1), IP: "10.0.0.1",
+				Op: trace.OpAllReduce, OpSeq: uint64(s / 8), TotalChunks: 128, GPUReady: 64,
+				RDMATransmitted: 60, RDMADone: 58, StuckNs: stuck,
+			})
+		}
+		return batch
+	}
+	eng := sim.NewEngine(1)
+	db := clouddb.New(eng, 0)
+	live := depgraph.New()
+	db.AddIngestObserver(live.ObserveBatch)
+	for s := 0; s < secs*hz; s++ {
+		db.Ingest(mkBatch(s))
+	}
+	now := sim.Time(time.Duration(secs) * time.Second)
+	from := now.Add(-5 * time.Second)
+
+	query := func(b *testing.B, g *depgraph.Graph) {
+		if _, ok := g.StuckComm(1, 0, from, now); !ok {
+			b.Fatal("no stuck comm")
+		}
+		if len(g.Victims(1)) == 0 {
+			b.Fatal("no victims")
+		}
+	}
+	b.Run("incremental", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			query(b, live)
+		}
+	})
+	b.Run("rescan-baseline", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			g := depgraph.New()
+			db.Replay(g.Observe)
+			query(b, g)
 		}
 	})
 }

@@ -4,6 +4,12 @@
 // machine at the end of the run, shard occupancy, and optionally the full
 // record stream of one rank (fetched in pages, the way an operator console
 // would).
+//
+// The "graph" subcommand (mycroft-trace graph [flags]) instead exports the
+// job's live dependency graph as Graphviz dot on stdout, with the latest
+// verdict's causal chain and blast radius on stderr:
+//
+//	mycroft-trace graph -fault nic-down -rank 5 | dot -Tsvg > deps.svg
 package main
 
 import (
@@ -27,7 +33,12 @@ func main() {
 		pageSize  = flag.Int("page", 512, "query page size for the dump")
 		seed      = flag.Int64("seed", 1, "simulation seed")
 	)
-	flag.Parse()
+	args := os.Args[1:]
+	graphMode := len(args) > 0 && args[0] == "graph"
+	if graphMode {
+		args = args[1:]
+	}
+	flag.CommandLine.Parse(args)
 
 	svc := mycroft.NewService(mycroft.ServiceOptions{Seed: *seed})
 	job, err := svc.AddJob("trace", mycroft.JobOptions{})
@@ -42,6 +53,23 @@ func main() {
 	svc.Run(*horizon)
 	db := job.Job.DB
 	now := svc.Now()
+
+	if graphMode {
+		// DOT on stdout (pipe into Graphviz); the verdict's chain and blast
+		// radius on stderr so the pipe stays clean.
+		fmt.Print(job.DependencyDOT())
+		if reps := job.Reports(); len(reps) > 0 {
+			last := reps[len(reps)-1]
+			fmt.Fprintf(os.Stderr, "verdict: %v\n", last)
+			for i, h := range last.Chain {
+				fmt.Fprintf(os.Stderr, "  hop %d: %v\n", i, h)
+			}
+			if br, err := svc.BlastRadius(job.ID, last.Suspect); err == nil {
+				fmt.Fprintf(os.Stderr, "blast radius now: %v\n", br)
+			}
+		}
+		return
+	}
 
 	st := job.StoreStats()
 	fmt.Printf("trace store after %v: %d records live, %.1f MB ingested, %d pruned, %d shards\n",

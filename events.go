@@ -69,6 +69,15 @@ type EventFilter struct {
 	// Categories restricts to reports with one of these verdicts; setting
 	// it implies reports-only.
 	Categories []Category
+	// Victims restricts to reports whose blast radius — the suspect plus
+	// Report.Victims — includes one of these ranks; setting it implies
+	// reports-only. Use it to watch "anything that takes rank N down with
+	// it", which Ranks (suspect-only) cannot express.
+	Victims []Rank
+	// MinChain restricts to reports whose causal chain has at least this
+	// many hops; setting it > 0 implies reports-only. MinChain 2 selects
+	// exactly the cross-communicator cascades.
+	MinChain int
 	// From and To bound the event's virtual time, inclusive. To 0 means
 	// unbounded.
 	From, To time.Duration
@@ -97,6 +106,23 @@ func (f EventFilter) matches(e Event) bool {
 	}
 	if len(f.Categories) > 0 {
 		if e.Report == nil || !slices.Contains(f.Categories, e.Report.Category) {
+			return false
+		}
+	}
+	if len(f.Victims) > 0 {
+		if e.Report == nil {
+			return false
+		}
+		hit := slices.Contains(f.Victims, e.Report.Suspect)
+		for _, v := range f.Victims {
+			hit = hit || slices.Contains(e.Report.Victims, v)
+		}
+		if !hit {
+			return false
+		}
+	}
+	if f.MinChain > 0 {
+		if e.Report == nil || len(e.Report.Chain) < f.MinChain {
 			return false
 		}
 	}

@@ -64,6 +64,8 @@ type DB struct {
 
 	ingested      uint64 // records
 	bytesIngested uint64
+
+	observers []func([]trace.Record)
 }
 
 // New creates a DB with the given retention horizon (0 = keep forever) and
@@ -154,6 +156,38 @@ func (db *DB) Ingest(batch []trace.Record) {
 	db.ingested += uint64(len(batch))
 	db.bytesIngested += uint64(len(batch)) * trace.WireSize
 	db.prune(touched)
+	for _, fn := range db.observers {
+		fn(batch)
+	}
+}
+
+// AddIngestObserver registers fn to run on every batch, after it is stored
+// and pruning has run. The dependency graph subscribes here so it is
+// maintained as records arrive instead of re-scanning the store per trigger.
+// Observers must not retain the batch slice. The returned func unregisters
+// the observer; an observer never removed lives (and costs O(batch) per
+// ingest) as long as the DB does.
+func (db *DB) AddIngestObserver(fn func([]trace.Record)) (remove func()) {
+	db.observers = append(db.observers, fn)
+	idx := len(db.observers) - 1
+	return func() {
+		if idx >= 0 {
+			db.observers[idx] = func([]trace.Record) {}
+			idx = -1
+		}
+	}
+}
+
+// Replay feeds every live record to fn, ranks in ascending order and each
+// rank's records in ingestion (= emission) order. Observers attached after
+// ingest began bootstrap from this; per-rank order is the only ordering
+// invariant the store guarantees, and Replay preserves it.
+func (db *DB) Replay(fn func(trace.Record)) {
+	for _, r := range db.Ranks() {
+		for _, rec := range db.series(r).recs {
+			fn(rec)
+		}
+	}
 }
 
 // prune drops records older than the retention horizon from the touched

@@ -264,3 +264,51 @@ func TestShardsAccessor(t *testing.T) {
 		t.Fatalf("Shards = %d, want 3", got)
 	}
 }
+
+// TestIngestObserverAndReplay covers the dependency-graph hook points:
+// observers see every batch after it is stored, and Replay feeds the full
+// live history rank by rank in ingestion order.
+func TestIngestObserverAndReplay(t *testing.T) {
+	eng := sim.NewEngine(1)
+	db := New(eng, 0)
+	var seen []trace.Record
+	db.AddIngestObserver(func(batch []trace.Record) {
+		seen = append(seen, batch...)
+	})
+	db.Ingest([]trace.Record{
+		rec(3, 1, 100, trace.KindState),
+		rec(5, 1, 100, trace.KindState),
+	})
+	db.Ingest([]trace.Record{rec(3, 1, 200, trace.KindCompletion)})
+	if len(seen) != 3 {
+		t.Fatalf("observer saw %d records, want 3", len(seen))
+	}
+
+	var replayed []trace.Record
+	db.Replay(func(r trace.Record) { replayed = append(replayed, r) })
+	if len(replayed) != 3 {
+		t.Fatalf("replayed %d records, want 3", len(replayed))
+	}
+	// Ranks ascend; per-rank order is ingestion order.
+	if replayed[0].Rank != 3 || replayed[1].Rank != 3 || replayed[2].Rank != 5 {
+		t.Fatalf("replay order: %v", replayed)
+	}
+	if replayed[0].Time != 100 || replayed[1].Time != 200 {
+		t.Fatalf("per-rank replay order broken: %v", replayed)
+	}
+
+	// A second observer attaches independently and can be removed; removal
+	// must not disturb the first observer.
+	n := 0
+	remove := db.AddIngestObserver(func(batch []trace.Record) { n += len(batch) })
+	db.Ingest([]trace.Record{rec(5, 1, 300, trace.KindState)})
+	if n != 1 || len(seen) != 4 {
+		t.Fatalf("multi-observer dispatch: n=%d seen=%d", n, len(seen))
+	}
+	remove()
+	remove() // idempotent
+	db.Ingest([]trace.Record{rec(5, 1, 400, trace.KindState)})
+	if n != 1 || len(seen) != 5 {
+		t.Fatalf("after remove: n=%d seen=%d", n, len(seen))
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"mycroft/internal/clouddb"
+	"mycroft/internal/depgraph"
 	"mycroft/internal/sim"
 	"mycroft/internal/stats"
 	"mycroft/internal/topo"
@@ -45,6 +46,7 @@ func countTrue(h []bool) int {
 type Backend struct {
 	eng     *sim.Engine
 	db      *clouddb.DB
+	graph   *depgraph.Graph
 	cfg     Config
 	sampled []topo.Rank
 	state   map[topo.Rank]*rankState
@@ -76,7 +78,13 @@ func NewBackend(eng *sim.Engine, db *clouddb.DB, sampled []topo.Rank, cfg Config
 		panic("core: no sampled ranks")
 	}
 	cfg = cfg.withDefaults()
-	b := &Backend{eng: eng, db: db, cfg: cfg, sampled: sampled, state: make(map[topo.Rank]*rankState)}
+	b := &Backend{eng: eng, db: db, graph: depgraph.New(), cfg: cfg, sampled: sampled, state: make(map[topo.Rank]*rankState)}
+	// The dependency graph is maintained as records ingest; anything already
+	// stored bootstraps it so a backend attached mid-run sees history too.
+	// The observer stays attached for the store's lifetime (Stop only pauses
+	// trigger evaluation), so build at most one backend per DB.
+	db.Replay(b.graph.Observe)
+	db.AddIngestObserver(b.graph.ObserveBatch)
 	for _, r := range sampled {
 		b.state[r] = &rankState{
 			tpBaseline:  stats.NewRollingRate(0.3),
@@ -91,6 +99,10 @@ func (b *Backend) Sampled() []topo.Rank { return append([]topo.Rank(nil), b.samp
 
 // Config returns the effective configuration.
 func (b *Backend) Config() Config { return b.cfg }
+
+// Graph returns the incrementally maintained dependency graph — the service
+// layer's QueryDependencies/BlastRadius and the DOT export read it.
+func (b *Backend) Graph() *depgraph.Graph { return b.graph }
 
 // Triggers returns all trigger firings so far.
 func (b *Backend) Triggers() []Trigger { return append([]Trigger(nil), b.triggers...) }
@@ -247,13 +259,11 @@ func (b *Backend) evaluateRank(rank topo.Rank, t sim.Time) (Trigger, bool) {
 }
 
 // implicatedComm picks the communicator a rank's freshest logs point at:
-// the in-flight op's comm if state logs exist, else the last record's.
+// the in-flight op's comm if state logs exist (a dependency-graph frontier
+// lookup), else the last record's.
 func (b *Backend) implicatedComm(rank topo.Rank, t sim.Time) uint64 {
-	recs := b.db.QueryRank(rank, t.Add(-b.cfg.Window), t)
-	for i := len(recs) - 1; i >= 0; i-- {
-		if recs[i].Kind == trace.KindState {
-			return recs[i].CommID
-		}
+	if comm, ok := b.graph.StuckComm(rank, 0, t.Add(-b.cfg.Window), t); ok {
+		return comm
 	}
 	if last, ok := b.db.LastRecord(rank, 0, t); ok {
 		return last.CommID

@@ -7,8 +7,10 @@ package core
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
+	"mycroft/internal/depgraph"
 	"mycroft/internal/sim"
 	"mycroft/internal/topo"
 )
@@ -92,6 +94,25 @@ const (
 	ViaNone         Via = "none"
 )
 
+// Hop is one step of the cross-communicator dependency chase: the
+// communicator analyzed, the suspect it yielded there, how (Via), and the
+// dependency-graph edge kind that led to the next hop ("" marks the
+// terminal hop — the root cause, or where the trail went cold).
+type Hop struct {
+	Comm    uint64
+	Suspect topo.Rank
+	Via     Via
+	Edge    depgraph.EdgeKind
+}
+
+func (h Hop) String() string {
+	s := fmt.Sprintf("comm %d/rank %d (%s)", h.Comm, h.Suspect, h.Via)
+	if h.Edge != "" {
+		s += fmt.Sprintf(" -%s->", h.Edge)
+	}
+	return s
+}
+
 // Report is the outcome of root cause analysis.
 type Report struct {
 	Trigger    Trigger
@@ -102,11 +123,29 @@ type Report struct {
 	Via        Via
 	AnalyzedAt sim.Time
 	Details    string
+	// Chain is the causal path the analysis walked, trigger communicator
+	// first, root-cause communicator last. A single-hop chain means the
+	// verdict was reached on the trigger's own communicator.
+	Chain []Hop
+	// Victims is the blast radius: every rank the dependency graph shows
+	// transitively blocked by the suspect (suspect excluded, sorted).
+	Victims []topo.Rank
 }
 
 func (r Report) String() string {
-	return fmt.Sprintf("[%v] root cause: rank %d (%s) %s via %s on comm %d — %s",
+	s := fmt.Sprintf("[%v] root cause: rank %d (%s) %s via %s on comm %d — %s",
 		r.AnalyzedAt, r.Suspect, r.SuspectIP, r.Category, r.Via, r.CommID, r.Details)
+	if len(r.Chain) > 1 {
+		hops := make([]string, len(r.Chain))
+		for i, h := range r.Chain {
+			hops[i] = h.String()
+		}
+		s += "; chain " + strings.Join(hops, " ")
+	}
+	if len(r.Victims) > 0 {
+		s += fmt.Sprintf("; victims %v", r.Victims)
+	}
+	return s
 }
 
 // Config tunes the backend. Zero values take the paper's defaults.

@@ -325,6 +325,131 @@ func TestRCAMinOpNotLaunched(t *testing.T) {
 	}
 }
 
+func TestRCAChainAndVictims(t *testing.T) {
+	f := newFixture(t, []topo.Rank{0}, Config{})
+	// Comm 7 (DP): rank 1 finished seq 4, peers stuck at 5 → rank 1 lags.
+	f.completion(1, 7, 4, sec(3), sec(4), 1<<30)
+	f.eng.RunUntil(sec(10))
+	for _, r := range []topo.Rank{0, 2, 3} {
+		f.state(r, 7, 5, sec(10), 0, 100, 10, 10, 10, 4*time.Second)
+	}
+	// Comm 9 (rank 1's TP group): the true root cause; rank 5 is a victim.
+	f.state(1, 9, 2, sec(10), 0, 50, 12, 12, 8, 5*time.Second)
+	f.state(5, 9, 2, sec(10), 0, 50, 16, 12, 12, 4*time.Second)
+	rep := f.b.AnalyzeFailure(stuckTrigger(f, 7))
+
+	if len(rep.Chain) != 2 {
+		t.Fatalf("chain = %+v", rep.Chain)
+	}
+	if rep.Chain[0] != (Hop{Comm: 7, Suspect: 1, Via: ViaMinOp, Edge: "nested-comm"}) {
+		t.Fatalf("hop 0 = %+v", rep.Chain[0])
+	}
+	if rep.Chain[1] != (Hop{Comm: 9, Suspect: 1, Via: ViaMinData}) {
+		t.Fatalf("hop 1 = %+v", rep.Chain[1])
+	}
+	// Blast radius: DP peers 0,2,3 and TP peer 5 — every rank transitively
+	// blocked by rank 1.
+	want := []topo.Rank{0, 2, 3, 5}
+	if len(rep.Victims) != len(want) {
+		t.Fatalf("victims = %v, want %v", rep.Victims, want)
+	}
+	for i := range want {
+		if rep.Victims[i] != want[i] {
+			t.Fatalf("victims = %v, want %v", rep.Victims, want)
+		}
+	}
+	if s := rep.String(); !strings.Contains(s, "chain") || !strings.Contains(s, "victims") {
+		t.Fatalf("report string lacks chain/victims: %s", s)
+	}
+}
+
+// TestRCACycleTerminates pins the chase's cycle guard: two communicators
+// each blaming a rank that is visibly stuck inside the other must terminate
+// via the visited set (and never exceed ChaseDepth).
+func TestRCACycleTerminates(t *testing.T) {
+	f := newFixture(t, []topo.Rank{0}, Config{})
+	// Comm 7: rank 1 lags at a completion; peers in flight at 5.
+	f.completion(1, 7, 4, sec(3), sec(4), 1<<30)
+	// Comm 9: rank 2 lags at a completion; peers in flight at 3.
+	f.completion(2, 9, 2, sec(3.5), sec(4.5), 1<<30)
+	f.eng.RunUntil(sec(10))
+	for _, r := range []topo.Rank{0, 3} {
+		f.state(r, 7, 5, sec(10), 0, 100, 10, 10, 10, 4*time.Second)
+	}
+	// Rank 1 is stuck inside comm 9 → chase hops 7 → 9.
+	f.state(1, 9, 3, sec(10), 0, 50, 12, 12, 12, 4*time.Second)
+	// Comm 9's laggard (rank 2) is stuck inside comm 7 → the chase would hop
+	// back to 7, which visited must refuse.
+	f.state(2, 7, 5, sec(9.9), 0, 100, 10, 10, 10, 4*time.Second)
+
+	rep := f.b.AnalyzeFailure(stuckTrigger(f, 7))
+	if len(rep.Chain) != 2 {
+		t.Fatalf("cycle did not terminate after 2 hops: %+v", rep.Chain)
+	}
+	if rep.Chain[0].Comm != 7 || rep.Chain[1].Comm != 9 {
+		t.Fatalf("chain = %+v", rep.Chain)
+	}
+	// The terminal verdict stands on comm 9 even though its suspect points
+	// back into comm 7.
+	if rep.CommID != 9 || rep.Suspect != 2 {
+		t.Fatalf("report = %+v", rep)
+	}
+	// The refused back-hop still records its edge kind: the trail was cut by
+	// visited, not by a missing dependency.
+	if rep.Chain[1].Edge != "nested-comm" {
+		t.Fatalf("terminal hop edge = %q", rep.Chain[1].Edge)
+	}
+}
+
+// TestRCACycleRespectsChaseDepth drives a longer chain than ChaseDepth
+// allows and checks the bound.
+func TestRCACycleRespectsChaseDepth(t *testing.T) {
+	f := newFixture(t, []topo.Rank{0}, Config{ChaseDepth: 2})
+	f.eng.RunUntil(sec(10))
+	// Comms 7→9→11→13: in each, rank (comm-6) lags via completion and is in
+	// flight on the next comm.
+	for _, c := range []uint64{7, 9, 11} {
+		lag := topo.Rank(c - 6)
+		f.completion(lag, c, 4, sec(3), sec(4), 1<<30)
+	}
+	f.db.Ingest([]trace.Record{
+		{Kind: trace.KindState, Time: sec(10), IP: ipOf(0), CommID: 7, Rank: 0, Op: trace.OpAllReduce, OpSeq: 5, TotalChunks: 100, GPUReady: 10, RDMATransmitted: 10, RDMADone: 10, StuckNs: int64(4 * time.Second)},
+		{Kind: trace.KindState, Time: sec(10), IP: ipOf(1), CommID: 9, Rank: 1, Op: trace.OpAllReduce, OpSeq: 5, TotalChunks: 100, GPUReady: 10, RDMATransmitted: 10, RDMADone: 10, StuckNs: int64(4 * time.Second)},
+		{Kind: trace.KindState, Time: sec(10), IP: ipOf(3), CommID: 11, Rank: 3, Op: trace.OpAllReduce, OpSeq: 5, TotalChunks: 100, GPUReady: 10, RDMATransmitted: 10, RDMADone: 10, StuckNs: int64(4 * time.Second)},
+		{Kind: trace.KindState, Time: sec(10), IP: ipOf(5), CommID: 13, Rank: 5, Op: trace.OpAllReduce, OpSeq: 5, TotalChunks: 100, GPUReady: 10, RDMATransmitted: 10, RDMADone: 8, StuckNs: int64(5 * time.Second)},
+	})
+	rep := f.b.AnalyzeFailure(stuckTrigger(f, 7))
+	if len(rep.Chain) > 2 {
+		t.Fatalf("ChaseDepth 2 exceeded: %+v", rep.Chain)
+	}
+}
+
+// TestStragglerTieBreakDeterministic is the regression for the lateRanks
+// ordering: two ranks with identical late counts must always convict the
+// lower rank, run after run.
+func TestStragglerTieBreakDeterministic(t *testing.T) {
+	for run := 0; run < 20; run++ {
+		f := newFixture(t, []topo.Rank{0}, Config{StragglerLate: time.Second, LateCount: 3})
+		// 4 ranks, 6 iterations; ranks 1 and 3 both start 2 s late every time.
+		for i := 0; i < 6; i++ {
+			base := sec(float64(3 * i))
+			for r := topo.Rank(0); r < 4; r++ {
+				start := base
+				if r == 1 || r == 3 {
+					start = base.Add(2 * time.Second)
+				}
+				f.completion(r, 7, uint64(i), start, start.Add(500*time.Millisecond), 1<<30)
+			}
+		}
+		f.eng.RunUntil(sec(18))
+		tr := Trigger{Kind: TriggerStraggler, Rank: 0, IP: ipOf(0), At: sec(18), CommID: 7}
+		rep := f.b.AnalyzeStraggler(tr)
+		if rep.Suspect != 1 {
+			t.Fatalf("run %d: suspect = %d, want 1 (deterministic tie-break)", run, rep.Suspect)
+		}
+	}
+}
+
 func TestRCAChasesAcrossComms(t *testing.T) {
 	f := newFixture(t, []topo.Rank{0}, Config{})
 	// Comm 7 (DP): rank 1 finished seq 4, peers stuck at 5 → rank 1 lags.

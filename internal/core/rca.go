@@ -17,7 +17,9 @@ import (
 // When the suspect never launched the blocked op, the cause lives in another
 // dependency: either outside the CCL entirely, or inside a *different*
 // communicator the suspect is stuck on (nested parallelism groups). The
-// analysis chases that dependency across communicators up to ChaseDepth.
+// analysis chases that dependency across the maintained dependency graph up
+// to ChaseDepth, recording every hop in Report.Chain and the suspect's
+// transitive blast radius in Report.Victims.
 func (b *Backend) AnalyzeFailure(tr Trigger) Report {
 	t := tr.At
 	visited := map[uint64]bool{}
@@ -35,6 +37,7 @@ func (b *Backend) AnalyzeFailure(tr Trigger) Report {
 		rep.Via = via
 		rep.Category = cat
 		rep.Details = details
+		rep.Chain = append(rep.Chain, Hop{Comm: commID, Suspect: suspect, Via: via})
 		if suspect < 0 {
 			break
 		}
@@ -42,16 +45,27 @@ func (b *Backend) AnalyzeFailure(tr Trigger) Report {
 		if cat != CatNotLaunched {
 			break
 		}
-		// The suspect never joined this comm's op. If it is visibly stuck
-		// inside another communicator, the true root cause is there.
-		next := b.inFlightComm(suspect, t, commID)
-		if next == 0 {
+		// The suspect never joined this comm's op. If the graph shows it
+		// visibly stuck inside another communicator, the true root cause is
+		// there.
+		next, ok := b.graph.StuckComm(suspect, commID, t.Add(-b.cfg.Window), t)
+		if !ok {
 			break // outside the CCL: hand off to py-spy / Flight Recorder
 		}
+		rep.Chain[len(rep.Chain)-1].Edge = b.graph.HopKind(suspect, next)
 		commID = next
 	}
+	b.fillVictims(&rep)
 	rep.AnalyzedAt = b.eng.Now()
 	return rep
+}
+
+// fillVictims attaches the suspect's blast radius from the dependency graph.
+func (b *Backend) fillVictims(rep *Report) {
+	if rep.Suspect < 0 {
+		return
+	}
+	rep.Victims = b.graph.Victims(rep.Suspect)
 }
 
 // analyzeCommFailure analyzes one communicator's stuck state.
@@ -186,49 +200,32 @@ func (b *Backend) checkRCTable(r topo.Rank, commID uint64, t sim.Time) (Category
 	}
 }
 
-// inFlightComm finds a communicator (other than exclude) the rank has fresh
-// state logs on — i.e. an op it is visibly stuck inside.
-func (b *Backend) inFlightComm(r topo.Rank, t sim.Time, exclude uint64) uint64 {
-	recs := b.db.QueryRank(r, t.Add(-b.cfg.Window), t)
-	for i := len(recs) - 1; i >= 0; i-- {
-		rec := recs[i]
-		if rec.Kind == trace.KindState && rec.CommID != exclude {
-			return rec.CommID
-		}
-	}
-	return 0
-}
-
-// inFlightCommDuring finds a communicator (≠ exclude) the rank was visibly
-// executing an op on during (from, to] — evidence that a late start was
-// dependency-induced rather than compute-induced.
-func (b *Backend) inFlightCommDuring(r topo.Rank, from, to sim.Time, exclude uint64) uint64 {
-	for _, rec := range b.db.QueryRank(r, from, to) {
-		if rec.Kind == trace.KindState && rec.CommID != exclude {
-			return rec.CommID
-		}
-	}
-	return 0
-}
-
 // AnalyzeStraggler is Algorithm 2's AnalyzeStragglerRootCause plus the
 // flow-pressure analysis that chunk-level tracing makes possible: first look
 // for a rank with constant late starts (compute-side straggler); failing
 // that, find the flow whose NIC queue stays occupied (network degrade) or
-// whose staging is the bottleneck (PCIe degrade).
+// whose staging is the bottleneck (PCIe degrade). Cross-communicator chases
+// walk the dependency graph and are recorded in Report.Chain.
 func (b *Backend) AnalyzeStraggler(tr Trigger) Report {
-	rep := b.analyzeStragglerComm(tr, tr.CommID, map[uint64]bool{})
+	rep := b.analyzeStragglerComm(tr, tr.CommID, map[uint64]bool{}, nil)
+	b.fillVictims(&rep)
 	rep.AnalyzedAt = b.eng.Now()
 	return rep
 }
 
-func (b *Backend) analyzeStragglerComm(tr Trigger, commID uint64, visited map[uint64]bool) Report {
+// analyzeStragglerComm analyzes one communicator. chain carries the hops
+// already walked; each recursion level appends its own hop, so the returned
+// report's Chain reads trigger comm first, verdict comm last. chain is
+// always appended through appendHop (which copies), so sibling speculative
+// chases never alias one another's backing array.
+func (b *Backend) analyzeStragglerComm(tr Trigger, commID uint64, visited map[uint64]bool, chain []Hop) Report {
 	t := tr.At
 	visited[commID] = true
 	rep := Report{Trigger: tr, CommID: commID, Category: CatUnknown, Via: ViaNone, AnalyzedAt: t, Suspect: -1}
 	group := b.db.QueryGroup(commID, t.Add(-b.cfg.StragglerWindow), t)
 	if len(group) == 0 {
 		rep.Details = "no group logs in straggler window"
+		rep.Chain = appendHop(chain, Hop{Comm: commID, Suspect: -1, Via: ViaNone})
 		rep.AnalyzedAt = b.eng.Now()
 		return rep
 	}
@@ -291,14 +288,24 @@ func (b *Backend) analyzeStragglerComm(tr Trigger, commID uint64, visited map[ui
 		}
 	}
 	if len(lateRanks) > 0 {
-		sort.Slice(lateRanks, func(i, j int) bool { return late[lateRanks[i]] > late[lateRanks[j]] })
+		// Order by late count, rank breaking ties: the slice is populated
+		// from map iteration, so without the tie-break equal-count ranks
+		// would flip between identical runs.
+		sort.Slice(lateRanks, func(i, j int) bool {
+			ni, nj := late[lateRanks[i]], late[lateRanks[j]]
+			if ni != nj {
+				return ni > nj
+			}
+			return lateRanks[i] < lateRanks[j]
+		})
 		r := lateRanks[0]
 		// A rank that starts late because it is still INSIDE another
 		// collective is a victim, not the cause: chase the dependency into
 		// that communicator (nested parallelism groups, §3.1).
 		if g, ok := lastGap[r]; ok && len(visited) < b.cfg.ChaseDepth {
-			if busy := b.inFlightCommDuring(r, g.from, g.to, commID); busy != 0 && !visited[busy] {
-				return b.analyzeStragglerComm(tr, busy, visited)
+			if busy, ok := b.graph.StuckCommDuring(r, g.from, g.to, commID); ok && !visited[busy] {
+				hop := Hop{Comm: commID, Suspect: r, Via: ViaLateStart, Edge: b.graph.HopKind(r, busy)}
+				return b.analyzeStragglerComm(tr, busy, visited, appendHop(chain, hop))
 			}
 		}
 		rep.Suspect = r
@@ -306,6 +313,7 @@ func (b *Backend) analyzeStragglerComm(tr Trigger, commID uint64, visited map[ui
 		rep.Category = CatComputeStraggler
 		rep.Via = ViaLateStart
 		rep.Details = fmt.Sprintf("late start (> %v) in %d/%d ops", b.cfg.StragglerLate, late[r], seqs)
+		rep.Chain = appendHop(chain, Hop{Comm: commID, Suspect: r, Via: ViaLateStart})
 		rep.AnalyzedAt = b.eng.Now()
 		return rep
 	}
@@ -321,8 +329,9 @@ func (b *Backend) analyzeStragglerComm(tr Trigger, commID uint64, visited map[ui
 			}
 		}
 		if g, ok := lastGap[r]; ok {
-			if busy := b.inFlightCommDuring(r, g.from, g.to, commID); busy != 0 && !visited[busy] {
-				if sub := b.analyzeStragglerComm(tr, busy, visited); sub.Suspect >= 0 {
+			if busy, ok := b.graph.StuckCommDuring(r, g.from, g.to, commID); ok && !visited[busy] {
+				hop := Hop{Comm: commID, Suspect: r, Via: ViaLateStart, Edge: b.graph.HopKind(r, busy)}
+				if sub := b.analyzeStragglerComm(tr, busy, visited, appendHop(chain, hop)); sub.Suspect >= 0 {
 					return sub
 				}
 			}
@@ -366,6 +375,7 @@ func (b *Backend) analyzeStragglerComm(tr Trigger, commID uint64, visited map[ui
 		rep.Category = CatNetworkDegrade
 		rep.Via = ViaFlowPressure
 		rep.Details = fmt.Sprintf("NIC queue occupied in %.0f%% of state snapshots", 100*bestFrac)
+		rep.Chain = appendHop(chain, Hop{Comm: commID, Suspect: best, Via: ViaFlowPressure})
 		rep.AnalyzedAt = b.eng.Now()
 		return rep
 	}
@@ -385,10 +395,20 @@ func (b *Backend) analyzeStragglerComm(tr Trigger, commID uint64, visited map[ui
 		rep.Category = CatPCIeDegrade
 		rep.Via = ViaFlowPressure
 		rep.Details = fmt.Sprintf("staging-bound in %.0f%% of state snapshots", 100*bestFrac)
+		rep.Chain = appendHop(chain, Hop{Comm: commID, Suspect: best, Via: ViaFlowPressure})
 		rep.AnalyzedAt = b.eng.Now()
 		return rep
 	}
 	rep.Details = "no straggler pattern matched"
+	rep.Chain = appendHop(chain, Hop{Comm: commID, Suspect: -1, Via: ViaNone})
 	rep.AnalyzedAt = b.eng.Now()
 	return rep
+}
+
+// appendHop copies-then-appends so recursive chases never share a chain's
+// backing array.
+func appendHop(chain []Hop, h Hop) []Hop {
+	out := make([]Hop, len(chain), len(chain)+1)
+	copy(out, chain)
+	return append(out, h)
 }

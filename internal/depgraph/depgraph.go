@@ -1,0 +1,485 @@
+// Package depgraph maintains the per-job op-level dependency graph the
+// paper's dependency-tracing analysis walks: nodes are (rank, communicator,
+// op_seq) states reconstructed from Coll-level trace records, and edges are
+// the three dependency kinds of §3.1 —
+//
+//   - barrier waits inside one communicator (a member that launched op k is
+//     held at the collective's implicit barrier by a member still behind),
+//   - pipeline send/recv order (the same wait inside a SendRecv
+//     communicator, where the order is the pipeline schedule), and
+//   - inter-communicator nesting (a rank never launches comm A's next op
+//     because it is visibly stuck inside comm B — nested parallelism
+//     groups).
+//
+// The graph is updated incrementally as records ingest into the cloud store
+// (O(1) map work per record), so root cause analysis walks an
+// already-materialized frontier instead of re-scanning the trace database on
+// every trigger. All queries iterate in sorted order and every tie-break is
+// explicit, so walks reproduce bit-for-bit from a seed.
+package depgraph
+
+import (
+	"sort"
+
+	"mycroft/internal/sim"
+	"mycroft/internal/topo"
+	"mycroft/internal/trace"
+)
+
+// Node identifies one op-level state: rank r participating (or due to
+// participate) in op Seq of communicator Comm.
+type Node struct {
+	Rank topo.Rank
+	Comm uint64
+	Seq  uint64
+}
+
+// EdgeKind classifies a dependency edge.
+type EdgeKind string
+
+const (
+	// EdgeBarrier: an intra-communicator barrier wait — From launched the op
+	// and is held by To, which is still behind.
+	EdgeBarrier EdgeKind = "barrier-wait"
+	// EdgePipeline: the same wait inside a SendRecv communicator, where the
+	// order is the pipeline send/recv schedule.
+	EdgePipeline EdgeKind = "pipeline-order"
+	// EdgeNested: an inter-communicator hop — From's op never launches
+	// because its rank is visibly stuck inside To's communicator.
+	EdgeNested EdgeKind = "nested-comm"
+)
+
+// Edge is one dependency: From is blocked by (waits on) To.
+type Edge struct {
+	From, To Node
+	Kind     EdgeKind
+}
+
+// opSpan records the observed state-log extent of one op on one
+// (rank, comm): state logs for Seq were seen from First through Last.
+type opSpan struct {
+	seq         uint64
+	first, last sim.Time
+}
+
+// spanHistory bounds the per-(rank, comm) op-span history kept for the
+// "was this rank executing here during (from, to]?" query. The straggler
+// chase looks back one analysis window, which a handful of ops cover.
+const spanHistory = 8
+
+// rankComm is the maintained frontier of one (rank, communicator) pair.
+type rankComm struct {
+	rank topo.Rank
+	comm uint64
+
+	seq  uint64      // highest op seq observed
+	kind trace.Kind  // newest record kind at that seq (completion wins)
+	op   trace.OpKind
+	last sim.Time    // newest record's emission time
+
+	lastState sim.Time // newest state log's emission time (0 = none yet)
+	stateOrd  uint64   // per-rank ordinal of that state log
+	stuckNs   int64    // that state log's stuck time
+
+	spans []opSpan // bounded per-op state-log spans, oldest first
+}
+
+// inFlight reports whether the frontier shows an op still executing: the
+// newest record is a state log, not a completion.
+func (rc *rankComm) inFlight() bool { return rc.kind == trace.KindState }
+
+// commView indexes one communicator's member frontiers.
+type commView struct {
+	id      uint64
+	members map[topo.Rank]*rankComm
+	maxSeq  uint64
+}
+
+// rankView indexes one rank's per-communicator frontiers.
+type rankView struct {
+	ord   uint64 // records observed for this rank, in emission order
+	comms map[uint64]*rankComm
+}
+
+// Graph is the incrementally maintained dependency graph of one job.
+type Graph struct {
+	comms   map[uint64]*commView
+	ranks   map[topo.Rank]*rankView
+	records uint64
+}
+
+// New returns an empty graph; feed it with Observe / ObserveBatch.
+func New() *Graph {
+	return &Graph{comms: make(map[uint64]*commView), ranks: make(map[topo.Rank]*rankView)}
+}
+
+// Observe folds one trace record into the graph. Records for one rank must
+// arrive in emission order (the cloud store enforces the same invariant);
+// interleaving across ranks is arbitrary.
+func (g *Graph) Observe(rec trace.Record) {
+	g.records++
+	rv := g.ranks[rec.Rank]
+	if rv == nil {
+		rv = &rankView{comms: make(map[uint64]*rankComm)}
+		g.ranks[rec.Rank] = rv
+	}
+	rv.ord++
+
+	rc := rv.comms[rec.CommID]
+	if rc == nil {
+		rc = &rankComm{rank: rec.Rank, comm: rec.CommID}
+		rv.comms[rec.CommID] = rc
+		cv := g.comms[rec.CommID]
+		if cv == nil {
+			cv = &commView{id: rec.CommID, members: make(map[topo.Rank]*rankComm)}
+			g.comms[rec.CommID] = cv
+		}
+		cv.members[rec.Rank] = rc
+	}
+
+	switch {
+	case rec.OpSeq > rc.seq || (rc.last == 0 && rc.kind == 0):
+		rc.seq = rec.OpSeq
+		rc.kind = rec.Kind
+	case rec.OpSeq == rc.seq:
+		// Same op: a completion supersedes its state logs; a late state log
+		// never reopens a completed op.
+		if rec.Kind == trace.KindCompletion {
+			rc.kind = trace.KindCompletion
+		}
+	}
+	rc.op = rec.Op
+	rc.last = rec.Time
+	if cv := g.comms[rec.CommID]; rec.OpSeq > cv.maxSeq {
+		cv.maxSeq = rec.OpSeq
+	}
+
+	if rec.Kind == trace.KindState {
+		rc.lastState = rec.Time
+		rc.stateOrd = rv.ord
+		rc.stuckNs = rec.StuckNs
+		if n := len(rc.spans); n > 0 && rc.spans[n-1].seq == rec.OpSeq {
+			rc.spans[n-1].last = rec.Time
+		} else {
+			rc.spans = append(rc.spans, opSpan{seq: rec.OpSeq, first: rec.Time, last: rec.Time})
+			if len(rc.spans) > spanHistory {
+				rc.spans = rc.spans[len(rc.spans)-spanHistory:]
+			}
+		}
+	}
+}
+
+// ObserveBatch folds a whole ingest batch; it has the signature the cloud
+// store's ingest observer hook expects.
+func (g *Graph) ObserveBatch(batch []trace.Record) {
+	for i := range batch {
+		g.Observe(batch[i])
+	}
+}
+
+// Records returns how many records the graph has folded in.
+func (g *Graph) Records() uint64 { return g.records }
+
+// Comms returns the known communicator ids, sorted.
+func (g *Graph) Comms() []uint64 {
+	out := make([]uint64, 0, len(g.comms))
+	for id := range g.comms {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Members returns a communicator's observed member ranks, sorted.
+func (g *Graph) Members(comm uint64) []topo.Rank {
+	cv := g.comms[comm]
+	if cv == nil {
+		return nil
+	}
+	return sortedMembers(cv)
+}
+
+func sortedMembers(cv *commView) []topo.Rank {
+	out := make([]topo.Rank, 0, len(cv.members))
+	for r := range cv.members {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// StuckComm returns the communicator (≠ exclude; exclude 0 excludes none) on
+// which rank r most recently emitted a state log with time in (from, to] —
+// the op it is visibly stuck inside. Recency is the rank's own emission
+// order, exactly matching a backward scan of its trace series.
+func (g *Graph) StuckComm(r topo.Rank, exclude uint64, from, to sim.Time) (uint64, bool) {
+	rv := g.ranks[r]
+	if rv == nil {
+		return 0, false
+	}
+	var best *rankComm
+	for _, rc := range rv.comms {
+		if rc.comm == exclude || rc.lastState == 0 {
+			continue
+		}
+		if rc.lastState <= from || rc.lastState > to {
+			continue
+		}
+		if best == nil || rc.stateOrd > best.stateOrd {
+			best = rc
+		}
+	}
+	if best == nil {
+		return 0, false
+	}
+	return best.comm, true
+}
+
+// StuckCommDuring returns a communicator (≠ exclude) rank r was visibly
+// executing an op on during (from, to] — evidence that a late start was
+// dependency-induced rather than compute-induced. When several qualify, the
+// one whose in-window activity starts earliest wins (lower comm id breaks
+// ties). This approximates a forward scan of the rank's series at span
+// granularity: a span already running when the window opens counts from the
+// window start, which is exact to within one state-log period, and the
+// spanHistory bound can drop activity older than the last spanHistory ops
+// per (rank, comm) — both deliberate trades for O(1) maintenance, sized so
+// the straggler chase's one-window look-back is unaffected.
+func (g *Graph) StuckCommDuring(r topo.Rank, from, to sim.Time, exclude uint64) (uint64, bool) {
+	rv := g.ranks[r]
+	if rv == nil {
+		return 0, false
+	}
+	bestComm := uint64(0)
+	var bestAt sim.Time
+	for _, rc := range rv.comms {
+		if rc.comm == exclude {
+			continue
+		}
+		for _, sp := range rc.spans {
+			if sp.last <= from || sp.first > to {
+				continue
+			}
+			at := sp.first
+			if at <= from {
+				at = from // span entered the window already running
+			}
+			if bestComm == 0 || at < bestAt || (at == bestAt && rc.comm < bestComm) {
+				bestComm, bestAt = rc.comm, at
+			}
+			break // spans are time-ordered; the first overlap is the earliest
+		}
+	}
+	return bestComm, bestComm != 0
+}
+
+// FrontierOp returns the op kind of rank r's newest record on a
+// communicator (OpNone when unobserved).
+func (g *Graph) FrontierOp(r topo.Rank, comm uint64) trace.OpKind {
+	if rv := g.ranks[r]; rv != nil {
+		if rc := rv.comms[comm]; rc != nil {
+			return rc.op
+		}
+	}
+	return trace.OpNone
+}
+
+// waitKind maps an op kind to the intra-comm edge kind: send/recv order is
+// the pipeline schedule, everything else is a collective barrier.
+func waitKind(op trace.OpKind) EdgeKind {
+	if op == trace.OpSendRecv {
+		return EdgePipeline
+	}
+	return EdgeBarrier
+}
+
+// HopKind classifies the inter-comm edge of a dependency chase landing on
+// rank r inside comm: pipeline order when the nested op is a send/recv,
+// plain nesting otherwise.
+func (g *Graph) HopKind(r topo.Rank, comm uint64) EdgeKind {
+	if g.FrontierOp(r, comm) == trace.OpSendRecv {
+		return EdgePipeline
+	}
+	return EdgeNested
+}
+
+// commEdges derives one communicator's current wait edges from its member
+// frontiers:
+//
+//   - members in flight at seq > the group minimum wait on every member
+//     still at the minimum (barrier / pipeline order), and
+//   - when the whole group is in flight on the same op, stuck members wait
+//     on the member whose flows stalled longest (the ring coupling the
+//     CheckMinData analysis exploits).
+func commEdges(cv *commView) []Edge {
+	members := sortedMembers(cv)
+	if len(members) < 2 {
+		return nil
+	}
+	minSeq := cv.members[members[0]].seq
+	for _, r := range members[1:] {
+		if s := cv.members[r].seq; s < minSeq {
+			minSeq = s
+		}
+	}
+	var laggards []*rankComm
+	for _, r := range members {
+		if rc := cv.members[r]; rc.seq == minSeq {
+			laggards = append(laggards, rc)
+		}
+	}
+	var edges []Edge
+	if len(laggards) < len(members) {
+		for _, r := range members {
+			rc := cv.members[r]
+			if rc.seq == minSeq || !rc.inFlight() {
+				continue
+			}
+			for _, lag := range laggards {
+				edges = append(edges, Edge{
+					From: Node{Rank: rc.rank, Comm: cv.id, Seq: rc.seq},
+					To:   Node{Rank: lag.rank, Comm: cv.id, Seq: lag.seq},
+					Kind: waitKind(rc.op),
+				})
+			}
+		}
+		return edges
+	}
+	// Everyone is on the same op: the stalled-first member holds the ring.
+	var hub *rankComm
+	for _, r := range members {
+		rc := cv.members[r]
+		if !rc.inFlight() {
+			continue
+		}
+		if hub == nil || rc.stuckNs > hub.stuckNs {
+			hub = rc
+		}
+	}
+	if hub == nil {
+		return nil
+	}
+	for _, r := range members {
+		rc := cv.members[r]
+		if rc == hub || !rc.inFlight() || rc.stuckNs <= 0 {
+			continue
+		}
+		edges = append(edges, Edge{
+			From: Node{Rank: rc.rank, Comm: cv.id, Seq: rc.seq},
+			To:   Node{Rank: hub.rank, Comm: cv.id, Seq: hub.seq},
+			Kind: waitKind(rc.op),
+		})
+	}
+	return edges
+}
+
+// nestedEdges derives the inter-communicator edges: rank r never launched
+// comm A's next op (its frontier is a completion below the group maximum)
+// while visibly in flight on comm B.
+func (g *Graph) nestedEdges(cv *commView) []Edge {
+	var edges []Edge
+	for _, r := range sortedMembers(cv) {
+		rc := cv.members[r]
+		if rc.inFlight() || rc.seq >= cv.maxSeq {
+			continue
+		}
+		rv := g.ranks[r]
+		var busy *rankComm
+		for _, other := range rv.comms {
+			if other.comm == cv.id || !other.inFlight() {
+				continue
+			}
+			if busy == nil || other.stateOrd > busy.stateOrd {
+				busy = other
+			}
+		}
+		if busy == nil {
+			continue
+		}
+		edges = append(edges, Edge{
+			From: Node{Rank: r, Comm: cv.id, Seq: rc.seq + 1},
+			To:   Node{Rank: r, Comm: busy.comm, Seq: busy.seq},
+			Kind: EdgeNested,
+		})
+	}
+	return edges
+}
+
+// Edges derives the current dependency edges, grouped per communicator in
+// ascending id order: each comm's wait edges first (by from-rank), then its
+// nested hops (by rank). comm 0 means all; a non-zero comm restricts to
+// edges touching that communicator (including nested hops out of it). The
+// ordering is deterministic.
+func (g *Graph) Edges(comm uint64) []Edge {
+	var out []Edge
+	for _, id := range g.Comms() {
+		if comm != 0 && id != comm {
+			continue
+		}
+		cv := g.comms[id]
+		out = append(out, commEdges(cv)...)
+		out = append(out, g.nestedEdges(cv)...)
+	}
+	return out
+}
+
+// Victims returns every rank transitively blocked by the suspect — the
+// blast radius. A member waiting at a barrier behind a blocked rank is
+// blocked; a member of a ring all on one op is blocked when a blocked
+// member's flows pin it (its own progress is stuck); and blockage crosses
+// communicators through shared ranks. The suspect itself is excluded; the
+// result is sorted.
+func (g *Graph) Victims(suspect topo.Rank) []topo.Rank {
+	blocked := map[topo.Rank]bool{suspect: true}
+	comms := g.Comms()
+	for changed := true; changed; {
+		changed = false
+		for _, id := range comms {
+			cv := g.comms[id]
+			members := sortedMembers(cv)
+			if len(members) < 2 {
+				continue
+			}
+			minSeq := cv.members[members[0]].seq
+			for _, r := range members[1:] {
+				if s := cv.members[r].seq; s < minSeq {
+					minSeq = s
+				}
+			}
+			// Is any blocked rank holding this comm back?
+			holding := false
+			allSame := true
+			for _, r := range members {
+				rc := cv.members[r]
+				if rc.seq != minSeq {
+					allSame = false
+				} else if blocked[r] {
+					holding = true
+				}
+			}
+			if !holding {
+				continue
+			}
+			for _, r := range members {
+				rc := cv.members[r]
+				if blocked[r] || !rc.inFlight() {
+					continue
+				}
+				// Ahead of the laggard: held at the barrier. Same op as
+				// everyone: held by the ring only if visibly stuck.
+				if rc.seq > minSeq || (allSame && rc.stuckNs > 0) {
+					blocked[r] = true
+					changed = true
+				}
+			}
+		}
+	}
+	out := make([]topo.Rank, 0, len(blocked)-1)
+	for r := range blocked {
+		if r != suspect {
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,292 @@
+package depgraph
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"mycroft/internal/sim"
+	"mycroft/internal/topo"
+	"mycroft/internal/trace"
+)
+
+func sec(s float64) sim.Time { return sim.Time(s * float64(time.Second)) }
+
+func state(r topo.Rank, comm, seq uint64, at sim.Time, stuck time.Duration) trace.Record {
+	return trace.Record{
+		Kind: trace.KindState, Time: at, Rank: r, CommID: comm, OpSeq: seq,
+		Op: trace.OpAllReduce, TotalChunks: 100, GPUReady: 10, RDMATransmitted: 10, RDMADone: 8,
+		StuckNs: int64(stuck),
+	}
+}
+
+func completion(r topo.Rank, comm, seq uint64, at sim.Time) trace.Record {
+	return trace.Record{
+		Kind: trace.KindCompletion, Time: at, Rank: r, CommID: comm, OpSeq: seq,
+		Op: trace.OpAllReduce, Start: at.Add(-100 * time.Millisecond), End: at,
+	}
+}
+
+func sendrecv(rec trace.Record) trace.Record {
+	rec.Op = trace.OpSendRecv
+	return rec
+}
+
+func TestFrontierTracksNewestRecord(t *testing.T) {
+	g := New()
+	g.Observe(state(1, 7, 3, sec(1), 0))
+	g.Observe(completion(1, 7, 3, sec(2)))
+	g.Observe(state(1, 7, 4, sec(3), time.Second))
+
+	if got := g.FrontierOp(1, 7); got != trace.OpAllReduce {
+		t.Fatalf("frontier op = %v", got)
+	}
+	rc := g.ranks[1].comms[7]
+	if rc.seq != 4 || !rc.inFlight() || rc.stuckNs != int64(time.Second) {
+		t.Fatalf("frontier = %+v", rc)
+	}
+	// A completion closes the op: no longer in flight.
+	g.Observe(completion(1, 7, 4, sec(4)))
+	if rc.inFlight() {
+		t.Fatal("completion did not close the op")
+	}
+	if g.Records() != 4 {
+		t.Fatalf("records = %d", g.Records())
+	}
+}
+
+func TestStuckCommPicksLatestStateInWindow(t *testing.T) {
+	g := New()
+	g.Observe(state(1, 7, 2, sec(5), 0))
+	g.Observe(state(1, 9, 1, sec(6), 0)) // newer state on comm 9
+	if comm, ok := g.StuckComm(1, 7, sec(0), sec(10)); !ok || comm != 9 {
+		t.Fatalf("StuckComm = %d, %v", comm, ok)
+	}
+	// Excluding comm 9 leaves nothing except comm 7, which is excluded too
+	// via the window: its state is at t=5, window (5, 10].
+	if _, ok := g.StuckComm(1, 9, sec(5), sec(10)); ok {
+		t.Fatal("stale state matched the window")
+	}
+	// Exclude 0 excludes nothing.
+	if comm, ok := g.StuckComm(1, 0, sec(0), sec(10)); !ok || comm != 9 {
+		t.Fatalf("StuckComm(0) = %d, %v", comm, ok)
+	}
+	if _, ok := g.StuckComm(99, 0, sec(0), sec(10)); ok {
+		t.Fatal("unknown rank matched")
+	}
+}
+
+func TestStuckCommDuringOverlapsSpans(t *testing.T) {
+	g := New()
+	// Rank 1 executed comm 9's op from t=2..4, then comm 11's from t=5..6.
+	g.Observe(state(1, 9, 1, sec(2), 0))
+	g.Observe(state(1, 9, 1, sec(4), 0))
+	g.Observe(completion(1, 9, 1, sec(4.5)))
+	g.Observe(state(1, 11, 1, sec(5), 0))
+	g.Observe(state(1, 11, 1, sec(6), 0))
+
+	// Window (3, 5.5]: both comms overlap; comm 9 started earlier.
+	if comm, ok := g.StuckCommDuring(1, sec(3), sec(5.5), 7); !ok || comm != 9 {
+		t.Fatalf("during = %d, %v", comm, ok)
+	}
+	// Window (4.8, 6]: only comm 11.
+	if comm, ok := g.StuckCommDuring(1, sec(4.8), sec(6), 7); !ok || comm != 11 {
+		t.Fatalf("during = %d, %v", comm, ok)
+	}
+	// Excluding the only overlapping comm finds nothing.
+	if _, ok := g.StuckCommDuring(1, sec(4.8), sec(6), 11); ok {
+		t.Fatal("excluded comm matched")
+	}
+	// Window after all activity.
+	if _, ok := g.StuckCommDuring(1, sec(7), sec(9), 0); ok {
+		t.Fatal("empty window matched")
+	}
+}
+
+func TestSpanHistoryBounded(t *testing.T) {
+	g := New()
+	for seq := uint64(0); seq < 20; seq++ {
+		g.Observe(state(1, 7, seq, sec(float64(seq)), 0))
+		g.Observe(completion(1, 7, seq, sec(float64(seq)+0.5)))
+	}
+	if n := len(g.ranks[1].comms[7].spans); n != spanHistory {
+		t.Fatalf("span history = %d, want %d", n, spanHistory)
+	}
+}
+
+func TestBarrierEdges(t *testing.T) {
+	g := New()
+	// Rank 2 finished op 4 and never launched 5; ranks 0,1,3 in flight at 5.
+	g.Observe(completion(2, 7, 4, sec(4)))
+	for _, r := range []topo.Rank{0, 1, 3} {
+		g.Observe(state(r, 7, 5, sec(10), 2*time.Second))
+	}
+	edges := g.Edges(7)
+	if len(edges) != 3 {
+		t.Fatalf("edges = %+v", edges)
+	}
+	for _, e := range edges {
+		if e.Kind != EdgeBarrier || e.To.Rank != 2 || e.To.Seq != 4 {
+			t.Fatalf("bad edge %+v", e)
+		}
+	}
+	// Deterministic order by from-rank.
+	if edges[0].From.Rank != 0 || edges[1].From.Rank != 1 || edges[2].From.Rank != 3 {
+		t.Fatalf("edge order: %+v", edges)
+	}
+}
+
+func TestPipelineEdgeKind(t *testing.T) {
+	g := New()
+	g.Observe(sendrecv(completion(2, 8, 4, sec(4))))
+	g.Observe(sendrecv(state(3, 8, 5, sec(10), time.Second)))
+	edges := g.Edges(8)
+	if len(edges) != 1 || edges[0].Kind != EdgePipeline {
+		t.Fatalf("edges = %+v", edges)
+	}
+	if g.HopKind(3, 8) != EdgePipeline || g.HopKind(3, 99) != EdgeNested {
+		t.Fatal("HopKind wrong")
+	}
+}
+
+func TestRingCouplingEdges(t *testing.T) {
+	g := New()
+	// All four ranks in flight on the same op; rank 2 stalled longest.
+	for _, r := range []topo.Rank{0, 1, 3} {
+		g.Observe(state(r, 7, 5, sec(10), 3*time.Second))
+	}
+	g.Observe(state(2, 7, 5, sec(10), 5*time.Second))
+	edges := g.Edges(7)
+	if len(edges) != 3 {
+		t.Fatalf("edges = %+v", edges)
+	}
+	for _, e := range edges {
+		if e.To.Rank != 2 {
+			t.Fatalf("hub is not rank 2: %+v", e)
+		}
+	}
+}
+
+func TestNestedEdges(t *testing.T) {
+	g := New()
+	// Comm 7: rank 1 completed seq 4, peers in flight at 5.
+	g.Observe(completion(1, 7, 4, sec(4)))
+	for _, r := range []topo.Rank{0, 2, 3} {
+		g.Observe(state(r, 7, 5, sec(10), 2*time.Second))
+	}
+	// Rank 1 is stuck inside comm 9.
+	g.Observe(state(1, 9, 2, sec(10), 5*time.Second))
+	g.Observe(state(5, 9, 2, sec(10), 2*time.Second))
+
+	var nested []Edge
+	for _, e := range g.Edges(0) {
+		if e.Kind == EdgeNested {
+			nested = append(nested, e)
+		}
+	}
+	if len(nested) != 1 {
+		t.Fatalf("nested edges = %+v", nested)
+	}
+	e := nested[0]
+	if e.From != (Node{Rank: 1, Comm: 7, Seq: 5}) || e.To != (Node{Rank: 1, Comm: 9, Seq: 2}) {
+		t.Fatalf("nested edge = %+v", e)
+	}
+}
+
+func TestVictimsBlastRadius(t *testing.T) {
+	g := New()
+	// Comm 9 (TP): rank 1 is the root cause, rank 5 its ring peer — both in
+	// flight on the same op, rank 5 stuck.
+	g.Observe(state(1, 9, 2, sec(10), 5*time.Second))
+	g.Observe(state(5, 9, 2, sec(10), 2*time.Second))
+	// Comm 7 (DP): rank 1 never launched seq 5; ranks 0,2,3 wait in flight.
+	g.Observe(completion(1, 7, 4, sec(4)))
+	for _, r := range []topo.Rank{0, 2, 3} {
+		g.Observe(state(r, 7, 5, sec(10), 2*time.Second))
+	}
+	got := g.Victims(1)
+	want := []topo.Rank{0, 2, 3, 5}
+	if len(got) != len(want) {
+		t.Fatalf("victims = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("victims = %v, want %v", got, want)
+		}
+	}
+	// A healthy bystander rank is not a victim.
+	g.Observe(state(8, 13, 1, sec(10), 0))
+	if got := g.Victims(1); len(got) != 4 {
+		t.Fatalf("bystander dragged in: %v", got)
+	}
+}
+
+func TestVictimsTransitiveAcrossComms(t *testing.T) {
+	g := New()
+	// Suspect 4 blocks comm 20 (ranks 4,5 on same op, 5 stuck).
+	g.Observe(state(4, 20, 3, sec(10), 6*time.Second))
+	g.Observe(state(5, 20, 3, sec(10), 3*time.Second))
+	// Rank 5 in turn lags comm 21, where rank 6 waits one op ahead.
+	g.Observe(state(6, 21, 8, sec(10), 2*time.Second))
+	// rank 5's comm-21 frontier: completed 7, never launched 8.
+	g.Observe(completion(5, 21, 7, sec(5)))
+	got := g.Victims(4)
+	want := []topo.Rank{5, 6}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("victims = %v, want %v", got, want)
+	}
+}
+
+func TestVictimsEmptyForUnknownOrHealthy(t *testing.T) {
+	g := New()
+	g.Observe(completion(0, 7, 3, sec(1)))
+	g.Observe(completion(1, 7, 3, sec(1)))
+	if got := g.Victims(0); len(got) != 0 {
+		t.Fatalf("healthy comm produced victims: %v", got)
+	}
+	if got := g.Victims(42); len(got) != 0 {
+		t.Fatalf("unknown suspect produced victims: %v", got)
+	}
+}
+
+func TestDOTDeterministicAndStructured(t *testing.T) {
+	build := func() *Graph {
+		g := New()
+		g.Observe(completion(1, 7, 4, sec(4)))
+		for _, r := range []topo.Rank{0, 2, 3} {
+			g.Observe(state(r, 7, 5, sec(10), 2*time.Second))
+		}
+		g.Observe(state(1, 9, 2, sec(10), 5*time.Second))
+		g.Observe(state(5, 9, 2, sec(10), 2*time.Second))
+		return g
+	}
+	a, b := build().DOT(), build().DOT()
+	if a != b {
+		t.Fatal("DOT output is not deterministic")
+	}
+	for _, want := range []string{
+		"digraph mycroft_deps", "cluster_comm7", "cluster_comm9",
+		"nested-comm", "barrier-wait", "not launched",
+	} {
+		if !strings.Contains(a, want) {
+			t.Fatalf("DOT missing %q:\n%s", want, a)
+		}
+	}
+}
+
+func TestObserveBatchAndAccessors(t *testing.T) {
+	g := New()
+	g.ObserveBatch([]trace.Record{
+		state(0, 7, 1, sec(1), 0),
+		state(1, 9, 1, sec(1), 0),
+	})
+	if comms := g.Comms(); len(comms) != 2 || comms[0] != 7 || comms[1] != 9 {
+		t.Fatalf("comms = %v", comms)
+	}
+	if m := g.Members(7); len(m) != 1 || m[0] != 0 {
+		t.Fatalf("members = %v", m)
+	}
+	if g.Members(99) != nil {
+		t.Fatal("unknown comm has members")
+	}
+}

@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"fmt"
+	"slices"
 
 	"mycroft/internal/faults"
 	"mycroft/internal/sim"
@@ -125,6 +126,43 @@ func checkJob(a Assertion, j *JobResult) string {
 			return fmt.Sprintf("%d iterations, want >= %d", j.Iterations, a.Min)
 		}
 		return ""
+
+	case AssertChain:
+		best := 0
+		for _, rep := range j.reports {
+			if len(rep.Chain) >= a.Min {
+				return ""
+			}
+			if len(rep.Chain) > best {
+				best = len(rep.Chain)
+			}
+		}
+		return fmt.Sprintf("no report with a >= %d-hop chain (longest %d of %d reports)", a.Min, best, len(j.reports))
+
+	case AssertVictims:
+		var last string
+		for _, rep := range j.reports {
+			if len(rep.Victims) < a.Min {
+				last = fmt.Sprintf("%d victims, want >= %d", len(rep.Victims), a.Min)
+				continue
+			}
+			missing := -1
+			for _, want := range a.Victims {
+				if !slices.Contains(rep.Victims, topo.Rank(want)) {
+					missing = want
+					break
+				}
+			}
+			if missing >= 0 {
+				last = fmt.Sprintf("blast radius %v lacks rank %d", rep.Victims, missing)
+				continue
+			}
+			return ""
+		}
+		if last == "" {
+			last = "no reports"
+		}
+		return fmt.Sprintf("no report with the expected blast radius: %s", last)
 	}
 	return fmt.Sprintf("unknown assertion kind %q", a.Kind)
 }

@@ -34,6 +34,9 @@ func Builtins() []Spec {
 		fleetChaosScenario(),
 		cascadeScenario(),
 		multiJobSharedScenario(),
+		ppCascadeScenario(),
+		ppNICCascadeScenario(),
+		nestedVictimChainScenario(),
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
@@ -253,6 +256,71 @@ func multiJobSharedScenario() Spec {
 			{Kind: AssertNoFalseTrigger, Job: 1},
 			{Kind: AssertNoFalseTrigger, Job: 2},
 			{Kind: AssertMinRecords, Job: -1, Min: 1000},
+		},
+	}
+}
+
+// ppCascadeScenario is the dependency-graph showcase: on a 4-stage pipeline
+// a GPU hang deep in stage hierarchy surfaces first as a stalled gradient
+// all-reduce several communicators away. The report must carry the full
+// multi-hop causal chain (DP comm → PP comm → TP comm) and a blast radius
+// covering the whole job — the paper's headline "tracing dependencies"
+// behaviour, not just the terminal suspect.
+func ppCascadeScenario() Spec {
+	return Spec{
+		Name:        "pp-cascade",
+		Description: "4-stage pipeline: a GPU hang on rank 9 cascades DP → PP → TP; the verdict must carry the multi-hop chain and a job-wide blast radius.",
+		RunFor:      Dur(60 * time.Second),
+		// Same window widening as large-64: PP=4 iterations are long enough
+		// that the 5 s default reads warm-up cadence as failure.
+		Fleet:  Fleet{Topo: Topo{Nodes: 4, GPUsPerNode: 4, TP: 2, PP: 4, DP: 2}, Window: Dur(15 * time.Second)},
+		Events: []Event{injectAt(warmup, faults.GPUHang, 9, 0, 0)},
+		Assertions: []Assertion{
+			{Kind: AssertNoFalseTrigger},
+			{Kind: AssertDetected, Within: Dur(30 * time.Second)},
+			{Kind: AssertDiagnosed},
+			{Kind: AssertChain, Min: 3},
+			{Kind: AssertVictims, Min: 15},
+			{Kind: AssertMinRecords, Min: 1000},
+		},
+	}
+}
+
+// ppNICCascadeScenario kills a NIC mid-pipeline: the chase crosses a
+// pipeline-order edge (the SendRecv comm) before convicting the NIC, and
+// the blast radius is partial — only the ranks actually downstream of the
+// dead NIC, not the whole job yet.
+func ppNICCascadeScenario() Spec {
+	return Spec{
+		Name:        "pp-nic-cascade",
+		Description: "4-stage pipeline: a NIC dies on rank 10; the chase follows the pipeline send/recv order into the victim stage and the blast radius stays partial.",
+		RunFor:      Dur(60 * time.Second),
+		Fleet:       Fleet{Topo: Topo{Nodes: 4, GPUsPerNode: 4, TP: 2, PP: 4, DP: 2}, Window: Dur(15 * time.Second)},
+		Events:      []Event{injectAt(warmup, faults.NICDown, 10, 0, 0)},
+		Assertions: []Assertion{
+			{Kind: AssertNoFalseTrigger},
+			{Kind: AssertDetected, Within: Dur(30 * time.Second)},
+			{Kind: AssertDiagnosed},
+			{Kind: AssertChain, Min: 2},
+			{Kind: AssertVictims, Min: 4, Victims: []int{6, 14}},
+		},
+	}
+}
+
+// nestedVictimChainScenario is the 8-GPU nesting case: a GPU hang inside a
+// TP group is reached through the PP comm's not-launched suspect, and every
+// other rank lands in the blast radius.
+func nestedVictimChainScenario() Spec {
+	return Spec{
+		Name:        "nested-victim-chain",
+		Description: "A GPU hang on rank 2 is reached via a nested-comm hop (PP → TP) and takes all 7 peers down with it.",
+		Events:      []Event{injectAt(warmup, faults.GPUHang, 2, 0, 0)},
+		Assertions: []Assertion{
+			{Kind: AssertNoFalseTrigger},
+			{Kind: AssertDetected, Within: Dur(30 * time.Second)},
+			{Kind: AssertDiagnosed},
+			{Kind: AssertChain, Min: 2},
+			{Kind: AssertVictims, Min: 7, Victims: []int{0, 1, 3, 4, 5, 6, 7}},
 		},
 	}
 }

@@ -7,7 +7,9 @@ import (
 	"testing"
 	"time"
 
+	"mycroft/internal/core"
 	"mycroft/internal/faults"
+	"mycroft/internal/topo"
 )
 
 // TestBuiltinsPass runs every shipped scenario at its default seed and
@@ -228,6 +230,9 @@ func TestValidateRejects(t *testing.T) {
 			Events: []Event{{At: Dur(70 * time.Second), Action: ActInject, Fault: &Fault{Kind: faults.NICDown, Rank: 1}}}}, "beyond run_for"},
 		{"negative assertion within", Spec{Name: "x", Events: inject(faults.NICDown, 0), Assertions: []Assertion{{Kind: AssertDetected, Within: Dur(-10 * time.Second)}}}, "negative within"},
 		{"suspect rank out of range", Spec{Name: "x", Assertions: []Assertion{{Kind: AssertSuspect, Rank: 99}}}, "suspect rank 99 out of range"},
+		{"chain without min", Spec{Name: "x", Assertions: []Assertion{{Kind: AssertChain}}}, "min > 0"},
+		{"victims without bound", Spec{Name: "x", Assertions: []Assertion{{Kind: AssertVictims}}}, "min > 0 or victims"},
+		{"victim rank out of range", Spec{Name: "x", Assertions: []Assertion{{Kind: AssertVictims, Victims: []int{99}}}}, "victim rank 99 out of range"},
 		{"assertion targets cascade-only injection", Spec{Name: "x", Chaos: &Chaos{Faults: 1, Cascade: 0.5},
 			Assertions: []Assertion{{Kind: AssertDetected, Event: 1}}}, "out of range"},
 		{"assertion targets horizon-dropped injection", Spec{Name: "x", RunFor: Dur(60 * time.Second),
@@ -298,5 +303,33 @@ func TestBackendStopEvent(t *testing.T) {
 	res = MustRun(spec, 1)
 	if n := len(res.Jobs[0].triggers); n == 0 {
 		t.Fatal("restarted backend never fired")
+	}
+}
+
+// TestChainVictimAssertionEvaluation pins the expect_chain/expect_victims
+// failure messages against a fabricated job result.
+func TestChainVictimAssertionEvaluation(t *testing.T) {
+	j := &JobResult{reports: []core.Report{{
+		Chain:   []core.Hop{{Comm: 1, Suspect: 2, Via: core.ViaMinOp}},
+		Victims: []topo.Rank{3},
+	}}}
+	if msg := checkJob(Assertion{Kind: AssertChain, Min: 1}, j); msg != "" {
+		t.Fatalf("1-hop chain rejected: %s", msg)
+	}
+	if msg := checkJob(Assertion{Kind: AssertChain, Min: 2}, j); !strings.Contains(msg, "chain") {
+		t.Fatalf("chain failure message: %q", msg)
+	}
+	if msg := checkJob(Assertion{Kind: AssertVictims, Min: 1, Victims: []int{3}}, j); msg != "" {
+		t.Fatalf("matching victims rejected: %s", msg)
+	}
+	if msg := checkJob(Assertion{Kind: AssertVictims, Min: 2}, j); !strings.Contains(msg, "victims") {
+		t.Fatalf("victims count failure message: %q", msg)
+	}
+	if msg := checkJob(Assertion{Kind: AssertVictims, Victims: []int{4}}, j); !strings.Contains(msg, "lacks rank 4") {
+		t.Fatalf("victims membership failure message: %q", msg)
+	}
+	empty := &JobResult{}
+	if msg := checkJob(Assertion{Kind: AssertVictims, Min: 1}, empty); !strings.Contains(msg, "no report") {
+		t.Fatalf("empty job failure message: %q", msg)
 	}
 }

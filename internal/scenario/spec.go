@@ -195,6 +195,13 @@ const (
 	AssertMinRecords AssertKind = "min-records"
 	// AssertMinIterations: the job completed at least Min iterations.
 	AssertMinIterations AssertKind = "min-iterations"
+	// AssertChain: some report's causal chain has at least Min hops — the
+	// cross-communicator cascade was traced, not collapsed to its terminal
+	// suspect.
+	AssertChain AssertKind = "expect_chain"
+	// AssertVictims: some single report's blast radius has at least Min
+	// ranks and contains every rank in Victims.
+	AssertVictims AssertKind = "expect_victims"
 )
 
 // Assertion is one declarative check evaluated after the run.
@@ -211,6 +218,9 @@ type Assertion struct {
 	Min        int             `json:"min,omitempty"`
 	Categories []core.Category `json:"categories,omitempty"`
 	Rank       int             `json:"rank,omitempty"`
+	// Victims lists ranks a single report's blast radius must contain
+	// (expect_victims only).
+	Victims []int `json:"victims,omitempty"`
 }
 
 // Spec is a complete declarative scenario.
@@ -454,6 +464,19 @@ func (s Spec) Validate() error {
 		case AssertMinReports, AssertMinRecords, AssertMinIterations:
 			if a.Min <= 0 {
 				return fmt.Errorf("scenario %s: assertion %d: %s needs min > 0", s.Name, i, a.Kind)
+			}
+		case AssertChain:
+			if a.Min <= 0 {
+				return fmt.Errorf("scenario %s: assertion %d: expect_chain needs min > 0 (hops)", s.Name, i)
+			}
+		case AssertVictims:
+			if a.Min <= 0 && len(a.Victims) == 0 {
+				return fmt.Errorf("scenario %s: assertion %d: expect_victims needs min > 0 or victims", s.Name, i)
+			}
+			for _, v := range a.Victims {
+				if v < 0 || v >= world {
+					return fmt.Errorf("scenario %s: assertion %d: victim rank %d out of range (world %d)", s.Name, i, v, world)
+				}
 			}
 		default:
 			return fmt.Errorf("scenario %s: assertion %d: unknown kind %q", s.Name, i, a.Kind)

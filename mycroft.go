@@ -21,6 +21,11 @@
 //	svc.Run(60 * time.Second)
 //	res, _ := svc.QueryReports(mycroft.ReportQuery{Suspects: []mycroft.Rank{5}})
 //
+// Every report carries the causal chain the analysis walked (Report.Chain)
+// and the suspect's blast radius (Report.Victims), both read from the
+// per-job dependency graph maintained as records ingest; QueryDependencies
+// and BlastRadius expose the live graph directly.
+//
 // The single-job System with its OnTrigger/OnReport callbacks remains as a
 // deprecated shim over a one-job Service.
 //
@@ -48,8 +53,11 @@ type (
 	Trigger = core.Trigger
 	// TriggerKind distinguishes failure from straggler triggers.
 	TriggerKind = core.TriggerKind
-	// Report is an Algorithm 2 root-cause verdict.
+	// Report is an Algorithm 2 root-cause verdict, carrying the causal
+	// Chain and the Victims blast radius from the dependency graph.
 	Report = core.Report
+	// Hop is one step of a report's cross-communicator causal chain.
+	Hop = core.Hop
 	// Category is an RC-table failure category.
 	Category = core.Category
 	// Fault is an injectable fault specification.

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"mycroft/internal/clouddb"
+	"mycroft/internal/depgraph"
 	"mycroft/internal/sim"
 )
 
@@ -169,6 +170,73 @@ func (s *Service) QueryReports(q ReportQuery) (ReportResult, error) {
 	sort.SliceStable(all, func(i, j int) bool { return all[i].AnalyzedAt < all[j].AnalyzedAt })
 	total := len(all)
 	return ReportResult{Reports: paginate(all, q.Offset, q.Limit), Total: total}, nil
+}
+
+// Dependency-graph views. The graph is maintained incrementally as each
+// job's records ingest, so these queries read the current frontier without
+// touching the trace store.
+type (
+	// DependencyNode is one op-level state: (rank, communicator, op seq).
+	DependencyNode = depgraph.Node
+	// DependencyEdge is one wait: From is blocked by To.
+	DependencyEdge = depgraph.Edge
+	// DependencyEdgeKind classifies an edge (barrier, pipeline, nested).
+	DependencyEdgeKind = depgraph.EdgeKind
+)
+
+// Dependency edge kinds.
+const (
+	EdgeBarrier  = depgraph.EdgeBarrier
+	EdgePipeline = depgraph.EdgePipeline
+	EdgeNested   = depgraph.EdgeNested
+)
+
+// DependencyQuery asks one hosted job's dependency graph for its current
+// wait edges.
+type DependencyQuery struct {
+	// Job selects the hosted job. Empty is allowed only when the service
+	// hosts exactly one.
+	Job JobID
+	// Comm restricts to edges touching one communicator, including nested
+	// hops out of it (0 = all).
+	Comm uint64
+	// Ranks restricts to edges whose endpoints involve one of these ranks
+	// (nil = all).
+	Ranks []Rank
+}
+
+// DependencyResult is the matched edge set, grouped per communicator in
+// ascending id order (wait edges first, then nested hops; deterministic).
+type DependencyResult struct {
+	Job   JobID
+	Edges []DependencyEdge
+}
+
+// QueryDependencies answers a DependencyQuery from the job's live graph.
+func (s *Service) QueryDependencies(q DependencyQuery) (DependencyResult, error) {
+	h, err := s.resolveJob(q.Job)
+	if err != nil {
+		return DependencyResult{}, err
+	}
+	edges := h.Backend.Graph().Edges(q.Comm)
+	if len(q.Ranks) > 0 {
+		edges = slices.DeleteFunc(edges, func(e DependencyEdge) bool {
+			return !slices.Contains(q.Ranks, e.From.Rank) && !slices.Contains(q.Ranks, e.To.Rank)
+		})
+	}
+	return DependencyResult{Job: h.ID, Edges: edges}, nil
+}
+
+// BlastRadius returns every rank the job's dependency graph shows
+// transitively blocked by the given rank right now (sorted; the rank itself
+// is excluded). An empty job id is allowed only when the service hosts
+// exactly one job.
+func (s *Service) BlastRadius(job JobID, suspect Rank) ([]Rank, error) {
+	h, err := s.resolveJob(job)
+	if err != nil {
+		return nil, err
+	}
+	return h.Backend.Graph().Victims(suspect), nil
 }
 
 func inWindow(at, from, to time.Duration) bool {

@@ -276,6 +276,10 @@ func (h *JobHandle) RecordsIngested() uint64 { return h.Job.DB.Ingested() }
 // StoreStats reports the job's sharded trace-store counters.
 func (h *JobHandle) StoreStats() clouddb.Stats { return h.Job.DB.Stats() }
 
+// DependencyDOT renders the job's current dependency graph in Graphviz dot
+// syntax (deterministic; see internal/depgraph).
+func (h *JobHandle) DependencyDOT() string { return h.Backend.Graph().DOT() }
+
 // Triggers returns every Algorithm 1 firing so far.
 func (h *JobHandle) Triggers() []Trigger { return h.Backend.Triggers() }
 

@@ -322,3 +322,114 @@ func TestOptionsTopoMismatch(t *testing.T) {
 		t.Fatalf("world = %d, want 16 from Train.Topo", sys.WorldSize())
 	}
 }
+
+// TestQueryDependenciesAndBlastRadius drives a NIC-down fault and reads the
+// dependency graph through the service layer: wait edges appear, the blast
+// radius names the victims, and the DOT export is deterministic.
+func TestQueryDependenciesAndBlastRadius(t *testing.T) {
+	run := func() (DependencyResult, []Rank, string) {
+		svc := NewService(ServiceOptions{Seed: 3})
+		job := svc.MustAddJob("j", JobOptions{})
+		svc.Start()
+		job.Inject(Fault{Kind: NICDown, Rank: 5, At: 15 * time.Second})
+		svc.Run(30 * time.Second)
+		defer svc.Stop()
+		deps, err := svc.QueryDependencies(DependencyQuery{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		br, err := svc.BlastRadius("j", 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return deps, br, job.DependencyDOT()
+	}
+	deps, br, dot := run()
+	if len(deps.Edges) == 0 {
+		t.Fatal("stuck job has no dependency edges")
+	}
+	if len(br) == 0 {
+		t.Fatalf("NIC-down blast radius empty")
+	}
+	for _, r := range br {
+		if r == 5 {
+			t.Fatalf("suspect in its own blast radius: %v", br)
+		}
+	}
+	if !strings.Contains(dot, "digraph mycroft_deps") {
+		t.Fatalf("DOT export malformed:\n%s", dot)
+	}
+	_, _, dot2 := run()
+	if dot != dot2 {
+		t.Fatal("DOT export not deterministic across same-seed runs")
+	}
+}
+
+// TestDependencyQueryFilters exercises DependencyQuery's Ranks filter and
+// the error paths.
+func TestDependencyQueryFilters(t *testing.T) {
+	svc := NewService(ServiceOptions{Seed: 3})
+	job := svc.MustAddJob("j", JobOptions{})
+	svc.Start()
+	job.Inject(Fault{Kind: NICDown, Rank: 5, At: 15 * time.Second})
+	svc.Run(30 * time.Second)
+	defer svc.Stop()
+
+	all, err := svc.QueryDependencies(DependencyQuery{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	filtered, err := svc.QueryDependencies(DependencyQuery{Ranks: []Rank{5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(filtered.Edges) == 0 || len(filtered.Edges) >= len(all.Edges) {
+		t.Fatalf("rank filter: %d of %d edges", len(filtered.Edges), len(all.Edges))
+	}
+	for _, e := range filtered.Edges {
+		if e.From.Rank != 5 && e.To.Rank != 5 {
+			t.Fatalf("edge does not touch rank 5: %+v", e)
+		}
+	}
+	if _, err := svc.QueryDependencies(DependencyQuery{Job: "nope"}); err == nil {
+		t.Fatal("unknown job accepted")
+	}
+	if _, err := svc.BlastRadius("nope", 0); err == nil {
+		t.Fatal("unknown job accepted by BlastRadius")
+	}
+}
+
+// TestReportChainVictimsFilters covers the new report-shaped event filters:
+// Victims (blast-radius membership) and MinChain (cascade selection).
+func TestReportChainVictimsFilters(t *testing.T) {
+	svc := NewService(ServiceOptions{Seed: 5})
+	job := svc.MustAddJob("j", JobOptions{})
+	victimStream := svc.Subscribe(EventFilter{Victims: []Rank{5}})
+	deepStream := svc.Subscribe(EventFilter{MinChain: 99})
+	svc.Start()
+	job.Inject(Fault{Kind: NICDown, Rank: 5, At: 15 * time.Second})
+	svc.Run(40 * time.Second)
+	defer svc.Stop()
+
+	reps := job.Reports()
+	if len(reps) == 0 {
+		t.Fatal("no reports")
+	}
+	if len(reps[0].Chain) == 0 {
+		t.Fatalf("report has no chain: %+v", reps[0])
+	}
+	// Every report fingers rank 5 (as suspect or victim), so the victim
+	// stream sees exactly the report events; triggers/lifecycle are dropped.
+	if victimStream.Len() != len(reps) {
+		t.Fatalf("victim stream got %d events, want %d", victimStream.Len(), len(reps))
+	}
+	for _, e := range victimStream.Drain() {
+		if e.Kind != EventReport {
+			t.Fatalf("non-report event passed Victims filter: %v", e)
+		}
+	}
+	// An absurd chain bound matches nothing.
+	if deepStream.Len() != 0 {
+		t.Fatalf("MinChain 99 matched %d events", deepStream.Len())
+	}
+}
