@@ -45,6 +45,44 @@ func BenchmarkServiceMultiJob(b *testing.B) {
 	}
 }
 
+// BenchmarkRemediationLoop measures the closed loop end to end: a nic-down
+// is injected, diagnosed, recovered by the attached policy and verified
+// quiet. Custom metrics split the loop: detect (inject→report), act
+// (report→action applied) and verify (applied→succeeded) latency, all in
+// virtual seconds.
+func BenchmarkRemediationLoop(b *testing.B) {
+	var detect, act, verify time.Duration
+	for i := 0; i < b.N; i++ {
+		svc := mycroft.NewService(mycroft.ServiceOptions{Seed: 1})
+		job := svc.MustAddJob("llm", mycroft.JobOptions{
+			Backend: mycroft.BackendConfig{RearmDelay: 10 * time.Second},
+		})
+		if err := svc.AttachPolicy("llm", mycroft.SelfHealPolicy()); err != nil {
+			b.Fatal(err)
+		}
+		const faultAt = 15 * time.Second
+		svc.Start()
+		job.Inject(mycroft.Fault{Kind: faults.NICDown, Rank: 5, At: faultAt})
+		svc.Run(75 * time.Second)
+		svc.Stop()
+		log := job.RemediationLog()
+		if len(log) == 0 {
+			b.Fatal("no remediation attempts")
+		}
+		healed := log[len(log)-1]
+		if healed.Outcome != mycroft.RemedySucceeded {
+			b.Fatalf("loop did not close: %v", healed)
+		}
+		detect += time.Duration(log[0].ReportedAt) - faultAt
+		act += time.Duration(healed.AppliedAt - healed.ReportedAt)
+		verify += time.Duration(healed.ResolvedAt - healed.AppliedAt)
+	}
+	n := float64(b.N)
+	b.ReportMetric(detect.Seconds()/n, "vs-detect/op")
+	b.ReportMetric(act.Seconds()/n, "vs-act/op")
+	b.ReportMetric(verify.Seconds()/n, "vs-verify/op")
+}
+
 // BenchmarkQueryWindow measures the Algorithm 1/2 access pattern — "recent
 // window, specific kind, across ranks" — on the sharded store versus the
 // pre-refactor access pattern, which fetched each rank's full history and

@@ -49,6 +49,7 @@ func usage() {
 
   list                         list the built-in scenario library
   validate <file.json|name>    parse and validate a scenario spec
+  validate -all                validate every builtin scenario
   run <name|file.json> [flags] execute a scenario and print its report
 
 run flags:
@@ -104,20 +105,50 @@ func list() {
 
 func validate(args []string) {
 	if len(args) != 1 {
-		fmt.Fprintln(os.Stderr, "usage: mycroft-scenario validate <file.json|name>")
+		fmt.Fprintln(os.Stderr, "usage: mycroft-scenario validate <file.json|name|-all>")
 		os.Exit(2)
+	}
+	if args[0] == "-all" || args[0] == "--all" {
+		// Every builtin must validate AND survive a JSON round-trip — the
+		// library is also the file-format documentation.
+		for _, spec := range scenario.Builtins() {
+			if err := spec.Validate(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			data, err := json.Marshal(spec)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mycroft-scenario: %s: marshal: %v\n", spec.Name, err)
+				os.Exit(1)
+			}
+			if _, err := scenario.Parse(data); err != nil {
+				fmt.Fprintf(os.Stderr, "mycroft-scenario: %s: round-trip: %v\n", spec.Name, err)
+				os.Exit(1)
+			}
+			describe(spec)
+		}
+		fmt.Printf("%d builtin scenarios valid\n", len(scenario.Builtins()))
+		return
 	}
 	spec, err := load(args[0])
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	describe(spec)
+}
+
+func describe(spec scenario.Spec) {
 	engine := "independent engines"
 	if spec.Fleet.SharedEngine {
 		engine = "one shared engine"
 	}
-	fmt.Printf("%s: valid (%d events, %d assertions, %d job(s) on %s)\n",
-		spec.Name, len(spec.Events), len(spec.Assertions), spec.JobCount(), engine)
+	extra := ""
+	if n := len(spec.Remediate); n > 0 {
+		extra = fmt.Sprintf(", %d remediation polic(ies)", n)
+	}
+	fmt.Printf("%s: valid (%d events, %d assertions, %d job(s) on %s%s)\n",
+		spec.Name, len(spec.Events), len(spec.Assertions), spec.JobCount(), engine, extra)
 }
 
 func run(args []string) {

@@ -10,6 +10,12 @@
 // verdict's causal chain and blast radius on stderr:
 //
 //	mycroft-trace graph -fault nic-down -rank 5 | dot -Tsvg > deps.svg
+//
+// The "remedy" subcommand attaches the default self-healing policy before
+// injecting, then dumps the remediation audit log — every detect→act→verify
+// attempt — through the query layer:
+//
+//	mycroft-trace remedy -fault nic-down -rank 5
 package main
 
 import (
@@ -35,16 +41,31 @@ func main() {
 	)
 	args := os.Args[1:]
 	graphMode := len(args) > 0 && args[0] == "graph"
-	if graphMode {
+	remedyMode := len(args) > 0 && args[0] == "remedy"
+	if graphMode || remedyMode {
 		args = args[1:]
 	}
 	flag.CommandLine.Parse(args)
 
+	opts := mycroft.JobOptions{}
+	if remedyMode {
+		// Tighten the re-arm so a failed mitigation is re-detected within a
+		// short verify window (same tuning as the self-healing builtins).
+		opts.Backend.RearmDelay = 10 * time.Second
+	}
 	svc := mycroft.NewService(mycroft.ServiceOptions{Seed: *seed})
-	job, err := svc.AddJob("trace", mycroft.JobOptions{})
+	job, err := svc.AddJob("trace", opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
+	}
+	if remedyMode {
+		p := mycroft.SelfHealPolicy()
+		p.Rules = append(p.Rules, mycroft.RemedyRule{Name: "page", Action: mycroft.RemedyEscalate})
+		if err := svc.AttachPolicy("trace", p); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
 	}
 	svc.Start()
 	if *faultName != "none" {
@@ -53,6 +74,24 @@ func main() {
 	svc.Run(*horizon)
 	db := job.Job.DB
 	now := svc.Now()
+
+	if remedyMode {
+		res, err := svc.QueryRemediations(mycroft.RemediationQuery{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("remediation audit log after %v (%d attempt(s)):\n", *horizon, res.Total)
+		for _, a := range res.Attempts {
+			fmt.Printf("  %s\n", a.RemedyAttempt)
+			fmt.Printf("    reported %v, applied %v, resolved %v\n", a.ReportedAt, a.AppliedAt, a.ResolvedAt)
+		}
+		if iso := job.Isolated(); len(iso) > 0 {
+			fmt.Printf("isolated ranks: %v\n", iso)
+		}
+		fmt.Printf("iterations completed: %d\n", job.Job.IterationsDone())
+		return
+	}
 
 	if graphMode {
 		// DOT on stdout (pipe into Graphviz); the verdict's chain and blast

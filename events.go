@@ -18,6 +18,10 @@ const (
 	EventReport = core.EventReport
 	// EventLifecycle marks a job or backend state change (Phase names it).
 	EventLifecycle = core.EventLifecycle
+	// EventAction carries a remediation-loop transition: an attempt was
+	// applied, succeeded, failed or escalated (Event.Action snapshots the
+	// audit-log entry at that moment).
+	EventAction = core.EventAction
 )
 
 // Lifecycle phases a Service publishes. Backend phases re-export the core
@@ -37,9 +41,10 @@ type Event struct {
 	Kind EventKind
 	At   time.Duration
 
-	Trigger *Trigger // EventTrigger
-	Report  *Report  // EventReport
-	Phase   string   // EventLifecycle
+	Trigger *Trigger       // EventTrigger
+	Report  *Report        // EventReport
+	Phase   string         // EventLifecycle
+	Action  *RemedyAttempt // EventAction
 }
 
 func (e Event) String() string {
@@ -50,6 +55,8 @@ func (e Event) String() string {
 		return fmt.Sprintf("job %s: %v", e.Job, *e.Report)
 	case EventLifecycle:
 		return fmt.Sprintf("job %s: [%v] %s", e.Job, e.At, e.Phase)
+	case EventAction:
+		return fmt.Sprintf("job %s: %v", e.Job, *e.Action)
 	default:
 		return fmt.Sprintf("job %s: %v", e.Job, e.Kind)
 	}
@@ -78,9 +85,19 @@ type EventFilter struct {
 	// many hops; setting it > 0 implies reports-only. MinChain 2 selects
 	// exactly the cross-communicator cascades.
 	MinChain int
+	// Outcomes restricts to remediation events whose attempt carries one of
+	// these outcomes; setting it implies actions-only. Watch
+	// {RemedyEscalated} to page exactly when the loop gives up.
+	Outcomes []RemedyOutcome
 	// From and To bound the event's virtual time, inclusive. To 0 means
 	// unbounded.
 	From, To time.Duration
+	// Buffer caps how many undelivered events the stream may hold in poll
+	// mode (0 = unbounded). When full, the oldest buffered event is dropped
+	// to admit the new one and Stream.Dropped counts it — a slow subscriber
+	// degrades to "most recent Buffer events" instead of growing memory
+	// without bound.
+	Buffer int
 }
 
 func (f EventFilter) matches(e Event) bool {
@@ -97,6 +114,8 @@ func (f EventFilter) matches(e Event) bool {
 			r = e.Trigger.Rank
 		case e.Report != nil:
 			r = e.Report.Suspect
+		case e.Action != nil:
+			r = e.Action.Action.Rank
 		default:
 			return false
 		}
@@ -126,6 +145,11 @@ func (f EventFilter) matches(e Event) bool {
 			return false
 		}
 	}
+	if len(f.Outcomes) > 0 {
+		if e.Action == nil || !slices.Contains(f.Outcomes, e.Action.Outcome) {
+			return false
+		}
+	}
 	if e.At < f.From {
 		return false
 	}
@@ -140,11 +164,12 @@ func (f EventFilter) matches(e Event) bool {
 // push-style by installing a handler with Each. The engine is
 // single-threaded, so delivery is synchronous and deterministic.
 type Stream struct {
-	svc    *Service
-	filter EventFilter
-	fn     func(Event)
-	buf    []Event
-	closed bool
+	svc     *Service
+	filter  EventFilter
+	fn      func(Event)
+	buf     []Event
+	dropped uint64
+	closed  bool
 }
 
 // Subscribe attaches a typed subscription to the service. Close the stream
@@ -159,6 +184,12 @@ func (st *Stream) deliver(e Event) {
 	if st.fn != nil {
 		st.fn(e)
 		return
+	}
+	if b := st.filter.Buffer; b > 0 && len(st.buf) >= b {
+		// Keep the newest events: age out the front of the buffer.
+		over := len(st.buf) - b + 1
+		st.buf = st.buf[over:]
+		st.dropped += uint64(over)
 	}
 	st.buf = append(st.buf, e)
 }
@@ -194,6 +225,10 @@ func (st *Stream) Drain() []Event {
 
 // Len reports how many events are buffered.
 func (st *Stream) Len() int { return len(st.buf) }
+
+// Dropped reports how many matched events were aged out of a full buffer
+// (always 0 without an EventFilter.Buffer cap or with a push handler).
+func (st *Stream) Dropped() uint64 { return st.dropped }
 
 // Close detaches the subscription from the service; buffered events remain
 // consumable.

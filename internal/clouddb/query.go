@@ -77,6 +77,9 @@ func (db *DB) Query(q Query) Result {
 	if to == 0 {
 		to = sim.Infinity
 	}
+	if q.Limit < 0 {
+		q.Limit = 0 // negative cap from a user query means "no cap", not a mis-slice
+	}
 	var res Result
 	for _, r := range db.queryRanks(q) {
 		resuming := false

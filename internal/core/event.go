@@ -16,6 +16,11 @@ const (
 	EventReport
 	// EventLifecycle marks a backend state change (Phase names it).
 	EventLifecycle
+	// EventAction marks a remediation-loop transition (an attempt applied or
+	// resolved). The backend never emits it; the service layer's remediation
+	// engine does, and it is declared here so every event consumer shares one
+	// kind space.
+	EventAction
 )
 
 func (k EventKind) String() string {
@@ -26,6 +31,8 @@ func (k EventKind) String() string {
 		return "report"
 	case EventLifecycle:
 		return "lifecycle"
+	case EventAction:
+		return "action"
 	default:
 		return fmt.Sprintf("event(%d)", uint8(k))
 	}

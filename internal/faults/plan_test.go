@@ -69,17 +69,23 @@ func TestRecoverRejectsBadSpecs(t *testing.T) {
 		Topo:      topo.Config{Nodes: 2, GPUsPerNode: 4, TP: 2, PP: 2, DP: 2},
 		Collector: collector.Config{UploadLatency: 500 * time.Millisecond},
 	})
-	for _, spec := range []Spec{
-		{Kind: ProxyCrash, Rank: 1}, // no undo exists
-		{Kind: NICDown, Rank: 99},   // out of range
-	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("Recover(%v) did not panic", spec)
-				}
-			}()
-			Recover(job, spec)
+	mustPanic := func(spec Spec) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("Recover(%v) did not panic", spec)
+			}
 		}()
+		Recover(job, spec)
 	}
+	// Every kind outside the Recoverable set must be rejected — the
+	// remediation loop leans on this gate, so a kind silently accepted here
+	// would turn a failed mitigation into a no-op "success".
+	for _, k := range All() {
+		if !Recoverable(k) {
+			mustPanic(Spec{Kind: k, Rank: 1})
+		}
+	}
+	mustPanic(Spec{Kind: NICDown, Rank: 99}) // out of range
+	mustPanic(Spec{Kind: NICDown, Rank: -1}) // negative rank
 }

@@ -49,6 +49,37 @@ func TestAnalyzeHealthySkewTolerated(t *testing.T) {
 	}
 }
 
+// TestAnalyzeStalenessBoundary pins the quiescence threshold exactly: a
+// comm whose newest launch is age == stale IS analyzed (>= comparison), one
+// tick younger is still "making progress" and skipped.
+func TestAnalyzeStalenessBoundary(t *testing.T) {
+	const stale = 5 * time.Second
+	setup := func() (*sim.Engine, *Recorder) {
+		eng := sim.NewEngine(1)
+		rec := New(eng, 8)
+		// Rank 1 stopped launching: a launch-behind finding once quiesced.
+		rec.Record(0, meta(1, 4, 100))
+		rec.Record(1, meta(1, 4, 100))
+		rec.Record(2, meta(1, 4, 100))
+		eng.RunFor(time.Second)
+		rec.Record(0, meta(1, 5, 100))
+		rec.Record(2, meta(1, 5, 100))
+		return eng, rec
+	}
+
+	eng, rec := setup()
+	// Newest entry is exactly `stale` old: the boundary counts as quiesced.
+	fs := rec.Analyze(eng.Now().Add(stale), stale)
+	if len(fs) != 1 || fs[0].Kind != "launch-behind" || len(fs[0].Ranks) != 1 || fs[0].Ranks[0] != 1 {
+		t.Fatalf("at-threshold comm not analyzed: %+v", fs)
+	}
+	// One nanosecond younger than the threshold: still in flight, skipped.
+	eng, rec = setup()
+	if fs := rec.Analyze(eng.Now().Add(stale-time.Nanosecond), stale); len(fs) != 0 {
+		t.Fatalf("sub-threshold comm analyzed: %+v", fs)
+	}
+}
+
 func TestAnalyzeLaunchAhead(t *testing.T) {
 	eng := sim.NewEngine(1)
 	rec := New(eng, 8)

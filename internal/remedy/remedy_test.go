@@ -1,0 +1,271 @@
+package remedy
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"mycroft/internal/core"
+	"mycroft/internal/sim"
+	"mycroft/internal/topo"
+)
+
+func testPolicy(rules ...Rule) Policy { return Policy{Name: "test", Rules: rules} }
+
+func report(at time.Duration, suspect topo.Rank, cat core.Category) core.Report {
+	return core.Report{Suspect: suspect, CommID: 1, Category: cat, Via: core.ViaMinOp, AnalyzedAt: sim.Time(at)}
+}
+
+func TestPolicyValidate(t *testing.T) {
+	if err := (Policy{}).Validate(); err == nil {
+		t.Fatal("empty policy validated")
+	}
+	if err := testPolicy(Rule{Action: "reboot-universe"}).Validate(); err == nil {
+		t.Fatal("unknown action validated")
+	}
+	if err := testPolicy(Rule{Action: ActRecoverFault, Backoff: -time.Second}).Validate(); err == nil {
+		t.Fatal("negative backoff validated")
+	}
+	if err := testPolicy(Rule{Action: ActRecoverFault}).Validate(); err != nil {
+		t.Fatalf("good policy rejected: %v", err)
+	}
+}
+
+func TestRuleMatching(t *testing.T) {
+	p := testPolicy(
+		Rule{Name: "hangs", Categories: []core.Category{core.CatGPUHang}, Action: ActIsolateRank},
+		Rule{Name: "cascades", MinChain: 2, Action: ActRebuildComm},
+		Rule{Name: "rest", Action: ActRecoverFault},
+	).withDefaults()
+	rep := report(time.Second, 3, core.CatGPUHang)
+	if r, ok := p.match(rep); !ok || r.Name != "hangs" {
+		t.Fatalf("matched %v, want hangs", r.Name)
+	}
+	rep = report(time.Second, 3, core.CatNetworkSendPath)
+	rep.Chain = []core.Hop{{Comm: 1}, {Comm: 2}}
+	if r, ok := p.match(rep); !ok || r.Name != "cascades" {
+		t.Fatalf("matched %v, want cascades (first match wins on chain shape)", r.Name)
+	}
+	rep.Chain = nil
+	if r, ok := p.match(rep); !ok || r.Name != "rest" {
+		t.Fatalf("matched %v, want rest", r.Name)
+	}
+}
+
+// TestLoopSucceeds: one verdict, the action applies, the suspect stays
+// quiet, and the attempt audits as succeeded.
+func TestLoopSucceeds(t *testing.T) {
+	eng := sim.NewEngine(1)
+	var applied []Action
+	var emitted []Attempt
+	e := New(eng, testPolicy(Rule{Action: ActRecoverFault, VerifyWindow: 10 * time.Second}),
+		func(a Action) error { applied = append(applied, a); return nil },
+		func(a Attempt) { emitted = append(emitted, a) })
+	eng.RunFor(20 * time.Second)
+	e.ObserveReport(report(20*time.Second, 5, core.CatNetworkSendPath))
+	eng.RunFor(30 * time.Second)
+
+	if len(applied) != 1 || applied[0].Kind != ActRecoverFault || applied[0].Rank != 5 {
+		t.Fatalf("applied = %v", applied)
+	}
+	log := e.Log()
+	if len(log) != 1 {
+		t.Fatalf("log = %v", log)
+	}
+	a := log[0]
+	if a.Outcome != OutcomeSucceeded || a.Try != 1 {
+		t.Fatalf("attempt = %+v", a)
+	}
+	if a.AppliedAt != sim.Time(20*time.Second) || a.ResolvedAt != sim.Time(30*time.Second) {
+		t.Fatalf("timing: applied %v resolved %v", a.AppliedAt, a.ResolvedAt)
+	}
+	// Two audit transitions published: applied (pending), then succeeded.
+	if len(emitted) != 2 || emitted[0].Outcome != OutcomePending || emitted[1].Outcome != OutcomeSucceeded {
+		t.Fatalf("emitted = %v", emitted)
+	}
+}
+
+// TestReDetectionFailsAndBacksOff: a verdict inside the verify window fails
+// the attempt; the retry honours the backoff; a third failure exhausts the
+// budget and escalates — the flap-damping path end to end.
+func TestReDetectionFailsAndBacksOff(t *testing.T) {
+	eng := sim.NewEngine(1)
+	var applied []Action
+	e := New(eng, testPolicy(Rule{
+		Action: ActRecoverFault, MaxAttempts: 2,
+		Backoff: 8 * time.Second, VerifyWindow: 20 * time.Second,
+	}), func(a Action) error { applied = append(applied, a); return nil }, nil)
+
+	eng.RunFor(10 * time.Second)
+	e.ObserveReport(report(10*time.Second, 5, core.CatNetworkSendPath)) // attempt 1 applies at 10s
+	eng.RunFor(5 * time.Second)
+	e.ObserveReport(report(15*time.Second, 5, core.CatNetworkSendPath)) // re-detected: fail 1, attempt 2 waits for backoff (18s)
+	if got := e.Log()[0].Outcome; got != OutcomeFailed {
+		t.Fatalf("attempt 1 outcome = %v", got)
+	}
+	eng.RunFor(10 * time.Second) // applies at 18s
+	log := e.Log()
+	if len(log) != 2 || log[1].AppliedAt != sim.Time(18*time.Second) {
+		t.Fatalf("attempt 2 did not honour backoff: %+v", log)
+	}
+	e.ObserveReport(report(25*time.Second, 5, core.CatNetworkSendPath)) // fail 2 → budget exhausted
+	e.ObserveReport(report(26*time.Second, 5, core.CatNetworkSendPath)) // escalates
+	log = e.Log()
+	if len(log) != 3 {
+		t.Fatalf("log = %+v", log)
+	}
+	if log[1].Outcome != OutcomeFailed || log[2].Outcome != OutcomeEscalated || log[2].Action.Kind != ActEscalate {
+		t.Fatalf("outcomes = %v %v", log[1].Outcome, log[2].Outcome)
+	}
+	// Escalated rank is latched: further verdicts are ignored.
+	e.ObserveReport(report(30*time.Second, 5, core.CatNetworkSendPath))
+	if len(e.Log()) != 3 {
+		t.Fatal("escalated rank acted on again")
+	}
+	// Escalation reached the executor (for paging/cordoning).
+	if last := applied[len(applied)-1]; last.Kind != ActEscalate {
+		t.Fatalf("executor saw %v, want escalate", last)
+	}
+}
+
+// TestTriggerFailsFast: a trigger on the suspect mid-verification fails the
+// attempt without waiting for the re-analyzed verdict.
+func TestTriggerFailsFast(t *testing.T) {
+	eng := sim.NewEngine(1)
+	e := New(eng, testPolicy(Rule{Action: ActRecoverFault, VerifyWindow: 30 * time.Second}),
+		func(Action) error { return nil }, nil)
+	eng.RunFor(10 * time.Second)
+	e.ObserveReport(report(10*time.Second, 5, core.CatGPUHang))
+	eng.RunFor(5 * time.Second)
+	e.ObserveTrigger(core.Trigger{Kind: core.TriggerFailure, Rank: 5, At: sim.Time(15 * time.Second), Reason: "still silent"})
+	if got := e.Log()[0].Outcome; got != OutcomeFailed {
+		t.Fatalf("outcome = %v", got)
+	}
+	// The provoking trigger (at or before apply) must NOT fail an attempt.
+	e.ObserveReport(report(15*time.Second, 7, core.CatGPUHang))
+	e.ObserveTrigger(core.Trigger{Kind: core.TriggerFailure, Rank: 7, At: sim.Time(15 * time.Second)})
+	if got := e.Log()[1].Outcome; got != OutcomePending {
+		t.Fatalf("same-instant trigger failed the attempt: %v", got)
+	}
+}
+
+// TestExecutorErrorAudits: an unactionable order (no recoverable mapping)
+// audits as failed, charging the budget.
+func TestExecutorErrorAudits(t *testing.T) {
+	eng := sim.NewEngine(1)
+	e := New(eng, testPolicy(Rule{Action: ActRecoverFault, MaxAttempts: 1}),
+		func(Action) error { return fmt.Errorf("no recoverable mapping") }, nil)
+	eng.RunFor(10 * time.Second)
+	e.ObserveReport(report(10*time.Second, 2, core.CatProxyCrash))
+	log := e.Log()
+	if len(log) != 1 || log[0].Outcome != OutcomeFailed {
+		t.Fatalf("log = %+v", log)
+	}
+	e.ObserveReport(report(12*time.Second, 2, core.CatProxyCrash))
+	if log = e.Log(); len(log) != 2 || log[1].Outcome != OutcomeEscalated {
+		t.Fatalf("budget-1 executor failure did not escalate: %+v", log)
+	}
+}
+
+// TestEscalateRule: a rule whose action IS escalate pages immediately —
+// and does NOT latch the rank, so a later fault an earlier rule can
+// mitigate still self-heals, and a fresh unmatched verdict pages again.
+func TestEscalateRule(t *testing.T) {
+	eng := sim.NewEngine(1)
+	e := New(eng, testPolicy(
+		Rule{Categories: []core.Category{core.CatGPUHang}, Action: ActRecoverFault, VerifyWindow: 5 * time.Second},
+		Rule{Categories: []core.Category{core.CatUnknown}, Action: ActEscalate},
+	), func(Action) error { return nil }, nil)
+	eng.RunFor(time.Second)
+	e.ObserveReport(report(time.Second, 4, core.CatUnknown))
+	log := e.Log()
+	if len(log) != 1 || log[0].Outcome != OutcomeEscalated || log[0].Detail != "rule orders escalation" {
+		t.Fatalf("log = %+v", log)
+	}
+	// The same rank is still remediable by the recover rule...
+	eng.RunFor(9 * time.Second)
+	e.ObserveReport(report(10*time.Second, 4, core.CatGPUHang))
+	eng.RunFor(10 * time.Second)
+	log = e.Log()
+	if len(log) != 2 || log[1].Outcome != OutcomeSucceeded {
+		t.Fatalf("escalate rule latched the rank: %+v", log)
+	}
+	// ...and a fresh unmatched verdict pages again.
+	e.ObserveReport(report(20*time.Second, 4, core.CatUnknown))
+	if log = e.Log(); len(log) != 3 || log[2].Outcome != OutcomeEscalated {
+		t.Fatalf("repeat detection did not page: %+v", log)
+	}
+}
+
+// TestSuspectlessReportPages: an un-localized verdict (Suspect -1) cannot
+// be acted on, but a rule ordering escalation must still page — and rules
+// ordering real actions must not fire for it.
+func TestSuspectlessReportPages(t *testing.T) {
+	eng := sim.NewEngine(1)
+	var applied []Action
+	e := New(eng, testPolicy(
+		Rule{Categories: []core.Category{core.CatGPUHang}, Action: ActRecoverFault},
+		Rule{Action: ActEscalate},
+	), func(a Action) error { applied = append(applied, a); return nil }, nil)
+	e.ObserveReport(report(time.Second, -1, core.CatUnknown))
+	log := e.Log()
+	if len(log) != 1 || log[0].Outcome != OutcomeEscalated || log[0].Action.Rank != -1 {
+		t.Fatalf("suspectless verdict did not page: %+v", log)
+	}
+	// A verdict matching an actionable rule stays unactionable without a
+	// target: no attempt, no executor call.
+	applied = nil
+	e.ObserveReport(report(2*time.Second, -1, core.CatGPUHang))
+	if len(e.Log()) != 1 || len(applied) != 0 {
+		t.Fatalf("actionable rule fired without a suspect: %+v, applied %v", e.Log(), applied)
+	}
+}
+
+// TestBudgetIsPerRule: one rule's failures must not consume another rule's
+// budget on the same rank.
+func TestBudgetIsPerRule(t *testing.T) {
+	eng := sim.NewEngine(1)
+	e := New(eng, testPolicy(
+		Rule{Name: "recover", Categories: []core.Category{core.CatNetworkSendPath}, Action: ActRecoverFault,
+			MaxAttempts: 3, Backoff: time.Second, VerifyWindow: 5 * time.Second},
+		Rule{Name: "isolate", Categories: []core.Category{core.CatComputeStraggler}, Action: ActIsolateRank,
+			MaxAttempts: 2, Backoff: time.Second, VerifyWindow: 5 * time.Second},
+	), func(Action) error { return nil }, nil)
+	eng.RunFor(10 * time.Second)
+	e.ObserveReport(report(10*time.Second, 5, core.CatNetworkSendPath))
+	eng.RunFor(2 * time.Second)
+	e.ObserveReport(report(12*time.Second, 5, core.CatNetworkSendPath)) // recover fail 1
+	eng.RunFor(2 * time.Second)
+	e.ObserveReport(report(14*time.Second, 5, core.CatNetworkSendPath)) // recover fail 2
+	eng.RunFor(2 * time.Second)
+	// Two recover failures charged; the isolate rule's own budget (2) is
+	// untouched, so a straggler verdict must attempt, not escalate.
+	e.ObserveReport(report(16*time.Second, 5, core.CatComputeStraggler))
+	log := e.Log()
+	last := log[len(log)-1]
+	if last.Action.Kind != ActIsolateRank || last.Try != 1 {
+		t.Fatalf("isolate rule inherited another rule's failures: %+v", last)
+	}
+}
+
+// TestSuccessRestoresBudget: a verified heal resets the per-rank failure
+// count, so a later independent fault gets the full retry budget.
+func TestSuccessRestoresBudget(t *testing.T) {
+	eng := sim.NewEngine(1)
+	e := New(eng, testPolicy(Rule{Action: ActRecoverFault, MaxAttempts: 2, Backoff: time.Second, VerifyWindow: 5 * time.Second}),
+		func(Action) error { return nil }, nil)
+	eng.RunFor(10 * time.Second)
+	e.ObserveReport(report(10*time.Second, 5, core.CatNetworkSendPath))
+	eng.RunFor(2 * time.Second)
+	e.ObserveReport(report(12*time.Second, 5, core.CatNetworkSendPath)) // fail 1; retry applies at 13s (backoff)
+	eng.RunFor(20 * time.Second)                                       // retry verifies quiet by 18s
+	log := e.Log()
+	if len(log) != 2 || log[1].Outcome != OutcomeSucceeded {
+		t.Fatalf("log = %+v", log)
+	}
+	// A fresh fault months later must attempt again, not escalate.
+	e.ObserveReport(report(32*time.Second, 5, core.CatNetworkSendPath))
+	if log = e.Log(); len(log) != 3 || log[2].Outcome != OutcomePending || log[2].Try != 1 {
+		t.Fatalf("budget not restored: %+v", log)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"slices"
 
 	"mycroft/internal/faults"
+	"mycroft/internal/remedy"
 	"mycroft/internal/sim"
 	"mycroft/internal/topo"
 )
@@ -163,6 +164,61 @@ func checkJob(a Assertion, j *JobResult) string {
 			last = "no reports"
 		}
 		return fmt.Sprintf("no report with the expected blast radius: %s", last)
+
+	case AssertRemediation:
+		matches := 0
+		for _, att := range j.remediations {
+			if a.Action != "" && att.Action.Kind != a.Action {
+				continue
+			}
+			if a.Rank != -1 && att.Action.Rank != topo.Rank(a.Rank) {
+				continue
+			}
+			if len(a.Outcomes) > 0 && !slices.Contains(a.Outcomes, att.Outcome) {
+				continue
+			}
+			matches++
+		}
+		if a.None {
+			if matches > 0 {
+				return fmt.Sprintf("%d matching remediation attempt(s), want none", matches)
+			}
+			return ""
+		}
+		min := a.Min
+		if min <= 0 {
+			min = 1
+		}
+		if matches < min {
+			return fmt.Sprintf("%d matching remediation attempt(s), want >= %d (log has %d)", matches, min, len(j.remediations))
+		}
+		return ""
+
+	case AssertRecovered:
+		// The loop closed: a succeeded attempt on the rank, after whose
+		// verification the suspect never came back — no trigger fired by the
+		// rank and no verdict naming it.
+		var healed *remedy.Attempt
+		for i := range j.remediations {
+			att := &j.remediations[i]
+			if att.Outcome == remedy.OutcomeSucceeded && (a.Rank == -1 || att.Action.Rank == topo.Rank(a.Rank)) {
+				healed = att
+			}
+		}
+		if healed == nil {
+			return fmt.Sprintf("no succeeded remediation for rank %d (log has %d attempts)", a.Rank, len(j.remediations))
+		}
+		for _, tr := range j.triggers {
+			if tr.Rank == healed.Action.Rank && tr.At > healed.ResolvedAt {
+				return fmt.Sprintf("suspect re-triggered after verification: %v", tr)
+			}
+		}
+		for _, rep := range j.reports {
+			if rep.Suspect == healed.Action.Rank && rep.AnalyzedAt > healed.ResolvedAt {
+				return fmt.Sprintf("suspect re-detected after verification: %v", rep)
+			}
+		}
+		return ""
 	}
 	return fmt.Sprintf("unknown assertion kind %q", a.Kind)
 }

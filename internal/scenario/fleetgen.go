@@ -14,6 +14,7 @@ type jobSpec struct {
 	UploadLatency   Dur
 	Window          Dur
 	MaxSampled      int
+	Rearm           Dur
 }
 
 // resolveFleet expands the fleet declaration into concrete job specs. For a
@@ -28,7 +29,7 @@ func resolveFleet(f Fleet, seed int64) []jobSpec {
 		return []jobSpec{{
 			Template: "default", Topo: t, CommHeavy: f.CommHeavy,
 			CheckpointEvery: f.CheckpointEvery, UploadLatency: f.UploadLatency,
-			Window: f.Window, MaxSampled: f.MaxSampled,
+			Window: f.Window, MaxSampled: f.MaxSampled, Rearm: f.Rearm,
 		}}
 	}
 	rng := rand.New(rand.NewSource(mix(seed, 0x666c656574))) // "fleet"
@@ -44,7 +45,7 @@ func resolveFleet(f Fleet, seed int64) []jobSpec {
 			// fleet-level overrides; a template can also opt in itself.
 			Template: tpl.Name, Topo: tpl.Topo, CommHeavy: tpl.CommHeavy || f.CommHeavy,
 			CheckpointEvery: f.CheckpointEvery, UploadLatency: f.UploadLatency,
-			Window: f.Window, MaxSampled: f.MaxSampled,
+			Window: f.Window, MaxSampled: f.MaxSampled, Rearm: f.Rearm,
 		})
 	}
 	return out

@@ -4,8 +4,10 @@ import (
 	"sort"
 	"time"
 
+	"mycroft"
 	"mycroft/internal/core"
 	"mycroft/internal/faults"
+	"mycroft/internal/remedy"
 )
 
 // Builtins returns the built-in scenario library, sorted by name: one
@@ -37,6 +39,10 @@ func Builtins() []Spec {
 		ppCascadeScenario(),
 		ppNICCascadeScenario(),
 		nestedVictimChainScenario(),
+		selfHealNICDownScenario(),
+		selfHealStragglerScenario(),
+		flappingEscalateScenario(),
+		multiJobPolicyScenario(),
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
@@ -321,6 +327,129 @@ func nestedVictimChainScenario() Spec {
 			{Kind: AssertDiagnosed},
 			{Kind: AssertChain, Min: 2},
 			{Kind: AssertVictims, Min: 7, Victims: []int{0, 1, 3, 4, 5, 6, 7}},
+		},
+	}
+}
+
+// selfHealRules is the shared self-healing policy of the remediation
+// builtins — mycroft.SelfHealPolicy (the tuned rule set the CLI and bench
+// also use) rendered into the file format.
+func selfHealRules() []RemedyRule {
+	var out []RemedyRule
+	for _, r := range mycroft.SelfHealPolicy().Rules {
+		out = append(out, RemedyRule{
+			Name: r.Name, Categories: r.Categories, Vias: r.Vias, MinChain: r.MinChain,
+			Action: r.Action, MaxAttempts: r.MaxAttempts,
+			Backoff: Dur(r.Backoff), VerifyWindow: Dur(r.VerifyWindow),
+		})
+	}
+	return out
+}
+
+// selfHealNICDownScenario is the acceptance loop end to end: a recoverable
+// nic-down is diagnosed, the policy recovers it, verification sees a quiet
+// window, and the run ends with a succeeded audit entry and the job
+// training again.
+func selfHealNICDownScenario() Spec {
+	return Spec{
+		Name:        "self-heal-nic-down",
+		Description: "A NIC dies and the attached policy recovers it in place: the audit log ends succeeded, the suspect stays quiet, the job resumes.",
+		RunFor:      Dur(90 * time.Second),
+		Fleet:       Fleet{Rearm: Dur(10 * time.Second)},
+		Events:      []Event{injectAt(warmup, faults.NICDown, 5, 0, 0)},
+		Remediate:   []Remediate{{Name: "self-heal", Rules: selfHealRules()}},
+		Assertions: []Assertion{
+			{Kind: AssertNoFalseTrigger},
+			{Kind: AssertDetected, Within: Dur(30 * time.Second)},
+			{Kind: AssertDiagnosed},
+			{Kind: AssertRemediation, Action: remedy.ActRecoverFault, Outcomes: []remedy.Outcome{remedy.OutcomeSucceeded}, Rank: 5},
+			{Kind: AssertRecovered, Rank: 5},
+			{Kind: AssertMinIterations, Min: 10}, // a permanently dead NIC caps the horizon at ~7
+		},
+	}
+}
+
+// selfHealStragglerScenario replaces a straggling GPU: the compute-straggler
+// verdict maps to isolate-rank, the rank's hardware is swapped, and the job
+// returns to full speed.
+func selfHealStragglerScenario() Spec {
+	return Spec{
+		Name:        "self-heal-straggler",
+		Description: "A compute straggler is diagnosed and its rank isolated (hardware swap): the slowdown clears and the isolate audits succeeded.",
+		RunFor:      Dur(90 * time.Second),
+		Fleet:       Fleet{Rearm: Dur(10 * time.Second)},
+		Events:      []Event{injectAt(warmup, faults.GPUSlow, 1, 0, 0)},
+		Remediate:   []Remediate{{Name: "self-heal", Rules: selfHealRules()}},
+		Assertions: []Assertion{
+			{Kind: AssertNoFalseTrigger},
+			{Kind: AssertDetected},
+			{Kind: AssertCategory, Categories: []core.Category{core.CatComputeStraggler}},
+			{Kind: AssertRemediation, Action: remedy.ActIsolateRank, Outcomes: []remedy.Outcome{remedy.OutcomeSucceeded}, Rank: 1},
+			{Kind: AssertRecovered, Rank: 1},
+		},
+	}
+}
+
+// flappingEscalateScenario is the flap-damping path: a link that keeps
+// flapping defeats in-place recovery twice, exhausting the rule's budget —
+// the loop must stop thrashing and page instead.
+func flappingEscalateScenario() Spec {
+	rules := []RemedyRule{{
+		Name:       "recover",
+		Categories: []core.Category{core.CatNetworkSendPath, core.CatNetworkDegrade},
+		Action:     remedy.ActRecoverFault, MaxAttempts: 2,
+		Backoff: Dur(5 * time.Second), VerifyWindow: Dur(25 * time.Second),
+	}}
+	return Spec{
+		Name:        "flapping-link-escalate",
+		Description: "A flapping link keeps re-failing inside the verify window; after the 2-attempt budget the policy escalates instead of thrashing.",
+		RunFor:      Dur(120 * time.Second),
+		Fleet:       Fleet{Rearm: Dur(5 * time.Second)},
+		Events: []Event{
+			injectAt(warmup, faults.NICFlap, 5, 0, 8*time.Second),
+			injectAt(30*time.Second, faults.NICFlap, 5, 0, 8*time.Second),
+			injectAt(45*time.Second, faults.NICFlap, 5, 0, 8*time.Second),
+			injectAt(60*time.Second, faults.NICFlap, 5, 0, 8*time.Second),
+			injectAt(75*time.Second, faults.NICFlap, 5, 0, 8*time.Second),
+		},
+		Remediate: []Remediate{{Name: "flap-damping", Rules: rules}},
+		Assertions: []Assertion{
+			{Kind: AssertNoFalseTrigger},
+			{Kind: AssertDetected, Within: Dur(30 * time.Second)},
+			{Kind: AssertRemediation, Action: remedy.ActRecoverFault, Outcomes: []remedy.Outcome{remedy.OutcomeFailed}, Min: 2, Rank: 5},
+			{Kind: AssertRemediation, Action: remedy.ActEscalate, Outcomes: []remedy.Outcome{remedy.OutcomeEscalated}, Rank: 5},
+		},
+	}
+}
+
+// multiJobPolicyScenario is the multi-tenant isolation check for the
+// remediation loop itself: two jobs share one engine and lose a NIC each,
+// but only job 0 carries a policy — job 1 must see zero remediation.
+func multiJobPolicyScenario() Spec {
+	return Spec{
+		Name:        "multi-job-policy",
+		Description: "Two shared-engine jobs each lose a NIC; only job 0 has a policy. Job 0 self-heals; job 1 is diagnosed but untouched.",
+		RunFor:      Dur(90 * time.Second),
+		Fleet: Fleet{
+			SharedEngine: true,
+			Rearm:        Dur(10 * time.Second),
+			Gen: &FleetGen{
+				Jobs:      2,
+				Templates: []Template{{Name: "small-compute", Weight: 1, Topo: DefaultTopo}},
+			},
+		},
+		Events: []Event{
+			{At: Dur(warmup), Action: ActInject, Job: 0, Fault: &Fault{Kind: faults.NICDown, Rank: 5}},
+			{At: Dur(warmup), Action: ActInject, Job: 1, Fault: &Fault{Kind: faults.NICDown, Rank: 3}},
+		},
+		Remediate: []Remediate{{Job: 0, Name: "self-heal", Rules: selfHealRules()}},
+		Assertions: []Assertion{
+			{Kind: AssertDiagnosed, Job: 0},
+			{Kind: AssertDiagnosed, Job: 1},
+			{Kind: AssertRemediation, Job: 0, Outcomes: []remedy.Outcome{remedy.OutcomeSucceeded}, Rank: 5},
+			{Kind: AssertRecovered, Job: 0, Rank: 5},
+			{Kind: AssertRemediation, Job: 1, None: true, Rank: -1},
+			{Kind: AssertMinIterations, Job: 0, Min: 10}, // job 0 resumed; job 1's dead NIC pins it lower
 		},
 	}
 }

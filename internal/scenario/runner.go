@@ -9,6 +9,7 @@ import (
 	"mycroft/internal/core"
 	"mycroft/internal/experiments"
 	"mycroft/internal/faults"
+	"mycroft/internal/remedy"
 	"mycroft/internal/sim"
 )
 
@@ -36,10 +37,14 @@ type JobResult struct {
 	// Accuracy is the fraction of injections whose expectation
 	// (faults.Expect) is satisfied by some later verdict.
 	Accuracy float64 `json:"accuracy"`
+	// Remediations is the job's audit log: every detect→act→verify attempt
+	// the attached policy made (empty without a remediate stanza).
+	Remediations []string `json:"remediations,omitempty"`
 
-	injected faults.Plan
-	triggers []core.Trigger
-	reports  []core.Report
+	injected     faults.Plan
+	triggers     []core.Trigger
+	reports      []core.Report
+	remediations []remedy.Attempt
 }
 
 // Result is the structured pass/fail outcome of one scenario run. Every
@@ -78,6 +83,9 @@ func (r *Result) Render() string {
 		}
 		for _, rep := range j.Reports {
 			fmt.Fprintf(&b, "    report:  %s\n", rep)
+		}
+		for _, rem := range j.Remediations {
+			fmt.Fprintf(&b, "    remedy:  %s\n", rem)
 		}
 	}
 	fmt.Fprintf(&b, "  assertions: %d checked, %d failed\n", r.Asserted, len(r.Failures))
@@ -134,6 +142,9 @@ func runShared(spec Spec, jobs []jobSpec, seed int64, res *Result) error {
 			return fmt.Errorf("scenario %s: job %d: %w", spec.Name, i, err)
 		}
 		handles[i] = h
+		if err := attachPolicies(spec, i, svc, h); err != nil {
+			return err
+		}
 		plans[i] = schedule(spec, i, mix(seed, int64(i)), h)
 	}
 	svc.Start()
@@ -163,6 +174,19 @@ func fillSeverity(s faults.Spec) faults.Spec {
 	return s
 }
 
+// attachPolicies arms the remediate stanzas targeting one fleet member.
+func attachPolicies(spec Spec, idx int, svc *mycroft.Service, h *mycroft.JobHandle) error {
+	for _, rem := range spec.Remediate {
+		if rem.Job != -1 && rem.Job != idx {
+			continue
+		}
+		if err := svc.AttachPolicy(h.ID, rem.policy()); err != nil {
+			return fmt.Errorf("scenario %s: job %d: %w", spec.Name, idx, err)
+		}
+	}
+	return nil
+}
+
 // jobOptions maps one resolved fleet member to the service job options.
 func jobOptions(js jobSpec) mycroft.JobOptions {
 	opts := mycroft.JobOptions{Topo: js.Topo.Config(), CommHeavy: js.CommHeavy}
@@ -171,6 +195,9 @@ func jobOptions(js jobSpec) mycroft.JobOptions {
 	}
 	if js.MaxSampled > 0 {
 		opts.Backend.MaxSampled = js.MaxSampled
+	}
+	if js.Rearm > 0 {
+		opts.Backend.RearmDelay = js.Rearm.D()
 	}
 	if js.CheckpointEvery > 0 || js.UploadLatency > 0 {
 		profile := experiments.ComputeHeavy
@@ -246,10 +273,13 @@ func collect(js jobSpec, idx int, h *mycroft.JobHandle, plan faults.Plan) JobRes
 	jr := JobResult{
 		Index: idx, JobID: string(h.ID), Template: js.Template, Topo: js.Topo, CommHeavy: js.CommHeavy,
 		WorldSize: h.WorldSize(), Iterations: h.Job.IterationsDone(), Records: h.RecordsIngested(),
-		injected: plan, triggers: h.Triggers(), reports: h.Reports(),
+		injected: plan, triggers: h.Triggers(), reports: h.Reports(), remediations: h.RemediationLog(),
 	}
 	for _, s := range plan {
 		jr.Injected = append(jr.Injected, s.String())
+	}
+	for _, a := range jr.remediations {
+		jr.Remediations = append(jr.Remediations, a.String())
 	}
 	for _, tr := range jr.triggers {
 		jr.Triggers = append(jr.Triggers, tr.String())
@@ -281,6 +311,9 @@ func runJob(spec Spec, js jobSpec, idx int, seed int64) (JobResult, error) {
 	svc := mycroft.NewService(mycroft.ServiceOptions{Seed: seed})
 	h, err := svc.AddJob(mycroft.JobID(fmt.Sprintf("job-%d", idx)), jobOptions(js))
 	if err != nil {
+		return JobResult{}, err
+	}
+	if err := attachPolicies(spec, idx, svc, h); err != nil {
 		return JobResult{}, err
 	}
 	plan := schedule(spec, idx, seed, h)

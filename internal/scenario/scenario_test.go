@@ -9,6 +9,8 @@ import (
 
 	"mycroft/internal/core"
 	"mycroft/internal/faults"
+	"mycroft/internal/remedy"
+	"mycroft/internal/sim"
 	"mycroft/internal/topo"
 )
 
@@ -238,6 +240,19 @@ func TestValidateRejects(t *testing.T) {
 		{"assertion targets horizon-dropped injection", Spec{Name: "x", RunFor: Dur(60 * time.Second),
 			Chaos:      &Chaos{Faults: 8, Start: Dur(15 * time.Second), End: Dur(20 * time.Second), MinGap: Dur(10 * time.Second)},
 			Assertions: []Assertion{{Kind: AssertDetected, Event: 7}}}, "out of range"},
+		{"negative rearm", Spec{Name: "x", Fleet: Fleet{Rearm: Dur(-time.Second)}}, "negative fleet"},
+		{"remediate without rules", Spec{Name: "x", Remediate: []Remediate{{}}}, "no rules"},
+		{"remediate unknown action", Spec{Name: "x", Remediate: []Remediate{{Rules: []RemedyRule{{Action: "percussive-maintenance"}}}}}, "unknown action"},
+		{"remediate job out of range", Spec{Name: "x", Remediate: []Remediate{{Job: 3, Rules: []RemedyRule{{Action: remedy.ActRecoverFault}}}}}, "out of range"},
+		{"remediate duplicate job", Spec{Name: "x", Remediate: []Remediate{
+			{Rules: []RemedyRule{{Action: remedy.ActRecoverFault}}},
+			{Rules: []RemedyRule{{Action: remedy.ActEscalate}}},
+		}}, "already has a policy"},
+		{"remediation none with min", Spec{Name: "x", Assertions: []Assertion{{Kind: AssertRemediation, None: true, Min: 2}}}, "both none and min"},
+		{"remediation unknown action", Spec{Name: "x", Assertions: []Assertion{{Kind: AssertRemediation, Action: "warp"}}}, "unknown action"},
+		{"remediation unknown outcome", Spec{Name: "x", Assertions: []Assertion{{Kind: AssertRemediation, Outcomes: []remedy.Outcome{"shrugged"}}}}, "unknown outcome"},
+		{"recovered rank out of range", Spec{Name: "x", Assertions: []Assertion{{Kind: AssertRecovered, Rank: 99}}}, "out of range"},
+		{"remediation rank out of range", Spec{Name: "x", Assertions: []Assertion{{Kind: AssertRemediation, Rank: 99}}}, "out of range"},
 		{"assertion event unreachable for its job", Spec{
 			Name:  "x",
 			Fleet: Fleet{Gen: &FleetGen{Jobs: 2, Templates: []Template{{Name: "t", Weight: 1, Topo: DefaultTopo}}}},
@@ -331,5 +346,94 @@ func TestChainVictimAssertionEvaluation(t *testing.T) {
 	empty := &JobResult{}
 	if msg := checkJob(Assertion{Kind: AssertVictims, Min: 1}, empty); !strings.Contains(msg, "no report") {
 		t.Fatalf("empty job failure message: %q", msg)
+	}
+}
+
+// TestRemediationAssertionEvaluation pins expect_remediation and
+// expect_recovered semantics against a fabricated audit log.
+func TestRemediationAssertionEvaluation(t *testing.T) {
+	at := func(s int) sim.Time { return sim.Time(time.Duration(s) * time.Second) }
+	j := &JobResult{
+		remediations: []remedy.Attempt{
+			{Action: remedy.Action{Kind: remedy.ActRecoverFault, Rank: 5}, Outcome: remedy.OutcomeFailed, ResolvedAt: at(30)},
+			{Action: remedy.Action{Kind: remedy.ActRecoverFault, Rank: 5}, Outcome: remedy.OutcomeSucceeded, ResolvedAt: at(50)},
+		},
+		triggers: []core.Trigger{{Rank: 5, At: at(25)}},
+		reports:  []core.Report{{Suspect: 5, AnalyzedAt: at(30)}},
+	}
+	if msg := checkJob(Assertion{Kind: AssertRemediation, Rank: -1}, j); msg != "" {
+		t.Fatalf("any-rank assertion failed: %s", msg)
+	}
+	if msg := checkJob(Assertion{Kind: AssertRemediation, Outcomes: []remedy.Outcome{remedy.OutcomeSucceeded}, Rank: 5}, j); msg != "" {
+		t.Fatalf("succeeded-attempt assertion failed: %s", msg)
+	}
+	// Rank is exact: 0 names rank 0, which has no attempts here.
+	if msg := checkJob(Assertion{Kind: AssertRemediation, Rank: 0}, j); msg == "" {
+		t.Fatal("rank-0 assertion matched attempts on rank 5")
+	}
+	if msg := checkJob(Assertion{Kind: AssertRemediation, Rank: -1, Min: 3}, j); !strings.Contains(msg, "want >= 3") {
+		t.Fatalf("min failure message: %q", msg)
+	}
+	if msg := checkJob(Assertion{Kind: AssertRemediation, Rank: -1, Action: remedy.ActIsolateRank}, j); msg == "" {
+		t.Fatal("action filter matched nothing yet passed")
+	}
+	if msg := checkJob(Assertion{Kind: AssertRemediation, Rank: -1, None: true}, j); !strings.Contains(msg, "want none") {
+		t.Fatalf("none failure message: %q", msg)
+	}
+	if msg := checkJob(Assertion{Kind: AssertRemediation, Rank: -1, None: true, Action: remedy.ActRestartJob}, j); msg != "" {
+		t.Fatalf("none with unmatched filter failed: %s", msg)
+	}
+	// Recovered: the pre-success trigger/report must not count against the
+	// quiet window; a post-success re-detection must.
+	if msg := checkJob(Assertion{Kind: AssertRecovered, Rank: 5}, j); msg != "" {
+		t.Fatalf("recovered assertion failed: %s", msg)
+	}
+	if msg := checkJob(Assertion{Kind: AssertRecovered, Rank: 3}, j); !strings.Contains(msg, "no succeeded remediation") {
+		t.Fatalf("wrong-rank failure message: %q", msg)
+	}
+	if msg := checkJob(Assertion{Kind: AssertRecovered, Rank: 0}, j); !strings.Contains(msg, "no succeeded remediation") {
+		t.Fatalf("rank 0 must mean rank 0, not any: %q", msg)
+	}
+	if msg := checkJob(Assertion{Kind: AssertRecovered, Rank: -1}, j); msg != "" {
+		t.Fatalf("any-rank recovered assertion failed: %s", msg)
+	}
+	j.triggers = append(j.triggers, core.Trigger{Rank: 5, At: at(60)})
+	if msg := checkJob(Assertion{Kind: AssertRecovered, Rank: 5}, j); !strings.Contains(msg, "re-triggered") {
+		t.Fatalf("post-verification trigger not caught: %q", msg)
+	}
+	j.triggers = j.triggers[:1]
+	j.reports = append(j.reports, core.Report{Suspect: 5, AnalyzedAt: at(61)})
+	if msg := checkJob(Assertion{Kind: AssertRecovered, Rank: 5}, j); !strings.Contains(msg, "re-detected") {
+		t.Fatalf("post-verification report not caught: %q", msg)
+	}
+}
+
+// TestRemediateJSONRoundTrip: the remediate stanza survives the file
+// format.
+func TestRemediateJSONRoundTrip(t *testing.T) {
+	spec, ok := Lookup("self-heal-nic-down")
+	if !ok {
+		t.Fatal("no self-heal-nic-down builtin")
+	}
+	data, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Remediate) != 1 || len(back.Remediate[0].Rules) != 2 {
+		t.Fatalf("remediate stanza lost: %+v", back.Remediate)
+	}
+	if back.Remediate[0].Rules[0].VerifyWindow != Dur(15*time.Second) {
+		t.Fatalf("verify window lost: %+v", back.Remediate[0].Rules[0])
+	}
+	res, err := Run(back, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Pass {
+		t.Fatalf("round-tripped scenario failed:\n%s", res.Render())
 	}
 }

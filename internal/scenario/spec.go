@@ -20,6 +20,7 @@ import (
 
 	"mycroft/internal/core"
 	"mycroft/internal/faults"
+	"mycroft/internal/remedy"
 	"mycroft/internal/topo"
 )
 
@@ -105,6 +106,10 @@ type Fleet struct {
 	Window Dur `json:"window,omitempty"`
 	// MaxSampled overrides the backend's sampled-rank cap (§4.3).
 	MaxSampled int `json:"max_sampled,omitempty"`
+	// Rearm overrides the backend's post-trigger mute delay. Self-healing
+	// scenarios tighten it so a failed mitigation is re-detected (and the
+	// verify window can stay short).
+	Rearm Dur `json:"rearm,omitempty"`
 	// Gen generates a fleet instead of a single job.
 	Gen *FleetGen `json:"gen,omitempty"`
 	// SharedEngine hosts every fleet member on one mycroft.Service (one
@@ -172,6 +177,48 @@ type Event struct {
 	Fault *Fault `json:"fault,omitempty"`
 }
 
+// RemedyRule is the file-format form of one remediation-policy rule.
+type RemedyRule struct {
+	Name       string            `json:"name,omitempty"`
+	Categories []core.Category   `json:"categories,omitempty"`
+	Vias       []core.Via        `json:"vias,omitempty"`
+	MinChain   int               `json:"min_chain,omitempty"`
+	Action     remedy.ActionKind `json:"action"`
+	// MaxAttempts is the per-rank failed-attempt budget before escalation.
+	MaxAttempts int `json:"max_attempts,omitempty"`
+	// Backoff is the minimum gap between attempts on one rank.
+	Backoff Dur `json:"backoff,omitempty"`
+	// VerifyWindow is the quiet window that marks an attempt succeeded. It
+	// must outlast the backend re-arm delay (see Fleet.Rearm) or a failed
+	// mitigation can never be observed.
+	VerifyWindow Dur `json:"verify_window,omitempty"`
+}
+
+// Remediate attaches a remediation policy to fleet member(s): the verdicts
+// Mycroft produces are matched against Rules and the matched actions are
+// executed, verified and audited during the run.
+type Remediate struct {
+	// Job selects the fleet member the policy attaches to; -1 attaches it to
+	// every job. Default 0.
+	Job int `json:"job,omitempty"`
+	// Name labels the policy in the audit log.
+	Name  string       `json:"name,omitempty"`
+	Rules []RemedyRule `json:"rules"`
+}
+
+// policy converts to the remedy package's policy.
+func (r Remediate) policy() remedy.Policy {
+	p := remedy.Policy{Name: r.Name}
+	for _, rr := range r.Rules {
+		p.Rules = append(p.Rules, remedy.Rule{
+			Name: rr.Name, Categories: rr.Categories, Vias: rr.Vias, MinChain: rr.MinChain,
+			Action: rr.Action, MaxAttempts: rr.MaxAttempts,
+			Backoff: rr.Backoff.D(), VerifyWindow: rr.VerifyWindow.D(),
+		})
+	}
+	return p
+}
+
 // AssertKind enumerates the checks a scenario can declare.
 type AssertKind string
 
@@ -202,6 +249,16 @@ const (
 	// AssertVictims: some single report's blast radius has at least Min
 	// ranks and contains every rank in Victims.
 	AssertVictims AssertKind = "expect_victims"
+	// AssertRemediation: the job's audit log holds at least Min attempts
+	// (default 1) matching the optional Action/Outcomes predicates and the
+	// Rank (exact; -1 = any rank) — or, with None, no matching attempt at
+	// all (policy-isolation checks).
+	AssertRemediation AssertKind = "expect_remediation"
+	// AssertRecovered: the loop closed for Rank (exact; -1 = any rank) —
+	// some audit-log attempt on it succeeded, and the suspect was never
+	// re-detected (no trigger on the rank, no report naming it) after that
+	// attempt's verification.
+	AssertRecovered AssertKind = "expect_recovered"
 )
 
 // Assertion is one declarative check evaluated after the run.
@@ -221,6 +278,15 @@ type Assertion struct {
 	// Victims lists ranks a single report's blast radius must contain
 	// (expect_victims only).
 	Victims []int `json:"victims,omitempty"`
+	// Action restricts expect_remediation to attempts of one mitigation
+	// kind ("" = any).
+	Action remedy.ActionKind `json:"action,omitempty"`
+	// Outcomes restricts expect_remediation to attempts with one of these
+	// audited fates (nil = any).
+	Outcomes []remedy.Outcome `json:"outcomes,omitempty"`
+	// None inverts expect_remediation: the job must have NO matching
+	// attempt (the multi-tenant policy-isolation check).
+	None bool `json:"none,omitempty"`
 }
 
 // Spec is a complete declarative scenario.
@@ -234,6 +300,7 @@ type Spec struct {
 	Fleet      Fleet       `json:"fleet"`
 	Events     []Event     `json:"events,omitempty"`
 	Chaos      *Chaos      `json:"chaos,omitempty"`
+	Remediate  []Remediate `json:"remediate,omitempty"`
 	Assertions []Assertion `json:"assertions,omitempty"`
 }
 
@@ -363,7 +430,7 @@ func (s Spec) Validate() error {
 	// Negative overrides would otherwise be silently replaced with the
 	// defaults at run time — the same silent-default trap the collector
 	// config used to have.
-	if s.Fleet.UploadLatency < 0 || s.Fleet.Window < 0 {
+	if s.Fleet.UploadLatency < 0 || s.Fleet.Window < 0 || s.Fleet.Rearm < 0 {
 		return fmt.Errorf("scenario %s: negative fleet duration override", s.Name)
 	}
 	if s.Fleet.MaxSampled < 0 || s.Fleet.CheckpointEvery < 0 {
@@ -436,6 +503,20 @@ func (s Spec) Validate() error {
 			}
 		}
 	}
+	for i, rem := range s.Remediate {
+		if rem.Job < -1 || rem.Job >= jobs {
+			return fmt.Errorf("scenario %s: remediate %d: job %d out of range (fleet has %d)", s.Name, i, rem.Job, jobs)
+		}
+		if err := rem.policy().Validate(); err != nil {
+			return fmt.Errorf("scenario %s: remediate %d: %w", s.Name, i, err)
+		}
+		for j := range s.Remediate[:i] {
+			other := s.Remediate[j]
+			if other.Job == rem.Job || other.Job == -1 || rem.Job == -1 {
+				return fmt.Errorf("scenario %s: remediate %d: job %d already has a policy (stanza %d)", s.Name, i, rem.Job, j)
+			}
+		}
+	}
 	for i, a := range s.Assertions {
 		if a.Job < -1 || a.Job >= jobs {
 			return fmt.Errorf("scenario %s: assertion %d: job %d out of range (fleet has %d)", s.Name, i, a.Job, jobs)
@@ -443,7 +524,10 @@ func (s Spec) Validate() error {
 		if a.Within < 0 {
 			return fmt.Errorf("scenario %s: assertion %d: negative within bound %v", s.Name, i, a.Within)
 		}
-		if a.Rank < 0 {
+		// The remediation kinds use Rank -1 as "any rank" (0 is a real rank
+		// there); everywhere else a negative rank is a mistake.
+		remedyKind := a.Kind == AssertRemediation || a.Kind == AssertRecovered
+		if a.Rank < 0 && !(remedyKind && a.Rank == -1) {
 			return fmt.Errorf("scenario %s: assertion %d: negative rank %d", s.Name, i, a.Rank)
 		}
 		switch a.Kind {
@@ -477,6 +561,25 @@ func (s Spec) Validate() error {
 				if v < 0 || v >= world {
 					return fmt.Errorf("scenario %s: assertion %d: victim rank %d out of range (world %d)", s.Name, i, v, world)
 				}
+			}
+		case AssertRemediation:
+			if a.None && a.Min > 0 {
+				return fmt.Errorf("scenario %s: assertion %d: expect_remediation cannot set both none and min", s.Name, i)
+			}
+			if a.Rank >= world {
+				return fmt.Errorf("scenario %s: assertion %d: rank %d out of range (world %d)", s.Name, i, a.Rank, world)
+			}
+			if a.Action != "" && !remedy.KnownAction(a.Action) {
+				return fmt.Errorf("scenario %s: assertion %d: unknown action %q", s.Name, i, a.Action)
+			}
+			for _, o := range a.Outcomes {
+				if !remedy.KnownOutcome(o) {
+					return fmt.Errorf("scenario %s: assertion %d: unknown outcome %q", s.Name, i, o)
+				}
+			}
+		case AssertRecovered:
+			if a.Rank >= world {
+				return fmt.Errorf("scenario %s: assertion %d: rank %d out of range (world %d)", s.Name, i, a.Rank, world)
 			}
 		default:
 			return fmt.Errorf("scenario %s: assertion %d: unknown kind %q", s.Name, i, a.Kind)

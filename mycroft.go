@@ -26,6 +26,13 @@
 // per-job dependency graph maintained as records ingest; QueryDependencies
 // and BlastRadius expose the live graph directly.
 //
+// AttachPolicy closes the loop: a RemedyPolicy maps verdicts to mitigation
+// actions (recover-fault, isolate-rank, rebuild-communicator, restart-job,
+// escalate) executed against the live job with per-rank backoff and
+// flap-damping, each attempt verified by a quiet window and audited.
+// Attempt transitions flow through subscriptions as EventAction events and
+// QueryRemediations answers over the audit log.
+//
 // The single-job System with its OnTrigger/OnReport callbacks remains as a
 // deprecated shim over a one-job Service.
 //

@@ -249,6 +249,9 @@ func inWindow(at, from, to time.Duration) bool {
 	return true
 }
 
+// paginate slices one page out of the matched set. Negative Offset/Limit
+// are clamped to "from the start" / "no cap" — callers hand these straight
+// from user queries, so they must never panic or mis-slice.
 func paginate[T any](all []T, offset, limit int) []T {
 	if offset < 0 {
 		offset = 0

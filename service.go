@@ -8,6 +8,7 @@ import (
 	"mycroft/internal/core"
 	"mycroft/internal/experiments"
 	"mycroft/internal/faults"
+	"mycroft/internal/remedy"
 	"mycroft/internal/sim"
 	"mycroft/internal/train"
 )
@@ -174,12 +175,17 @@ func (s *Service) Run(d time.Duration) { s.Eng.RunFor(d) }
 func (s *Service) Now() time.Duration { return time.Duration(s.Eng.Now()) }
 
 // dispatch fans one event out to every live subscription, in subscribe
-// order.
+// order, then to the owning job's remediation loop — after the streams, so
+// a subscriber always sees the provoking trigger/report before any
+// EventAction it causes (the loop's reaction recursively dispatches).
 func (s *Service) dispatch(e Event) {
 	for _, st := range s.streams {
 		if !st.closed && st.filter.matches(e) {
 			st.deliver(e)
 		}
+	}
+	if h := s.jobs[e.Job]; h != nil {
+		h.observeRemedy(e)
 	}
 }
 
@@ -232,8 +238,10 @@ type JobHandle struct {
 	Job     *train.Job
 	Backend *core.Backend
 
-	svc     *Service
-	started bool
+	svc      *Service
+	started  bool
+	remedy   *remedy.Engine
+	isolated []Rank
 }
 
 // Start launches the job's training script and backend (idempotent).
