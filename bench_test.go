@@ -10,6 +10,7 @@
 package mycroft_test
 
 import (
+	"net/http/httptest"
 	"testing"
 	"time"
 
@@ -138,6 +139,54 @@ func BenchmarkQueryWindow(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkServeQuery measures what the wire costs: the same Client queries
+// answered by an in-process Service versus by a mycroft-serve endpoint over
+// real HTTP (JSON marshal both ways, loopback transport, mutex
+// serialization). The delta is the per-query overhead a deployment pays for
+// running Mycroft as a shared daemon instead of a linked-in library.
+func BenchmarkServeQuery(b *testing.B) {
+	build := func() *mycroft.Service {
+		svc := mycroft.NewService(mycroft.ServiceOptions{Seed: 1})
+		svc.MustAddJob("trace", mycroft.JobOptions{})
+		svc.Start()
+		h, _ := svc.Job("trace")
+		h.Inject(mycroft.Fault{Kind: faults.NICDown, Rank: 5, At: 15 * time.Second})
+		svc.Run(40 * time.Second)
+		return svc
+	}
+	svc := build()
+	srv := mycroft.NewServer(svc)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	rc, err := mycroft.Dial(ts.URL)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	bench := func(name string, c mycroft.Client) {
+		b.Run(name+"/reports", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := c.QueryReports(mycroft.ReportQuery{})
+				if err != nil || res.Total == 0 {
+					b.Fatalf("reports: total %d err %v", res.Total, err)
+				}
+			}
+		})
+		b.Run(name+"/trace-page", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := c.QueryTrace(mycroft.TraceQuery{Ranks: []mycroft.Rank{5}, Limit: 256})
+				if err != nil || len(res.Records) == 0 {
+					b.Fatalf("trace: %d records err %v", len(res.Records), err)
+				}
+			}
+		})
+	}
+	bench("in-process", svc)
+	bench("http", rc)
 }
 
 // BenchmarkDepGraphBuild compares the two ways to answer a trigger's

@@ -1,0 +1,103 @@
+package mycroft
+
+import (
+	"time"
+
+	"mycroft/internal/clouddb"
+)
+
+// Client is the transport-agnostic face of a Mycroft deployment: the one
+// method set every consumer — CLI, scenario runner, dashboard — programs
+// against, whether the engine runs in-process (*Service) or behind a
+// mycroft-serve daemon (*RemoteClient, via Dial).
+//
+// Queries return explicit pagination (Total plus a cursor or NextOffset),
+// and Subscribe hands back a *Stream: the streaming cursor. On a remote
+// client the stream is fed by the daemon's long-poll endpoint; transport
+// failures close it and surface through Stream.Err.
+type Client interface {
+	// ListJobs describes every hosted job and the service's virtual clock.
+	ListJobs() (JobsResult, error)
+	// QueryTrace pages raw Coll-level records out of a job's sharded store.
+	QueryTrace(TraceQuery) (TraceResult, error)
+	// QueryTriggers pages Algorithm 1 firings across hosted jobs.
+	QueryTriggers(TriggerQuery) (TriggerResult, error)
+	// QueryReports pages Algorithm 2 verdicts across hosted jobs.
+	QueryReports(ReportQuery) (ReportResult, error)
+	// QueryDependencies reads a job's live dependency-graph wait edges.
+	QueryDependencies(DependencyQuery) (DependencyResult, error)
+	// BlastRadius lists the ranks transitively blocked by a suspect.
+	BlastRadius(job JobID, suspect Rank) ([]Rank, error)
+	// QueryRemediations pages the remediation audit log across hosted jobs.
+	QueryRemediations(RemediationQuery) (RemediationResult, error)
+	// Triage runs the Fig. 6 integration pipeline over a job's latest report.
+	Triage(job JobID) (TriageResult, error)
+	// Subscribe attaches a typed event subscription as a streaming cursor.
+	Subscribe(EventFilter) *Stream
+}
+
+// Both transports satisfy the one Client contract.
+var (
+	_ Client = (*Service)(nil)
+	_ Client = (*RemoteClient)(nil)
+)
+
+// JobInfo describes one hosted job: identity, size, progress, store
+// occupancy and remediation state.
+type JobInfo struct {
+	ID         JobID
+	WorldSize  int
+	Iterations int
+	// Records is how many trace records reached the job's store.
+	Records uint64
+	// Store is the sharded trace-store occupancy (see JobHandle.StoreStats).
+	Store clouddb.Stats
+	// Isolated lists ranks the remediation loop has cordoned.
+	Isolated []Rank
+	// Policy names the attached remediation policy ("" when none).
+	Policy string
+}
+
+// JobsResult is the job listing plus the service's current virtual time.
+type JobsResult struct {
+	Now  time.Duration
+	Jobs []JobInfo
+}
+
+// ListJobs describes every hosted job in arrival order.
+func (s *Service) ListJobs() (JobsResult, error) {
+	res := JobsResult{Now: s.Now(), Jobs: make([]JobInfo, 0, len(s.order))}
+	for _, id := range s.order {
+		h := s.jobs[id]
+		info := JobInfo{
+			ID: id, WorldSize: h.WorldSize(), Iterations: h.Job.IterationsDone(),
+			Records: h.RecordsIngested(), Store: h.StoreStats(), Isolated: h.Isolated(),
+		}
+		if h.remedy != nil {
+			info.Policy = h.remedy.Policy().Name
+		}
+		res.Jobs = append(res.Jobs, info)
+	}
+	return res, nil
+}
+
+// TriageResult is the combined py-spy / Flight Recorder / Mycroft verdict
+// for a job's latest report. OK is false when the job has no reports yet.
+type TriageResult struct {
+	Job     JobID
+	Source  string
+	Rank    Rank
+	Summary string
+	OK      bool
+}
+
+// Triage runs the Fig. 6 integration pipeline over one hosted job. An empty
+// job id is allowed only when the service hosts exactly one job.
+func (s *Service) Triage(job JobID) (TriageResult, error) {
+	h, err := s.resolveJob(job)
+	if err != nil {
+		return TriageResult{}, err
+	}
+	source, rank, summary, ok := h.Triage()
+	return TriageResult{Job: h.ID, Source: source, Rank: rank, Summary: summary, OK: ok}, nil
+}

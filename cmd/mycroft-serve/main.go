@@ -1,0 +1,145 @@
+// mycroft-serve hosts a Mycroft Service behind the versioned /v1 HTTP wire
+// protocol — the production deployment shape the paper describes: one
+// always-on diagnosis service that many operators and tools query
+// concurrently, instead of a library linked into each consumer.
+//
+// Two ways to seed the daemon:
+//
+//	mycroft-serve -addr :7466 -fault nic-down -rank 5 -at 15s -for 40s
+//	mycroft-serve -addr :7466 -scenario multi-job-shared
+//
+// The first hosts a single job (id "trace", matching mycroft-trace's
+// in-process setup, so the same flags yield byte-identical query output
+// either way); the second hosts a whole scenario fleet on one shared
+// engine. Either way the daemon starts serving immediately and advances
+// virtual time in the background — -step virtual time per -tick of wall
+// time — until the horizon, then keeps serving the final state. Attach
+// early to watch the run unfold:
+//
+//	curl -s -X POST localhost:7466/v1/subscribe -d '{"filter":{}}'
+//	curl -N localhost:7466/v1/subscriptions/sub-1/sse
+//
+// SIGINT/SIGTERM shut the daemon down cleanly: in-flight requests finish,
+// live subscriptions close, and the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mycroft"
+	"mycroft/internal/scenario"
+	"mycroft/internal/seedjob"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:7466", "HTTP listen address")
+		seed      = flag.Int64("seed", 1, "simulation seed")
+		jobID     = flag.String("job", "trace", "job id for single-job mode")
+		faultName = flag.String("fault", "nic-down", "fault kind to inject (see mycroft-sim) or none")
+		rank      = flag.Int("rank", 5, "rank to inject at")
+		at        = flag.Duration("at", 15*time.Second, "injection time")
+		horizon   = flag.Duration("for", 40*time.Second, "virtual time to drive before idling")
+		remedy    = flag.Bool("remedy", false, "attach the self-healing policy (tightens the backend re-arm like mycroft-trace remedy)")
+		scen      = flag.String("scenario", "", "host a scenario fleet (builtin name or spec file) instead of a single job")
+		step      = flag.Duration("step", time.Second, "virtual time advanced per tick")
+		tick      = flag.Duration("tick", 20*time.Millisecond, "wall-time pause between ticks (0 = drive flat out)")
+	)
+	flag.Parse()
+
+	var (
+		svc     *mycroft.Service
+		runFor  = *horizon
+		jobDesc string
+	)
+	if *scen != "" {
+		spec, err := loadSpec(*scen)
+		if err != nil {
+			die(err)
+		}
+		p, err := scenario.Prepare(spec, *seed)
+		if err != nil {
+			die(err)
+		}
+		p.Start()
+		svc = p.Service
+		runFor = p.Horizon()
+		jobDesc = fmt.Sprintf("scenario %s, %d job(s)", spec.Name, len(p.Handles))
+	} else {
+		var err error
+		svc, err = seedjob.Build(mycroft.JobID(*jobID), *seed, *faultName, *rank, *at, *remedy)
+		if err != nil {
+			die(err)
+		}
+		jobDesc = fmt.Sprintf("job %q", *jobID)
+	}
+
+	srv := mycroft.NewServer(svc)
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		die(err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	fmt.Fprintf(os.Stderr, "mycroft-serve: listening on http://%s (%s, horizon %v, seed %d)\n",
+		ln.Addr(), jobDesc, runFor, *seed)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		if err := hs.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "mycroft-serve:", err)
+		}
+	}()
+
+	// Drive loop: advance virtual time in steps so subscribers attached
+	// early watch the run unfold, then idle serving the final state.
+	go func() {
+		for driven := time.Duration(0); driven < runFor; {
+			d := *step
+			if rem := runFor - driven; d > rem {
+				d = rem
+			}
+			srv.Advance(d)
+			driven += d
+			if *tick > 0 {
+				time.Sleep(*tick)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "mycroft-serve: horizon %v reached; serving final state\n", runFor)
+	}()
+
+	<-ctx.Done()
+	fmt.Fprintln(os.Stderr, "mycroft-serve: shutting down")
+	srv.CloseSubscriptions()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		hs.Close()
+	}
+}
+
+// loadSpec resolves -scenario: a readable file parses as JSON, otherwise
+// the argument names a builtin.
+func loadSpec(arg string) (scenario.Spec, error) {
+	if data, err := os.ReadFile(arg); err == nil {
+		return scenario.Parse(data)
+	}
+	if spec, ok := scenario.Lookup(arg); ok {
+		return spec, nil
+	}
+	return scenario.Spec{}, fmt.Errorf("mycroft-serve: no file or builtin scenario %q", arg)
+}
+
+func die(err error) {
+	fmt.Fprintln(os.Stderr, "mycroft-serve:", err)
+	os.Exit(1)
+}

@@ -1,9 +1,18 @@
 // mycroft-trace exercises the cloud database's "observability tool" mode
-// (§6.1): run a scenario, then interrogate the sharded trace store through
-// the unified query layer — per-rank record counts, the distributed state
-// machine at the end of the run, shard occupancy, and optionally the full
-// record stream of one rank (fetched in pages, the way an operator console
-// would).
+// (§6.1): interrogate a run's sharded trace store through the unified query
+// layer — per-rank record counts, the distributed state machine at the end
+// of the run, shard occupancy, and optionally the full record stream of one
+// rank (fetched in pages, the way an operator console would).
+//
+// Every subcommand runs against the transport-agnostic Client interface, so
+// the same code path serves two modes:
+//
+//   - default: build a Service in-process, run the seeded scenario locally,
+//     then query it (the classic offline-analysis shape);
+//   - -addr host:port: dial a live mycroft-serve daemon and query *it* —
+//     no local simulation at all. The injection flags (-fault, -rank, -at,
+//     -for, -seed) are ignored; the daemon's run is what it is. A daemon
+//     seeded with the same flags yields byte-identical output.
 //
 // The "graph" subcommand (mycroft-trace graph [flags]) instead exports the
 // job's live dependency graph as Graphviz dot on stdout, with the latest
@@ -12,20 +21,24 @@
 //	mycroft-trace graph -fault nic-down -rank 5 | dot -Tsvg > deps.svg
 //
 // The "remedy" subcommand attaches the default self-healing policy before
-// injecting, then dumps the remediation audit log — every detect→act→verify
-// attempt — through the query layer:
+// injecting (in-process mode; a daemon needs -remedy), then dumps the
+// remediation audit log — every detect→act→verify attempt — through the
+// query layer:
 //
 //	mycroft-trace remedy -fault nic-down -rank 5
+//	mycroft-trace remedy -addr 127.0.0.1:7466
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"slices"
 	"time"
 
 	"mycroft"
-	"mycroft/internal/faults"
+	"mycroft/internal/seedjob"
 )
 
 func main() {
@@ -38,6 +51,8 @@ func main() {
 		dumpN     = flag.Int("n", 20, "records to dump with -dump")
 		pageSize  = flag.Int("page", 512, "query page size for the dump")
 		seed      = flag.Int64("seed", 1, "simulation seed")
+		addr      = flag.String("addr", "", "query a live mycroft-serve daemon instead of simulating in-process")
+		jobFlag   = flag.String("job", "", "job id to query (default: the daemon's sole job)")
 	)
 	args := os.Args[1:]
 	graphMode := len(args) > 0 && args[0] == "graph"
@@ -47,119 +62,147 @@ func main() {
 	}
 	flag.CommandLine.Parse(args)
 
-	opts := mycroft.JobOptions{}
-	if remedyMode {
-		// Tighten the re-arm so a failed mitigation is re-detected within a
-		// short verify window (same tuning as the self-healing builtins).
-		opts.Backend.RearmDelay = 10 * time.Second
-	}
-	svc := mycroft.NewService(mycroft.ServiceOptions{Seed: *seed})
-	job, err := svc.AddJob("trace", opts)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "error:", err)
-		os.Exit(1)
-	}
-	if remedyMode {
-		p := mycroft.SelfHealPolicy()
-		p.Rules = append(p.Rules, mycroft.RemedyRule{Name: "page", Action: mycroft.RemedyEscalate})
-		if err := svc.AttachPolicy("trace", p); err != nil {
-			fmt.Fprintln(os.Stderr, "error:", err)
-			os.Exit(1)
-		}
-	}
-	svc.Start()
-	if *faultName != "none" {
-		job.Inject(mycroft.Fault{Kind: faults.Kind(*faultName), Rank: mycroft.Rank(*rank), At: *at})
-	}
-	svc.Run(*horizon)
-	db := job.Job.DB
-	now := svc.Now()
-
-	if remedyMode {
-		res, err := svc.QueryRemediations(mycroft.RemediationQuery{})
+	var c mycroft.Client
+	if *addr != "" {
+		rc, err := mycroft.Dial(*addr)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "error:", err)
-			os.Exit(1)
+			die(err)
 		}
-		fmt.Printf("remediation audit log after %v (%d attempt(s)):\n", *horizon, res.Total)
-		for _, a := range res.Attempts {
-			fmt.Printf("  %s\n", a.RemedyAttempt)
-			fmt.Printf("    reported %v, applied %v, resolved %v\n", a.ReportedAt, a.AppliedAt, a.ResolvedAt)
+		c = rc
+	} else {
+		svc, err := buildService(*seed, *faultName, *rank, *at, remedyMode)
+		if err != nil {
+			die(err)
 		}
-		if iso := job.Isolated(); len(iso) > 0 {
-			fmt.Printf("isolated ranks: %v\n", iso)
-		}
-		fmt.Printf("iterations completed: %d\n", job.Job.IterationsDone())
-		return
+		svc.Run(*horizon)
+		c = svc
 	}
 
-	if graphMode {
-		// DOT on stdout (pipe into Graphviz); the verdict's chain and blast
-		// radius on stderr so the pipe stays clean.
-		fmt.Print(job.DependencyDOT())
-		if reps := job.Reports(); len(reps) > 0 {
-			last := reps[len(reps)-1]
-			fmt.Fprintf(os.Stderr, "verdict: %v\n", last)
-			for i, h := range last.Chain {
-				fmt.Fprintf(os.Stderr, "  hop %d: %v\n", i, h)
-			}
-			if br, err := svc.BlastRadius(job.ID, last.Suspect); err == nil {
-				fmt.Fprintf(os.Stderr, "blast radius now: %v\n", br)
-			}
-		}
-		return
+	job := mycroft.JobID(*jobFlag)
+	var err error
+	switch {
+	case remedyMode:
+		err = dumpRemedy(c, job, os.Stdout)
+	case graphMode:
+		err = dumpGraph(c, job, os.Stdout, os.Stderr)
+	default:
+		err = dumpStore(c, job, os.Stdout, *dumpRank, *dumpN, *pageSize)
 	}
+	if err != nil {
+		die(err)
+	}
+}
 
-	st := job.StoreStats()
-	fmt.Printf("trace store after %v: %d records live, %.1f MB ingested, %d pruned, %d shards\n",
-		*horizon, st.Records, float64(st.BytesIngested)/1e6, st.Pruned, len(st.Shards))
-	fmt.Print("shard occupancy:")
+// buildService wires the in-process run: one job (id "trace"), the
+// self-healing policy in remedy mode, the fault injected after Start.
+// mycroft-serve's single-job mode calls the same seedjob constructor — that
+// is what makes in-process and -addr output byte-identical for the same
+// flags.
+func buildService(seed int64, faultName string, rank int, at time.Duration, remedyMode bool) (*mycroft.Service, error) {
+	return seedjob.Build("trace", seed, faultName, rank, at, remedyMode)
+}
+
+// jobInfo resolves which hosted job to report on: the -job flag, or the
+// sole job when the flag is empty.
+func jobInfo(c mycroft.Client, job mycroft.JobID) (mycroft.JobsResult, mycroft.JobInfo, error) {
+	jobs, err := c.ListJobs()
+	if err != nil {
+		return mycroft.JobsResult{}, mycroft.JobInfo{}, err
+	}
+	if job == "" {
+		if len(jobs.Jobs) != 1 {
+			return mycroft.JobsResult{}, mycroft.JobInfo{}, fmt.Errorf("service hosts %d jobs; pick one with -job", len(jobs.Jobs))
+		}
+		return jobs, jobs.Jobs[0], nil
+	}
+	for _, j := range jobs.Jobs {
+		if j.ID == job {
+			return jobs, j, nil
+		}
+	}
+	return mycroft.JobsResult{}, mycroft.JobInfo{}, fmt.Errorf("no job %q", job)
+}
+
+// jobsFilter turns the -job flag into a multi-job query restriction.
+func jobsFilter(job mycroft.JobID) []mycroft.JobID {
+	if job == "" {
+		return nil
+	}
+	return []mycroft.JobID{job}
+}
+
+// dumpStore renders the store occupancy, the per-rank record summary, the
+// reconstructed distributed state machine, and optionally one rank's paged
+// record dump — all through Client queries.
+func dumpStore(c mycroft.Client, job mycroft.JobID, w io.Writer, dumpRank, dumpN, pageSize int) error {
+	jobs, info, err := jobInfo(c, job)
+	if err != nil {
+		return err
+	}
+	now := jobs.Now
+	st := info.Store
+	fmt.Fprintf(w, "trace store after %v: %d records live, %.1f MB ingested, %d pruned, %d shards\n",
+		now, st.Records, float64(st.BytesIngested)/1e6, st.Pruned, len(st.Shards))
+	fmt.Fprint(w, "shard occupancy:")
 	for i, ss := range st.Shards {
-		fmt.Printf(" s%d=%d", i, ss.Records)
+		fmt.Fprintf(w, " s%d=%d", i, ss.Records)
 	}
-	fmt.Print("\n\n")
+	fmt.Fprint(w, "\n\n")
 
-	fmt.Println("per-rank record summary:")
-	fmt.Printf("%6s %12s %12s %14s %s\n", "rank", "completions", "states", "last-record", "last-op")
-	for _, r := range db.Ranks() {
-		all, _ := svc.QueryTrace(mycroft.TraceQuery{Ranks: []mycroft.Rank{r}})
-		if len(all.Records) == 0 {
-			continue
+	// One full fetch per rank feeds both the summary table and the state
+	// machine below; ranks with no records are skipped. Bounding every
+	// query at the header's `now` keeps the whole report one consistent
+	// snapshot even when the daemon's drive loop is still advancing.
+	byRank := make(map[mycroft.Rank][]mycroft.TraceRecord)
+	var ranks []mycroft.Rank
+	for r := 0; r < info.WorldSize; r++ {
+		res, err := c.QueryTrace(mycroft.TraceQuery{Job: job, Ranks: []mycroft.Rank{mycroft.Rank(r)}, To: now})
+		if err != nil {
+			return err
 		}
+		if len(res.Records) > 0 {
+			ranks = append(ranks, mycroft.Rank(r))
+			byRank[mycroft.Rank(r)] = res.Records
+		}
+	}
+
+	fmt.Fprintln(w, "per-rank record summary:")
+	fmt.Fprintf(w, "%6s %12s %12s %14s %s\n", "rank", "completions", "states", "last-record", "last-op")
+	for _, r := range ranks {
+		recs := byRank[r]
 		var comp, st int
-		for _, rec := range all.Records {
+		for _, rec := range recs {
 			if rec.Kind == mycroft.RecordCompletion {
 				comp++
 			} else {
 				st++
 			}
 		}
-		last := all.Records[len(all.Records)-1]
-		fmt.Printf("%6d %12d %12d %14v %s seq=%d\n",
+		last := recs[len(recs)-1]
+		fmt.Fprintf(w, "%6d %12d %12d %14v %s seq=%d\n",
 			r, comp, st, last.Time, last.Op, last.OpSeq)
 	}
 
-	fmt.Println("\ndistributed state machine (freshest state log per rank per comm):")
-	for _, r := range db.Ranks() {
-		for _, commID := range db.CommsOfRank(r) {
-			for ch, rec := range db.LastStatePerChannel(r, commID, job.Job.Eng.Now(), 10*time.Second) {
-				fmt.Printf("  rank %2d comm %2d ch %d: %3d/%3d/%3d of %3d chunks, stuck %v\n",
-					r, commID, ch, rec.GPUReady, rec.RDMATransmitted, rec.RDMADone, rec.TotalChunks,
+	fmt.Fprintln(w, "\ndistributed state machine (freshest state log per rank per comm):")
+	for _, r := range ranks {
+		for _, commID := range commsOf(byRank[r]) {
+			for _, rec := range lastStatePerChannel(byRank[r], commID, now, 10*time.Second) {
+				fmt.Fprintf(w, "  rank %2d comm %2d ch %d: %3d/%3d/%3d of %3d chunks, stuck %v\n",
+					r, commID, rec.Channel, rec.GPUReady, rec.RDMATransmitted, rec.RDMADone, rec.TotalChunks,
 					time.Duration(rec.StuckNs).Round(time.Millisecond))
 			}
 		}
 	}
 
-	if *dumpRank >= 0 {
-		fmt.Printf("\nlast %d records of rank %d (paged, %d per query):\n", *dumpN, *dumpRank, *pageSize)
+	if dumpRank >= 0 {
+		fmt.Fprintf(w, "\nlast %d records of rank %d (paged, %d per query):\n", dumpN, dumpRank, pageSize)
 		var recs []mycroft.TraceRecord
-		q := mycroft.TraceQuery{Ranks: []mycroft.Rank{mycroft.Rank(*dumpRank)}, To: now, Limit: *pageSize}
+		q := mycroft.TraceQuery{Job: job, Ranks: []mycroft.Rank{mycroft.Rank(dumpRank)}, To: now, Limit: pageSize}
 		pages := 0
 		for {
-			res, err := svc.QueryTrace(q)
+			res, err := c.QueryTrace(q)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "error:", err)
-				os.Exit(1)
+				return err
 			}
 			recs = append(recs, res.Records...)
 			pages++
@@ -168,12 +211,103 @@ func main() {
 			}
 			q.Cursor = res.Next
 		}
-		if len(recs) > *dumpN {
-			recs = recs[len(recs)-*dumpN:]
+		if len(recs) > dumpN {
+			recs = recs[len(recs)-dumpN:]
 		}
 		for i := range recs {
-			fmt.Println(" ", recs[i].String())
+			fmt.Fprintln(w, " ", recs[i].String())
 		}
-		fmt.Printf("  (%d pages)\n", pages)
+		fmt.Fprintf(w, "  (%d pages)\n", pages)
 	}
+	return nil
+}
+
+// commsOf lists the communicators a rank's records mention, ascending.
+func commsOf(recs []mycroft.TraceRecord) []uint64 {
+	var out []uint64
+	for _, rec := range recs {
+		if !slices.Contains(out, rec.CommID) {
+			out = append(out, rec.CommID)
+		}
+	}
+	slices.Sort(out)
+	return out
+}
+
+// lastStatePerChannel reconstructs the freshest state log per channel for
+// one communicator, looking back at most window from now — the same
+// reduction clouddb.LastStatePerChannel performs server-side, computed here
+// from the wire records so remote output matches in-process output.
+// Channels render in ascending order.
+func lastStatePerChannel(recs []mycroft.TraceRecord, commID uint64, now time.Duration, window time.Duration) []mycroft.TraceRecord {
+	last := make(map[int32]mycroft.TraceRecord)
+	for _, rec := range recs {
+		t := time.Duration(rec.Time)
+		if rec.Kind != mycroft.RecordState || rec.CommID != commID || t <= now-window || t > now {
+			continue
+		}
+		last[rec.Channel] = rec // records are time-ascending: last wins
+	}
+	channels := make([]int32, 0, len(last))
+	for ch := range last {
+		channels = append(channels, ch)
+	}
+	slices.Sort(channels)
+	out := make([]mycroft.TraceRecord, 0, len(channels))
+	for _, ch := range channels {
+		out = append(out, last[ch])
+	}
+	return out
+}
+
+// dumpGraph exports the dependency graph as dot on stdout and the latest
+// verdict's chain and blast radius on stderr, so the pipe stays clean.
+func dumpGraph(c mycroft.Client, job mycroft.JobID, stdout, stderr io.Writer) error {
+	deps, err := c.QueryDependencies(mycroft.DependencyQuery{Job: job, RenderDOT: true})
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(stdout, deps.DOT)
+	reps, err := c.QueryReports(mycroft.ReportQuery{Jobs: jobsFilter(job)})
+	if err != nil {
+		return err
+	}
+	if len(reps.Reports) > 0 {
+		last := reps.Reports[len(reps.Reports)-1].Report
+		fmt.Fprintf(stderr, "verdict: %v\n", last)
+		for i, h := range last.Chain {
+			fmt.Fprintf(stderr, "  hop %d: %v\n", i, h)
+		}
+		if br, err := c.BlastRadius(deps.Job, last.Suspect); err == nil {
+			fmt.Fprintf(stderr, "blast radius now: %v\n", br)
+		}
+	}
+	return nil
+}
+
+// dumpRemedy renders the remediation audit log through the query layer.
+func dumpRemedy(c mycroft.Client, job mycroft.JobID, w io.Writer) error {
+	jobs, info, err := jobInfo(c, job)
+	if err != nil {
+		return err
+	}
+	res, err := c.QueryRemediations(mycroft.RemediationQuery{Jobs: jobsFilter(job)})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "remediation audit log after %v (%d attempt(s)):\n", jobs.Now, res.Total)
+	for _, a := range res.Attempts {
+		fmt.Fprintf(w, "  %s\n", a.RemedyAttempt)
+		fmt.Fprintf(w, "    reported %v, applied %v, resolved %v\n", a.ReportedAt, a.AppliedAt, a.ResolvedAt)
+	}
+	if len(info.Isolated) > 0 {
+		fmt.Fprintf(w, "isolated ranks: %v\n", info.Isolated)
+	}
+	fmt.Fprintf(w, "iterations completed: %d\n", info.Iterations)
+	return nil
+}
+
+func die(err error) {
+	fmt.Fprintln(os.Stderr, "error:", err)
+	os.Exit(1)
 }

@@ -1,0 +1,119 @@
+package main
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"mycroft"
+)
+
+// dialTestDaemon builds the server half of the acceptance setup: a Service
+// seeded exactly like buildService, exposed over real HTTP, driven to the
+// horizon in daemon-sized steps.
+func dialTestDaemon(t *testing.T, seed int64, fault string, rank int, at, horizon time.Duration, remedyMode bool) *mycroft.RemoteClient {
+	t.Helper()
+	svc, err := buildService(seed, fault, rank, at, remedyMode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := mycroft.NewServer(svc)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	for driven := time.Duration(0); driven < horizon; driven += time.Second {
+		srv.Advance(time.Second)
+	}
+	rc, err := mycroft.Dial(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rc
+}
+
+// TestRemoteOutputByteIdentical is the PR's acceptance criterion: every
+// mycroft-trace subcommand must render byte-identical output for the same
+// seeded run whether it queries an in-process Service or a mycroft-serve
+// daemon over the wire.
+func TestRemoteOutputByteIdentical(t *testing.T) {
+	const (
+		seed    = int64(1)
+		fault   = "nic-down"
+		rank    = 5
+		at      = 15 * time.Second
+		horizon = 40 * time.Second
+	)
+
+	t.Run("store", func(t *testing.T) {
+		local, err := buildService(seed, fault, rank, at, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		local.Run(horizon)
+		remote := dialTestDaemon(t, seed, fault, rank, at, horizon, false)
+
+		var inproc, overWire bytes.Buffer
+		if err := dumpStore(local, "", &inproc, rank, 10, 256); err != nil {
+			t.Fatal(err)
+		}
+		if err := dumpStore(remote, "", &overWire, rank, 10, 256); err != nil {
+			t.Fatal(err)
+		}
+		if inproc.String() != overWire.String() {
+			t.Errorf("store dump differs in-process vs -addr:\n--- in-process ---\n%s\n--- over wire ---\n%s", inproc.String(), overWire.String())
+		}
+		if inproc.Len() == 0 {
+			t.Error("store dump is empty")
+		}
+	})
+
+	t.Run("graph", func(t *testing.T) {
+		local, err := buildService(seed, fault, rank, at, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		local.Run(horizon)
+		remote := dialTestDaemon(t, seed, fault, rank, at, horizon, false)
+
+		var lo, le, ro, re bytes.Buffer
+		if err := dumpGraph(local, "", &lo, &le); err != nil {
+			t.Fatal(err)
+		}
+		if err := dumpGraph(remote, "", &ro, &re); err != nil {
+			t.Fatal(err)
+		}
+		if lo.String() != ro.String() {
+			t.Errorf("graph dot differs:\n--- in-process ---\n%s\n--- over wire ---\n%s", lo.String(), ro.String())
+		}
+		if le.String() != re.String() {
+			t.Errorf("graph verdict differs:\n--- in-process ---\n%s\n--- over wire ---\n%s", le.String(), re.String())
+		}
+		if lo.Len() == 0 || le.Len() == 0 {
+			t.Errorf("graph output empty: dot %d bytes, verdict %d bytes", lo.Len(), le.Len())
+		}
+	})
+
+	t.Run("remedy", func(t *testing.T) {
+		const remedyHorizon = 70 * time.Second
+		local, err := buildService(seed, fault, rank, at, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		local.Run(remedyHorizon)
+		remote := dialTestDaemon(t, seed, fault, rank, at, remedyHorizon, true)
+
+		var inproc, overWire bytes.Buffer
+		if err := dumpRemedy(local, "", &inproc); err != nil {
+			t.Fatal(err)
+		}
+		if err := dumpRemedy(remote, "", &overWire); err != nil {
+			t.Fatal(err)
+		}
+		if inproc.String() != overWire.String() {
+			t.Errorf("remedy dump differs:\n--- in-process ---\n%s\n--- over wire ---\n%s", inproc.String(), overWire.String())
+		}
+		if !bytes.Contains(inproc.Bytes(), []byte("remedy")) {
+			t.Errorf("remedy dump has no attempts:\n%s", inproc.String())
+		}
+	})
+}

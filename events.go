@@ -3,6 +3,7 @@ package mycroft
 import (
 	"fmt"
 	"slices"
+	"sync"
 	"time"
 
 	"mycroft/internal/core"
@@ -159,30 +160,55 @@ func (f EventFilter) matches(e Event) bool {
 	return true
 }
 
-// Stream is one live subscription. Events matching the filter are buffered
-// as the simulation produces them; consume them by polling (Next, Drain) or
-// push-style by installing a handler with Each. The engine is
-// single-threaded, so delivery is synchronous and deterministic.
+// Stream is one live subscription: the streaming cursor both halves of the
+// Client interface hand out. Events matching the filter are buffered as they
+// are produced; consume them by polling (Next, NextWait, Drain) or
+// push-style by installing a handler with Each.
+//
+// For an in-process Service the engine is single-threaded, so delivery is
+// synchronous and deterministic. A Stream is nonetheless safe to consume
+// from another goroutine: a daemon's long-poll handlers block in NextWait
+// while the drive loop delivers, and a RemoteClient's transport feeds the
+// stream from its poller goroutine.
 type Stream struct {
-	svc     *Service
-	filter  EventFilter
-	fn      func(Event)
-	buf     []Event
-	dropped uint64
-	closed  bool
+	svc    *Service
+	filter EventFilter
+
+	mu            sync.Mutex
+	fn            func(Event)
+	buf           []Event
+	dropped       uint64 // locally aged out of a full buffer
+	remoteDropped uint64 // reported dropped by a remote server
+	closed        bool
+	err           error
+	waiters       int           // NextWait calls currently parked
+	wake          chan struct{} // closed to broadcast a delivery or Close
+	onClose       func()        // transport hook (remote unsubscribe)
+}
+
+func newStream(svc *Service, f EventFilter) *Stream {
+	return &Stream{svc: svc, filter: f, wake: make(chan struct{})}
 }
 
 // Subscribe attaches a typed subscription to the service. Close the stream
 // to detach it.
 func (s *Service) Subscribe(f EventFilter) *Stream {
-	st := &Stream{svc: s, filter: f}
+	st := newStream(s, f)
+	s.streamsMu.Lock()
 	s.streams = append(s.streams, st)
+	s.streamsMu.Unlock()
 	return st
 }
 
 func (st *Stream) deliver(e Event) {
-	if st.fn != nil {
-		st.fn(e)
+	st.mu.Lock()
+	if st.closed {
+		st.mu.Unlock()
+		return
+	}
+	if fn := st.fn; fn != nil {
+		st.mu.Unlock()
+		fn(e)
 		return
 	}
 	if b := st.filter.Buffer; b > 0 && len(st.buf) >= b {
@@ -192,22 +218,54 @@ func (st *Stream) deliver(e Event) {
 		st.dropped += uint64(over)
 	}
 	st.buf = append(st.buf, e)
+	st.broadcastLocked()
+	st.mu.Unlock()
+}
+
+// broadcastLocked wakes every parked NextWait by closing the current wake
+// channel and arming a fresh one. With no waiters it is a no-op, so the
+// common single-threaded consumer pays no per-event channel churn. Callers
+// hold st.mu.
+func (st *Stream) broadcastLocked() {
+	if st.waiters == 0 {
+		return
+	}
+	close(st.wake)
+	st.wake = make(chan struct{})
 }
 
 // Each installs a push handler: already-buffered events are flushed through
 // it immediately, then every future match is delivered as it happens. It
-// returns the stream for chaining.
+// returns the stream for chaining. On a remote stream the handler runs on
+// the transport's poller goroutine. Events delivered while the backlog
+// flushes keep their order: they land in the buffer and flush behind it,
+// and the handler is only installed once the buffer is empty.
 func (st *Stream) Each(fn func(Event)) *Stream {
-	for _, e := range st.buf {
-		fn(e)
+	for {
+		st.mu.Lock()
+		if len(st.buf) == 0 {
+			st.fn = fn
+			st.mu.Unlock()
+			return st
+		}
+		buffered := st.buf
+		st.buf = nil
+		st.mu.Unlock()
+		for _, e := range buffered {
+			fn(e)
+		}
 	}
-	st.buf = nil
-	st.fn = fn
-	return st
 }
 
-// Next pops the oldest buffered event.
+// Next pops the oldest buffered event without waiting.
 func (st *Stream) Next() (Event, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.pop()
+}
+
+// pop removes the head of the buffer. Callers hold st.mu.
+func (st *Stream) pop() (Event, bool) {
 	if len(st.buf) == 0 {
 		return Event{}, false
 	}
@@ -216,27 +274,124 @@ func (st *Stream) Next() (Event, bool) {
 	return e, true
 }
 
+// NextWait pops the oldest buffered event, waiting up to d (wall time) for
+// one to be delivered when the buffer is empty. It returns false when the
+// wait expires or the stream is closed with nothing buffered — the
+// bounded-wait primitive a long-poll handler parks on instead of busy-
+// spinning Next. Waiting only helps when another goroutine is driving the
+// service (a daemon's drive loop, a remote poller); in single-threaded use
+// an empty stream stays empty for the full wait.
+func (st *Stream) NextWait(d time.Duration) (Event, bool) {
+	deadline := time.Now().Add(d)
+	for {
+		st.mu.Lock()
+		if e, ok := st.pop(); ok {
+			st.mu.Unlock()
+			return e, true
+		}
+		if st.closed {
+			st.mu.Unlock()
+			return Event{}, false
+		}
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			st.mu.Unlock()
+			return Event{}, false
+		}
+		st.waiters++
+		wake := st.wake
+		st.mu.Unlock()
+		timer := time.NewTimer(remain)
+		select {
+		case <-wake:
+		case <-timer.C:
+		}
+		timer.Stop()
+		st.mu.Lock()
+		st.waiters--
+		st.mu.Unlock()
+	}
+}
+
 // Drain returns and clears every buffered event.
 func (st *Stream) Drain() []Event {
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	out := st.buf
 	st.buf = nil
 	return out
 }
 
 // Len reports how many events are buffered.
-func (st *Stream) Len() int { return len(st.buf) }
+func (st *Stream) Len() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.buf)
+}
 
-// Dropped reports how many matched events were aged out of a full buffer
-// (always 0 without an EventFilter.Buffer cap or with a push handler).
-func (st *Stream) Dropped() uint64 { return st.dropped }
+// Dropped reports how many matched events were lost to a full buffer: aged
+// out locally (EventFilter.Buffer) plus, on a remote stream, drops the
+// server reported for the subscription.
+func (st *Stream) Dropped() uint64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.dropped + st.remoteDropped
+}
 
-// Close detaches the subscription from the service; buffered events remain
-// consumable.
-func (st *Stream) Close() {
-	st.closed = true
-	if st.svc == nil {
-		return
+// setRemoteDropped records the server-side cumulative drop count.
+func (st *Stream) setRemoteDropped(n uint64) {
+	st.mu.Lock()
+	st.remoteDropped = n
+	st.mu.Unlock()
+}
+
+// Err reports why the stream stopped, when it stopped abnormally: a remote
+// transport failure, or a wire payload that would not parse. A cleanly
+// closed or still-live stream returns nil.
+func (st *Stream) Err() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.err
+}
+
+// fail records a transport error and closes the stream.
+func (st *Stream) fail(err error) {
+	st.mu.Lock()
+	if st.err == nil {
+		st.err = err
 	}
-	st.svc.streams = slices.DeleteFunc(st.svc.streams, func(x *Stream) bool { return x == st })
-	st.svc = nil
+	st.mu.Unlock()
+	st.Close()
+}
+
+// isClosed reports whether Close has run.
+func (st *Stream) isClosed() bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.closed
+}
+
+// Close detaches the subscription; buffered events remain consumable and
+// waiting NextWait calls return. Close is idempotent and always returns nil.
+func (st *Stream) Close() error {
+	st.mu.Lock()
+	if st.closed {
+		st.mu.Unlock()
+		return nil
+	}
+	st.closed = true
+	onClose := st.onClose
+	st.onClose = nil
+	st.broadcastLocked()
+	st.mu.Unlock()
+	if st.svc != nil {
+		st.svc.streamsMu.Lock()
+		st.svc.streams = slices.DeleteFunc(st.svc.streams, func(x *Stream) bool { return x == st })
+		st.svc.streamsMu.Unlock()
+		st.svc = nil
+	}
+	if onClose != nil {
+		onClose()
+	}
+	return nil
 }

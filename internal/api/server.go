@@ -1,0 +1,174 @@
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// Backend is the wire-level service the HTTP server fronts. The root
+// package's Server adapts any mycroft.Client (an in-process Service or even
+// another remote) to this interface; the server itself never touches domain
+// types, only the versioned wire forms.
+//
+// Implementations must be safe for concurrent calls. Poll is the one method
+// expected to block (up to its request's timeout); everything else should
+// answer promptly so a long poll never starves queries.
+type Backend interface {
+	Ping() (PingResponse, error)
+	ListJobs() (JobsResponse, error)
+	QueryTrace(TraceRequest) (TraceResponse, error)
+	QueryTriggers(TriggersRequest) (TriggersResponse, error)
+	QueryReports(ReportsRequest) (ReportsResponse, error)
+	QueryDependencies(DependenciesRequest) (DependenciesResponse, error)
+	BlastRadius(BlastRadiusRequest) (BlastRadiusResponse, error)
+	QueryRemediations(RemediationsRequest) (RemediationsResponse, error)
+	Triage(TriageRequest) (TriageResponse, error)
+	Subscribe(SubscribeRequest) (SubscribeResponse, error)
+	Poll(PollRequest) (PollResponse, error)
+	Unsubscribe(id string) error
+}
+
+// NewHandler mounts the /v1 wire protocol over a Backend:
+//
+//	GET    /v1/ping                     → PingResponse
+//	GET    /v1/jobs                     → JobsResponse
+//	POST   /v1/trace/query              → TraceResponse
+//	POST   /v1/triggers/query           → TriggersResponse
+//	POST   /v1/reports/query            → ReportsResponse
+//	POST   /v1/dependencies/query       → DependenciesResponse
+//	POST   /v1/blast-radius             → BlastRadiusResponse
+//	POST   /v1/remediations/query       → RemediationsResponse
+//	POST   /v1/triage                   → TriageResponse
+//	POST   /v1/subscribe                → SubscribeResponse
+//	POST   /v1/poll                     → PollResponse (long poll)
+//	DELETE /v1/subscriptions/{id}       → 204
+//	GET    /v1/subscriptions/{id}/sse   → text/event-stream
+//
+// Requests are JSON bodies; errors come back as ErrorResponse with a 400.
+func NewHandler(b Backend) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET "+Prefix+"/ping", func(w http.ResponseWriter, r *http.Request) {
+		resp, err := b.Ping()
+		answer(w, resp, err)
+	})
+	mux.HandleFunc("GET "+Prefix+"/jobs", func(w http.ResponseWriter, r *http.Request) {
+		resp, err := b.ListJobs()
+		answer(w, resp, err)
+	})
+	post(mux, "/trace/query", b.QueryTrace)
+	post(mux, "/triggers/query", b.QueryTriggers)
+	post(mux, "/reports/query", b.QueryReports)
+	post(mux, "/dependencies/query", b.QueryDependencies)
+	post(mux, "/blast-radius", b.BlastRadius)
+	post(mux, "/remediations/query", b.QueryRemediations)
+	post(mux, "/triage", b.Triage)
+	post(mux, "/subscribe", b.Subscribe)
+	post(mux, "/poll", b.Poll)
+	mux.HandleFunc("DELETE "+Prefix+"/subscriptions/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if err := b.Unsubscribe(r.PathValue("id")); err != nil {
+			fail(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("GET "+Prefix+"/subscriptions/{id}/sse", func(w http.ResponseWriter, r *http.Request) {
+		serveSSE(b, w, r)
+	})
+	return mux
+}
+
+// post mounts one decode→call→encode JSON-RPC style endpoint.
+func post[Req, Resp any](mux *http.ServeMux, path string, fn func(Req) (Resp, error)) {
+	mux.HandleFunc("POST "+Prefix+path, func(w http.ResponseWriter, r *http.Request) {
+		var req Req
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 4<<20))
+		if err != nil {
+			fail(w, fmt.Errorf("api: reading request: %w", err))
+			return
+		}
+		if len(body) > 0 {
+			if err := json.Unmarshal(body, &req); err != nil {
+				fail(w, fmt.Errorf("api: decoding request: %w", err))
+				return
+			}
+		}
+		resp, err := fn(req)
+		answer(w, resp, err)
+	})
+}
+
+func answer(w http.ResponseWriter, resp any, err error) {
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+func fail(w http.ResponseWriter, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusBadRequest)
+	json.NewEncoder(w).Encode(ErrorResponse{Error: err.Error()})
+}
+
+// serveSSE streams a subscription as server-sent events: each matched event
+// is one `data:` frame of wire-form Event JSON; buffer overflow shows up as
+// a `: dropped=N` comment and the terminal frame is `event: closed`. The
+// loop long-polls the backend in short slices so a client disconnect is
+// noticed within half a second.
+func serveSSE(b Backend, w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	fl.Flush()
+
+	id := r.PathValue("id")
+	var reported uint64
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		default:
+		}
+		resp, err := b.Poll(PollRequest{ID: id, TimeoutMs: 500, Max: 64})
+		if err != nil {
+			fmt.Fprintf(w, "event: error\ndata: %s\n\n", jsonLine(ErrorResponse{Error: err.Error()}))
+			fl.Flush()
+			return
+		}
+		for _, e := range resp.Events {
+			fmt.Fprintf(w, "data: %s\n\n", jsonLine(e))
+		}
+		if resp.Dropped != reported {
+			reported = resp.Dropped
+			fmt.Fprintf(w, ": dropped=%d\n\n", reported)
+		}
+		if resp.Closed {
+			fmt.Fprint(w, "event: closed\ndata: {}\n\n")
+			fl.Flush()
+			return
+		}
+		if len(resp.Events) == 0 {
+			// Heartbeat comment: keeps intermediaries from timing the stream
+			// out and surfaces a broken pipe on the next write.
+			fmt.Fprint(w, ": keep-alive\n\n")
+		}
+		fl.Flush()
+	}
+}
+
+func jsonLine(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return []byte(`{}`)
+	}
+	return b
+}

@@ -1,0 +1,652 @@
+// Package api defines Mycroft's versioned wire protocol: the
+// JSON-serializable request/response types every transport-facing consumer
+// speaks, and the HTTP server that mounts them under /v1/.
+//
+// The wire format is the compatibility contract between a mycroft-serve
+// daemon and its remote clients, so it is deliberately decoupled from the
+// in-memory domain types: every enum crosses the wire as a stable string
+// (EventKind "trigger", not a Go iota that renumbers under refactors), every
+// timestamp as int64 virtual nanoseconds, and every paginated response
+// carries Total and NextOffset so a caller can always tell a short page from
+// the last page. Golden-file tests pin the encoding; renaming a field is a
+// wire break and fails CI.
+package api
+
+import (
+	"fmt"
+
+	"mycroft/internal/clouddb"
+	"mycroft/internal/core"
+	"mycroft/internal/depgraph"
+	"mycroft/internal/remedy"
+	"mycroft/internal/sim"
+	"mycroft/internal/topo"
+	"mycroft/internal/trace"
+)
+
+// simTime converts wire nanoseconds back to virtual time.
+func simTime(ns int64) sim.Time { return sim.Time(ns) }
+
+// Version is the wire-protocol generation. It is served at /v1/ping and
+// checked by Dial; all endpoints mount under "/v1/".
+const Version = 1
+
+// Prefix is the URL prefix every endpoint of this Version mounts under.
+const Prefix = "/v1"
+
+// ---------------------------------------------------------------------------
+// Stable enum names.
+//
+// Numeric Go enums (EventKind, TriggerKind, record Kind, OpKind) cross the
+// wire as canonical strings so a renumbering refactor cannot silently change
+// the protocol. String-typed domain enums (Category, Via, EdgeKind,
+// ActionKind, Outcome) pass through as-is; the closed sets among them are
+// validated on parse.
+
+// EventKindName renders a core.EventKind as its wire name.
+func EventKindName(k core.EventKind) string { return k.String() }
+
+// ParseEventKind maps a wire name back to the core kind.
+func ParseEventKind(s string) (core.EventKind, error) {
+	switch s {
+	case "trigger":
+		return core.EventTrigger, nil
+	case "report":
+		return core.EventReport, nil
+	case "lifecycle":
+		return core.EventLifecycle, nil
+	case "action":
+		return core.EventAction, nil
+	}
+	return 0, fmt.Errorf("api: unknown event kind %q", s)
+}
+
+// TriggerKindName renders a core.TriggerKind as its wire name.
+func TriggerKindName(k core.TriggerKind) string { return k.String() }
+
+// ParseTriggerKind maps a wire name back to the core kind.
+func ParseTriggerKind(s string) (core.TriggerKind, error) {
+	switch s {
+	case "failure":
+		return core.TriggerFailure, nil
+	case "straggler":
+		return core.TriggerStraggler, nil
+	}
+	return 0, fmt.Errorf("api: unknown trigger kind %q", s)
+}
+
+// RecordKindName renders a trace.Kind as its wire name.
+func RecordKindName(k trace.Kind) string { return k.String() }
+
+// ParseRecordKind maps a wire name back to the trace kind.
+func ParseRecordKind(s string) (trace.Kind, error) {
+	switch s {
+	case "completion":
+		return trace.KindCompletion, nil
+	case "state":
+		return trace.KindState, nil
+	}
+	return 0, fmt.Errorf("api: unknown record kind %q", s)
+}
+
+// OpName renders a trace.OpKind as its wire name ("AllReduce", ...).
+func OpName(o trace.OpKind) string { return o.String() }
+
+// ParseOp maps a wire name back to the collective op kind.
+func ParseOp(s string) (trace.OpKind, error) {
+	for o := trace.OpNone; o <= trace.OpBarrier; o++ {
+		if o.String() == s {
+			return o, nil
+		}
+	}
+	return 0, fmt.Errorf("api: unknown op %q", s)
+}
+
+// ParseEdgeKind validates a dependency-edge kind from the wire.
+func ParseEdgeKind(s string) (depgraph.EdgeKind, error) {
+	switch k := depgraph.EdgeKind(s); k {
+	case depgraph.EdgeBarrier, depgraph.EdgePipeline, depgraph.EdgeNested, "":
+		return k, nil
+	}
+	return "", fmt.Errorf("api: unknown edge kind %q", s)
+}
+
+// ParseActionKind validates a remediation action kind from the wire.
+func ParseActionKind(s string) (remedy.ActionKind, error) {
+	if k := remedy.ActionKind(s); remedy.KnownAction(k) {
+		return k, nil
+	}
+	return "", fmt.Errorf("api: unknown action kind %q", s)
+}
+
+// ParseOutcome validates a remediation outcome from the wire.
+func ParseOutcome(s string) (remedy.Outcome, error) {
+	if o := remedy.Outcome(s); remedy.KnownOutcome(o) {
+		return o, nil
+	}
+	return "", fmt.Errorf("api: unknown outcome %q", s)
+}
+
+// ---------------------------------------------------------------------------
+// Domain payloads on the wire.
+
+// Trigger is the wire form of an Algorithm 1 firing.
+type Trigger struct {
+	Kind   string `json:"kind"`
+	Rank   int    `json:"rank"`
+	IP     string `json:"ip"`
+	AtNs   int64  `json:"at_ns"`
+	CommID uint64 `json:"comm_id"`
+	Reason string `json:"reason"`
+}
+
+// FromTrigger converts a domain trigger to its wire form.
+func FromTrigger(t core.Trigger) Trigger {
+	return Trigger{
+		Kind: TriggerKindName(t.Kind), Rank: int(t.Rank), IP: string(t.IP),
+		AtNs: int64(t.At), CommID: t.CommID, Reason: t.Reason,
+	}
+}
+
+// Trigger converts back to the domain type.
+func (t Trigger) Trigger() (core.Trigger, error) {
+	k, err := ParseTriggerKind(t.Kind)
+	if err != nil {
+		return core.Trigger{}, err
+	}
+	return core.Trigger{
+		Kind: k, Rank: topo.Rank(t.Rank), IP: topo.IP(t.IP),
+		At: simTime(t.AtNs), CommID: t.CommID, Reason: t.Reason,
+	}, nil
+}
+
+// Hop is one wire step of a report's cross-communicator causal chain.
+type Hop struct {
+	Comm    uint64 `json:"comm"`
+	Suspect int    `json:"suspect"`
+	Via     string `json:"via"`
+	Edge    string `json:"edge,omitempty"`
+}
+
+// Report is the wire form of an Algorithm 2 root-cause verdict.
+type Report struct {
+	Trigger      Trigger `json:"trigger"`
+	Suspect      int     `json:"suspect"`
+	SuspectIP    string  `json:"suspect_ip"`
+	CommID       uint64  `json:"comm_id"`
+	Category     string  `json:"category"`
+	Via          string  `json:"via"`
+	AnalyzedAtNs int64   `json:"analyzed_at_ns"`
+	Details      string  `json:"details"`
+	Chain        []Hop   `json:"chain,omitempty"`
+	Victims      []int   `json:"victims,omitempty"`
+}
+
+// FromReport converts a domain report to its wire form.
+func FromReport(r core.Report) Report {
+	w := Report{
+		Trigger: FromTrigger(r.Trigger), Suspect: int(r.Suspect), SuspectIP: string(r.SuspectIP),
+		CommID: r.CommID, Category: string(r.Category), Via: string(r.Via),
+		AnalyzedAtNs: int64(r.AnalyzedAt), Details: r.Details,
+	}
+	for _, h := range r.Chain {
+		w.Chain = append(w.Chain, Hop{Comm: h.Comm, Suspect: int(h.Suspect), Via: string(h.Via), Edge: string(h.Edge)})
+	}
+	for _, v := range r.Victims {
+		w.Victims = append(w.Victims, int(v))
+	}
+	return w
+}
+
+// Report converts back to the domain type.
+func (r Report) Report() (core.Report, error) {
+	tr, err := r.Trigger.Trigger()
+	if err != nil {
+		return core.Report{}, err
+	}
+	out := core.Report{
+		Trigger: tr, Suspect: topo.Rank(r.Suspect), SuspectIP: topo.IP(r.SuspectIP),
+		CommID: r.CommID, Category: core.Category(r.Category), Via: core.Via(r.Via),
+		AnalyzedAt: simTime(r.AnalyzedAtNs), Details: r.Details,
+	}
+	for _, h := range r.Chain {
+		edge, err := ParseEdgeKind(h.Edge)
+		if err != nil {
+			return core.Report{}, err
+		}
+		out.Chain = append(out.Chain, core.Hop{Comm: h.Comm, Suspect: topo.Rank(h.Suspect), Via: core.Via(h.Via), Edge: edge})
+	}
+	for _, v := range r.Victims {
+		out.Victims = append(out.Victims, topo.Rank(v))
+	}
+	return out, nil
+}
+
+// TraceRecord is the wire form of one Coll-level trace log line (Table 2).
+type TraceRecord struct {
+	Kind   string `json:"kind"`
+	TimeNs int64  `json:"time_ns"`
+
+	IP      string `json:"ip"`
+	CommID  uint64 `json:"comm_id"`
+	Rank    int    `json:"rank"`
+	GPUID   int32  `json:"gpu_id"`
+	Channel int32  `json:"channel"`
+	QPID    int32  `json:"qp_id"`
+
+	Op      string `json:"op"`
+	OpSeq   uint64 `json:"op_seq"`
+	MsgSize int64  `json:"msg_size"`
+	StartNs int64  `json:"start_ns"`
+	EndNs   int64  `json:"end_ns"`
+
+	TotalChunks     uint32 `json:"total_chunks"`
+	GPUReady        uint32 `json:"gpu_ready"`
+	RDMATransmitted uint32 `json:"rdma_transmitted"`
+	RDMADone        uint32 `json:"rdma_done"`
+	StuckNs         int64  `json:"stuck_ns"`
+}
+
+// FromRecord converts a domain trace record to its wire form.
+func FromRecord(r trace.Record) TraceRecord {
+	return TraceRecord{
+		Kind: RecordKindName(r.Kind), TimeNs: int64(r.Time),
+		IP: string(r.IP), CommID: r.CommID, Rank: int(r.Rank),
+		GPUID: r.GPUID, Channel: r.Channel, QPID: r.QPID,
+		Op: OpName(r.Op), OpSeq: r.OpSeq, MsgSize: r.MsgSize,
+		StartNs: int64(r.Start), EndNs: int64(r.End),
+		TotalChunks: r.TotalChunks, GPUReady: r.GPUReady,
+		RDMATransmitted: r.RDMATransmitted, RDMADone: r.RDMADone, StuckNs: r.StuckNs,
+	}
+}
+
+// Record converts back to the domain type.
+func (r TraceRecord) Record() (trace.Record, error) {
+	k, err := ParseRecordKind(r.Kind)
+	if err != nil {
+		return trace.Record{}, err
+	}
+	op, err := ParseOp(r.Op)
+	if err != nil {
+		return trace.Record{}, err
+	}
+	return trace.Record{
+		Kind: k, Time: simTime(r.TimeNs),
+		IP: topo.IP(r.IP), CommID: r.CommID, Rank: topo.Rank(r.Rank),
+		GPUID: r.GPUID, Channel: r.Channel, QPID: r.QPID,
+		Op: op, OpSeq: r.OpSeq, MsgSize: r.MsgSize,
+		Start: simTime(r.StartNs), End: simTime(r.EndNs),
+		TotalChunks: r.TotalChunks, GPUReady: r.GPUReady,
+		RDMATransmitted: r.RDMATransmitted, RDMADone: r.RDMADone, StuckNs: r.StuckNs,
+	}, nil
+}
+
+// Action is the wire form of one ordered mitigation.
+type Action struct {
+	Kind     string `json:"kind"`
+	Rank     int    `json:"rank"`
+	Comm     uint64 `json:"comm"`
+	Category string `json:"category"`
+}
+
+// Attempt is the wire form of one remediation audit-log entry.
+type Attempt struct {
+	ID           int    `json:"id"`
+	Policy       string `json:"policy"`
+	Rule         string `json:"rule"`
+	Action       Action `json:"action"`
+	Try          int    `json:"try"`
+	ReportedAtNs int64  `json:"reported_at_ns"`
+	AppliedAtNs  int64  `json:"applied_at_ns"`
+	ResolvedAtNs int64  `json:"resolved_at_ns"`
+	Outcome      string `json:"outcome"`
+	Detail       string `json:"detail,omitempty"`
+}
+
+// FromAttempt converts a domain audit-log entry to its wire form.
+func FromAttempt(a remedy.Attempt) Attempt {
+	return Attempt{
+		ID: a.ID, Policy: a.Policy, Rule: a.Rule,
+		Action:       Action{Kind: string(a.Action.Kind), Rank: int(a.Action.Rank), Comm: a.Action.Comm, Category: string(a.Action.Category)},
+		Try:          a.Try,
+		ReportedAtNs: int64(a.ReportedAt), AppliedAtNs: int64(a.AppliedAt), ResolvedAtNs: int64(a.ResolvedAt),
+		Outcome: string(a.Outcome), Detail: a.Detail,
+	}
+}
+
+// Attempt converts back to the domain type.
+func (a Attempt) Attempt() (remedy.Attempt, error) {
+	kind, err := ParseActionKind(a.Action.Kind)
+	if err != nil {
+		return remedy.Attempt{}, err
+	}
+	outcome, err := ParseOutcome(a.Outcome)
+	if err != nil {
+		return remedy.Attempt{}, err
+	}
+	return remedy.Attempt{
+		ID: a.ID, Policy: a.Policy, Rule: a.Rule,
+		Action:     remedy.Action{Kind: kind, Rank: topo.Rank(a.Action.Rank), Comm: a.Action.Comm, Category: core.Category(a.Action.Category)},
+		Try:        a.Try,
+		ReportedAt: simTime(a.ReportedAtNs), AppliedAt: simTime(a.AppliedAtNs), ResolvedAt: simTime(a.ResolvedAtNs),
+		Outcome: outcome, Detail: a.Detail,
+	}, nil
+}
+
+// Node is the wire form of one dependency-graph node.
+type Node struct {
+	Rank int    `json:"rank"`
+	Comm uint64 `json:"comm"`
+	Seq  uint64 `json:"seq"`
+}
+
+// Edge is the wire form of one dependency-graph wait edge.
+type Edge struct {
+	From Node   `json:"from"`
+	To   Node   `json:"to"`
+	Kind string `json:"kind"`
+}
+
+// FromEdge converts a domain dependency edge to its wire form.
+func FromEdge(e depgraph.Edge) Edge {
+	return Edge{
+		From: Node{Rank: int(e.From.Rank), Comm: e.From.Comm, Seq: e.From.Seq},
+		To:   Node{Rank: int(e.To.Rank), Comm: e.To.Comm, Seq: e.To.Seq},
+		Kind: string(e.Kind),
+	}
+}
+
+// Edge converts back to the domain type.
+func (e Edge) Edge() (depgraph.Edge, error) {
+	k, err := ParseEdgeKind(e.Kind)
+	if err != nil {
+		return depgraph.Edge{}, err
+	}
+	return depgraph.Edge{
+		From: depgraph.Node{Rank: topo.Rank(e.From.Rank), Comm: e.From.Comm, Seq: e.From.Seq},
+		To:   depgraph.Node{Rank: topo.Rank(e.To.Rank), Comm: e.To.Comm, Seq: e.To.Seq},
+		Kind: k,
+	}, nil
+}
+
+// Event is the wire form of one subscription event. Exactly one of Trigger,
+// Report, Phase or Action is set, matching Kind.
+type Event struct {
+	Job     string   `json:"job"`
+	Kind    string   `json:"kind"`
+	AtNs    int64    `json:"at_ns"`
+	Trigger *Trigger `json:"trigger,omitempty"`
+	Report  *Report  `json:"report,omitempty"`
+	Phase   string   `json:"phase,omitempty"`
+	Action  *Attempt `json:"action,omitempty"`
+}
+
+// EventFilter is the wire form of a subscription filter. Buffer 0 does not
+// mean unbounded over the wire: the server caps unbounded requests at its
+// default so an abandoned subscription cannot grow the daemon without
+// bound (overflow is reported via PollResponse.Dropped).
+type EventFilter struct {
+	Jobs       []string `json:"jobs,omitempty"`
+	Kinds      []string `json:"kinds,omitempty"`
+	Ranks      []int    `json:"ranks,omitempty"`
+	Categories []string `json:"categories,omitempty"`
+	Victims    []int    `json:"victims,omitempty"`
+	MinChain   int      `json:"min_chain,omitempty"`
+	Outcomes   []string `json:"outcomes,omitempty"`
+	FromNs     int64    `json:"from_ns,omitempty"`
+	ToNs       int64    `json:"to_ns,omitempty"`
+	Buffer     int      `json:"buffer,omitempty"`
+}
+
+// ---------------------------------------------------------------------------
+// Store statistics on the wire.
+
+// ShardStats is the wire form of one shard's counters.
+type ShardStats struct {
+	Ranks    int    `json:"ranks"`
+	Records  int    `json:"records"`
+	Ingested uint64 `json:"ingested"`
+	Pruned   uint64 `json:"pruned"`
+}
+
+// StoreStats is the wire form of a job's trace-store counters.
+type StoreStats struct {
+	Ranks         int          `json:"ranks"`
+	Records       int          `json:"records"`
+	Ingested      uint64       `json:"ingested"`
+	BytesIngested uint64       `json:"bytes_ingested"`
+	Pruned        uint64       `json:"pruned"`
+	Shards        []ShardStats `json:"shards"`
+}
+
+// FromStats converts domain store stats to the wire form.
+func FromStats(st clouddb.Stats) StoreStats {
+	w := StoreStats{
+		Ranks: st.Ranks, Records: st.Records,
+		Ingested: st.Ingested, BytesIngested: st.BytesIngested, Pruned: st.Pruned,
+	}
+	for _, ss := range st.Shards {
+		w.Shards = append(w.Shards, ShardStats{Ranks: ss.Ranks, Records: ss.Records, Ingested: ss.Ingested, Pruned: ss.Pruned})
+	}
+	return w
+}
+
+// Stats converts back to the domain type.
+func (s StoreStats) Stats() clouddb.Stats {
+	st := clouddb.Stats{
+		Ranks: s.Ranks, Records: s.Records,
+		Ingested: s.Ingested, BytesIngested: s.BytesIngested, Pruned: s.Pruned,
+	}
+	for _, ss := range s.Shards {
+		st.Shards = append(st.Shards, clouddb.ShardStats{Ranks: ss.Ranks, Records: ss.Records, Ingested: ss.Ingested, Pruned: ss.Pruned})
+	}
+	return st
+}
+
+// ---------------------------------------------------------------------------
+// Requests and responses.
+
+// PingResponse answers GET /v1/ping: protocol version and the daemon's
+// current virtual time, so clients (and CI) can watch the drive loop advance.
+type PingResponse struct {
+	Version int   `json:"version"`
+	NowNs   int64 `json:"now_ns"`
+}
+
+// JobInfo describes one hosted job.
+type JobInfo struct {
+	ID         string     `json:"id"`
+	WorldSize  int        `json:"world_size"`
+	Iterations int        `json:"iterations"`
+	Records    uint64     `json:"records"`
+	Store      StoreStats `json:"store"`
+	Isolated   []int      `json:"isolated,omitempty"`
+	Policy     string     `json:"policy,omitempty"`
+}
+
+// JobsResponse answers GET /v1/jobs.
+type JobsResponse struct {
+	NowNs int64     `json:"now_ns"`
+	Jobs  []JobInfo `json:"jobs"`
+}
+
+// TraceCursor is the wire form of a trace pagination cursor.
+type TraceCursor struct {
+	Rank    int   `json:"rank"`
+	TimeNs  int64 `json:"time_ns"`
+	Emitted int   `json:"emitted"`
+}
+
+// TraceRequest asks POST /v1/trace/query for raw records.
+type TraceRequest struct {
+	Job    string       `json:"job,omitempty"`
+	Ranks  []int        `json:"ranks,omitempty"`
+	Comm   uint64       `json:"comm,omitempty"`
+	Kinds  []string     `json:"kinds,omitempty"`
+	FromNs int64        `json:"from_ns,omitempty"`
+	ToNs   int64        `json:"to_ns,omitempty"`
+	Limit  int          `json:"limit,omitempty"`
+	Cursor *TraceCursor `json:"cursor,omitempty"`
+}
+
+// TraceResponse is one page of records. Total counts every match of the
+// query on a walk's first page (-1 on a cursor-resumed full page — track
+// progress from page one); Next resumes the page when non-nil.
+type TraceResponse struct {
+	Job     string        `json:"job"`
+	Records []TraceRecord `json:"records"`
+	Total   int           `json:"total"`
+	Next    *TraceCursor  `json:"next,omitempty"`
+}
+
+// TriggersRequest asks POST /v1/triggers/query for Algorithm 1 firings.
+type TriggersRequest struct {
+	Jobs   []string `json:"jobs,omitempty"`
+	Ranks  []int    `json:"ranks,omitempty"`
+	Kinds  []string `json:"kinds,omitempty"`
+	FromNs int64    `json:"from_ns,omitempty"`
+	ToNs   int64    `json:"to_ns,omitempty"`
+	Offset int      `json:"offset,omitempty"`
+	Limit  int      `json:"limit,omitempty"`
+}
+
+// JobTrigger is a trigger tagged with its job.
+type JobTrigger struct {
+	Job     string  `json:"job"`
+	Trigger Trigger `json:"trigger"`
+}
+
+// TriggersResponse is one page of matches. NextOffset is the offset of the
+// first unreturned match, -1 when this page exhausted them.
+type TriggersResponse struct {
+	Triggers   []JobTrigger `json:"triggers"`
+	Total      int          `json:"total"`
+	NextOffset int          `json:"next_offset"`
+}
+
+// ReportsRequest asks POST /v1/reports/query for Algorithm 2 verdicts.
+type ReportsRequest struct {
+	Jobs       []string `json:"jobs,omitempty"`
+	Suspects   []int    `json:"suspects,omitempty"`
+	Categories []string `json:"categories,omitempty"`
+	Comm       uint64   `json:"comm,omitempty"`
+	FromNs     int64    `json:"from_ns,omitempty"`
+	ToNs       int64    `json:"to_ns,omitempty"`
+	Offset     int      `json:"offset,omitempty"`
+	Limit      int      `json:"limit,omitempty"`
+}
+
+// JobReport is a verdict tagged with its job.
+type JobReport struct {
+	Job    string `json:"job"`
+	Report Report `json:"report"`
+}
+
+// ReportsResponse is one page of matches (NextOffset as in TriggersResponse).
+type ReportsResponse struct {
+	Reports    []JobReport `json:"reports"`
+	Total      int         `json:"total"`
+	NextOffset int         `json:"next_offset"`
+}
+
+// DependenciesRequest asks POST /v1/dependencies/query for live wait edges.
+type DependenciesRequest struct {
+	Job   string `json:"job,omitempty"`
+	Comm  uint64 `json:"comm,omitempty"`
+	Ranks []int  `json:"ranks,omitempty"`
+	// RenderDOT asks the server to render the whole graph as Graphviz dot.
+	RenderDOT bool `json:"render_dot,omitempty"`
+}
+
+// DependenciesResponse is the matched edge set.
+type DependenciesResponse struct {
+	Job   string `json:"job"`
+	Edges []Edge `json:"edges"`
+	DOT   string `json:"dot,omitempty"`
+}
+
+// BlastRadiusRequest asks POST /v1/blast-radius for a suspect's victims.
+type BlastRadiusRequest struct {
+	Job     string `json:"job,omitempty"`
+	Suspect int    `json:"suspect"`
+}
+
+// BlastRadiusResponse lists the ranks transitively blocked by the suspect.
+type BlastRadiusResponse struct {
+	Job     string `json:"job"`
+	Suspect int    `json:"suspect"`
+	Victims []int  `json:"victims"`
+}
+
+// RemediationsRequest asks POST /v1/remediations/query for audit-log entries.
+type RemediationsRequest struct {
+	Jobs     []string `json:"jobs,omitempty"`
+	Ranks    []int    `json:"ranks,omitempty"`
+	Actions  []string `json:"actions,omitempty"`
+	Outcomes []string `json:"outcomes,omitempty"`
+	FromNs   int64    `json:"from_ns,omitempty"`
+	ToNs     int64    `json:"to_ns,omitempty"`
+	Offset   int      `json:"offset,omitempty"`
+	Limit    int      `json:"limit,omitempty"`
+}
+
+// JobAttempt is an audit-log entry tagged with its job.
+type JobAttempt struct {
+	Job     string  `json:"job"`
+	Attempt Attempt `json:"attempt"`
+}
+
+// RemediationsResponse is one page of matches (NextOffset as above).
+type RemediationsResponse struct {
+	Attempts   []JobAttempt `json:"attempts"`
+	Total      int          `json:"total"`
+	NextOffset int          `json:"next_offset"`
+}
+
+// TriageRequest asks POST /v1/triage for the Fig. 6 combined verdict.
+type TriageRequest struct {
+	Job string `json:"job,omitempty"`
+}
+
+// TriageResponse is the combined py-spy / Flight Recorder / Mycroft verdict.
+type TriageResponse struct {
+	Job     string `json:"job"`
+	Source  string `json:"source"`
+	Rank    int    `json:"rank"`
+	Summary string `json:"summary"`
+	OK      bool   `json:"ok"`
+}
+
+// SubscribeRequest asks POST /v1/subscribe for a streaming cursor.
+type SubscribeRequest struct {
+	Filter EventFilter `json:"filter"`
+}
+
+// SubscribeResponse names the created subscription; poll it with
+// POST /v1/poll or stream it from GET /v1/subscriptions/{id}/sse, and close
+// it with DELETE /v1/subscriptions/{id}.
+type SubscribeResponse struct {
+	ID string `json:"id"`
+}
+
+// PollRequest long-polls a subscription: it waits up to TimeoutMs for the
+// first event, then drains up to Max buffered events.
+type PollRequest struct {
+	ID        string `json:"id"`
+	TimeoutMs int    `json:"timeout_ms,omitempty"`
+	Max       int    `json:"max,omitempty"`
+}
+
+// PollResponse is one long-poll result. Dropped is the subscription's
+// cumulative buffer-overflow count; Closed reports that the subscription is
+// gone and polling should stop.
+type PollResponse struct {
+	Events  []Event `json:"events"`
+	Dropped uint64  `json:"dropped"`
+	Closed  bool    `json:"closed"`
+}
+
+// ErrorResponse is the body of every non-200 endpoint answer.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

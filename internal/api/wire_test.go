@@ -1,0 +1,176 @@
+package api
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"mycroft/internal/core"
+	"mycroft/internal/depgraph"
+	"mycroft/internal/remedy"
+	"mycroft/internal/topo"
+	"mycroft/internal/trace"
+)
+
+var update = flag.Bool("update", false, "rewrite golden wire-format files")
+
+// Fixed domain fixtures: every enum and every field exercised, including a
+// multi-hop Chain and a Victims blast radius.
+
+func fixtureTrigger() core.Trigger {
+	return core.Trigger{
+		Kind: core.TriggerFailure, Rank: 5, IP: "10.0.0.1",
+		At: 17_500_000_000, CommID: 3, Reason: "stalled mid-op: state logs but no completion in window",
+	}
+}
+
+func fixtureReport() core.Report {
+	return core.Report{
+		Trigger: fixtureTrigger(), Suspect: 5, SuspectIP: "10.0.0.1", CommID: 7,
+		Category: core.CatNetworkSendPath, Via: core.ViaMinData,
+		AnalyzedAt: 19_000_000_000, Details: "WRs stuck at NIC; 0/32 chunks drained",
+		Chain: []core.Hop{
+			{Comm: 3, Suspect: 2, Via: core.ViaMinOp, Edge: depgraph.EdgeNested},
+			{Comm: 7, Suspect: 5, Via: core.ViaMinData},
+		},
+		Victims: []topo.Rank{1, 3, 9},
+	}
+}
+
+func fixtureRecord() trace.Record {
+	return trace.Record{
+		Kind: trace.KindState, Time: 18_200_000_000,
+		IP: "10.0.0.1", CommID: 7, Rank: 5, GPUID: 1, Channel: 1, QPID: 9,
+		Op: trace.OpAllReduce, OpSeq: 42, MsgSize: 1 << 20,
+		Start: 18_000_000_000, End: 0,
+		TotalChunks: 32, GPUReady: 20, RDMATransmitted: 16, RDMADone: 16, StuckNs: 1_216_000_000,
+	}
+}
+
+func fixtureAttempt() remedy.Attempt {
+	return remedy.Attempt{
+		ID: 0, Policy: "self-heal", Rule: "recover",
+		Action:     remedy.Action{Kind: remedy.ActRecoverFault, Rank: 5, Comm: 7, Category: core.CatNetworkSendPath},
+		Try:        1,
+		ReportedAt: 19_000_000_000, AppliedAt: 19_000_000_000, ResolvedAt: 34_000_000_000,
+		Outcome: remedy.OutcomeSucceeded, Detail: "quiet for 15s after action",
+	}
+}
+
+// golden marshals v with stable indentation and compares it (or rewrites
+// it, under -update) against testdata/<name>.golden.json.
+func golden(t *testing.T, name string, v any) {
+	t.Helper()
+	got, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	path := filepath.Join("testdata", name+".golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run `go test ./internal/api -run Golden -update`): %v", err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("wire format drifted from %s — field renames break remote clients.\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+// TestGoldenWireFormat pins the JSON encoding of every payload the /v1
+// protocol carries. A failing diff here means the wire format changed:
+// either bump api.Version or revert the rename.
+func TestGoldenWireFormat(t *testing.T) {
+	rep := fixtureReport()
+	golden(t, "trigger", FromTrigger(fixtureTrigger()))
+	golden(t, "report", FromReport(rep))
+	golden(t, "record", FromRecord(fixtureRecord()))
+	golden(t, "attempt", FromAttempt(fixtureAttempt()))
+	golden(t, "event_trigger", Event{Job: "llm-70b", Kind: "trigger", AtNs: 17_500_000_000, Trigger: ptr(FromTrigger(fixtureTrigger()))})
+	golden(t, "event_report", Event{Job: "llm-70b", Kind: "report", AtNs: 19_000_000_000, Report: ptr(FromReport(rep))})
+	golden(t, "event_lifecycle", Event{Job: "llm-70b", Kind: "lifecycle", AtNs: 0, Phase: "job-started"})
+	golden(t, "event_action", Event{Job: "llm-70b", Kind: "action", AtNs: 19_000_000_000, Action: ptr(FromAttempt(fixtureAttempt()))})
+}
+
+func ptr[T any](v T) *T { return &v }
+
+// TestWireRoundTrip proves the wire form is lossless: domain → wire → JSON
+// → wire → domain reproduces the original value exactly.
+func TestWireRoundTrip(t *testing.T) {
+	t.Run("trigger", func(t *testing.T) {
+		roundTrip(t, fixtureTrigger(), FromTrigger, Trigger.Trigger)
+	})
+	t.Run("report", func(t *testing.T) {
+		roundTrip(t, fixtureReport(), FromReport, Report.Report)
+	})
+	t.Run("record", func(t *testing.T) {
+		roundTrip(t, fixtureRecord(), FromRecord, TraceRecord.Record)
+	})
+	t.Run("attempt", func(t *testing.T) {
+		roundTrip(t, fixtureAttempt(), FromAttempt, Attempt.Attempt)
+	})
+	t.Run("edge", func(t *testing.T) {
+		roundTrip(t, depgraph.Edge{
+			From: depgraph.Node{Rank: 2, Comm: 3, Seq: 41},
+			To:   depgraph.Node{Rank: 5, Comm: 7, Seq: 40},
+			Kind: depgraph.EdgePipeline,
+		}, FromEdge, Edge.Edge)
+	})
+}
+
+func roundTrip[D any, W any](t *testing.T, domain D, to func(D) W, back func(W) (D, error)) {
+	t.Helper()
+	wire := to(domain)
+	data, err := json.Marshal(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded W
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	got, err := back(decoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, domain) {
+		t.Errorf("round trip lost data:\n got %+v\nwant %+v", got, domain)
+	}
+}
+
+// TestParseRejectsUnknownEnums keeps the strict parse surfaces strict: a
+// daemon speaking a future enum value must fail loudly, not alias to zero.
+func TestParseRejectsUnknownEnums(t *testing.T) {
+	if _, err := ParseEventKind("telemetry"); err == nil {
+		t.Error("ParseEventKind accepted unknown kind")
+	}
+	if _, err := ParseTriggerKind("hiccup"); err == nil {
+		t.Error("ParseTriggerKind accepted unknown kind")
+	}
+	if _, err := ParseRecordKind("summary"); err == nil {
+		t.Error("ParseRecordKind accepted unknown kind")
+	}
+	if _, err := ParseOp("AllDance"); err == nil {
+		t.Error("ParseOp accepted unknown op")
+	}
+	if _, err := ParseEdgeKind("wormhole"); err == nil {
+		t.Error("ParseEdgeKind accepted unknown edge")
+	}
+	if _, err := ParseActionKind("reboot-universe"); err == nil {
+		t.Error("ParseActionKind accepted unknown action")
+	}
+	if _, err := ParseOutcome("shrug"); err == nil {
+		t.Error("ParseOutcome accepted unknown outcome")
+	}
+}

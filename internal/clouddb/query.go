@@ -42,6 +42,15 @@ type Cursor struct {
 // Result is one page of query matches.
 type Result struct {
 	Records []trace.Record
+	// Total counts every match of the query — this page plus everything
+	// Limit cut off — so a caller can tell a short page from the last page
+	// without fetching it. It is computed on a walk's first page (Cursor
+	// nil); a cursor-resumed page that fills to Limit reports -1 instead of
+	// re-scanning the remainder (which would make a full paged walk
+	// quadratic) — callers track progress from the first page's Total. A
+	// resumed final page (shorter than Limit) again reports its exact
+	// remaining count.
+	Total int
 	// Next is non-nil when Limit cut the page short; resubmitting the query
 	// with it continues where this page ended.
 	Next *Cursor
@@ -113,20 +122,31 @@ func (db *DB) Query(q Query) Result {
 				skip++
 				continue
 			}
+			res.Total++
 			if q.Limit > 0 && len(res.Records) == q.Limit {
-				last := res.Records[len(res.Records)-1]
-				emitted := 1
-				if q.Cursor != nil && last.Rank == q.Cursor.Rank && last.Time == q.Cursor.Time {
-					emitted += q.Cursor.Emitted
-				}
-				for j := len(res.Records) - 2; j >= 0; j-- {
-					if res.Records[j].Rank != last.Rank || res.Records[j].Time != last.Time {
-						break
+				// The page is full: stamp the resume cursor the first time we
+				// overflow. A first page keeps walking to count Total; a
+				// resumed page stops here and reports Total -1 (the caller
+				// learned the count on page one).
+				if res.Next == nil {
+					last := res.Records[len(res.Records)-1]
+					emitted := 1
+					if q.Cursor != nil && last.Rank == q.Cursor.Rank && last.Time == q.Cursor.Time {
+						emitted += q.Cursor.Emitted
 					}
-					emitted++
+					for j := len(res.Records) - 2; j >= 0; j-- {
+						if res.Records[j].Rank != last.Rank || res.Records[j].Time != last.Time {
+							break
+						}
+						emitted++
+					}
+					res.Next = &Cursor{Rank: last.Rank, Time: last.Time, Emitted: emitted}
+					if q.Cursor != nil {
+						res.Total = -1
+						return res
+					}
 				}
-				res.Next = &Cursor{Rank: last.Rank, Time: last.Time, Emitted: emitted}
-				return res
+				continue
 			}
 			res.Records = append(res.Records, *rec)
 		}

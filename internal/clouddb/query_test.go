@@ -127,6 +127,91 @@ func TestQueryPaginationEqualTimes(t *testing.T) {
 	}
 }
 
+// TestQueryTotal: the first page of a paginated query reports the full
+// match count (so a caller can always tell a short page from the last
+// page), resumed full pages skip the re-count (-1), and the resumed final
+// page reports its exact remainder.
+func TestQueryTotal(t *testing.T) {
+	db := New(sim.NewEngine(1), 0)
+	fill(db, 4, 20) // 80 records
+
+	if got := db.Query(Query{}); got.Total != 80 {
+		t.Fatalf("unpaginated Total = %d, want 80", got.Total)
+	}
+	q := Query{Limit: 7}
+	remaining := 80
+	for {
+		res := db.Query(q)
+		switch {
+		case q.Cursor == nil && res.Total != 80:
+			t.Fatalf("first page Total = %d, want 80", res.Total)
+		case q.Cursor != nil && res.Next != nil && res.Total != -1:
+			t.Fatalf("resumed full page Total = %d, want -1 (no re-scan)", res.Total)
+		case q.Cursor != nil && res.Next == nil && res.Total != remaining:
+			t.Fatalf("final page Total = %d, want %d", res.Total, remaining)
+		}
+		remaining -= len(res.Records)
+		if res.Next == nil {
+			break
+		}
+		q.Cursor = res.Next
+	}
+	if remaining != 0 {
+		t.Fatalf("pages summed to %d short of Total", remaining)
+	}
+	// A page whose Limit lands exactly on the final match is the last page:
+	// no Next, and Total equals the page length.
+	res := db.Query(Query{Ranks: []topo.Rank{3}, Limit: 20})
+	if len(res.Records) != 20 || res.Total != 20 || res.Next != nil {
+		t.Fatalf("exact-limit final page: %d records, Total %d, Next %v", len(res.Records), res.Total, res.Next)
+	}
+}
+
+// TestQueryPaginationShardBoundary: with one rank per shard, a page that
+// fills exactly at the end of one rank's series must resume cleanly into
+// the next rank — which lives in a different shard — and Total must stay
+// consistent across the boundary.
+func TestQueryPaginationShardBoundary(t *testing.T) {
+	db := NewSharded(sim.NewEngine(1), 0, 4)
+	fill(db, 8, 5) // ranks 0..7 → shards 0..3 twice over; 5 records each
+
+	// Limit 5 = exactly rank 0's series; the cursor crosses into rank 1
+	// (shard 1).
+	res := db.Query(Query{Limit: 5})
+	if len(res.Records) != 5 || res.Total != 40 {
+		t.Fatalf("first page: %d records, Total %d; want 5, 40", len(res.Records), res.Total)
+	}
+	if res.Next == nil {
+		t.Fatal("first page of 40 matches reported no Next")
+	}
+	res2 := db.Query(Query{Limit: 5, Cursor: res.Next})
+	if len(res2.Records) != 5 || res2.Total != -1 {
+		t.Fatalf("second page: %d records, Total %d; want 5, -1", len(res2.Records), res2.Total)
+	}
+	for _, r := range res2.Records {
+		if r.Rank != 1 {
+			t.Fatalf("second page leaked rank %d across the shard boundary", r.Rank)
+		}
+	}
+	// Walk the rest; the stitched stream must match the unpaged one.
+	all := append(append([]trace.Record(nil), res.Records...), res2.Records...)
+	q := Query{Limit: 5, Cursor: res2.Next}
+	for q.Cursor != nil {
+		r := db.Query(q)
+		all = append(all, r.Records...)
+		q.Cursor = r.Next
+	}
+	whole := db.Query(Query{})
+	if len(all) != len(whole.Records) {
+		t.Fatalf("stitched %d records, want %d", len(all), len(whole.Records))
+	}
+	for i := range whole.Records {
+		if all[i] != whole.Records[i] {
+			t.Fatalf("stitched stream diverges at %d", i)
+		}
+	}
+}
+
 func TestQueryMatchesQueryRank(t *testing.T) {
 	db := New(sim.NewEngine(1), 0)
 	fill(db, 4, 20)

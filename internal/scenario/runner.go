@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"strings"
+	"time"
 
 	"mycroft"
 	"mycroft/internal/core"
@@ -113,9 +114,14 @@ func Run(spec Spec, seed int64) (*Result, error) {
 	res := &Result{Name: spec.Name, Seed: seed}
 	jobs := resolveFleet(spec.Fleet, seed)
 	if spec.Fleet.SharedEngine {
-		if err := runShared(spec, jobs, seed, res); err != nil {
+		p, err := prepare(spec, jobs, seed)
+		if err != nil {
 			return nil, err
 		}
+		p.Start()
+		p.Service.Run(p.Horizon())
+		defer p.Service.Stop()
+		res.Jobs = p.Collect()
 	} else {
 		for i, js := range jobs {
 			jr, err := runJob(spec, js, i, mix(seed, int64(i)))
@@ -130,30 +136,73 @@ func Run(spec Spec, seed int64) (*Result, error) {
 	return res, nil
 }
 
-// runShared hosts the whole fleet on one Service: every member shares the
-// virtual clock and the chaos of one job unfolds while the others train.
-func runShared(spec Spec, jobs []jobSpec, seed int64, res *Result) error {
+// Prepared is a shared-engine fleet built from a spec but not yet driven:
+// the Service hosts every member with its policies attached and its
+// injection schedule compiled. A caller that wants the classic batch run
+// uses Run; a caller that wants to *serve* the fleet (mycroft-serve
+// -scenario) wraps Prepared.Service in a mycroft.Server, Starts it, and
+// advances virtual time at its own pace.
+type Prepared struct {
+	Spec    Spec
+	Seed    int64
+	Service *mycroft.Service
+	Handles []*mycroft.JobHandle
+
+	jobs  []jobSpec
+	plans []faults.Plan
+}
+
+// Prepare validates the spec and builds the whole fleet on one Service,
+// regardless of the spec's shared_engine flag — a served fleet is always
+// shared. seed overrides the spec's seed when non-zero.
+func Prepare(spec Spec, seed int64) (*Prepared, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if seed == 0 {
+		seed = spec.Seed
+	}
+	if seed == 0 {
+		seed = 1
+	}
+	return prepare(spec, resolveFleet(spec.Fleet, seed), seed)
+}
+
+// prepare builds the shared Service for an already-resolved fleet.
+func prepare(spec Spec, jobs []jobSpec, seed int64) (*Prepared, error) {
 	svc := mycroft.NewService(mycroft.ServiceOptions{Seed: seed})
-	handles := make([]*mycroft.JobHandle, len(jobs))
-	plans := make([]faults.Plan, len(jobs))
+	p := &Prepared{
+		Spec: spec, Seed: seed, Service: svc,
+		Handles: make([]*mycroft.JobHandle, len(jobs)),
+		jobs:    jobs, plans: make([]faults.Plan, len(jobs)),
+	}
 	for i, js := range jobs {
 		h, err := svc.AddJob(mycroft.JobID(fmt.Sprintf("job-%d", i)), jobOptions(js))
 		if err != nil {
-			return fmt.Errorf("scenario %s: job %d: %w", spec.Name, i, err)
+			return nil, fmt.Errorf("scenario %s: job %d: %w", spec.Name, i, err)
 		}
-		handles[i] = h
+		p.Handles[i] = h
 		if err := attachPolicies(spec, i, svc, h); err != nil {
-			return err
+			return nil, err
 		}
-		plans[i] = schedule(spec, i, mix(seed, int64(i)), h)
+		p.plans[i] = schedule(spec, i, mix(seed, int64(i)), h)
 	}
-	svc.Start()
-	svc.Run(spec.runFor())
-	defer svc.Stop()
-	for i, js := range jobs {
-		res.Jobs = append(res.Jobs, collect(js, i, handles[i], plans[i]))
+	return p, nil
+}
+
+// Start launches every hosted fleet member.
+func (p *Prepared) Start() { p.Service.Start() }
+
+// Horizon is how much virtual time the scenario runs for.
+func (p *Prepared) Horizon() time.Duration { return p.Spec.runFor() }
+
+// Collect builds the per-job results at the current virtual time.
+func (p *Prepared) Collect() []JobResult {
+	out := make([]JobResult, 0, len(p.jobs))
+	for i, js := range p.jobs {
+		out = append(out, collect(js, i, p.Handles[i], p.plans[i]))
 	}
-	return nil
+	return out
 }
 
 // MustRun is Run for known-good specs (the built-in library).

@@ -1,0 +1,43 @@
+// Package seedjob builds the canonical seeded single-job Service that
+// mycroft-trace (in-process mode) and mycroft-serve (single-job mode) both
+// host. Keeping the wiring in one place is what makes the two transports
+// byte-identical for the same flags: the CLIs cannot drift apart, and the
+// equivalence test in cmd/mycroft-trace exercises exactly the constructor
+// the daemon runs.
+package seedjob
+
+import (
+	"time"
+
+	"mycroft"
+	"mycroft/internal/faults"
+)
+
+// Build wires one job onto a fresh Service: self-healing policy attached
+// first when remedy is set (with the backend re-arm tightened to 10s so a
+// failed mitigation is re-detected inside the verify window, matching the
+// self-healing builtins), then Start, then the fault injection. faultName
+// "none" skips injection.
+func Build(id mycroft.JobID, seed int64, faultName string, rank int, at time.Duration, remedy bool) (*mycroft.Service, error) {
+	opts := mycroft.JobOptions{}
+	if remedy {
+		opts.Backend.RearmDelay = 10 * time.Second
+	}
+	svc := mycroft.NewService(mycroft.ServiceOptions{Seed: seed})
+	job, err := svc.AddJob(id, opts)
+	if err != nil {
+		return nil, err
+	}
+	if remedy {
+		p := mycroft.SelfHealPolicy()
+		p.Rules = append(p.Rules, mycroft.RemedyRule{Name: "page", Action: mycroft.RemedyEscalate})
+		if err := svc.AttachPolicy(job.ID, p); err != nil {
+			return nil, err
+		}
+	}
+	svc.Start()
+	if faultName != "none" {
+		job.Inject(mycroft.Fault{Kind: faults.Kind(faultName), Rank: mycroft.Rank(rank), At: at})
+	}
+	return svc, nil
+}

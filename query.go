@@ -39,6 +39,10 @@ type TraceCursor = clouddb.Cursor
 type TraceResult struct {
 	Job     JobID
 	Records []TraceRecord
+	// Total counts every match of the query, computed on the walk's first
+	// page; a cursor-resumed page that fills to Limit reports -1 instead of
+	// re-scanning the remainder (track progress from the first page).
+	Total int
 	// Next is non-nil when Limit cut the page short.
 	Next *TraceCursor
 }
@@ -58,7 +62,7 @@ func (s *Service) QueryTrace(q TraceQuery) (TraceResult, error) {
 		From: sim.Time(q.From), To: to,
 		Limit: q.Limit, Cursor: q.Cursor,
 	})
-	return TraceResult{Job: h.ID, Records: res.Records, Next: res.Next}, nil
+	return TraceResult{Job: h.ID, Records: res.Records, Total: res.Total, Next: res.Next}, nil
 }
 
 // TriggerQuery asks for Algorithm 1 firings across hosted jobs.
@@ -82,10 +86,13 @@ type JobTrigger struct {
 }
 
 // TriggerResult is one page of matches, ordered by firing time (job arrival
-// order breaks ties). Total counts all matches before pagination.
+// order breaks ties). Total counts all matches before pagination;
+// NextOffset is the offset of the first unreturned match, -1 when this page
+// exhausted them.
 type TriggerResult struct {
-	Triggers []JobTrigger
-	Total    int
+	Triggers   []JobTrigger
+	Total      int
+	NextOffset int
 }
 
 // QueryTriggers answers a TriggerQuery across the selected jobs.
@@ -111,7 +118,8 @@ func (s *Service) QueryTriggers(q TriggerQuery) (TriggerResult, error) {
 	}
 	sort.SliceStable(all, func(i, j int) bool { return all[i].At < all[j].At })
 	total := len(all)
-	return TriggerResult{Triggers: paginate(all, q.Offset, q.Limit), Total: total}, nil
+	page := paginate(all, q.Offset, q.Limit)
+	return TriggerResult{Triggers: page, Total: total, NextOffset: nextOffset(q.Offset, len(page), total)}, nil
 }
 
 // ReportQuery asks for Algorithm 2 verdicts across hosted jobs.
@@ -137,10 +145,12 @@ type JobReport struct {
 }
 
 // ReportResult is one page of matches, ordered by analysis time (job
-// arrival order breaks ties). Total counts all matches before pagination.
+// arrival order breaks ties). Total counts all matches before pagination;
+// NextOffset is -1 when this page exhausted them.
 type ReportResult struct {
-	Reports []JobReport
-	Total   int
+	Reports    []JobReport
+	Total      int
+	NextOffset int
 }
 
 // QueryReports answers a ReportQuery across the selected jobs.
@@ -169,7 +179,8 @@ func (s *Service) QueryReports(q ReportQuery) (ReportResult, error) {
 	}
 	sort.SliceStable(all, func(i, j int) bool { return all[i].AnalyzedAt < all[j].AnalyzedAt })
 	total := len(all)
-	return ReportResult{Reports: paginate(all, q.Offset, q.Limit), Total: total}, nil
+	page := paginate(all, q.Offset, q.Limit)
+	return ReportResult{Reports: page, Total: total, NextOffset: nextOffset(q.Offset, len(page), total)}, nil
 }
 
 // Dependency-graph views. The graph is maintained incrementally as each
@@ -203,6 +214,10 @@ type DependencyQuery struct {
 	// Ranks restricts to edges whose endpoints involve one of these ranks
 	// (nil = all).
 	Ranks []Rank
+	// RenderDOT additionally renders the whole (unfiltered) graph as
+	// Graphviz dot into DependencyResult.DOT, so a remote caller gets the
+	// deterministic export without a second round trip.
+	RenderDOT bool
 }
 
 // DependencyResult is the matched edge set, grouped per communicator in
@@ -210,6 +225,8 @@ type DependencyQuery struct {
 type DependencyResult struct {
 	Job   JobID
 	Edges []DependencyEdge
+	// DOT is the Graphviz export of the job's full graph (RenderDOT only).
+	DOT string
 }
 
 // QueryDependencies answers a DependencyQuery from the job's live graph.
@@ -224,7 +241,11 @@ func (s *Service) QueryDependencies(q DependencyQuery) (DependencyResult, error)
 			return !slices.Contains(q.Ranks, e.From.Rank) && !slices.Contains(q.Ranks, e.To.Rank)
 		})
 	}
-	return DependencyResult{Job: h.ID, Edges: edges}, nil
+	res := DependencyResult{Job: h.ID, Edges: edges}
+	if q.RenderDOT {
+		res.DOT = h.Backend.Graph().DOT()
+	}
+	return res, nil
 }
 
 // BlastRadius returns every rank the job's dependency graph shows
@@ -247,6 +268,19 @@ func inWindow(at, from, to time.Duration) bool {
 		return false
 	}
 	return true
+}
+
+// nextOffset computes a paginated result's resume offset: the index of the
+// first unreturned match, or -1 when the page reached the end of the
+// matched set.
+func nextOffset(offset, page, total int) int {
+	if offset < 0 {
+		offset = 0
+	}
+	if offset+page >= total {
+		return -1
+	}
+	return offset + page
 }
 
 // paginate slices one page out of the matched set. Negative Offset/Limit

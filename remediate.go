@@ -225,10 +225,12 @@ type JobRemediation struct {
 }
 
 // RemediationResult is one page of matches, ordered by report time (job
-// arrival order breaks ties). Total counts all matches before pagination.
+// arrival order breaks ties). Total counts all matches before pagination;
+// NextOffset is -1 when this page exhausted them.
 type RemediationResult struct {
-	Attempts []JobRemediation
-	Total    int
+	Attempts   []JobRemediation
+	Total      int
+	NextOffset int
 }
 
 // QueryRemediations answers a RemediationQuery across the selected jobs.
@@ -257,5 +259,6 @@ func (s *Service) QueryRemediations(q RemediationQuery) (RemediationResult, erro
 	}
 	sort.SliceStable(all, func(i, j int) bool { return all[i].ReportedAt < all[j].ReportedAt })
 	total := len(all)
-	return RemediationResult{Attempts: paginate(all, q.Offset, q.Limit), Total: total}, nil
+	page := paginate(all, q.Offset, q.Limit)
+	return RemediationResult{Attempts: page, Total: total, NextOffset: nextOffset(q.Offset, len(page), total)}, nil
 }

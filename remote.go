@@ -1,0 +1,229 @@
+package mycroft
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"mycroft/internal/api"
+)
+
+// RemoteClient is the Client implementation that speaks the /v1 wire
+// protocol to a mycroft-serve daemon. Every query converts to the versioned
+// wire form, crosses HTTP, and converts back, so code written against
+// Client runs unchanged in-process or remote. Subscriptions are fed by a
+// background long-poller into the same *Stream type the in-process Service
+// hands out; transport failures close the stream and surface via
+// Stream.Err.
+type RemoteClient struct {
+	base string
+	hc   *http.Client
+}
+
+// Dial connects to a daemon at addr ("host:port" or a full http:// URL),
+// verifying the wire-protocol version via /v1/ping.
+func Dial(addr string) (*RemoteClient, error) {
+	base := addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	base = strings.TrimRight(base, "/")
+	c := &RemoteClient{base: base, hc: &http.Client{Timeout: 60 * time.Second}}
+	var ping api.PingResponse
+	if err := c.get(api.Prefix+"/ping", &ping); err != nil {
+		return nil, fmt.Errorf("mycroft: dialing %s: %w", addr, err)
+	}
+	if ping.Version != api.Version {
+		return nil, fmt.Errorf("mycroft: daemon at %s speaks wire version %d, this client speaks %d", addr, ping.Version, api.Version)
+	}
+	return c, nil
+}
+
+// Now returns the daemon's current virtual time.
+func (c *RemoteClient) Now() (time.Duration, error) {
+	var ping api.PingResponse
+	if err := c.get(api.Prefix+"/ping", &ping); err != nil {
+		return 0, err
+	}
+	return time.Duration(ping.NowNs), nil
+}
+
+// ListJobs describes every job the daemon hosts.
+func (c *RemoteClient) ListJobs() (JobsResult, error) {
+	var resp api.JobsResponse
+	if err := c.get(api.Prefix+"/jobs", &resp); err != nil {
+		return JobsResult{}, err
+	}
+	return jobsResultFromWire(resp), nil
+}
+
+// QueryTrace implements Client over the wire.
+func (c *RemoteClient) QueryTrace(q TraceQuery) (TraceResult, error) {
+	var resp api.TraceResponse
+	if err := c.post(api.Prefix+"/trace/query", traceQueryToWire(q), &resp); err != nil {
+		return TraceResult{}, err
+	}
+	return traceResultFromWire(resp)
+}
+
+// QueryTriggers implements Client over the wire.
+func (c *RemoteClient) QueryTriggers(q TriggerQuery) (TriggerResult, error) {
+	var resp api.TriggersResponse
+	if err := c.post(api.Prefix+"/triggers/query", triggerQueryToWire(q), &resp); err != nil {
+		return TriggerResult{}, err
+	}
+	return triggerResultFromWire(resp)
+}
+
+// QueryReports implements Client over the wire.
+func (c *RemoteClient) QueryReports(q ReportQuery) (ReportResult, error) {
+	var resp api.ReportsResponse
+	if err := c.post(api.Prefix+"/reports/query", reportQueryToWire(q), &resp); err != nil {
+		return ReportResult{}, err
+	}
+	return reportResultFromWire(resp)
+}
+
+// QueryDependencies implements Client over the wire.
+func (c *RemoteClient) QueryDependencies(q DependencyQuery) (DependencyResult, error) {
+	var resp api.DependenciesResponse
+	if err := c.post(api.Prefix+"/dependencies/query", dependencyQueryToWire(q), &resp); err != nil {
+		return DependencyResult{}, err
+	}
+	return dependencyResultFromWire(resp)
+}
+
+// BlastRadius implements Client over the wire.
+func (c *RemoteClient) BlastRadius(job JobID, suspect Rank) ([]Rank, error) {
+	var resp api.BlastRadiusResponse
+	if err := c.post(api.Prefix+"/blast-radius", api.BlastRadiusRequest{Job: string(job), Suspect: int(suspect)}, &resp); err != nil {
+		return nil, err
+	}
+	return intsToRanks(resp.Victims), nil
+}
+
+// QueryRemediations implements Client over the wire.
+func (c *RemoteClient) QueryRemediations(q RemediationQuery) (RemediationResult, error) {
+	var resp api.RemediationsResponse
+	if err := c.post(api.Prefix+"/remediations/query", remediationQueryToWire(q), &resp); err != nil {
+		return RemediationResult{}, err
+	}
+	return remediationResultFromWire(resp)
+}
+
+// Triage implements Client over the wire.
+func (c *RemoteClient) Triage(job JobID) (TriageResult, error) {
+	var resp api.TriageResponse
+	if err := c.post(api.Prefix+"/triage", api.TriageRequest{Job: string(job)}, &resp); err != nil {
+		return TriageResult{}, err
+	}
+	return TriageResult{Job: JobID(resp.Job), Source: resp.Source, Rank: Rank(resp.Rank), Summary: resp.Summary, OK: resp.OK}, nil
+}
+
+// Subscribe creates a server-side subscription and returns a Stream fed by
+// a background long-poller. Creation failures come back as an
+// already-closed stream whose Err explains why — so the streaming-cursor
+// call shape stays identical to the in-process Service.
+func (c *RemoteClient) Subscribe(f EventFilter) *Stream {
+	st := newStream(nil, f)
+	var resp api.SubscribeResponse
+	if err := c.post(api.Prefix+"/subscribe", api.SubscribeRequest{Filter: eventFilterToWire(f)}, &resp); err != nil {
+		st.fail(err)
+		return st
+	}
+	st.onClose = func() { c.unsubscribe(resp.ID) }
+	go c.pollLoop(resp.ID, st)
+	return st
+}
+
+// pollLoop drains the server-side subscription into the local stream until
+// either side closes.
+func (c *RemoteClient) pollLoop(id string, st *Stream) {
+	for {
+		if st.isClosed() {
+			return
+		}
+		var resp api.PollResponse
+		if err := c.post(api.Prefix+"/poll", api.PollRequest{ID: id, TimeoutMs: 1000, Max: 256}, &resp); err != nil {
+			st.fail(err)
+			return
+		}
+		for _, we := range resp.Events {
+			e, err := eventFromWire(we)
+			if err != nil {
+				st.fail(err)
+				return
+			}
+			st.deliver(e)
+		}
+		st.setRemoteDropped(resp.Dropped)
+		if resp.Closed {
+			st.Close()
+			return
+		}
+	}
+}
+
+func (c *RemoteClient) unsubscribe(id string) {
+	req, err := http.NewRequest(http.MethodDelete, c.base+api.Prefix+"/subscriptions/"+id, nil)
+	if err != nil {
+		return
+	}
+	if resp, err := c.hc.Do(req); err == nil {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+}
+
+// Close releases idle transport connections. Live subscriptions close
+// themselves through their own Stream.Close.
+func (c *RemoteClient) Close() error {
+	c.hc.CloseIdleConnections()
+	return nil
+}
+
+func (c *RemoteClient) get(path string, out any) error {
+	resp, err := c.hc.Get(c.base + path)
+	if err != nil {
+		return err
+	}
+	return decode(path, resp, out)
+}
+
+func (c *RemoteClient) post(path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Post(c.base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	return decode(path, resp, out)
+}
+
+// maxResponse bounds how much of a response body the client will read.
+const maxResponse = 64 << 20
+
+func decode(path string, resp *http.Response, out any) error {
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxResponse+1))
+	if err != nil {
+		return err
+	}
+	if len(body) > maxResponse {
+		return fmt.Errorf("mycroft: %s: response exceeds %d MiB — narrow the query or page it", path, maxResponse>>20)
+	}
+	if resp.StatusCode != http.StatusOK {
+		var we api.ErrorResponse
+		if json.Unmarshal(body, &we) == nil && we.Error != "" {
+			return fmt.Errorf("%s", we.Error)
+		}
+		return fmt.Errorf("mycroft: %s: HTTP %d", path, resp.StatusCode)
+	}
+	return json.Unmarshal(body, out)
+}

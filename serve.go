@@ -1,0 +1,274 @@
+package mycroft
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"mycroft/internal/api"
+)
+
+// Server exposes any Client over the versioned /v1 wire protocol — the
+// serving half of the transport-agnostic API. cmd/mycroft-serve wraps an
+// in-process Service in one; tests mount Handler on an httptest server.
+//
+// All wire requests are serialized through one mutex, because the
+// deterministic engine underneath is single-threaded; the only blocking
+// call, a subscription long-poll, waits outside that mutex so it can never
+// starve queries or the drive loop. Advance lets a daemon goroutine step
+// virtual time under the same serialization.
+type Server struct {
+	mu  sync.Mutex
+	c   Client
+	svc *Service // non-nil when c is in-process, enabling Advance
+
+	subs   map[string]*wireSub
+	subSeq int
+}
+
+// wireSub is one served subscription plus the wall-clock bookkeeping that
+// lets the server reap it when its client disappears.
+type wireSub struct {
+	st       *Stream
+	lastSeen time.Time
+}
+
+// subIdleTTL is how long a wire subscription may go unpolled before the
+// server closes it. An SSE client polls every 500ms and a RemoteClient
+// every second, so only a client that crashed (or forgot to DELETE) ever
+// ages out; without the TTL every abandoned subscription would buffer and
+// match events until daemon restart.
+const subIdleTTL = 10 * time.Minute
+
+// NewServer wraps a Client for HTTP exposure.
+func NewServer(c Client) *Server {
+	svc, _ := c.(*Service)
+	return &Server{c: c, svc: svc, subs: make(map[string]*wireSub)}
+}
+
+// reapIdleLocked closes subscriptions no one has polled within the TTL.
+// Callers hold sv.mu; it runs on the subscription-management paths
+// (Subscribe, Poll), so a daemon with no subscription traffic does no work.
+func (sv *Server) reapIdleLocked(now time.Time) {
+	for id, ws := range sv.subs {
+		if now.Sub(ws.lastSeen) > subIdleTTL {
+			ws.st.Close()
+			delete(sv.subs, id)
+		}
+	}
+}
+
+// Handler mounts the /v1 endpoint set (see internal/api.NewHandler for the
+// route table).
+func (sv *Server) Handler() http.Handler { return api.NewHandler(&apiBackend{sv}) }
+
+// Advance steps the wrapped Service's virtual time by d, serialized against
+// in-flight wire requests. It reports false when the wrapped Client is not
+// an in-process Service (a proxy has no clock to drive).
+func (sv *Server) Advance(d time.Duration) bool {
+	if sv.svc == nil {
+		return false
+	}
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	sv.svc.Run(d)
+	return true
+}
+
+// CloseSubscriptions closes every live wire subscription (daemon shutdown).
+func (sv *Server) CloseSubscriptions() {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	for id, ws := range sv.subs {
+		ws.st.Close()
+		delete(sv.subs, id)
+	}
+}
+
+// apiBackend adapts the Server to the wire-level api.Backend: every method
+// converts the request down to domain types, calls the Client under the
+// server mutex, and converts the result back up.
+type apiBackend struct{ sv *Server }
+
+func (b *apiBackend) Ping() (api.PingResponse, error) {
+	b.sv.mu.Lock()
+	defer b.sv.mu.Unlock()
+	res, err := b.sv.c.ListJobs()
+	if err != nil {
+		return api.PingResponse{}, err
+	}
+	return api.PingResponse{Version: api.Version, NowNs: int64(res.Now)}, nil
+}
+
+func (b *apiBackend) ListJobs() (api.JobsResponse, error) {
+	b.sv.mu.Lock()
+	defer b.sv.mu.Unlock()
+	res, err := b.sv.c.ListJobs()
+	if err != nil {
+		return api.JobsResponse{}, err
+	}
+	return jobsResultToWire(res), nil
+}
+
+func (b *apiBackend) QueryTrace(req api.TraceRequest) (api.TraceResponse, error) {
+	q, err := traceQueryFromWire(req)
+	if err != nil {
+		return api.TraceResponse{}, err
+	}
+	b.sv.mu.Lock()
+	defer b.sv.mu.Unlock()
+	res, err := b.sv.c.QueryTrace(q)
+	if err != nil {
+		return api.TraceResponse{}, err
+	}
+	return traceResultToWire(res), nil
+}
+
+func (b *apiBackend) QueryTriggers(req api.TriggersRequest) (api.TriggersResponse, error) {
+	q, err := triggerQueryFromWire(req)
+	if err != nil {
+		return api.TriggersResponse{}, err
+	}
+	b.sv.mu.Lock()
+	defer b.sv.mu.Unlock()
+	res, err := b.sv.c.QueryTriggers(q)
+	if err != nil {
+		return api.TriggersResponse{}, err
+	}
+	return triggerResultToWire(res), nil
+}
+
+func (b *apiBackend) QueryReports(req api.ReportsRequest) (api.ReportsResponse, error) {
+	b.sv.mu.Lock()
+	defer b.sv.mu.Unlock()
+	res, err := b.sv.c.QueryReports(reportQueryFromWire(req))
+	if err != nil {
+		return api.ReportsResponse{}, err
+	}
+	return reportResultToWire(res), nil
+}
+
+func (b *apiBackend) QueryDependencies(req api.DependenciesRequest) (api.DependenciesResponse, error) {
+	b.sv.mu.Lock()
+	defer b.sv.mu.Unlock()
+	res, err := b.sv.c.QueryDependencies(dependencyQueryFromWire(req))
+	if err != nil {
+		return api.DependenciesResponse{}, err
+	}
+	return dependencyResultToWire(res), nil
+}
+
+func (b *apiBackend) BlastRadius(req api.BlastRadiusRequest) (api.BlastRadiusResponse, error) {
+	b.sv.mu.Lock()
+	defer b.sv.mu.Unlock()
+	victims, err := b.sv.c.BlastRadius(JobID(req.Job), Rank(req.Suspect))
+	if err != nil {
+		return api.BlastRadiusResponse{}, err
+	}
+	return api.BlastRadiusResponse{Job: req.Job, Suspect: req.Suspect, Victims: ranksToInts(victims)}, nil
+}
+
+func (b *apiBackend) QueryRemediations(req api.RemediationsRequest) (api.RemediationsResponse, error) {
+	q, err := remediationQueryFromWire(req)
+	if err != nil {
+		return api.RemediationsResponse{}, err
+	}
+	b.sv.mu.Lock()
+	defer b.sv.mu.Unlock()
+	res, err := b.sv.c.QueryRemediations(q)
+	if err != nil {
+		return api.RemediationsResponse{}, err
+	}
+	return remediationResultToWire(res), nil
+}
+
+func (b *apiBackend) Triage(req api.TriageRequest) (api.TriageResponse, error) {
+	b.sv.mu.Lock()
+	defer b.sv.mu.Unlock()
+	res, err := b.sv.c.Triage(JobID(req.Job))
+	if err != nil {
+		return api.TriageResponse{}, err
+	}
+	return api.TriageResponse{Job: string(res.Job), Source: res.Source, Rank: int(res.Rank), Summary: res.Summary, OK: res.OK}, nil
+}
+
+// defaultWireBuffer caps a wire subscription whose filter asks for an
+// unbounded buffer. An in-process subscriber with Buffer 0 owns its own
+// memory, but a remote one that stops polling (crashed client, abandoned
+// SSE) would otherwise grow the daemon without bound; overflow is visible
+// to the client as PollResponse.Dropped.
+const defaultWireBuffer = 4096
+
+func (b *apiBackend) Subscribe(req api.SubscribeRequest) (api.SubscribeResponse, error) {
+	f, err := eventFilterFromWire(req.Filter)
+	if err != nil {
+		return api.SubscribeResponse{}, err
+	}
+	if f.Buffer <= 0 {
+		f.Buffer = defaultWireBuffer
+	}
+	b.sv.mu.Lock()
+	defer b.sv.mu.Unlock()
+	b.sv.reapIdleLocked(time.Now())
+	st := b.sv.c.Subscribe(f)
+	if err := st.Err(); err != nil {
+		return api.SubscribeResponse{}, err
+	}
+	b.sv.subSeq++
+	id := fmt.Sprintf("sub-%d", b.sv.subSeq)
+	b.sv.subs[id] = &wireSub{st: st, lastSeen: time.Now()}
+	return api.SubscribeResponse{ID: id}, nil
+}
+
+// Poll long-polls one subscription. Only the stream lookup holds the server
+// mutex; the bounded wait parks on the stream itself so the drive loop (and
+// every other request) keeps running while this handler blocks.
+func (b *apiBackend) Poll(req api.PollRequest) (api.PollResponse, error) {
+	b.sv.mu.Lock()
+	b.sv.reapIdleLocked(time.Now())
+	ws := b.sv.subs[req.ID]
+	var st *Stream
+	if ws != nil {
+		ws.lastSeen = time.Now()
+		st = ws.st
+	}
+	b.sv.mu.Unlock()
+	if st == nil {
+		// Unknown, already-unsubscribed or reaped: tell the poller to stop,
+		// rather than erroring a benign shutdown race.
+		return api.PollResponse{Closed: true}, nil
+	}
+	max := req.Max
+	if max <= 0 {
+		max = 256
+	}
+	timeout := time.Duration(req.TimeoutMs) * time.Millisecond
+	if timeout > 30*time.Second {
+		timeout = 30 * time.Second
+	}
+	var events []api.Event
+	if timeout > 0 {
+		if e, ok := st.NextWait(timeout); ok {
+			events = append(events, eventToWire(e))
+		}
+	}
+	for len(events) < max {
+		e, ok := st.Next()
+		if !ok {
+			break
+		}
+		events = append(events, eventToWire(e))
+	}
+	return api.PollResponse{Events: events, Dropped: st.Dropped(), Closed: st.isClosed() && len(events) == 0}, nil
+}
+
+func (b *apiBackend) Unsubscribe(id string) error {
+	b.sv.mu.Lock()
+	defer b.sv.mu.Unlock()
+	if ws := b.sv.subs[id]; ws != nil {
+		ws.st.Close()
+		delete(b.sv.subs, id)
+	}
+	return nil
+}

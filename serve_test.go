@@ -1,0 +1,261 @@
+package mycroft
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// faultedService builds the canonical one-job test run: seed 1, nic-down on
+// rank 5 at 15s.
+func faultedService(t *testing.T) *Service {
+	t.Helper()
+	svc := NewService(ServiceOptions{Seed: 1})
+	h, err := svc.AddJob("trace", JobOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.Start()
+	h.Inject(Fault{Kind: NICDown, Rank: 5, At: 15 * time.Second})
+	return svc
+}
+
+// TestRemoteSubscribeEquivalence is the wire half of the acceptance
+// criterion: a Subscribe stream over HTTP must deliver the same events as
+// an in-process subscription on an identically seeded run, with zero drops
+// when no buffer cap is set.
+func TestRemoteSubscribeEquivalence(t *testing.T) {
+	filter := EventFilter{Kinds: []EventKind{EventTrigger, EventReport}}
+	const horizon = 40 * time.Second
+
+	// In-process reference run.
+	local := faultedService(t)
+	stLocal := local.Subscribe(filter)
+	local.Run(horizon)
+	want := stLocal.Drain()
+	if len(want) == 0 {
+		t.Fatal("reference run produced no events")
+	}
+
+	// Identical run served over HTTP; the remote subscription attaches
+	// before any virtual time passes, then the daemon drives.
+	remote := faultedService(t)
+	srv := NewServer(remote)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	rc, err := Dial(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stRemote := rc.Subscribe(filter)
+	if err := stRemote.Err(); err != nil {
+		t.Fatal(err)
+	}
+	for driven := time.Duration(0); driven < horizon; driven += time.Second {
+		srv.Advance(time.Second)
+	}
+
+	var got []Event
+	for len(got) < len(want) {
+		e, ok := stRemote.NextWait(5 * time.Second)
+		if !ok {
+			break
+		}
+		got = append(got, e)
+	}
+	if err := stRemote.Err(); err != nil {
+		t.Fatalf("remote stream failed: %v", err)
+	}
+	if stRemote.Dropped() != 0 {
+		t.Fatalf("uncapped remote stream dropped %d events", stRemote.Dropped())
+	}
+	if len(got) != len(want) {
+		t.Fatalf("remote delivered %d events, in-process %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].String() != want[i].String() || got[i].Kind != want[i].Kind || got[i].At != want[i].At || got[i].Job != want[i].Job {
+			t.Errorf("event %d differs:\n remote: %v\n local:  %v", i, got[i], want[i])
+		}
+	}
+
+	// No stragglers: the remote stream is dry once counts match.
+	if e, ok := stRemote.NextWait(200 * time.Millisecond); ok {
+		t.Errorf("remote stream delivered an extra event: %v", e)
+	}
+	if err := stRemote.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := stRemote.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRemoteQueriesMatchInProcess spot-checks that every Client query
+// answers identically through the wire, including the new pagination
+// fields.
+func TestRemoteQueriesMatchInProcess(t *testing.T) {
+	local := faultedService(t)
+	local.Run(40 * time.Second)
+
+	remoteSvc := faultedService(t)
+	srv := NewServer(remoteSvc)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	srv.Advance(40 * time.Second)
+	rc, err := Dial(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Triggers, paged one at a time through NextOffset.
+	wantTr, err := local.QueryTriggers(TriggerQuery{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var paged []JobTrigger
+	q := TriggerQuery{Limit: 1}
+	for {
+		res, err := rc.QueryTriggers(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Total != wantTr.Total {
+			t.Fatalf("paged Total %d, want %d", res.Total, wantTr.Total)
+		}
+		paged = append(paged, res.Triggers...)
+		if res.NextOffset < 0 {
+			break
+		}
+		q.Offset = res.NextOffset
+	}
+	if len(paged) != wantTr.Total {
+		t.Fatalf("NextOffset walk returned %d triggers, want %d", len(paged), wantTr.Total)
+	}
+	for i := range paged {
+		if paged[i].String() != wantTr.Triggers[i].String() {
+			t.Errorf("trigger %d differs over wire:\n %v\n %v", i, paged[i], wantTr.Triggers[i])
+		}
+	}
+
+	// Reports.
+	wantRep, _ := local.QueryReports(ReportQuery{})
+	gotRep, err := rc.QueryReports(ReportQuery{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotRep.Reports) != len(wantRep.Reports) || gotRep.Total != wantRep.Total || gotRep.NextOffset != wantRep.NextOffset {
+		t.Fatalf("reports over wire: %d/%d/%d, want %d/%d/%d",
+			len(gotRep.Reports), gotRep.Total, gotRep.NextOffset,
+			len(wantRep.Reports), wantRep.Total, wantRep.NextOffset)
+	}
+	for i := range wantRep.Reports {
+		if gotRep.Reports[i].Report.String() != wantRep.Reports[i].Report.String() {
+			t.Errorf("report %d differs over wire", i)
+		}
+	}
+
+	// Trace page with Total and cursor.
+	wantPage, _ := local.QueryTrace(TraceQuery{Ranks: []Rank{5}, Limit: 10})
+	gotPage, err := rc.QueryTrace(TraceQuery{Ranks: []Rank{5}, Limit: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotPage.Total != wantPage.Total || len(gotPage.Records) != len(wantPage.Records) {
+		t.Fatalf("trace page over wire: %d records Total %d, want %d Total %d",
+			len(gotPage.Records), gotPage.Total, len(wantPage.Records), wantPage.Total)
+	}
+	if (gotPage.Next == nil) != (wantPage.Next == nil) {
+		t.Fatalf("trace cursor mismatch: %v vs %v", gotPage.Next, wantPage.Next)
+	}
+	if gotPage.Next != nil && *gotPage.Next != *wantPage.Next {
+		t.Fatalf("trace cursor differs: %+v vs %+v", *gotPage.Next, *wantPage.Next)
+	}
+
+	// Dependencies + blast radius + triage + job listing.
+	wantDep, _ := local.QueryDependencies(DependencyQuery{RenderDOT: true})
+	gotDep, err := rc.QueryDependencies(DependencyQuery{RenderDOT: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotDep.DOT != wantDep.DOT || len(gotDep.Edges) != len(wantDep.Edges) {
+		t.Fatalf("dependencies differ over wire: %d edges, want %d", len(gotDep.Edges), len(wantDep.Edges))
+	}
+	wantBR, _ := local.BlastRadius("", 5)
+	gotBR, err := rc.BlastRadius("", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotBR) != len(wantBR) {
+		t.Fatalf("blast radius differs: %v vs %v", gotBR, wantBR)
+	}
+	wantTri, _ := local.Triage("")
+	gotTri, err := rc.Triage("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotTri != wantTri {
+		t.Fatalf("triage differs: %+v vs %+v", gotTri, wantTri)
+	}
+	wantJobs, _ := local.ListJobs()
+	gotJobs, err := rc.ListJobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotJobs.Now != wantJobs.Now || len(gotJobs.Jobs) != 1 ||
+		gotJobs.Jobs[0].Records != wantJobs.Jobs[0].Records ||
+		gotJobs.Jobs[0].WorldSize != wantJobs.Jobs[0].WorldSize {
+		t.Fatalf("job listing differs: %+v vs %+v", gotJobs, wantJobs)
+	}
+}
+
+// TestServiceQueryNextOffset pins the NextOffset pagination contract on the
+// in-process side: walking pages by NextOffset visits every match exactly
+// once and the final page says -1.
+func TestServiceQueryNextOffset(t *testing.T) {
+	svc := faultedService(t)
+	svc.Run(40 * time.Second)
+
+	full, err := svc.QueryTriggers(TriggerQuery{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Total < 1 {
+		t.Fatal("run produced no triggers")
+	}
+	if full.NextOffset != -1 {
+		t.Fatalf("unpaginated query NextOffset = %d, want -1", full.NextOffset)
+	}
+
+	var walked int
+	q := TriggerQuery{Limit: 1}
+	for {
+		res, err := svc.QueryTriggers(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		walked += len(res.Triggers)
+		if res.NextOffset == -1 {
+			if len(res.Triggers) == 0 && walked != full.Total {
+				t.Fatal("empty non-final page")
+			}
+			break
+		}
+		if res.NextOffset != q.Offset+len(res.Triggers) {
+			t.Fatalf("NextOffset %d after offset %d + %d items", res.NextOffset, q.Offset, len(res.Triggers))
+		}
+		q.Offset = res.NextOffset
+	}
+	if walked != full.Total {
+		t.Fatalf("NextOffset walk visited %d of %d matches", walked, full.Total)
+	}
+
+	// A page that lands exactly on the last match reports -1, not a
+	// phantom next page.
+	res, err := svc.QueryTriggers(TriggerQuery{Offset: full.Total - 1, Limit: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Triggers) != 1 || res.NextOffset != -1 {
+		t.Fatalf("exact final page: %d items, NextOffset %d", len(res.Triggers), res.NextOffset)
+	}
+}

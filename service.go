@@ -2,6 +2,8 @@ package mycroft
 
 import (
 	"fmt"
+	"slices"
+	"sync"
 	"time"
 
 	"mycroft/internal/clouddb"
@@ -33,8 +35,14 @@ type Service struct {
 
 	jobs    map[JobID]*JobHandle
 	order   []JobID
-	streams []*Stream
 	started bool
+
+	// streamsMu guards the subscription list alone: a consumer goroutine may
+	// Subscribe or Close a Stream while the engine dispatches (the daemon
+	// shape). Everything else on the Service keeps the engine's
+	// single-threaded contract.
+	streamsMu sync.Mutex
+	streams   []*Stream
 }
 
 // NewService builds an empty Service; add jobs with AddJob.
@@ -179,8 +187,11 @@ func (s *Service) Now() time.Duration { return time.Duration(s.Eng.Now()) }
 // a subscriber always sees the provoking trigger/report before any
 // EventAction it causes (the loop's reaction recursively dispatches).
 func (s *Service) dispatch(e Event) {
-	for _, st := range s.streams {
-		if !st.closed && st.filter.matches(e) {
+	s.streamsMu.Lock()
+	streams := slices.Clone(s.streams)
+	s.streamsMu.Unlock()
+	for _, st := range streams {
+		if st.filter.matches(e) {
 			st.deliver(e)
 		}
 	}
