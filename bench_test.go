@@ -20,6 +20,7 @@ import (
 	"mycroft/internal/depgraph"
 	"mycroft/internal/experiments"
 	"mycroft/internal/faults"
+	"mycroft/internal/obs"
 	"mycroft/internal/scenario"
 	"mycroft/internal/sim"
 	"mycroft/internal/topo"
@@ -462,6 +463,59 @@ func BenchmarkM5_TriggerAndRCA(b *testing.B) {
 			b.Fatal("no suspect")
 		}
 	}
+}
+
+// --- Obs-benchmarks: the observability plane's hot-path budget ---
+
+// BenchmarkObsCounter is the instrument primitive itself: one atomic
+// increment, allocation-free — the cost every instrumented event pays.
+func BenchmarkObsCounter(b *testing.B) {
+	reg := obs.New()
+	c := reg.Counter("bench_events_total", "Benchmark counter.")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+	b.StopTimer()
+	if c.Value() != uint64(b.N) {
+		b.Fatalf("counter %d after %d Incs", c.Value(), b.N)
+	}
+}
+
+// BenchmarkIngestInstrumented prices the metrics hooks on the M4 ingest
+// path: identical 64-record batch ingest with and without instruments on
+// the store. The acceptance budget for the instrumented path is a ≤5%
+// regression over bare.
+func BenchmarkIngestInstrumented(b *testing.B) {
+	run := func(b *testing.B, instrumented bool) {
+		eng := sim.NewEngine(1)
+		db := clouddb.New(eng, 0)
+		if instrumented {
+			reg := obs.New()
+			db.SetMetrics(&clouddb.Metrics{
+				Records:      reg.Counter("mycroft_ingest_records_total", "Records ingested."),
+				Bytes:        reg.Counter("mycroft_ingest_bytes_total", "Bytes ingested."),
+				Batches:      reg.Counter("mycroft_ingest_batches_total", "Batches accepted."),
+				Pruned:       reg.Counter("mycroft_store_pruned_records_total", "Records pruned."),
+				Queries:      reg.Counter("mycroft_queries_total", "Queries served."),
+				QueryLatency: reg.Histogram("mycroft_query_latency_seconds", "Query latency.", obs.LatencyBuckets),
+			})
+		}
+		batch := make([]trace.Record, 64)
+		ts := sim.Time(0)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j := range batch {
+				ts += 1000
+				batch[j] = trace.Record{Kind: trace.KindState, Time: ts, Rank: topo.Rank(j % 8), CommID: 1, IP: "10.0.0.1"}
+			}
+			db.Ingest(batch)
+		}
+	}
+	b.Run("bare", func(b *testing.B) { run(b, false) })
+	b.Run("instrumented", func(b *testing.B) { run(b, true) })
 }
 
 // Ablation benches for the backend's design knobs (§9 heuristics): virtual

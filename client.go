@@ -32,6 +32,8 @@ type Client interface {
 	QueryRemediations(RemediationQuery) (RemediationResult, error)
 	// Triage runs the Fig. 6 integration pipeline over a job's latest report.
 	Triage(job JobID) (TriageResult, error)
+	// Health reports per-job heartbeat state and subscription fan-out.
+	Health() (HealthResult, error)
 	// Subscribe attaches a typed event subscription as a streaming cursor.
 	Subscribe(EventFilter) *Stream
 }

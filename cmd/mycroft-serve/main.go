@@ -118,8 +118,8 @@ func main() {
 	}()
 
 	<-ctx.Done()
-	fmt.Fprintln(os.Stderr, "mycroft-serve: shutting down")
-	srv.CloseSubscriptions()
+	closed := srv.CloseSubscriptions()
+	fmt.Fprintf(os.Stderr, "mycroft-serve: shutting down (%d subscription(s) force-closed)\n", closed)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
 	defer cancel()
 	if err := hs.Shutdown(shutdownCtx); err != nil {

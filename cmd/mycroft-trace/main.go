@@ -27,6 +27,16 @@
 //
 //	mycroft-trace remedy -fault nic-down -rank 5
 //	mycroft-trace remedy -addr 127.0.0.1:7466
+//
+// The "status" subcommand is the operator console: per-job heartbeat health,
+// ingest watermarks, store occupancy, subscription fan-out and recent
+// remediation outcomes, rendered entirely from virtual-time state so the
+// same run prints byte-identically in-process and against a daemon. Pass
+// -watch to re-render every -every interval (live daemons only make this
+// interesting):
+//
+//	mycroft-trace status -fault nic-down -rank 5
+//	mycroft-trace status -addr 127.0.0.1:7466 -watch
 package main
 
 import (
@@ -53,11 +63,15 @@ func main() {
 		seed      = flag.Int64("seed", 1, "simulation seed")
 		addr      = flag.String("addr", "", "query a live mycroft-serve daemon instead of simulating in-process")
 		jobFlag   = flag.String("job", "", "job id to query (default: the daemon's sole job)")
+		withRem   = flag.Bool("remedy", false, "status mode, in-process: attach the self-healing policy (parity with a daemon started -remedy)")
+		watch     = flag.Bool("watch", false, "status mode: re-render until interrupted")
+		every     = flag.Duration("every", time.Second, "status mode: wall-time interval between -watch renders")
 	)
 	args := os.Args[1:]
 	graphMode := len(args) > 0 && args[0] == "graph"
 	remedyMode := len(args) > 0 && args[0] == "remedy"
-	if graphMode || remedyMode {
+	statusMode := len(args) > 0 && args[0] == "status"
+	if graphMode || remedyMode || statusMode {
 		args = args[1:]
 	}
 	flag.CommandLine.Parse(args)
@@ -68,9 +82,13 @@ func main() {
 		if err != nil {
 			die(err)
 		}
+		if id, started := rc.ServerInfo(); id != "" {
+			fmt.Fprintf(os.Stderr, "mycroft-trace: connected to %s at %s (up %v)\n",
+				id, *addr, time.Since(started).Round(time.Second))
+		}
 		c = rc
 	} else {
-		svc, err := buildService(*seed, *faultName, *rank, *at, remedyMode)
+		svc, err := buildService(*seed, *faultName, *rank, *at, remedyMode || (statusMode && *withRem))
 		if err != nil {
 			die(err)
 		}
@@ -81,6 +99,13 @@ func main() {
 	job := mycroft.JobID(*jobFlag)
 	var err error
 	switch {
+	case statusMode:
+		err = dumpStatus(c, job, os.Stdout)
+		for err == nil && *watch {
+			time.Sleep(*every)
+			fmt.Println()
+			err = dumpStatus(c, job, os.Stdout)
+		}
 	case remedyMode:
 		err = dumpRemedy(c, job, os.Stdout)
 	case graphMode:
@@ -304,6 +329,78 @@ func dumpRemedy(c mycroft.Client, job mycroft.JobID, w io.Writer) error {
 		fmt.Fprintf(w, "isolated ranks: %v\n", info.Isolated)
 	}
 	fmt.Fprintf(w, "iterations completed: %d\n", info.Iterations)
+	return nil
+}
+
+// dumpStatus renders the operator console: the service clock, subscription
+// fan-out, and each job's heartbeat verdict, ingest watermark, store
+// occupancy and recent remediation outcomes. Every printed value derives
+// from virtual time, so the same run renders byte-identically in-process
+// and against a daemon; process-scoped facts (daemon identity, wall-clock
+// uptime) go to stderr at dial time instead.
+func dumpStatus(c mycroft.Client, job mycroft.JobID, w io.Writer) error {
+	health, err := c.Health()
+	if err != nil {
+		return err
+	}
+	jobs, err := c.ListJobs()
+	if err != nil {
+		return err
+	}
+	info := make(map[mycroft.JobID]mycroft.JobInfo, len(jobs.Jobs))
+	for _, j := range jobs.Jobs {
+		info[j.ID] = j
+	}
+	rem, err := c.QueryRemediations(mycroft.RemediationQuery{Jobs: jobsFilter(job)})
+	if err != nil {
+		return err
+	}
+	attempts := make(map[mycroft.JobID]int)
+	lastAttempt := make(map[mycroft.JobID]mycroft.JobRemediation)
+	for _, a := range rem.Attempts {
+		attempts[a.Job]++
+		lastAttempt[a.Job] = a // report-time ordered: last wins
+	}
+
+	fmt.Fprintf(w, "mycroft status at %v: %d job(s)\n", health.Now, len(health.Jobs))
+	fmt.Fprintf(w, "subscriptions: %d active, %d delivered, %d dropped\n",
+		health.Subs.Active, health.Subs.Delivered, health.Subs.Dropped)
+	shown := 0
+	for _, jh := range health.Jobs {
+		if job != "" && jh.Job != job {
+			continue
+		}
+		shown++
+		ji := info[jh.Job]
+		fmt.Fprintf(w, "\njob %q: %s", jh.Job, jh.State)
+		if jh.Reason != "" {
+			fmt.Fprintf(w, " since %v — %s", jh.Since, jh.Reason)
+		}
+		fmt.Fprintln(w)
+		fmt.Fprintf(w, "  last ingest %v (%v ago); %d records ingested, %d live, %d pruned\n",
+			jh.LastIngest, health.Now-jh.LastIngest, ji.Records, ji.Store.Records, ji.Store.Pruned)
+		fmt.Fprintf(w, "  world size %d, iterations %d", ji.WorldSize, ji.Iterations)
+		if ji.Policy != "" {
+			fmt.Fprintf(w, ", policy %q", ji.Policy)
+		}
+		if len(ji.Isolated) > 0 {
+			fmt.Fprintf(w, ", isolated %v", ji.Isolated)
+		}
+		fmt.Fprintln(w)
+		fmt.Fprint(w, "  shards:")
+		for i, ss := range ji.Store.Shards {
+			fmt.Fprintf(w, " s%d=%d", i, ss.Records)
+		}
+		fmt.Fprintln(w)
+		if n := attempts[jh.Job]; n > 0 {
+			la := lastAttempt[jh.Job]
+			fmt.Fprintf(w, "  remediation: %d attempt(s), last %s rank %d -> %s at %v\n",
+				n, la.Action.Kind, la.Action.Rank, la.Outcome, la.ResolvedAt)
+		}
+	}
+	if job != "" && shown == 0 {
+		return fmt.Errorf("no job %q", job)
+	}
 	return nil
 }
 

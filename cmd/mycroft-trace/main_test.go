@@ -93,6 +93,33 @@ func TestRemoteOutputByteIdentical(t *testing.T) {
 		}
 	})
 
+	t.Run("status", func(t *testing.T) {
+		// Remedy mode so the console's remediation footer renders too.
+		const statusHorizon = 70 * time.Second
+		local, err := buildService(seed, fault, rank, at, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		local.Run(statusHorizon)
+		remote := dialTestDaemon(t, seed, fault, rank, at, statusHorizon, true)
+
+		var inproc, overWire bytes.Buffer
+		if err := dumpStatus(local, "", &inproc); err != nil {
+			t.Fatal(err)
+		}
+		if err := dumpStatus(remote, "", &overWire); err != nil {
+			t.Fatal(err)
+		}
+		if inproc.String() != overWire.String() {
+			t.Errorf("status differs in-process vs -addr:\n--- in-process ---\n%s\n--- over wire ---\n%s", inproc.String(), overWire.String())
+		}
+		for _, want := range []string{"mycroft status at", "subscriptions:", `job "trace"`, "remediation:"} {
+			if !bytes.Contains(inproc.Bytes(), []byte(want)) {
+				t.Errorf("status output missing %q:\n%s", want, inproc.String())
+			}
+		}
+	})
+
 	t.Run("remedy", func(t *testing.T) {
 		const remedyHorizon = 70 * time.Second
 		local, err := buildService(seed, fault, rank, at, true)

@@ -23,6 +23,9 @@ const (
 	// applied, succeeded, failed or escalated (Event.Action snapshots the
 	// audit-log entry at that moment).
 	EventAction = core.EventAction
+	// EventHealth carries a job health transition from the heartbeat monitor
+	// (Event.Health names the states and why the job moved).
+	EventHealth = core.EventHealth
 )
 
 // Lifecycle phases a Service publishes. Backend phases re-export the core
@@ -46,6 +49,7 @@ type Event struct {
 	Report  *Report        // EventReport
 	Phase   string         // EventLifecycle
 	Action  *RemedyAttempt // EventAction
+	Health  *HealthChange  // EventHealth
 }
 
 func (e Event) String() string {
@@ -58,6 +62,8 @@ func (e Event) String() string {
 		return fmt.Sprintf("job %s: [%v] %s", e.Job, e.At, e.Phase)
 	case EventAction:
 		return fmt.Sprintf("job %s: %v", e.Job, *e.Action)
+	case EventHealth:
+		return fmt.Sprintf("job %s: [%v] health %v", e.Job, e.At, *e.Health)
 	default:
 		return fmt.Sprintf("job %s: %v", e.Job, e.Kind)
 	}
@@ -206,7 +212,14 @@ func (st *Stream) deliver(e Event) {
 		st.mu.Unlock()
 		return
 	}
+	// st.svc is stable while the stream is open and st.mu is held (Close
+	// flips closed under this mutex before detaching); remote streams have
+	// no service and count drops via the server's report instead.
+	svc := st.svc
 	if fn := st.fn; fn != nil {
+		if svc != nil {
+			svc.subDelivered.Inc()
+		}
 		st.mu.Unlock()
 		fn(e)
 		return
@@ -216,8 +229,14 @@ func (st *Stream) deliver(e Event) {
 		over := len(st.buf) - b + 1
 		st.buf = st.buf[over:]
 		st.dropped += uint64(over)
+		if svc != nil {
+			svc.subDropped.Add(uint64(over))
+		}
 	}
 	st.buf = append(st.buf, e)
+	if svc != nil {
+		svc.subDelivered.Inc()
+	}
 	st.broadcastLocked()
 	st.mu.Unlock()
 }

@@ -1,0 +1,170 @@
+package mycroft
+
+import (
+	"fmt"
+	"time"
+
+	"mycroft/internal/sim"
+)
+
+// HealthState is a hosted job's heartbeat verdict. States form a ladder —
+// stopped, healthy, degraded, stale — driven by the job's ingest watermark:
+// a job whose store last saw records less than half the staleness threshold
+// ago is healthy, past half it is degraded, past the full threshold it is
+// stale. Transitions are published as EventHealth events.
+type HealthState string
+
+const (
+	// HealthStopped: the job is not started (no heartbeat expected).
+	HealthStopped HealthState = "stopped"
+	// HealthHealthy: ingest is current.
+	HealthHealthy HealthState = "healthy"
+	// HealthDegraded: no ingest for at least half the staleness threshold.
+	HealthDegraded HealthState = "degraded"
+	// HealthStale: no ingest for the full staleness threshold.
+	HealthStale HealthState = "stale"
+)
+
+// score maps a state onto the mycroft_job_health gauge scale.
+func (hs HealthState) score() int64 {
+	switch hs {
+	case HealthHealthy:
+		return 1
+	case HealthDegraded:
+		return 2
+	case HealthStale:
+		return 3
+	default:
+		return 0
+	}
+}
+
+// DefaultStaleAfter is the staleness threshold when ServiceOptions.StaleAfter
+// is zero: a started job with no ingest for this much virtual time is Stale
+// (and Degraded halfway there).
+const DefaultStaleAfter = 10 * time.Second
+
+// HealthChange is the payload of an EventHealth event: one job health
+// transition.
+type HealthChange struct {
+	From, To HealthState
+	// LastIngest is the job's ingest watermark (virtual time) at the
+	// transition.
+	LastIngest time.Duration
+	// Reason says what moved the state, deterministically derived from
+	// virtual time.
+	Reason string
+}
+
+func (c HealthChange) String() string {
+	return fmt.Sprintf("%s -> %s (%s)", c.From, c.To, c.Reason)
+}
+
+// JobHealth is one job's heartbeat view inside a HealthResult.
+type JobHealth struct {
+	Job   JobID
+	State HealthState
+	// Since is the virtual time of the last health transition.
+	Since time.Duration
+	// LastIngest is the virtual time records last reached the job's store.
+	LastIngest time.Duration
+	// Reason explains a non-healthy state ("" when healthy or stopped).
+	Reason string
+}
+
+// SubStats summarizes the service's subscription fan-out.
+type SubStats struct {
+	Active    int    // live streams
+	Delivered uint64 // events delivered to streams, lifetime
+	Dropped   uint64 // events aged out of full stream buffers, lifetime
+}
+
+// HealthResult is the Client.Health answer: the service clock, identity and
+// per-job heartbeat verdicts. Now and everything under Jobs are virtual-time
+// deterministic; Uptime and Server describe the serving process (wall clock
+// and build identity) and are zero for a plain in-process Service.
+type HealthResult struct {
+	Now    time.Duration
+	Uptime time.Duration
+	Server string
+	Subs   SubStats
+	Jobs   []JobHealth
+}
+
+// Health reports per-job heartbeat state and subscription fan-out. It is
+// part of the Client interface; the daemon adds process uptime and identity
+// on top of this answer.
+func (s *Service) Health() (HealthResult, error) {
+	res := HealthResult{Now: s.Now()}
+	s.streamsMu.Lock()
+	res.Subs.Active = len(s.streams)
+	s.streamsMu.Unlock()
+	res.Subs.Delivered = s.subDelivered.Value()
+	res.Subs.Dropped = s.subDropped.Value()
+	for _, id := range s.order {
+		h := s.jobs[id]
+		res.Jobs = append(res.Jobs, JobHealth{
+			Job: id, State: h.health, Since: h.healthSince,
+			LastIngest: h.lastIngest, Reason: h.healthReason,
+		})
+	}
+	return res, nil
+}
+
+// Health returns the job's current heartbeat verdict.
+func (h *JobHandle) Health() HealthState { return h.health }
+
+// armHealthMonitor starts the heartbeat ticker (idempotent; a no-op when
+// monitoring is disabled). The ticker draws no randomness, so arming it
+// never perturbs a seeded run.
+func (s *Service) armHealthMonitor() {
+	if s.healthTicker != nil || s.staleAfter <= 0 {
+		return
+	}
+	s.healthTicker = s.Eng.NewTicker(s.staleAfter/4, func(sim.Time) { s.checkHealth() })
+}
+
+// disarmHealthMonitor stops the ticker.
+func (s *Service) disarmHealthMonitor() {
+	if s.healthTicker != nil {
+		s.healthTicker.Stop()
+		s.healthTicker = nil
+	}
+}
+
+// checkHealth is one monitor pass: re-derive every started job's state from
+// its ingest watermark and publish transitions. Start/Stop set their states
+// silently (lifecycle events already announce those edges); only watermark-
+// driven movement emits EventHealth.
+func (s *Service) checkHealth() {
+	now := s.Now()
+	for _, id := range s.order {
+		h := s.jobs[id]
+		if !h.started {
+			continue
+		}
+		age := now - h.lastIngest
+		want, reason := HealthHealthy, ""
+		switch {
+		case age >= s.staleAfter:
+			want = HealthStale
+			reason = fmt.Sprintf("no ingest for %v (threshold %v)", age, s.staleAfter)
+		case age >= s.staleAfter/2:
+			want = HealthDegraded
+			reason = fmt.Sprintf("no ingest for %v (threshold %v)", age, s.staleAfter)
+		}
+		if want == h.health {
+			continue
+		}
+		if want == HealthHealthy {
+			reason = "ingest resumed"
+		}
+		ch := HealthChange{From: h.health, To: want, LastIngest: h.lastIngest, Reason: reason}
+		h.health, h.healthSince = want, now
+		h.healthReason = ""
+		if want != HealthHealthy {
+			h.healthReason = reason
+		}
+		s.dispatch(Event{Job: id, Kind: EventHealth, At: now, Health: &ch})
+	}
+}

@@ -5,6 +5,9 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"time"
+
+	"mycroft/internal/obs"
 )
 
 // Backend is the wire-level service the HTTP server fronts. The root
@@ -17,6 +20,7 @@ import (
 // answer promptly so a long poll never starves queries.
 type Backend interface {
 	Ping() (PingResponse, error)
+	Health() (HealthResponse, error)
 	ListJobs() (JobsResponse, error)
 	QueryTrace(TraceRequest) (TraceResponse, error)
 	QueryTriggers(TriggersRequest) (TriggersResponse, error)
@@ -33,6 +37,7 @@ type Backend interface {
 // NewHandler mounts the /v1 wire protocol over a Backend:
 //
 //	GET    /v1/ping                     → PingResponse
+//	GET    /v1/health                   → HealthResponse
 //	GET    /v1/jobs                     → JobsResponse
 //	POST   /v1/trace/query              → TraceResponse
 //	POST   /v1/triggers/query           → TriggersResponse
@@ -47,41 +52,55 @@ type Backend interface {
 //	GET    /v1/subscriptions/{id}/sse   → text/event-stream
 //
 // Requests are JSON bodies; errors come back as ErrorResponse with a 400.
-func NewHandler(b Backend) http.Handler {
+func NewHandler(b Backend) http.Handler { return NewInstrumentedHandler(b, nil) }
+
+// NewInstrumentedHandler is NewHandler plus per-endpoint request counters,
+// error counters and a latency histogram registered on reg (nil disables
+// instrumentation). Endpoints are labeled by their route, not the raw URL,
+// so subscription ids never explode the label space.
+func NewInstrumentedHandler(b Backend, reg *obs.Registry) http.Handler {
+	mm := &muxMetrics{reg: reg}
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET "+Prefix+"/ping", func(w http.ResponseWriter, r *http.Request) {
+	handle := func(method, path, endpoint string, fn http.HandlerFunc) {
+		mux.HandleFunc(method+" "+Prefix+path, mm.wrap(endpoint, fn))
+	}
+	handle("GET", "/ping", "/v1/ping", func(w http.ResponseWriter, r *http.Request) {
 		resp, err := b.Ping()
 		answer(w, resp, err)
 	})
-	mux.HandleFunc("GET "+Prefix+"/jobs", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET", "/health", "/v1/health", func(w http.ResponseWriter, r *http.Request) {
+		resp, err := b.Health()
+		answer(w, resp, err)
+	})
+	handle("GET", "/jobs", "/v1/jobs", func(w http.ResponseWriter, r *http.Request) {
 		resp, err := b.ListJobs()
 		answer(w, resp, err)
 	})
-	post(mux, "/trace/query", b.QueryTrace)
-	post(mux, "/triggers/query", b.QueryTriggers)
-	post(mux, "/reports/query", b.QueryReports)
-	post(mux, "/dependencies/query", b.QueryDependencies)
-	post(mux, "/blast-radius", b.BlastRadius)
-	post(mux, "/remediations/query", b.QueryRemediations)
-	post(mux, "/triage", b.Triage)
-	post(mux, "/subscribe", b.Subscribe)
-	post(mux, "/poll", b.Poll)
-	mux.HandleFunc("DELETE "+Prefix+"/subscriptions/{id}", func(w http.ResponseWriter, r *http.Request) {
+	post(handle, "/trace/query", b.QueryTrace)
+	post(handle, "/triggers/query", b.QueryTriggers)
+	post(handle, "/reports/query", b.QueryReports)
+	post(handle, "/dependencies/query", b.QueryDependencies)
+	post(handle, "/blast-radius", b.BlastRadius)
+	post(handle, "/remediations/query", b.QueryRemediations)
+	post(handle, "/triage", b.Triage)
+	post(handle, "/subscribe", b.Subscribe)
+	post(handle, "/poll", b.Poll)
+	handle("DELETE", "/subscriptions/{id}", "/v1/subscriptions/{id}", func(w http.ResponseWriter, r *http.Request) {
 		if err := b.Unsubscribe(r.PathValue("id")); err != nil {
 			fail(w, err)
 			return
 		}
 		w.WriteHeader(http.StatusNoContent)
 	})
-	mux.HandleFunc("GET "+Prefix+"/subscriptions/{id}/sse", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET", "/subscriptions/{id}/sse", "/v1/subscriptions/{id}/sse", func(w http.ResponseWriter, r *http.Request) {
 		serveSSE(b, w, r)
 	})
 	return mux
 }
 
 // post mounts one decode→call→encode JSON-RPC style endpoint.
-func post[Req, Resp any](mux *http.ServeMux, path string, fn func(Req) (Resp, error)) {
-	mux.HandleFunc("POST "+Prefix+path, func(w http.ResponseWriter, r *http.Request) {
+func post[Req, Resp any](handle func(method, path, endpoint string, fn http.HandlerFunc), path string, fn func(Req) (Resp, error)) {
+	handle("POST", path, Prefix+path, func(w http.ResponseWriter, r *http.Request) {
 		var req Req
 		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 4<<20))
 		if err != nil {
@@ -97,6 +116,49 @@ func post[Req, Resp any](mux *http.ServeMux, path string, fn func(Req) (Resp, er
 		resp, err := fn(req)
 		answer(w, resp, err)
 	})
+}
+
+// muxMetrics holds the per-endpoint HTTP instruments.
+type muxMetrics struct{ reg *obs.Registry }
+
+// wrap instruments one route: request count, wall-clock latency, and an
+// error count for 4xx/5xx answers. With no registry it returns fn untouched.
+func (m *muxMetrics) wrap(endpoint string, fn http.HandlerFunc) http.HandlerFunc {
+	if m.reg == nil {
+		return fn
+	}
+	el := obs.L("endpoint", endpoint)
+	requests := m.reg.Counter("mycroft_http_requests_total", "HTTP requests served, by endpoint.", el)
+	errors := m.reg.Counter("mycroft_http_errors_total", "HTTP requests answered 4xx/5xx, by endpoint.", el)
+	latency := m.reg.Histogram("mycroft_http_request_seconds", "Wall-clock HTTP request latency in seconds.", obs.LatencyBuckets, el)
+	return func(w http.ResponseWriter, r *http.Request) {
+		requests.Inc()
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		fn(sw, r)
+		latency.Observe(time.Since(start).Seconds())
+		if sw.status >= 400 {
+			errors.Inc()
+		}
+	}
+}
+
+// statusWriter records the response code and forwards Flush so the SSE
+// stream keeps working behind the instrumentation.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Flush() {
+	if fl, ok := w.ResponseWriter.(http.Flusher); ok {
+		fl.Flush()
+	}
 }
 
 func answer(w http.ResponseWriter, resp any, err error) {

@@ -57,8 +57,20 @@ func ParseEventKind(s string) (core.EventKind, error) {
 		return core.EventLifecycle, nil
 	case "action":
 		return core.EventAction, nil
+	case "health":
+		return core.EventHealth, nil
 	}
 	return 0, fmt.Errorf("api: unknown event kind %q", s)
+}
+
+// ParseHealthState validates a job health state from the wire. The state
+// set is part of the protocol: "stopped", "healthy", "degraded", "stale".
+func ParseHealthState(s string) (string, error) {
+	switch s {
+	case "stopped", "healthy", "degraded", "stale":
+		return s, nil
+	}
+	return "", fmt.Errorf("api: unknown health state %q", s)
 }
 
 // TriggerKindName renders a core.TriggerKind as its wire name.
@@ -369,16 +381,25 @@ func (e Edge) Edge() (depgraph.Edge, error) {
 	}, nil
 }
 
+// HealthChange is the wire form of one job health transition.
+type HealthChange struct {
+	From         string `json:"from"`
+	To           string `json:"to"`
+	LastIngestNs int64  `json:"last_ingest_ns"`
+	Reason       string `json:"reason,omitempty"`
+}
+
 // Event is the wire form of one subscription event. Exactly one of Trigger,
-// Report, Phase or Action is set, matching Kind.
+// Report, Phase, Action or Health is set, matching Kind.
 type Event struct {
-	Job     string   `json:"job"`
-	Kind    string   `json:"kind"`
-	AtNs    int64    `json:"at_ns"`
-	Trigger *Trigger `json:"trigger,omitempty"`
-	Report  *Report  `json:"report,omitempty"`
-	Phase   string   `json:"phase,omitempty"`
-	Action  *Attempt `json:"action,omitempty"`
+	Job     string        `json:"job"`
+	Kind    string        `json:"kind"`
+	AtNs    int64         `json:"at_ns"`
+	Trigger *Trigger      `json:"trigger,omitempty"`
+	Report  *Report       `json:"report,omitempty"`
+	Phase   string        `json:"phase,omitempty"`
+	Action  *Attempt      `json:"action,omitempty"`
+	Health  *HealthChange `json:"health,omitempty"`
 }
 
 // EventFilter is the wire form of a subscription filter. Buffer 0 does not
@@ -448,9 +469,42 @@ func (s StoreStats) Stats() clouddb.Stats {
 
 // PingResponse answers GET /v1/ping: protocol version and the daemon's
 // current virtual time, so clients (and CI) can watch the drive loop advance.
+// Server and StartedUnixNs identify the serving process (both omitted by
+// minimal servers, so old clients keep parsing).
 type PingResponse struct {
 	Version int   `json:"version"`
 	NowNs   int64 `json:"now_ns"`
+	// Server is the daemon's self-reported identity ("mycroft-serve/1").
+	Server string `json:"server,omitempty"`
+	// StartedUnixNs is the wall-clock time the daemon started, Unix ns.
+	StartedUnixNs int64 `json:"started_unix_ns,omitempty"`
+}
+
+// JobHealthInfo is one job's heartbeat verdict inside a HealthResponse.
+type JobHealthInfo struct {
+	Job          string `json:"job"`
+	State        string `json:"state"`
+	SinceNs      int64  `json:"since_ns"`
+	LastIngestNs int64  `json:"last_ingest_ns"`
+	Reason       string `json:"reason,omitempty"`
+}
+
+// SubscriptionStats summarizes the daemon's subscription fan-out.
+type SubscriptionStats struct {
+	Active    int    `json:"active"`
+	Delivered uint64 `json:"delivered"`
+	Dropped   uint64 `json:"dropped"`
+}
+
+// HealthResponse answers GET /v1/health: per-job heartbeat state plus the
+// serving process's uptime and identity.
+type HealthResponse struct {
+	NowNs         int64             `json:"now_ns"`
+	UptimeMs      int64             `json:"uptime_ms"`
+	Server        string            `json:"server,omitempty"`
+	Version       int               `json:"version"`
+	Subscriptions SubscriptionStats `json:"subscriptions"`
+	Jobs          []JobHealthInfo   `json:"jobs"`
 }
 
 // JobInfo describes one hosted job.

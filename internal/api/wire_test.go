@@ -101,6 +101,26 @@ func TestGoldenWireFormat(t *testing.T) {
 	golden(t, "event_report", Event{Job: "llm-70b", Kind: "report", AtNs: 19_000_000_000, Report: ptr(FromReport(rep))})
 	golden(t, "event_lifecycle", Event{Job: "llm-70b", Kind: "lifecycle", AtNs: 0, Phase: "job-started"})
 	golden(t, "event_action", Event{Job: "llm-70b", Kind: "action", AtNs: 19_000_000_000, Action: ptr(FromAttempt(fixtureAttempt()))})
+	golden(t, "event_health", Event{Job: "llm-70b", Kind: "health", AtNs: 42_000_000_000, Health: ptr(fixtureHealthChange())})
+	golden(t, "health", fixtureHealthResponse())
+}
+
+func fixtureHealthChange() HealthChange {
+	return HealthChange{
+		From: "healthy", To: "stale", LastIngestNs: 30_000_000_000,
+		Reason: "no ingest for 12s (threshold 10s)",
+	}
+}
+
+func fixtureHealthResponse() HealthResponse {
+	return HealthResponse{
+		NowNs: 42_000_000_000, UptimeMs: 1234, Server: "mycroft-serve/1", Version: 1,
+		Subscriptions: SubscriptionStats{Active: 2, Delivered: 917, Dropped: 3},
+		Jobs: []JobHealthInfo{
+			{Job: "llm-70b", State: "stale", SinceNs: 41_500_000_000, LastIngestNs: 30_000_000_000, Reason: "no ingest for 12s (threshold 10s)"},
+			{Job: "moe-8x22", State: "healthy", SinceNs: 0, LastIngestNs: 41_900_000_000},
+		},
+	}
 }
 
 func ptr[T any](v T) *T { return &v }
@@ -154,6 +174,17 @@ func roundTrip[D any, W any](t *testing.T, domain D, to func(D) W, back func(W) 
 func TestParseRejectsUnknownEnums(t *testing.T) {
 	if _, err := ParseEventKind("telemetry"); err == nil {
 		t.Error("ParseEventKind accepted unknown kind")
+	}
+	if k, err := ParseEventKind("health"); err != nil || k != core.EventHealth {
+		t.Errorf("ParseEventKind(health) = %v, %v; want EventHealth", k, err)
+	}
+	if _, err := ParseHealthState("zombie"); err == nil {
+		t.Error("ParseHealthState accepted unknown state")
+	}
+	for _, s := range []string{"stopped", "healthy", "degraded", "stale"} {
+		if got, err := ParseHealthState(s); err != nil || got != s {
+			t.Errorf("ParseHealthState(%q) = %q, %v", s, got, err)
+		}
 	}
 	if _, err := ParseTriggerKind("hiccup"); err == nil {
 		t.Error("ParseTriggerKind accepted unknown kind")

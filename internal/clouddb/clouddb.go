@@ -66,6 +66,7 @@ type DB struct {
 	bytesIngested uint64
 
 	observers []func([]trace.Record)
+	metrics   *Metrics
 }
 
 // New creates a DB with the given retention horizon (0 = keep forever) and
@@ -155,6 +156,11 @@ func (db *DB) Ingest(batch []trace.Record) {
 	}
 	db.ingested += uint64(len(batch))
 	db.bytesIngested += uint64(len(batch)) * trace.WireSize
+	if m := db.metrics; m != nil {
+		m.Records.Add(uint64(len(batch)))
+		m.Bytes.Add(uint64(len(batch)) * trace.WireSize)
+		m.Batches.Inc()
+	}
 	db.prune(touched)
 	for _, fn := range db.observers {
 		fn(batch)
@@ -200,6 +206,7 @@ func (db *DB) prune(touched uint64) {
 	if cut <= 0 {
 		return
 	}
+	var dropped uint64
 	for idx, sh := range db.shards {
 		if touched&(1<<uint(idx)) == 0 {
 			continue
@@ -208,9 +215,13 @@ func (db *DB) prune(touched uint64) {
 			i := sort.Search(len(s.recs), func(i int) bool { return s.recs[i].Time >= cut })
 			if i > 0 {
 				sh.pruned += uint64(i)
+				dropped += uint64(i)
 				s.recs = s.recs[i:]
 			}
 		}
+	}
+	if m := db.metrics; m != nil && dropped > 0 {
+		m.Pruned.Add(dropped)
 	}
 }
 

@@ -3,6 +3,7 @@ package clouddb
 import (
 	"slices"
 	"sort"
+	"time"
 
 	"mycroft/internal/sim"
 	"mycroft/internal/topo"
@@ -82,6 +83,11 @@ func (db *DB) queryRanks(q Query) []topo.Rank {
 // binary-searched window of each rank's series is touched, so the cost
 // scales with the window, not the retained history.
 func (db *DB) Query(q Query) Result {
+	if m := db.metrics; m != nil {
+		m.Queries.Inc()
+		start := time.Now()
+		defer func() { m.QueryLatency.Observe(time.Since(start).Seconds()) }()
+	}
 	to := q.To
 	if to == 0 {
 		to = sim.Infinity

@@ -58,6 +58,7 @@ type Backend struct {
 	reports  []Report
 
 	publish func(Event)
+	metrics *Metrics
 
 	// OnTrigger fires on every Algorithm 1 firing, before analysis.
 	//
@@ -276,25 +277,33 @@ func (b *Backend) implicatedComm(rank topo.Rank, t sim.Time) uint64 {
 func (b *Backend) fire(tr Trigger) {
 	b.triggers = append(b.triggers, tr)
 	b.muteUntil = tr.At.Add(b.cfg.RearmDelay)
+	if m := b.metrics; m != nil {
+		if c := m.Triggers[tr.Kind.String()]; c != nil {
+			c.Inc()
+		}
+	}
 	b.emit(Event{Kind: EventTrigger, At: tr.At, Trigger: &tr})
 	switch tr.Kind {
 	case TriggerFailure:
-		b.deliver(b.AnalyzeFailure(tr))
+		b.deliver(b.timedAnalysis(func() Report { return b.AnalyzeFailure(tr) }))
 	default:
 		// Let post-onset evidence (late launches, pressured flows) land in
 		// the store before analyzing a performance anomaly.
 		b.eng.After(b.cfg.StragglerSettle, func() {
 			at := tr
 			at.At = b.eng.Now()
-			rep := b.AnalyzeStraggler(at)
-			if rep.Suspect < 0 {
-				// No straggler pattern: the slowdown may be a failure in
-				// progress (throughput collapsing toward zero fires the
-				// straggler rule first). Re-analyze as a failure.
-				if fr := b.AnalyzeFailure(at); fr.Suspect >= 0 {
-					rep = fr
+			rep := b.timedAnalysis(func() Report {
+				rep := b.AnalyzeStraggler(at)
+				if rep.Suspect < 0 {
+					// No straggler pattern: the slowdown may be a failure in
+					// progress (throughput collapsing toward zero fires the
+					// straggler rule first). Re-analyze as a failure.
+					if fr := b.AnalyzeFailure(at); fr.Suspect >= 0 {
+						rep = fr
+					}
 				}
-			}
+				return rep
+			})
 			rep.Trigger = tr
 			b.deliver(rep)
 		})
@@ -303,5 +312,9 @@ func (b *Backend) fire(tr Trigger) {
 
 func (b *Backend) deliver(rep Report) {
 	b.reports = append(b.reports, rep)
+	if m := b.metrics; m != nil {
+		m.Reports.Inc()
+		m.ChainDepth.Observe(float64(len(rep.Chain)))
+	}
 	b.emit(Event{Kind: EventReport, At: rep.AnalyzedAt, Report: &rep})
 }

@@ -21,6 +21,11 @@ const (
 	// engine does, and it is declared here so every event consumer shares one
 	// kind space.
 	EventAction
+	// EventHealth marks a job health transition (healthy → degraded → stale
+	// and back). Like EventAction it is service-layer: the heartbeat monitor
+	// emits it when a job's ingest watermark goes quiet past the staleness
+	// threshold.
+	EventHealth
 )
 
 func (k EventKind) String() string {
@@ -33,6 +38,8 @@ func (k EventKind) String() string {
 		return "lifecycle"
 	case EventAction:
 		return "action"
+	case EventHealth:
+		return "health"
 	default:
 		return fmt.Sprintf("event(%d)", uint8(k))
 	}

@@ -1,0 +1,36 @@
+package core
+
+import (
+	"time"
+
+	"mycroft/internal/obs"
+)
+
+// Metrics is the instrument set a Backend updates when one is attached with
+// SetMetrics. Nil (the default) costs a pointer check per firing. The
+// hosting layer owns registration and labeling; Triggers is keyed by
+// TriggerKind.String() so the label set matches the wire enum.
+type Metrics struct {
+	Triggers   map[string]*obs.Counter // Algorithm 1 firings, by kind
+	Reports    *obs.Counter            // Algorithm 2 verdicts delivered
+	RCALatency *obs.Histogram          // wall-clock seconds per analysis
+	ChainDepth *obs.Histogram          // causal-chain hops per report
+}
+
+// SetMetrics attaches (or with nil, detaches) an instrument set. Wire it up
+// before Start, like the publisher.
+func (b *Backend) SetMetrics(m *Metrics) { b.metrics = m }
+
+// timedAnalysis runs one Algorithm 2 analysis under the RCA wall-clock
+// histogram. Virtual time never moves inside fn, so wall clock is the only
+// meaningful latency here.
+func (b *Backend) timedAnalysis(fn func() Report) Report {
+	m := b.metrics
+	if m == nil {
+		return fn()
+	}
+	start := time.Now()
+	rep := fn()
+	m.RCALatency.Observe(time.Since(start).Seconds())
+	return rep
+}

@@ -98,6 +98,7 @@ func (s *Service) AttachPolicy(job JobID, p RemedyPolicy) error {
 		return err
 	}
 	h.remedy = remedy.New(s.Eng, p, h.applyRemedy, func(a RemedyAttempt) {
+		s.observeRemedyMetrics(h.ID, a)
 		s.dispatch(Event{Job: h.ID, Kind: EventAction, At: s.Now(), Action: &a})
 	})
 	return nil

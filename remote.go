@@ -22,6 +22,11 @@ import (
 type RemoteClient struct {
 	base string
 	hc   *http.Client
+
+	// serverID and serverStarted are captured from the dial-time ping so
+	// callers can log what they connected to.
+	serverID      string
+	serverStarted time.Time
 }
 
 // Dial connects to a daemon at addr ("host:port" or a full http:// URL),
@@ -40,7 +45,27 @@ func Dial(addr string) (*RemoteClient, error) {
 	if ping.Version != api.Version {
 		return nil, fmt.Errorf("mycroft: daemon at %s speaks wire version %d, this client speaks %d", addr, ping.Version, api.Version)
 	}
+	c.serverID = ping.Server
+	if ping.StartedUnixNs != 0 {
+		c.serverStarted = time.Unix(0, ping.StartedUnixNs)
+	}
 	return c, nil
+}
+
+// ServerInfo reports the daemon identity and wall-clock start time captured
+// at dial; identity is "" (and start zero) against a daemon predating them.
+func (c *RemoteClient) ServerInfo() (string, time.Time) {
+	return c.serverID, c.serverStarted
+}
+
+// Health implements Client over the wire. Uptime and Server come filled by
+// the daemon, unlike the in-process Service where both are zero.
+func (c *RemoteClient) Health() (HealthResult, error) {
+	var resp api.HealthResponse
+	if err := c.get(api.Prefix+"/health", &resp); err != nil {
+		return HealthResult{}, err
+	}
+	return healthResultFromWire(resp)
 }
 
 // Now returns the daemon's current virtual time.

@@ -25,6 +25,11 @@ type Server struct {
 
 	subs   map[string]*wireSub
 	subSeq int
+
+	// identity and started feed /v1/ping and /v1/health so clients can log
+	// what they connected to.
+	identity string
+	started  time.Time
 }
 
 // wireSub is one served subscription plus the wall-clock bookkeeping that
@@ -44,7 +49,10 @@ const subIdleTTL = 10 * time.Minute
 // NewServer wraps a Client for HTTP exposure.
 func NewServer(c Client) *Server {
 	svc, _ := c.(*Service)
-	return &Server{c: c, svc: svc, subs: make(map[string]*wireSub)}
+	return &Server{
+		c: c, svc: svc, subs: make(map[string]*wireSub),
+		identity: fmt.Sprintf("mycroft-serve/%d", api.Version), started: time.Now(),
+	}
 }
 
 // reapIdleLocked closes subscriptions no one has polled within the TTL.
@@ -60,8 +68,27 @@ func (sv *Server) reapIdleLocked(now time.Time) {
 }
 
 // Handler mounts the /v1 endpoint set (see internal/api.NewHandler for the
-// route table).
-func (sv *Server) Handler() http.Handler { return api.NewHandler(&apiBackend{sv}) }
+// route table) plus, when the wrapped Client is an in-process Service,
+// GET /metrics serving the service registry in Prometheus text format.
+// Every /v1 route carries per-endpoint request/error/latency instruments
+// registered on the same registry.
+func (sv *Server) Handler() http.Handler {
+	if sv.svc == nil {
+		return api.NewHandler(&apiBackend{sv}) // a proxy has no registry to serve
+	}
+	reg := sv.svc.Metrics()
+	mux := http.NewServeMux()
+	mux.Handle(api.Prefix+"/", api.NewInstrumentedHandler(&apiBackend{sv}, reg))
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		// Scrape under the server mutex: gauge callbacks read engine-owned
+		// state (store occupancy, stream lists) that the drive loop mutates.
+		sv.mu.Lock()
+		defer sv.mu.Unlock()
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	return mux
+}
 
 // Advance steps the wrapped Service's virtual time by d, serialized against
 // in-flight wire requests. It reports false when the wrapped Client is not
@@ -76,14 +103,17 @@ func (sv *Server) Advance(d time.Duration) bool {
 	return true
 }
 
-// CloseSubscriptions closes every live wire subscription (daemon shutdown).
-func (sv *Server) CloseSubscriptions() {
+// CloseSubscriptions closes every live wire subscription (daemon shutdown)
+// and reports how many were force-closed.
+func (sv *Server) CloseSubscriptions() int {
 	sv.mu.Lock()
 	defer sv.mu.Unlock()
+	n := len(sv.subs)
 	for id, ws := range sv.subs {
 		ws.st.Close()
 		delete(sv.subs, id)
 	}
+	return n
 }
 
 // apiBackend adapts the Server to the wire-level api.Backend: every method
@@ -98,7 +128,24 @@ func (b *apiBackend) Ping() (api.PingResponse, error) {
 	if err != nil {
 		return api.PingResponse{}, err
 	}
-	return api.PingResponse{Version: api.Version, NowNs: int64(res.Now)}, nil
+	return api.PingResponse{
+		Version: api.Version, NowNs: int64(res.Now),
+		Server: b.sv.identity, StartedUnixNs: b.sv.started.UnixNano(),
+	}, nil
+}
+
+func (b *apiBackend) Health() (api.HealthResponse, error) {
+	b.sv.mu.Lock()
+	defer b.sv.mu.Unlock()
+	res, err := b.sv.c.Health()
+	if err != nil {
+		return api.HealthResponse{}, err
+	}
+	w := healthResultToWire(res)
+	// The serving process, not the wrapped client, owns uptime and identity.
+	w.UptimeMs = time.Since(b.sv.started).Milliseconds()
+	w.Server = b.sv.identity
+	return w, nil
 }
 
 func (b *apiBackend) ListJobs() (api.JobsResponse, error) {

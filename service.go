@@ -10,8 +10,10 @@ import (
 	"mycroft/internal/core"
 	"mycroft/internal/experiments"
 	"mycroft/internal/faults"
+	"mycroft/internal/obs"
 	"mycroft/internal/remedy"
 	"mycroft/internal/sim"
+	"mycroft/internal/trace"
 	"mycroft/internal/train"
 )
 
@@ -22,6 +24,10 @@ type JobID string
 type ServiceOptions struct {
 	// Seed makes every hosted job's run reproducible. Default 1.
 	Seed int64
+	// StaleAfter is the heartbeat staleness threshold: a started job with no
+	// ingest for this much virtual time is Stale (Degraded halfway there).
+	// Zero means DefaultStaleAfter; negative disables health monitoring.
+	StaleAfter time.Duration
 }
 
 // Service is Mycroft's multi-tenant analysis backend: N independent training
@@ -43,6 +49,14 @@ type Service struct {
 	// single-threaded contract.
 	streamsMu sync.Mutex
 	streams   []*Stream
+
+	// Observability plane: the instrument registry, the subscription
+	// counters Stream.deliver bumps, and the heartbeat monitor.
+	reg          *obs.Registry
+	subDelivered *obs.Counter
+	subDropped   *obs.Counter
+	staleAfter   time.Duration
+	healthTicker *sim.Ticker
 }
 
 // NewService builds an empty Service; add jobs with AddJob.
@@ -50,7 +64,16 @@ func NewService(opts ServiceOptions) *Service {
 	if opts.Seed == 0 {
 		opts.Seed = 1
 	}
-	return &Service{Eng: sim.NewEngine(opts.Seed), jobs: make(map[JobID]*JobHandle)}
+	staleAfter := opts.StaleAfter
+	switch {
+	case staleAfter == 0:
+		staleAfter = DefaultStaleAfter
+	case staleAfter < 0:
+		staleAfter = 0 // monitoring disabled
+	}
+	s := &Service{Eng: sim.NewEngine(opts.Seed), jobs: make(map[JobID]*JobHandle), staleAfter: staleAfter}
+	s.initMetrics()
+	return s
 }
 
 // JobOptions sizes one hosted job. The zero value is a runnable 8-GPU job.
@@ -126,13 +149,17 @@ func (s *Service) AddJob(id JobID, opts JobOptions) (*JobHandle, error) {
 		sampled = core.SampleWorld(job.Cluster.WorldSize(), opts.Backend.MaxSampled)
 	}
 	bk := core.NewBackend(s.Eng, job.DB, sampled, opts.Backend)
-	h := &JobHandle{ID: id, svc: s, Job: job, Backend: bk}
+	h := &JobHandle{ID: id, svc: s, Job: job, Backend: bk, health: HealthStopped}
 	bk.SetPublisher(func(ev core.Event) {
 		s.dispatch(Event{
 			Job: id, Kind: ev.Kind, At: time.Duration(ev.At),
 			Trigger: ev.Trigger, Report: ev.Report, Phase: ev.Phase,
 		})
 	})
+	s.registerJobMetrics(h)
+	// The heartbeat watermark: any batch reaching the store proves the job's
+	// agents are alive right now (virtual time).
+	job.DB.AddIngestObserver(func([]trace.Record) { h.lastIngest = s.Now() })
 	s.jobs[id] = h
 	s.order = append(s.order, id)
 	if s.started {
@@ -159,20 +186,22 @@ func (s *Service) Job(id JobID) (*JobHandle, bool) {
 // Jobs lists hosted job ids in arrival order.
 func (s *Service) Jobs() []JobID { return append([]JobID(nil), s.order...) }
 
-// Start launches every hosted job and its backend. Jobs added later start
-// immediately.
+// Start launches every hosted job and its backend, and arms the heartbeat
+// monitor. Jobs added later start immediately.
 func (s *Service) Start() {
 	s.started = true
 	for _, id := range s.order {
 		s.jobs[id].Start()
 	}
+	s.armHealthMonitor()
 }
 
-// Stop halts every hosted job and backend.
+// Stop halts every hosted job and backend and disarms the heartbeat monitor.
 func (s *Service) Stop() {
 	for _, id := range s.order {
 		s.jobs[id].Stop()
 	}
+	s.disarmHealthMonitor()
 	s.started = false
 }
 
@@ -253,25 +282,38 @@ type JobHandle struct {
 	started  bool
 	remedy   *remedy.Engine
 	isolated []Rank
+
+	// Heartbeat state, owned by the service's health monitor. lastIngest is
+	// the virtual time records last reached the store.
+	health       HealthState
+	healthSince  time.Duration
+	healthReason string
+	lastIngest   time.Duration
 }
 
-// Start launches the job's training script and backend (idempotent).
+// Start launches the job's training script and backend (idempotent). Health
+// moves to healthy silently — the lifecycle event is the announcement; only
+// watermark-driven transitions emit EventHealth.
 func (h *JobHandle) Start() {
 	if h.started {
 		return
 	}
 	h.started = true
+	h.health, h.healthSince, h.healthReason = HealthHealthy, h.svc.Now(), ""
+	h.lastIngest = h.svc.Now()
 	h.svc.dispatch(Event{Job: h.ID, Kind: EventLifecycle, At: h.svc.Now(), Phase: PhaseJobStarted})
 	h.Job.Start()
 	h.Backend.Start()
 }
 
-// Stop halts the job and its backend (idempotent).
+// Stop halts the job and its backend (idempotent). Health moves to stopped
+// silently, mirroring Start.
 func (h *JobHandle) Stop() {
 	if !h.started {
 		return
 	}
 	h.started = false
+	h.health, h.healthSince, h.healthReason = HealthStopped, h.svc.Now(), ""
 	h.Backend.Stop()
 	h.Job.Stop()
 	h.svc.dispatch(Event{Job: h.ID, Kind: EventLifecycle, At: h.svc.Now(), Phase: PhaseJobStopped})

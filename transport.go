@@ -328,6 +328,68 @@ func jobsResultFromWire(resp api.JobsResponse) JobsResult {
 	return res
 }
 
+// --- health ---
+
+func healthChangeToWire(c HealthChange) api.HealthChange {
+	return api.HealthChange{
+		From: string(c.From), To: string(c.To),
+		LastIngestNs: int64(c.LastIngest), Reason: c.Reason,
+	}
+}
+
+func healthChangeFromWire(w api.HealthChange) (HealthChange, error) {
+	from, err := api.ParseHealthState(w.From)
+	if err != nil {
+		return HealthChange{}, err
+	}
+	to, err := api.ParseHealthState(w.To)
+	if err != nil {
+		return HealthChange{}, err
+	}
+	return HealthChange{
+		From: HealthState(from), To: HealthState(to),
+		LastIngest: time.Duration(w.LastIngestNs), Reason: w.Reason,
+	}, nil
+}
+
+func healthResultToWire(res HealthResult) api.HealthResponse {
+	resp := api.HealthResponse{
+		NowNs: int64(res.Now), UptimeMs: res.Uptime.Milliseconds(),
+		Server: res.Server, Version: api.Version,
+		Subscriptions: api.SubscriptionStats{
+			Active: res.Subs.Active, Delivered: res.Subs.Delivered, Dropped: res.Subs.Dropped,
+		},
+	}
+	for _, j := range res.Jobs {
+		resp.Jobs = append(resp.Jobs, api.JobHealthInfo{
+			Job: string(j.Job), State: string(j.State),
+			SinceNs: int64(j.Since), LastIngestNs: int64(j.LastIngest), Reason: j.Reason,
+		})
+	}
+	return resp
+}
+
+func healthResultFromWire(resp api.HealthResponse) (HealthResult, error) {
+	res := HealthResult{
+		Now: time.Duration(resp.NowNs), Uptime: time.Duration(resp.UptimeMs) * time.Millisecond,
+		Server: resp.Server,
+		Subs: SubStats{
+			Active: resp.Subscriptions.Active, Delivered: resp.Subscriptions.Delivered, Dropped: resp.Subscriptions.Dropped,
+		},
+	}
+	for _, j := range resp.Jobs {
+		state, err := api.ParseHealthState(j.State)
+		if err != nil {
+			return HealthResult{}, err
+		}
+		res.Jobs = append(res.Jobs, JobHealth{
+			Job: JobID(j.Job), State: HealthState(state),
+			Since: time.Duration(j.SinceNs), LastIngest: time.Duration(j.LastIngestNs), Reason: j.Reason,
+		})
+	}
+	return res, nil
+}
+
 // --- events and filters ---
 
 func eventFilterToWire(f EventFilter) api.EventFilter {
@@ -386,6 +448,10 @@ func eventToWire(e Event) api.Event {
 		a := api.FromAttempt(*e.Action)
 		w.Action = &a
 	}
+	if e.Health != nil {
+		h := healthChangeToWire(*e.Health)
+		w.Health = &h
+	}
 	return w
 }
 
@@ -415,6 +481,13 @@ func eventFromWire(w api.Event) (Event, error) {
 			return Event{}, err
 		}
 		e.Action = &a
+	}
+	if w.Health != nil {
+		h, err := healthChangeFromWire(*w.Health)
+		if err != nil {
+			return Event{}, err
+		}
+		e.Health = &h
 	}
 	return e, nil
 }
