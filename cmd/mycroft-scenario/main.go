@@ -53,8 +53,10 @@ func usage() {
   run <name|file.json> [flags] execute a scenario and print its report
 
 run flags:
-  -seed N   override the scenario seed (default: spec seed, else 1)
-  -json     emit the structured result as JSON instead of text
+  -seed N       override the scenario seed (default: spec seed, else 1)
+  -json         emit the structured result as JSON instead of text
+  -record DIR   capture one incident artifact per job to DIR/<job>.mycrec
+                (replay them with "mycroft-trace replay")
 `)
 }
 
@@ -155,6 +157,7 @@ func run(args []string) {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	seed := fs.Int64("seed", 0, "override the scenario seed")
 	asJSON := fs.Bool("json", false, "emit the result as JSON")
+	recordDir := fs.String("record", "", "record per-job incident artifacts to this directory")
 	var target string
 	// Accept the target anywhere among the flags: `run name -seed 2`,
 	// `run -seed 2 name` and `run -seed 2 name -json` all work.
@@ -168,7 +171,7 @@ func run(args []string) {
 		_ = fs.Parse(fs.Args()[1:]) // flags that followed the positional
 	}
 	if target == "" {
-		fmt.Fprintln(os.Stderr, "usage: mycroft-scenario run <name|file.json> [-seed N] [-json]")
+		fmt.Fprintln(os.Stderr, "usage: mycroft-scenario run <name|file.json> [-seed N] [-json] [-record DIR]")
 		os.Exit(2)
 	}
 	if fs.NArg() > 0 {
@@ -180,10 +183,13 @@ func run(args []string) {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	res, err := scenario.Run(spec, *seed)
+	res, err := scenario.RunWith(spec, *seed, scenario.RunOptions{RecordDir: *recordDir})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if *recordDir != "" {
+		fmt.Fprintf(os.Stderr, "mycroft-scenario: recorded %d incident artifact(s) under %s\n", len(res.Jobs), *recordDir)
 	}
 	if *asJSON {
 		out, err := json.MarshalIndent(res, "", "  ")

@@ -53,11 +53,16 @@ func main() {
 		scen      = flag.String("scenario", "", "host a scenario fleet (builtin name or spec file) instead of a single job")
 		step      = flag.Duration("step", time.Second, "virtual time advanced per tick")
 		tick      = flag.Duration("tick", 20*time.Millisecond, "wall-time pause between ticks (0 = drive flat out)")
+		recordDir = flag.String("record", "", "record per-job incident artifacts to this directory (download live at /v1/jobs/{id}/record)")
 	)
 	flag.Parse()
 
+	// Recording must attach before the first simulated instant for the
+	// artifacts to replay byte-for-byte, so both seeding modes defer their
+	// Start until the recorders (if any) are armed.
 	var (
 		svc     *mycroft.Service
+		start   func()
 		runFor  = *horizon
 		jobDesc string
 	)
@@ -70,13 +75,13 @@ func main() {
 		if err != nil {
 			die(err)
 		}
-		p.Start()
 		svc = p.Service
+		start = p.Start
 		runFor = p.Horizon()
 		jobDesc = fmt.Sprintf("scenario %s, %d job(s)", spec.Name, len(p.Handles))
 	} else {
 		var err error
-		svc, err = seedjob.Build(mycroft.JobID(*jobID), *seed, *faultName, *rank, *at, *remedy)
+		svc, start, err = seedjob.Assemble(mycroft.JobID(*jobID), *seed, *faultName, *rank, *at, *remedy)
 		if err != nil {
 			die(err)
 		}
@@ -84,6 +89,15 @@ func main() {
 	}
 
 	srv := mycroft.NewServer(svc)
+	if *recordDir != "" {
+		if err := srv.RecordTo(*recordDir); err != nil {
+			die(err)
+		}
+		for id, path := range srv.RecordPaths() {
+			fmt.Fprintf(os.Stderr, "mycroft-serve: recording job %q to %s\n", id, path)
+		}
+	}
+	start()
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		die(err)
@@ -119,6 +133,9 @@ func main() {
 
 	<-ctx.Done()
 	closed := srv.CloseSubscriptions()
+	if err := srv.CloseRecorders(); err != nil {
+		fmt.Fprintln(os.Stderr, "mycroft-serve: finalizing recordings:", err)
+	}
 	fmt.Fprintf(os.Stderr, "mycroft-serve: shutting down (%d subscription(s) force-closed)\n", closed)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
 	defer cancel()

@@ -37,6 +37,15 @@
 //
 //	mycroft-trace status -fault nic-down -rank 5
 //	mycroft-trace status -addr 127.0.0.1:7466 -watch
+//
+// The "replay" subcommand re-drives a recorded incident artifact (produced
+// by -record on mycroft-serve or mycroft-scenario run, or downloaded live
+// from a daemon) through a fresh analysis stack — faithfully, or under
+// what-if threshold/policy overrides:
+//
+//	mycroft-trace replay incident.mycrec -diff
+//	mycroft-trace replay incident.mycrec -whatif overrides.json
+//	mycroft-trace replay -addr 127.0.0.1:7466 -job trace -o incident.mycrec
 package main
 
 import (
@@ -68,6 +77,12 @@ func main() {
 		every     = flag.Duration("every", time.Second, "status mode: wall-time interval between -watch renders")
 	)
 	args := os.Args[1:]
+	if len(args) > 0 && args[0] == "replay" {
+		// Replay has its own flag set: it operates on a recorded artifact
+		// (file or daemon download), not on a fresh simulation.
+		runReplay(args[1:])
+		return
+	}
 	graphMode := len(args) > 0 && args[0] == "graph"
 	remedyMode := len(args) > 0 && args[0] == "remedy"
 	statusMode := len(args) > 0 && args[0] == "status"

@@ -1,6 +1,7 @@
 package api
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -32,6 +33,10 @@ type Backend interface {
 	Subscribe(SubscribeRequest) (SubscribeResponse, error)
 	Poll(PollRequest) (PollResponse, error)
 	Unsubscribe(id string) error
+	// Record streams a job's incident artifact (the recorder's current
+	// snapshot: a valid, possibly footer-less capture) to w. It errors when
+	// the job is unknown or the daemon is not recording it.
+	Record(job string, w io.Writer) error
 }
 
 // NewHandler mounts the /v1 wire protocol over a Backend:
@@ -85,6 +90,20 @@ func NewInstrumentedHandler(b Backend, reg *obs.Registry) http.Handler {
 	post(handle, "/triage", b.Triage)
 	post(handle, "/subscribe", b.Subscribe)
 	post(handle, "/poll", b.Poll)
+	handle("GET", "/jobs/{id}/record", "/v1/jobs/{id}/record", func(w http.ResponseWriter, r *http.Request) {
+		// Stage the artifact before writing: a recording error must become a
+		// clean HTTP error, not a torn 200. The snapshot is bounded by the
+		// recorder's current file size, and the chunked format means a
+		// client can replay it even though it has no footer yet.
+		var buf bytes.Buffer
+		if err := b.Record(r.PathValue("id"), &buf); err != nil {
+			fail(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("Content-Length", fmt.Sprint(buf.Len()))
+		io.Copy(w, &buf)
+	})
 	handle("DELETE", "/subscriptions/{id}", "/v1/subscriptions/{id}", func(w http.ResponseWriter, r *http.Request) {
 		if err := b.Unsubscribe(r.PathValue("id")); err != nil {
 			fail(w, err)

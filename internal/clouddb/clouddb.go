@@ -196,6 +196,60 @@ func (db *DB) Replay(fn func(trace.Record)) {
 	}
 }
 
+// Export feeds every live record with Time in (from, to] to fn in one global
+// deterministic order — ascending (Time, Rank) — and returns how many were
+// visited. fn returning false stops the walk early. Within one rank records
+// keep their ingestion order, so re-Ingesting an exported stream can never
+// trip the per-rank monotonicity check: this is the incident recorder's
+// preamble iterator, and a merged stream is also what an operator expects a
+// downloaded artifact to contain. A simple k-way merge over the per-rank
+// series; memory stays O(ranks), not O(records).
+func (db *DB) Export(from, to sim.Time, fn func(trace.Record) bool) uint64 {
+	ranks := db.Ranks()
+	type cursor struct {
+		recs []trace.Record
+		i    int
+	}
+	cursors := make([]cursor, 0, len(ranks))
+	for _, r := range ranks {
+		s := db.series(r)
+		lo, hi := window(s.recs, from, to)
+		if lo < hi {
+			cursors = append(cursors, cursor{recs: s.recs[lo:hi]})
+		}
+	}
+	var visited uint64
+	for {
+		best := -1
+		for i := range cursors {
+			c := &cursors[i]
+			if c.i >= len(c.recs) {
+				continue
+			}
+			if best < 0 {
+				best = i
+				continue
+			}
+			b := &cursors[best]
+			// Cursors are rank-ascending, so strict Time comparison alone
+			// gives the (Time, Rank) order: ties keep the earlier cursor.
+			if c.recs[c.i].Time < b.recs[b.i].Time {
+				best = i
+			}
+		}
+		if best < 0 {
+			return visited
+		}
+		c := &cursors[best]
+		rec := c.recs[c.i]
+		c.i++
+		visited++
+		if !fn(rec) {
+			return visited
+		}
+	}
+}
+
 // prune drops records older than the retention horizon from the touched
 // shards.
 func (db *DB) prune(touched uint64) {

@@ -58,6 +58,7 @@ type Backend struct {
 	reports  []Report
 
 	publish func(Event)
+	evalObs func(sim.Time)
 	metrics *Metrics
 
 	// OnTrigger fires on every Algorithm 1 firing, before analysis.
@@ -129,10 +130,19 @@ func (b *Backend) Stop() {
 	}
 }
 
+// SetEvalObserver registers fn to run at the top of every Evaluate pass,
+// muted or not, before any rule fires. The incident recorder uses it to
+// journal evaluation times, so a replayer can re-drive Algorithm 1 at
+// exactly the recorded instants instead of re-arming the timer.
+func (b *Backend) SetEvalObserver(fn func(sim.Time)) { b.evalObs = fn }
+
 // Evaluate runs one Algorithm 1 pass over the sampled ranks at time t. It is
 // exported so tests and ad-hoc tooling can drive the backend without the
 // timer.
 func (b *Backend) Evaluate(t sim.Time) {
+	if b.evalObs != nil {
+		b.evalObs(t)
+	}
 	b.Evaluations++
 	if t < b.muteUntil {
 		return

@@ -72,10 +72,10 @@ type rankComm struct {
 	rank topo.Rank
 	comm uint64
 
-	seq  uint64      // highest op seq observed
-	kind trace.Kind  // newest record kind at that seq (completion wins)
+	seq  uint64     // highest op seq observed
+	kind trace.Kind // newest record kind at that seq (completion wins)
 	op   trace.OpKind
-	last sim.Time    // newest record's emission time
+	last sim.Time // newest record's emission time
 
 	lastState sim.Time // newest state log's emission time (0 = none yet)
 	stateOrd  uint64   // per-rank ordinal of that state log

@@ -105,7 +105,7 @@ func (e *Engine) ObserveReport(rep core.Report) {
 		// An un-localized verdict cannot be acted on, but a rule ordering
 		// escalation must still page — the least-diagnosable faults are
 		// exactly the ones a human needs to hear about.
-		if rule, ok := e.policy.match(rep); ok && rule.Action == ActEscalate {
+		if rule, ok := e.policy.Match(rep); ok && rule.Action == ActEscalate {
 			e.escalate(rule, rep, e.rank(rep.Suspect))
 		}
 		return
@@ -123,7 +123,7 @@ func (e *Engine) ObserveReport(rep core.Report) {
 		}
 		e.failPending(rep.Suspect, fmt.Sprintf("re-detected at %v as %s via %s", rep.AnalyzedAt, rep.Category, rep.Via))
 	}
-	rule, ok := e.policy.match(rep)
+	rule, ok := e.policy.Match(rep)
 	if !ok {
 		return
 	}
@@ -134,8 +134,8 @@ func (e *Engine) ObserveReport(rep core.Report) {
 	idx := len(e.log)
 	e.log = append(e.log, Attempt{
 		ID: idx, Policy: e.policy.Name, Rule: rule.Name,
-		Action: Action{Kind: rule.Action, Rank: rep.Suspect, Comm: rep.CommID, Category: rep.Category},
-		Try:    st.fails[rule.Name] + 1,
+		Action:     Action{Kind: rule.Action, Rank: rep.Suspect, Comm: rep.CommID, Category: rep.Category},
+		Try:        st.fails[rule.Name] + 1,
 		ReportedAt: rep.AnalyzedAt, Outcome: OutcomePending,
 	})
 	st.pending = idx

@@ -173,8 +173,10 @@ func (p Policy) withDefaults() Policy {
 	return p
 }
 
-// match returns the first rule applying to the verdict.
-func (p Policy) match(rep core.Report) (Rule, bool) {
+// Match returns the first rule applying to the verdict. The remediation
+// engine uses it to pick live actions; what-if replay uses it to compute the
+// shadow actions an alternative policy would have ordered.
+func (p Policy) Match(rep core.Report) (Rule, bool) {
 	for _, r := range p.Rules {
 		if r.matches(rep) {
 			return r, true

@@ -38,16 +38,16 @@ func TestRuleMatching(t *testing.T) {
 		Rule{Name: "rest", Action: ActRecoverFault},
 	).withDefaults()
 	rep := report(time.Second, 3, core.CatGPUHang)
-	if r, ok := p.match(rep); !ok || r.Name != "hangs" {
+	if r, ok := p.Match(rep); !ok || r.Name != "hangs" {
 		t.Fatalf("matched %v, want hangs", r.Name)
 	}
 	rep = report(time.Second, 3, core.CatNetworkSendPath)
 	rep.Chain = []core.Hop{{Comm: 1}, {Comm: 2}}
-	if r, ok := p.match(rep); !ok || r.Name != "cascades" {
+	if r, ok := p.Match(rep); !ok || r.Name != "cascades" {
 		t.Fatalf("matched %v, want cascades (first match wins on chain shape)", r.Name)
 	}
 	rep.Chain = nil
-	if r, ok := p.match(rep); !ok || r.Name != "rest" {
+	if r, ok := p.Match(rep); !ok || r.Name != "rest" {
 		t.Fatalf("matched %v, want rest", r.Name)
 	}
 }
@@ -258,7 +258,7 @@ func TestSuccessRestoresBudget(t *testing.T) {
 	e.ObserveReport(report(10*time.Second, 5, core.CatNetworkSendPath))
 	eng.RunFor(2 * time.Second)
 	e.ObserveReport(report(12*time.Second, 5, core.CatNetworkSendPath)) // fail 1; retry applies at 13s (backoff)
-	eng.RunFor(20 * time.Second)                                       // retry verifies quiet by 18s
+	eng.RunFor(20 * time.Second)                                        // retry verifies quiet by 18s
 	log := e.Log()
 	if len(log) != 2 || log[1].Outcome != OutcomeSucceeded {
 		t.Fatalf("log = %+v", log)

@@ -1,0 +1,670 @@
+// Package replay implements Mycroft's incident artifacts and deterministic
+// post-mortem replay. An artifact is a portable, self-describing capture of
+// one hosted job's diagnosis inputs and outputs: a versioned header (job
+// metadata, topology, the effective backend configuration, the virtual-time
+// span), then a strictly time-ordered stream of everything the analysis
+// consumed and produced — ingested trace batches, Algorithm 1 evaluation
+// instants, and published engine events. Replaying the artifact into a fresh
+// engine reproduces the original triggers and reports byte-for-byte; what-if
+// replay re-runs the same evidence under overridden thresholds or an
+// alternative remediation policy and diffs the verdicts.
+//
+// # Wire layout (format version 1)
+//
+//	magic   6 bytes  "MYCREC"
+//	version u16 LE   1
+//	header  u32 LE length, then that many bytes of JSON (Header)
+//	chunks  repeated: u32 LE payload length, u32 LE CRC-32 (IEEE) of the
+//	        payload, then the payload
+//
+// Each chunk payload is a sequence of entries; an entry never spans chunks,
+// so a reader can stream arbitrarily large artifacts one chunk at a time and
+// a torn final chunk loses at most one chunk of tail. Entry encodings:
+//
+//	'B' batch  i64 time ns, u32 count, count × trace.WireSize record bytes
+//	'V' eval   i64 time ns (one Algorithm 1 pass at that instant)
+//	'E' event  i64 time ns, u32 length, wire-form api.Event JSON
+//	'Z' footer i64 end ns, u64 records, u64 evals, u64 events
+//
+// Entry times are non-decreasing across the whole stream, and record times
+// are non-decreasing per rank — the decoder enforces both, so a replayer can
+// feed batches straight into clouddb.Ingest. A clean EOF at a chunk boundary
+// without a footer is a valid *incomplete* artifact: that is what a live
+// download from a still-running daemon looks like.
+//
+// Artifacts double as the fixture format for the planned 10k-rank stress
+// harness: the chunked framing streams multi-GB captures without buffering.
+package replay
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"time"
+
+	"mycroft/internal/api"
+	"mycroft/internal/core"
+	"mycroft/internal/topo"
+	"mycroft/internal/trace"
+)
+
+// FormatVersion is the artifact format this package reads and writes.
+const FormatVersion = 1
+
+// magic identifies an incident artifact.
+var magic = [6]byte{'M', 'Y', 'C', 'R', 'E', 'C'}
+
+// chunkTarget is the payload size the encoder flushes at. One entry larger
+// than the target gets its own oversized chunk.
+const chunkTarget = 64 << 10
+
+// maxChunk bounds a decoded chunk payload so a corrupt length field cannot
+// ask for an absurd allocation.
+const maxChunk = 64 << 20
+
+// maxHeader bounds the decoded header JSON.
+const maxHeader = 1 << 20
+
+// Typed decode errors. Every malformed input maps onto exactly one of these
+// (wrapped with position detail); the decoder never panics.
+var (
+	// ErrBadMagic: the input does not start with the artifact magic.
+	ErrBadMagic = errors.New("replay: not an incident artifact (bad magic)")
+	// ErrUnsupportedVersion: the artifact's format version is unknown.
+	ErrUnsupportedVersion = errors.New("replay: unsupported artifact format version")
+	// ErrTruncated: the input ends mid-header or mid-chunk.
+	ErrTruncated = errors.New("replay: truncated artifact")
+	// ErrCorrupt: a CRC mismatch, an unknown entry tag, an entry overrunning
+	// its chunk, or undecodable header/event JSON.
+	ErrCorrupt = errors.New("replay: corrupt artifact")
+	// ErrOutOfOrder: entry times decrease, or a rank's record times decrease.
+	ErrOutOfOrder = errors.New("replay: out-of-order artifact")
+)
+
+// TopoInfo is the header's topology summary (topo.Config has no JSON tags of
+// its own; the artifact pins explicit names).
+type TopoInfo struct {
+	Nodes       int `json:"nodes"`
+	GPUsPerNode int `json:"gpus_per_node"`
+	TP          int `json:"tp"`
+	PP          int `json:"pp"`
+	DP          int `json:"dp"`
+}
+
+// FromTopo converts a cluster topology to its header form.
+func FromTopo(c topo.Config) TopoInfo {
+	return TopoInfo{Nodes: c.Nodes, GPUsPerNode: c.GPUsPerNode, TP: c.TP, PP: c.PP, DP: c.DP}
+}
+
+// Config returns the domain topology.
+func (t TopoInfo) Config() topo.Config {
+	return topo.Config{Nodes: t.Nodes, GPUsPerNode: t.GPUsPerNode, TP: t.TP, PP: t.PP, DP: t.DP}
+}
+
+// BackendConfig is the header's wire form of the *effective* analysis
+// configuration (core.Config after defaults) — every §9 threshold the replay
+// needs to reproduce, or override, the original verdicts. Durations are
+// nanoseconds, matching the /v1 convention.
+type BackendConfig struct {
+	IntervalNs         int64   `json:"interval_ns"`
+	WindowNs           int64   `json:"window_ns"`
+	ThroughputDrop     float64 `json:"throughput_drop"`
+	IntervalGrow       float64 `json:"interval_grow"`
+	StragglerLateNs    int64   `json:"straggler_late_ns"`
+	LateCount          int     `json:"late_count"`
+	MaxSampled         int     `json:"max_sampled"`
+	StateFreshNs       int64   `json:"state_fresh_ns"`
+	StragglerWindowNs  int64   `json:"straggler_window_ns"`
+	StragglerSettleNs  int64   `json:"straggler_settle_ns"`
+	RearmNs            int64   `json:"rearm_ns"`
+	MinBaselineSamples int     `json:"min_baseline_samples"`
+	BadWindows         int     `json:"bad_windows"`
+	BadWindowSpan      int     `json:"bad_window_span"`
+	FlowPressureFrac   float64 `json:"flow_pressure_frac"`
+	ChaseDepth         int     `json:"chase_depth"`
+}
+
+// FromBackendConfig converts an effective core.Config to its header form.
+func FromBackendConfig(c core.Config) BackendConfig {
+	return BackendConfig{
+		IntervalNs: int64(c.Interval), WindowNs: int64(c.Window),
+		ThroughputDrop: c.ThroughputDrop, IntervalGrow: c.IntervalGrow,
+		StragglerLateNs: int64(c.StragglerLate), LateCount: c.LateCount,
+		MaxSampled: c.MaxSampled, StateFreshNs: int64(c.StateFresh),
+		StragglerWindowNs: int64(c.StragglerWindow), StragglerSettleNs: int64(c.StragglerSettle),
+		RearmNs: int64(c.RearmDelay), MinBaselineSamples: c.MinBaselineSamples,
+		BadWindows: c.BadWindows, BadWindowSpan: c.BadWindowSpan,
+		FlowPressureFrac: c.FlowPressureFrac, ChaseDepth: c.ChaseDepth,
+	}
+}
+
+// Config returns the domain analysis configuration.
+func (b BackendConfig) Config() core.Config {
+	return core.Config{
+		Interval: time.Duration(b.IntervalNs), Window: time.Duration(b.WindowNs),
+		ThroughputDrop: b.ThroughputDrop, IntervalGrow: b.IntervalGrow,
+		StragglerLate: time.Duration(b.StragglerLateNs), LateCount: b.LateCount,
+		MaxSampled: b.MaxSampled, StateFresh: time.Duration(b.StateFreshNs),
+		StragglerWindow: time.Duration(b.StragglerWindowNs), StragglerSettle: time.Duration(b.StragglerSettleNs),
+		RearmDelay: time.Duration(b.RearmNs), MinBaselineSamples: b.MinBaselineSamples,
+		BadWindows: b.BadWindows, BadWindowSpan: b.BadWindowSpan,
+		FlowPressureFrac: b.FlowPressureFrac, ChaseDepth: b.ChaseDepth,
+	}
+}
+
+// Header is the artifact's self-description: everything a replayer needs to
+// rebuild an equivalent analysis stack before the first entry.
+type Header struct {
+	// FormatVersion is duplicated from the binary prefix so a header-only
+	// inspection (jq on the JSON) is self-contained.
+	FormatVersion int `json:"format_version"`
+	// Job is the hosted job's service address.
+	Job string `json:"job"`
+	// CreatedBy names the writing program ("mycroft-serve/1", a test, ...).
+	CreatedBy string `json:"created_by,omitempty"`
+	// Seed is the engine seed the original run used (informational: the
+	// replayer re-drives recorded inputs, it does not re-simulate the job).
+	Seed int64 `json:"seed"`
+	// WorldSize is the job's rank count.
+	WorldSize int `json:"world_size"`
+	// Topo sizes the original cluster.
+	Topo TopoInfo `json:"topo"`
+	// SampledRanks are the ranks Algorithm 1 monitored.
+	SampledRanks []int `json:"sampled_ranks"`
+	// Backend is the effective analysis configuration (defaults applied).
+	Backend BackendConfig `json:"backend"`
+	// StartNs is the virtual time recording began. A recorder attached at
+	// job start captures the whole run; one attached mid-run carries the
+	// store's prior contents as a preamble batch stamped StartNs.
+	StartNs int64 `json:"start_ns"`
+}
+
+// Footer closes a complete artifact.
+type Footer struct {
+	// EndNs is the virtual time recording stopped.
+	EndNs int64
+	// Records, Evals and Events count the stream's entries by kind.
+	Records uint64
+	Evals   uint64
+	Events  uint64
+}
+
+// EntryKind discriminates stream entries.
+type EntryKind byte
+
+const (
+	// EntryBatch carries one ingested batch of trace records.
+	EntryBatch EntryKind = 'B'
+	// EntryEval marks one Algorithm 1 evaluation pass.
+	EntryEval EntryKind = 'V'
+	// EntryEvent carries one published service event in /v1 wire form.
+	EntryEvent EntryKind = 'E'
+
+	entryFooter EntryKind = 'Z'
+)
+
+// Entry is one decoded stream element.
+type Entry struct {
+	Kind EntryKind
+	// At is the entry's virtual time in ns. For batches it is the ingest
+	// instant (records inside carry their own emission times, which may be
+	// earlier — the collector uploads with latency).
+	At int64
+	// Batch holds the records of an EntryBatch.
+	Batch []trace.Record
+	// Event holds the decoded wire event of an EntryEvent.
+	Event api.Event
+}
+
+// Encoder writes an artifact incrementally: entries accumulate in an
+// in-memory chunk that is framed and flushed at chunkTarget, on Sync, and on
+// Close. The encoder enforces the ordering invariants at write time so every
+// artifact it produces decodes cleanly.
+type Encoder struct {
+	w       io.Writer
+	buf     bytes.Buffer // current chunk payload
+	scratch [21]byte
+
+	lastAt   int64
+	rankLast map[topo.Rank]int64
+	footer   Footer
+	closed   bool
+	err      error
+}
+
+// NewEncoder writes the artifact prefix and header and returns an encoder
+// positioned at the first entry.
+func NewEncoder(w io.Writer, h Header) (*Encoder, error) {
+	h.FormatVersion = FormatVersion
+	hdr, err := json.Marshal(h)
+	if err != nil {
+		return nil, fmt.Errorf("replay: encoding header: %w", err)
+	}
+	var pre bytes.Buffer
+	pre.Write(magic[:])
+	var v [2]byte
+	binary.LittleEndian.PutUint16(v[:], FormatVersion)
+	pre.Write(v[:])
+	var hlen [4]byte
+	binary.LittleEndian.PutUint32(hlen[:], uint32(len(hdr)))
+	pre.Write(hlen[:])
+	pre.Write(hdr)
+	if _, err := w.Write(pre.Bytes()); err != nil {
+		return nil, err
+	}
+	return &Encoder{w: w, lastAt: h.StartNs, rankLast: make(map[topo.Rank]int64)}, nil
+}
+
+// fail latches the first error; once failed every write is a no-op returning
+// that error, so a recorder behind a dead disk degrades instead of panicking
+// the engine dispatch it runs inside.
+func (e *Encoder) fail(err error) error {
+	if e.err == nil {
+		e.err = err
+	}
+	return e.err
+}
+
+// Err returns the encoder's latched error, if any.
+func (e *Encoder) Err() error { return e.err }
+
+// checkAt enforces non-decreasing entry times at write time.
+func (e *Encoder) checkAt(atNs int64) error {
+	if e.err != nil {
+		return e.err
+	}
+	if e.closed {
+		return e.fail(errors.New("replay: write after Close"))
+	}
+	if atNs < e.lastAt {
+		return e.fail(fmt.Errorf("replay: entry at %dns after %dns: %w", atNs, e.lastAt, ErrOutOfOrder))
+	}
+	e.lastAt = atNs
+	return nil
+}
+
+// WriteBatch appends one ingested batch at virtual time atNs.
+func (e *Encoder) WriteBatch(atNs int64, recs []trace.Record) error {
+	if len(recs) == 0 {
+		return e.err
+	}
+	if err := e.checkAt(atNs); err != nil {
+		return err
+	}
+	for i := range recs {
+		r := &recs[i]
+		if last, ok := e.rankLast[r.Rank]; ok && int64(r.Time) < last {
+			return e.fail(fmt.Errorf("replay: rank %d record at %dns after %dns: %w", r.Rank, int64(r.Time), last, ErrOutOfOrder))
+		}
+		e.rankLast[r.Rank] = int64(r.Time)
+	}
+	need := 1 + 8 + 4 + len(recs)*trace.WireSize
+	e.reserve(need)
+	e.buf.WriteByte(byte(EntryBatch))
+	e.putI64(atNs)
+	e.putU32(uint32(len(recs)))
+	var rb [trace.WireSize]byte
+	for i := range recs {
+		if err := recs[i].MarshalBinaryTo(rb[:]); err != nil {
+			return e.fail(fmt.Errorf("replay: encoding record: %w", err))
+		}
+		e.buf.Write(rb[:])
+	}
+	e.footer.Records += uint64(len(recs))
+	return e.maybeFlush()
+}
+
+// WriteEval appends one Algorithm 1 evaluation instant.
+func (e *Encoder) WriteEval(atNs int64) error {
+	if err := e.checkAt(atNs); err != nil {
+		return err
+	}
+	e.reserve(1 + 8)
+	e.buf.WriteByte(byte(EntryEval))
+	e.putI64(atNs)
+	e.footer.Evals++
+	return e.maybeFlush()
+}
+
+// WriteEvent appends one published service event in wire form.
+func (e *Encoder) WriteEvent(atNs int64, ev api.Event) error {
+	if err := e.checkAt(atNs); err != nil {
+		return err
+	}
+	payload, err := json.Marshal(ev)
+	if err != nil {
+		return e.fail(fmt.Errorf("replay: encoding event: %w", err))
+	}
+	e.reserve(1 + 8 + 4 + len(payload))
+	e.buf.WriteByte(byte(EntryEvent))
+	e.putI64(atNs)
+	e.putU32(uint32(len(payload)))
+	e.buf.Write(payload)
+	e.footer.Events++
+	return e.maybeFlush()
+}
+
+// reserve flushes the current chunk when appending need bytes would overrun
+// the target, keeping entries whole within chunks.
+func (e *Encoder) reserve(need int) {
+	if e.buf.Len() > 0 && e.buf.Len()+need > chunkTarget {
+		e.flush()
+	}
+}
+
+func (e *Encoder) putI64(v int64) {
+	binary.LittleEndian.PutUint64(e.scratch[:8], uint64(v))
+	e.buf.Write(e.scratch[:8])
+}
+
+func (e *Encoder) putU32(v uint32) {
+	binary.LittleEndian.PutUint32(e.scratch[:4], v)
+	e.buf.Write(e.scratch[:4])
+}
+
+func (e *Encoder) maybeFlush() error {
+	if e.buf.Len() >= chunkTarget {
+		e.flush()
+	}
+	return e.err
+}
+
+// flush frames and writes the buffered chunk.
+func (e *Encoder) flush() {
+	if e.err != nil || e.buf.Len() == 0 {
+		return
+	}
+	payload := e.buf.Bytes()
+	var frame [8]byte
+	binary.LittleEndian.PutUint32(frame[:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:], crc32.ChecksumIEEE(payload))
+	if _, err := e.w.Write(frame[:]); err != nil {
+		e.fail(err)
+		return
+	}
+	if _, err := e.w.Write(payload); err != nil {
+		e.fail(err)
+		return
+	}
+	e.buf.Reset()
+}
+
+// Sync flushes the partial chunk so the bytes written so far form a valid
+// (incomplete) artifact — the live-download snapshot path.
+func (e *Encoder) Sync() error {
+	if e.err != nil {
+		return e.err
+	}
+	if e.closed {
+		return nil
+	}
+	e.flush()
+	return e.err
+}
+
+// Close writes the footer entry and flushes. endNs stamps when recording
+// stopped; it must not precede the last entry. Close is idempotent.
+func (e *Encoder) Close(endNs int64) error {
+	if e.closed || e.err != nil {
+		return e.err
+	}
+	if endNs < e.lastAt {
+		endNs = e.lastAt
+	}
+	e.footer.EndNs = endNs
+	e.reserve(1 + 8 + 24)
+	e.buf.WriteByte(byte(entryFooter))
+	e.putI64(e.footer.EndNs)
+	binary.LittleEndian.PutUint64(e.scratch[:8], e.footer.Records)
+	e.buf.Write(e.scratch[:8])
+	binary.LittleEndian.PutUint64(e.scratch[:8], e.footer.Evals)
+	e.buf.Write(e.scratch[:8])
+	binary.LittleEndian.PutUint64(e.scratch[:8], e.footer.Events)
+	e.buf.Write(e.scratch[:8])
+	e.flush()
+	e.closed = true
+	return e.err
+}
+
+// Decoder streams an artifact: NewDecoder reads the prefix and header, Next
+// yields entries until io.EOF (after the footer, or at a clean incomplete
+// end) or a typed error.
+type Decoder struct {
+	r      *bufio.Reader
+	header Header
+
+	chunk    []byte // current chunk payload
+	off      int    // read offset into chunk
+	lastAt   int64
+	rankLast map[topo.Rank]int64
+
+	footer   *Footer
+	seen     Footer // running counts, cross-checked against the footer
+	done     bool
+	firstErr error
+}
+
+// NewDecoder reads the magic, version and header. The reader is consumed
+// incrementally; large artifacts are never buffered whole.
+func NewDecoder(r io.Reader) (*Decoder, error) {
+	d := &Decoder{r: bufio.NewReader(r), rankLast: make(map[topo.Rank]int64)}
+	var prefix [8]byte
+	if _, err := io.ReadFull(d.r, prefix[:]); err != nil {
+		return nil, fmt.Errorf("%w: reading prefix: %v", eofKind(err, ErrBadMagic), err)
+	}
+	if !bytes.Equal(prefix[:6], magic[:]) {
+		return nil, ErrBadMagic
+	}
+	if v := binary.LittleEndian.Uint16(prefix[6:]); v != FormatVersion {
+		return nil, fmt.Errorf("%w: version %d (this build reads %d)", ErrUnsupportedVersion, v, FormatVersion)
+	}
+	var hlen [4]byte
+	if _, err := io.ReadFull(d.r, hlen[:]); err != nil {
+		return nil, fmt.Errorf("%w: reading header length", ErrTruncated)
+	}
+	n := binary.LittleEndian.Uint32(hlen[:])
+	if n == 0 || n > maxHeader {
+		return nil, fmt.Errorf("%w: header length %d", ErrCorrupt, n)
+	}
+	hdr := make([]byte, n)
+	if _, err := io.ReadFull(d.r, hdr); err != nil {
+		return nil, fmt.Errorf("%w: reading header", ErrTruncated)
+	}
+	if err := json.Unmarshal(hdr, &d.header); err != nil {
+		return nil, fmt.Errorf("%w: header JSON: %v", ErrCorrupt, err)
+	}
+	if d.header.FormatVersion != FormatVersion {
+		return nil, fmt.Errorf("%w: header declares version %d", ErrUnsupportedVersion, d.header.FormatVersion)
+	}
+	d.lastAt = d.header.StartNs
+	return d, nil
+}
+
+// eofKind maps an unexpected EOF to trunc and anything else to base.
+func eofKind(err, base error) error {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		if base == ErrBadMagic {
+			return ErrBadMagic // shorter than the magic: not an artifact at all
+		}
+		return ErrTruncated
+	}
+	return base
+}
+
+// Header returns the decoded artifact header.
+func (d *Decoder) Header() Header { return d.header }
+
+// Footer returns the decoded footer after Next has returned io.EOF on a
+// complete artifact.
+func (d *Decoder) Footer() (Footer, bool) {
+	if d.footer == nil {
+		return Footer{}, false
+	}
+	return *d.footer, true
+}
+
+// Complete reports whether the stream ended with a valid footer. Meaningful
+// once Next has returned io.EOF; an incomplete artifact (live snapshot,
+// crashed recorder) decodes fine but reports false.
+func (d *Decoder) Complete() bool { return d.footer != nil }
+
+// fail latches and returns a decode error.
+func (d *Decoder) fail(err error) error {
+	if d.firstErr == nil {
+		d.firstErr = err
+	}
+	d.done = true
+	return err
+}
+
+// nextChunk reads and verifies the next chunk frame. io.EOF at a frame
+// boundary is the clean incomplete end.
+func (d *Decoder) nextChunk() error {
+	var frame [8]byte
+	if _, err := io.ReadFull(d.r, frame[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return io.EOF // clean end between chunks
+		}
+		return d.fail(fmt.Errorf("%w: chunk frame", ErrTruncated))
+	}
+	n := binary.LittleEndian.Uint32(frame[:4])
+	if n == 0 || n > maxChunk {
+		return d.fail(fmt.Errorf("%w: chunk length %d", ErrCorrupt, n))
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(d.r, payload); err != nil {
+		return d.fail(fmt.Errorf("%w: chunk body (%d bytes expected)", ErrTruncated, n))
+	}
+	if sum := crc32.ChecksumIEEE(payload); sum != binary.LittleEndian.Uint32(frame[4:]) {
+		return d.fail(fmt.Errorf("%w: chunk CRC mismatch", ErrCorrupt))
+	}
+	d.chunk, d.off = payload, 0
+	return nil
+}
+
+// take returns the next n bytes of the current chunk.
+func (d *Decoder) take(n int) ([]byte, error) {
+	if d.off+n > len(d.chunk) {
+		return nil, d.fail(fmt.Errorf("%w: entry overruns chunk", ErrCorrupt))
+	}
+	b := d.chunk[d.off : d.off+n]
+	d.off += n
+	return b, nil
+}
+
+// Next returns the next entry. It returns io.EOF at the end of the stream
+// (complete or not) and a typed error for malformed input; after an error or
+// EOF every further call returns the same result.
+func (d *Decoder) Next() (Entry, error) {
+	if d.done {
+		if d.firstErr != nil {
+			return Entry{}, d.firstErr
+		}
+		return Entry{}, io.EOF
+	}
+	for d.off >= len(d.chunk) {
+		if err := d.nextChunk(); err != nil {
+			if errors.Is(err, io.EOF) {
+				d.done = true
+				return Entry{}, io.EOF
+			}
+			return Entry{}, err
+		}
+	}
+	tag, err := d.take(1)
+	if err != nil {
+		return Entry{}, err
+	}
+	atB, err := d.take(8)
+	if err != nil {
+		return Entry{}, err
+	}
+	at := int64(binary.LittleEndian.Uint64(atB))
+	kind := EntryKind(tag[0])
+	if kind != entryFooter {
+		if at < d.lastAt {
+			return Entry{}, d.fail(fmt.Errorf("%w: entry at %dns after %dns", ErrOutOfOrder, at, d.lastAt))
+		}
+		d.lastAt = at
+	}
+	switch kind {
+	case EntryBatch:
+		nB, err := d.take(4)
+		if err != nil {
+			return Entry{}, err
+		}
+		n := binary.LittleEndian.Uint32(nB)
+		if int(n)*trace.WireSize > len(d.chunk)-d.off {
+			return Entry{}, d.fail(fmt.Errorf("%w: batch of %d records overruns chunk", ErrCorrupt, n))
+		}
+		recs := make([]trace.Record, n)
+		for i := range recs {
+			b, err := d.take(trace.WireSize)
+			if err != nil {
+				return Entry{}, err
+			}
+			if err := recs[i].UnmarshalBinary(b); err != nil {
+				return Entry{}, d.fail(fmt.Errorf("%w: record %d: %v", ErrCorrupt, i, err))
+			}
+			r := &recs[i]
+			if last, ok := d.rankLast[r.Rank]; ok && int64(r.Time) < last {
+				return Entry{}, d.fail(fmt.Errorf("%w: rank %d record at %dns after %dns", ErrOutOfOrder, r.Rank, int64(r.Time), last))
+			}
+			d.rankLast[r.Rank] = int64(r.Time)
+		}
+		d.seen.Records += uint64(n)
+		return Entry{Kind: EntryBatch, At: at, Batch: recs}, nil
+	case EntryEval:
+		d.seen.Evals++
+		return Entry{Kind: EntryEval, At: at}, nil
+	case EntryEvent:
+		nB, err := d.take(4)
+		if err != nil {
+			return Entry{}, err
+		}
+		n := binary.LittleEndian.Uint32(nB)
+		payload, err := d.take(int(n))
+		if err != nil {
+			return Entry{}, err
+		}
+		var ev api.Event
+		if err := json.Unmarshal(payload, &ev); err != nil {
+			return Entry{}, d.fail(fmt.Errorf("%w: event JSON: %v", ErrCorrupt, err))
+		}
+		d.seen.Events++
+		return Entry{Kind: EntryEvent, At: at, Event: ev}, nil
+	case entryFooter:
+		body, err := d.take(24)
+		if err != nil {
+			return Entry{}, err
+		}
+		f := Footer{
+			EndNs:   at,
+			Records: binary.LittleEndian.Uint64(body[0:]),
+			Evals:   binary.LittleEndian.Uint64(body[8:]),
+			Events:  binary.LittleEndian.Uint64(body[16:]),
+		}
+		if f.EndNs < d.lastAt {
+			return Entry{}, d.fail(fmt.Errorf("%w: footer end %dns before last entry %dns", ErrOutOfOrder, f.EndNs, d.lastAt))
+		}
+		if f.Records != d.seen.Records || f.Evals != d.seen.Evals || f.Events != d.seen.Events {
+			return Entry{}, d.fail(fmt.Errorf("%w: footer counts %+v disagree with stream %+v", ErrCorrupt, f, d.seen))
+		}
+		if d.off != len(d.chunk) {
+			return Entry{}, d.fail(fmt.Errorf("%w: %d bytes after footer", ErrCorrupt, len(d.chunk)-d.off))
+		}
+		if _, err := d.r.ReadByte(); err == nil {
+			return Entry{}, d.fail(fmt.Errorf("%w: data after final chunk", ErrCorrupt))
+		}
+		d.footer = &f
+		d.done = true
+		return Entry{}, io.EOF
+	default:
+		return Entry{}, d.fail(fmt.Errorf("%w: unknown entry tag %q", ErrCorrupt, tag[0]))
+	}
+}

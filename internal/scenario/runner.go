@@ -3,6 +3,8 @@ package scenario
 import (
 	"fmt"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -96,12 +98,25 @@ func (r *Result) Render() string {
 	return b.String()
 }
 
+// RunOptions tunes one scenario execution beyond what the spec declares.
+type RunOptions struct {
+	// RecordDir, when non-empty, captures every fleet member's incident
+	// artifact to <dir>/<job-id>.mycrec. Recorders attach before Start and
+	// close at the horizon, so each artifact replays byte-for-byte.
+	RecordDir string
+}
+
 // Run executes the scenario. seed overrides the spec's seed when non-zero.
 // By default fleet members run sequentially on independent engines with
 // seeds derived from the scenario seed; with Fleet.SharedEngine every
 // member is hosted concurrently on one mycroft.Service. Both modes are
 // exactly reproducible from the seed.
 func Run(spec Spec, seed int64) (*Result, error) {
+	return RunWith(spec, seed, RunOptions{})
+}
+
+// RunWith is Run with execution options (incident recording).
+func RunWith(spec Spec, seed int64, opts RunOptions) (*Result, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -118,13 +133,22 @@ func Run(spec Spec, seed int64) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		closeRec, err := record(p.Service, p.Handles, opts.RecordDir)
+		if err != nil {
+			return nil, err
+		}
 		p.Start()
 		p.Service.Run(p.Horizon())
+		// Footers land at the horizon, before Stop's lifecycle events — the
+		// artifact captures the analyzed run, not the teardown.
+		if err := closeRec(); err != nil {
+			return nil, err
+		}
 		defer p.Service.Stop()
 		res.Jobs = p.Collect()
 	} else {
 		for i, js := range jobs {
-			jr, err := runJob(spec, js, i, mix(seed, int64(i)))
+			jr, err := runJob(spec, js, i, mix(seed, int64(i)), opts)
 			if err != nil {
 				return nil, fmt.Errorf("scenario %s: job %d: %w", spec.Name, i, err)
 			}
@@ -134,6 +158,48 @@ func Run(spec Spec, seed int64) (*Result, error) {
 	res.Asserted, res.Failures = evaluate(spec, res)
 	res.Pass = len(res.Failures) == 0
 	return res, nil
+}
+
+// record attaches one incident recorder per fleet member, artifacts landing
+// in dir. The returned closer finalizes every artifact (footer + file close)
+// and must run before Service.Stop. With dir empty both halves are no-ops.
+func record(svc *mycroft.Service, handles []*mycroft.JobHandle, dir string) (func() error, error) {
+	if dir == "" {
+		return func() error { return nil }, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	var files []*os.File
+	var recs []*mycroft.Recorder
+	cleanup := func() error {
+		var first error
+		for i, rec := range recs {
+			if err := rec.Close(); err != nil && first == nil {
+				first = err
+			}
+			if err := files[i].Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	for _, h := range handles {
+		f, err := os.Create(filepath.Join(dir, string(h.ID)+".mycrec"))
+		if err != nil {
+			cleanup()
+			return nil, err
+		}
+		rec, err := svc.Record(h.ID, f)
+		if err != nil {
+			f.Close()
+			cleanup()
+			return nil, err
+		}
+		files = append(files, f)
+		recs = append(recs, rec)
+	}
+	return cleanup, nil
 }
 
 // Prepared is a shared-engine fleet built from a spec but not yet driven:
@@ -356,7 +422,7 @@ func collect(js jobSpec, idx int, h *mycroft.JobHandle, plan faults.Plan) JobRes
 }
 
 // runJob runs one fleet member on its own single-job Service.
-func runJob(spec Spec, js jobSpec, idx int, seed int64) (JobResult, error) {
+func runJob(spec Spec, js jobSpec, idx int, seed int64, opts RunOptions) (JobResult, error) {
 	svc := mycroft.NewService(mycroft.ServiceOptions{Seed: seed})
 	h, err := svc.AddJob(mycroft.JobID(fmt.Sprintf("job-%d", idx)), jobOptions(js))
 	if err != nil {
@@ -366,8 +432,15 @@ func runJob(spec Spec, js jobSpec, idx int, seed int64) (JobResult, error) {
 		return JobResult{}, err
 	}
 	plan := schedule(spec, idx, seed, h)
+	closeRec, err := record(svc, []*mycroft.JobHandle{h}, opts.RecordDir)
+	if err != nil {
+		return JobResult{}, err
+	}
 	svc.Start()
 	svc.Run(spec.runFor())
+	if err := closeRec(); err != nil {
+		return JobResult{}, err
+	}
 	defer svc.Stop()
 	return collect(js, idx, h, plan), nil
 }

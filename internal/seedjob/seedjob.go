@@ -19,6 +19,20 @@ import (
 // self-healing builtins), then Start, then the fault injection. faultName
 // "none" skips injection.
 func Build(id mycroft.JobID, seed int64, faultName string, rank int, at time.Duration, remedy bool) (*mycroft.Service, error) {
+	svc, start, err := Assemble(id, seed, faultName, rank, at, remedy)
+	if err != nil {
+		return nil, err
+	}
+	start()
+	return svc, nil
+}
+
+// Assemble is Build stopped just short of Start: the Service is fully wired
+// (job added, policy attached) but not yet running, and the returned start
+// closure performs the Start + fault injection. The gap is where a caller
+// attaches incident recorders — a recorder armed before start() captures the
+// run byte-for-byte from virtual time zero.
+func Assemble(id mycroft.JobID, seed int64, faultName string, rank int, at time.Duration, remedy bool) (*mycroft.Service, func(), error) {
 	opts := mycroft.JobOptions{}
 	if remedy {
 		opts.Backend.RearmDelay = 10 * time.Second
@@ -26,18 +40,20 @@ func Build(id mycroft.JobID, seed int64, faultName string, rank int, at time.Dur
 	svc := mycroft.NewService(mycroft.ServiceOptions{Seed: seed})
 	job, err := svc.AddJob(id, opts)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if remedy {
 		p := mycroft.SelfHealPolicy()
 		p.Rules = append(p.Rules, mycroft.RemedyRule{Name: "page", Action: mycroft.RemedyEscalate})
 		if err := svc.AttachPolicy(job.ID, p); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
-	svc.Start()
-	if faultName != "none" {
-		job.Inject(mycroft.Fault{Kind: faults.Kind(faultName), Rank: mycroft.Rank(rank), At: at})
+	start := func() {
+		svc.Start()
+		if faultName != "none" {
+			job.Inject(mycroft.Fault{Kind: faults.Kind(faultName), Rank: mycroft.Rank(rank), At: at})
+		}
 	}
-	return svc, nil
+	return svc, start, nil
 }

@@ -104,10 +104,23 @@ const ipBytes = 16
 
 // MarshalBinary encodes the record into a fixed WireSize buffer.
 func (r *Record) MarshalBinary() ([]byte, error) {
-	if len(r.IP) > ipBytes-1 {
-		return nil, fmt.Errorf("trace: IP %q longer than %d bytes", r.IP, ipBytes-1)
-	}
 	b := make([]byte, WireSize)
+	if err := r.MarshalBinaryTo(b); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// MarshalBinaryTo encodes the record into the first WireSize bytes of b,
+// which must be at least that long. Bulk encoders (the incident recorder's
+// batch writer) use this to avoid one allocation per record.
+func (r *Record) MarshalBinaryTo(b []byte) error {
+	if len(r.IP) > ipBytes-1 {
+		return fmt.Errorf("trace: IP %q longer than %d bytes", r.IP, ipBytes-1)
+	}
+	if len(b) < WireSize {
+		return fmt.Errorf("trace: short buffer %d < %d", len(b), WireSize)
+	}
 	b[0] = byte(r.Kind)
 	b[1] = byte(r.Op)
 	b[2] = byte(len(r.IP))
@@ -128,7 +141,7 @@ func (r *Record) MarshalBinary() ([]byte, error) {
 	le.PutUint32(b[90:], r.RDMATransmitted)
 	le.PutUint32(b[94:], r.RDMADone)
 	le.PutUint64(b[98:], uint64(r.StuckNs))
-	return b, nil
+	return nil
 }
 
 // UnmarshalBinary decodes a fixed WireSize buffer.

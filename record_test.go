@@ -1,0 +1,187 @@
+package mycroft
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"time"
+
+	"mycroft/internal/faults"
+)
+
+// TestRecordReplayRoundTrip: record a faulted run through the root API and
+// replay it faithfully — the fresh engine must reproduce the recorded
+// triggers and reports exactly.
+func TestRecordReplayRoundTrip(t *testing.T) {
+	svc := NewService(ServiceOptions{Seed: 11})
+	h, err := svc.AddJob("rec", JobOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	rec, err := svc.Record("rec", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := h.Recording(); !ok || got != rec {
+		t.Fatal("Recording() does not expose the live recorder")
+	}
+	svc.Start()
+	h.Inject(Fault{Kind: faults.NICDown, Rank: 5, At: 15 * time.Second})
+	svc.Run(40 * time.Second)
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := h.Recording(); ok {
+		t.Fatal("recorder still attached after Close")
+	}
+
+	res, err := Replay(&buf, ReplayOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete {
+		t.Fatal("closed recording decoded incomplete")
+	}
+	if res.Header.Job != "rec" || res.Header.Seed != 11 || res.Header.WorldSize != h.WorldSize() {
+		t.Fatalf("header misdescribes the run: %+v", res.Header)
+	}
+	if len(res.Recorded.Triggers) == 0 || len(res.Recorded.Reports) == 0 {
+		t.Fatalf("faulted run recorded no conclusions: %d triggers, %d reports",
+			len(res.Recorded.Triggers), len(res.Recorded.Reports))
+	}
+	if d := DiffOutcomes(res.Recorded, res.Replayed); !d.Zero() {
+		t.Fatalf("replay drifted:\n%s", d.Render())
+	}
+}
+
+// TestRecordErrors covers the attachment preconditions.
+func TestRecordErrors(t *testing.T) {
+	svc := NewService(ServiceOptions{Seed: 1})
+	if _, err := svc.AddJob("a", JobOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Record("ghost", io.Discard); err == nil {
+		t.Fatal("recording an unknown job did not error")
+	}
+	rec, err := svc.Record("a", io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Record("a", io.Discard); err == nil {
+		t.Fatal("double-record did not error")
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatalf("Close is not idempotent: %v", err)
+	}
+	// After Close the slot frees up.
+	if _, err := svc.Record("a", io.Discard); err != nil {
+		t.Fatalf("re-record after Close: %v", err)
+	}
+}
+
+// TestRecordMidRunAttach: a recorder attached mid-run carries the store's
+// prior records as a preamble, so the artifact still decodes and replays
+// cleanly (graph-exact, baselines approximate — see the Recorder doc).
+func TestRecordMidRunAttach(t *testing.T) {
+	svc := NewService(ServiceOptions{Seed: 5})
+	h, err := svc.AddJob("mid", JobOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.Start()
+	svc.Run(10 * time.Second)
+	var buf bytes.Buffer
+	rec, err := svc.Record("mid", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.Run(10 * time.Second)
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Replay(&buf, ReplayOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Header.StartNs != int64(10*time.Second) {
+		t.Fatalf("mid-run header StartNs = %d", res.Header.StartNs)
+	}
+	if res.RecordsIngested == 0 {
+		t.Fatal("preamble carried no records")
+	}
+	_ = h
+}
+
+// BenchmarkRecordIngest measures the recorder's tax on a live run: the same
+// seeded 30s job driven bare and with an attached recorder. The delta
+// between the two sub-benchmarks is the recording overhead (README quotes
+// the measured ≤5% line).
+func BenchmarkRecordIngest(b *testing.B) {
+	run := func(b *testing.B, record bool) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			svc := NewService(ServiceOptions{Seed: 1})
+			h, err := svc.AddJob("bench", JobOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var rec *Recorder
+			if record {
+				if rec, err = svc.Record("bench", io.Discard); err != nil {
+					b.Fatal(err)
+				}
+			}
+			svc.Start()
+			svc.Run(30 * time.Second)
+			if record {
+				if err := rec.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			svc.Stop()
+			if i == 0 {
+				b.ReportMetric(float64(h.RecordsIngested()), "records/run")
+			}
+		}
+	}
+	b.Run("bare", func(b *testing.B) { run(b, false) })
+	b.Run("recorded", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkReplayThroughput measures replay speed in records/sec over an
+// in-memory artifact of a 30s faulted run.
+func BenchmarkReplayThroughput(b *testing.B) {
+	svc := NewService(ServiceOptions{Seed: 1})
+	h, err := svc.AddJob("bench", JobOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	rec, err := svc.Record("bench", &buf)
+	if err != nil {
+		b.Fatal(err)
+	}
+	svc.Start()
+	h.Inject(Fault{Kind: faults.NICDown, Rank: 5, At: 15 * time.Second})
+	svc.Run(30 * time.Second)
+	if err := rec.Close(); err != nil {
+		b.Fatal(err)
+	}
+	svc.Stop()
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	var records uint64
+	for i := 0; i < b.N; i++ {
+		res, err := Replay(bytes.NewReader(data), ReplayOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		records = res.RecordsIngested
+	}
+	b.ReportMetric(float64(records)*float64(b.N)/b.Elapsed().Seconds(), "records/sec")
+}

@@ -149,6 +149,30 @@ func (c *RemoteClient) Triage(job JobID) (TriageResult, error) {
 	return TriageResult{Job: JobID(resp.Job), Source: resp.Source, Rank: Rank(resp.Rank), Summary: resp.Summary, OK: resp.OK}, nil
 }
 
+// FetchRecord streams a job's incident artifact snapshot from the daemon
+// into w. The bytes are a valid (possibly footer-less) artifact as of the
+// daemon's current virtual instant, ready for mycroft.Replay. Unlike query
+// responses, the download is unbounded — artifacts from long runs can exceed
+// the JSON response cap by design.
+func (c *RemoteClient) FetchRecord(job JobID, w io.Writer) error {
+	path := api.Prefix + "/jobs/" + string(job) + "/record"
+	resp, err := c.hc.Get(c.base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		var we api.ErrorResponse
+		if json.Unmarshal(body, &we) == nil && we.Error != "" {
+			return fmt.Errorf("%s", we.Error)
+		}
+		return fmt.Errorf("mycroft: %s: HTTP %d", path, resp.StatusCode)
+	}
+	_, err = io.Copy(w, resp.Body)
+	return err
+}
+
 // Subscribe creates a server-side subscription and returns a Stream fed by
 // a background long-poller. Creation failures come back as an
 // already-closed stream whose Err explains why — so the streaming-cursor

@@ -2,7 +2,10 @@ package mycroft
 
 import (
 	"fmt"
+	"io"
 	"net/http"
+	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -26,10 +29,22 @@ type Server struct {
 	subs   map[string]*wireSub
 	subSeq int
 
+	// records maps hosted jobs to their incident recorders when RecordTo is
+	// active; GET /v1/jobs/{id}/record serves snapshots from here.
+	records map[JobID]*servedRecord
+
 	// identity and started feed /v1/ping and /v1/health so clients can log
 	// what they connected to.
 	identity string
 	started  time.Time
+}
+
+// servedRecord is one job's live incident capture: the recorder plus the
+// artifact file it streams to, kept open for snapshot reads.
+type servedRecord struct {
+	rec  *Recorder
+	path string
+	f    *os.File
 }
 
 // wireSub is one served subscription plus the wall-clock bookkeeping that
@@ -51,8 +66,75 @@ func NewServer(c Client) *Server {
 	svc, _ := c.(*Service)
 	return &Server{
 		c: c, svc: svc, subs: make(map[string]*wireSub),
+		records:  make(map[JobID]*servedRecord),
 		identity: fmt.Sprintf("mycroft-serve/%d", api.Version), started: time.Now(),
 	}
+}
+
+// RecordTo attaches an incident recorder to every hosted job, writing one
+// artifact per job to <dir>/<job>.mycrec, and makes the live captures
+// downloadable at GET /v1/jobs/{id}/record. Call before the first Advance so
+// the artifacts replay byte-for-byte. Only an in-process Service can record;
+// a proxy has no engine to observe.
+func (sv *Server) RecordTo(dir string) error {
+	if sv.svc == nil {
+		return fmt.Errorf("mycroft: recording requires an in-process service")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	res, err := sv.svc.ListJobs()
+	if err != nil {
+		return err
+	}
+	for _, j := range res.Jobs {
+		if _, dup := sv.records[j.ID]; dup {
+			continue
+		}
+		path := filepath.Join(dir, string(j.ID)+".mycrec")
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		rec, err := sv.svc.Record(j.ID, f)
+		if err != nil {
+			f.Close()
+			return err
+		}
+		sv.records[j.ID] = &servedRecord{rec: rec, path: path, f: f}
+	}
+	return nil
+}
+
+// RecordPaths returns the artifact path for every recording job.
+func (sv *Server) RecordPaths() map[JobID]string {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	out := make(map[JobID]string, len(sv.records))
+	for id, sr := range sv.records {
+		out[id] = sr.path
+	}
+	return out
+}
+
+// CloseRecorders finalizes every live capture (footer, file close) and
+// reports the first error. Safe to call with recording never enabled.
+func (sv *Server) CloseRecorders() error {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	var first error
+	for id, sr := range sv.records {
+		if err := sr.rec.Close(); err != nil && first == nil {
+			first = err
+		}
+		if err := sr.f.Close(); err != nil && first == nil {
+			first = err
+		}
+		delete(sv.records, id)
+	}
+	return first
 }
 
 // reapIdleLocked closes subscriptions no one has polled within the TTL.
@@ -308,6 +390,29 @@ func (b *apiBackend) Poll(req api.PollRequest) (api.PollResponse, error) {
 		events = append(events, eventToWire(e))
 	}
 	return api.PollResponse{Events: events, Dropped: st.Dropped(), Closed: st.isClosed() && len(events) == 0}, nil
+}
+
+// Record streams the job's current artifact snapshot: the recorder's buffer
+// is flushed (so the file is a valid, footer-less capture as of now) and the
+// file copied out. Runs entirely under the server mutex — the drive loop is
+// parked, so the snapshot is consistent to an exact virtual instant.
+func (b *apiBackend) Record(job string, w io.Writer) error {
+	b.sv.mu.Lock()
+	defer b.sv.mu.Unlock()
+	sr := b.sv.records[JobID(job)]
+	if sr == nil {
+		return fmt.Errorf("mycroft: recording not enabled for job %q", job)
+	}
+	if err := sr.rec.Sync(); err != nil {
+		return err
+	}
+	f, err := os.Open(sr.path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = io.Copy(w, f)
+	return err
 }
 
 func (b *apiBackend) Unsubscribe(id string) error {

@@ -1,7 +1,11 @@
 package mycroft
 
 import (
+	"bytes"
+	"io"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"testing"
 	"time"
 )
@@ -257,5 +261,79 @@ func TestServiceQueryNextOffset(t *testing.T) {
 	}
 	if len(res.Triggers) != 1 || res.NextOffset != -1 {
 		t.Fatalf("exact final page: %d items, NextOffset %d", len(res.Triggers), res.NextOffset)
+	}
+}
+
+// TestRecordDownloadRoundTrip: a daemon recording with RecordTo serves a
+// live artifact snapshot at GET /v1/jobs/{id}/record that replays cleanly,
+// and the final on-disk artifact reproduces the run byte-for-byte.
+func TestRecordDownloadRoundTrip(t *testing.T) {
+	svc := NewService(ServiceOptions{Seed: 1})
+	h, err := svc.AddJob("trace", JobOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(svc)
+	dir := t.TempDir()
+	if err := srv.RecordTo(dir); err != nil {
+		t.Fatal(err)
+	}
+	if len(srv.RecordPaths()) != 1 {
+		t.Fatalf("RecordPaths = %v", srv.RecordPaths())
+	}
+	svc.Start()
+	h.Inject(Fault{Kind: NICDown, Rank: 5, At: 15 * time.Second})
+
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	rc, err := Dial(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Mid-run snapshot: valid but incomplete, consistent to "now".
+	srv.Advance(30 * time.Second)
+	var snap bytes.Buffer
+	if err := rc.FetchRecord("trace", &snap); err != nil {
+		t.Fatal(err)
+	}
+	mid, err := Replay(&snap, ReplayOptions{})
+	if err != nil {
+		t.Fatalf("mid-run snapshot does not replay: %v", err)
+	}
+	if mid.Complete {
+		t.Fatal("mid-run snapshot claims to be complete")
+	}
+	if mid.RecordsIngested == 0 || len(mid.Replayed.Triggers) == 0 {
+		t.Fatalf("snapshot too empty: %d records, %d triggers", mid.RecordsIngested, len(mid.Replayed.Triggers))
+	}
+
+	// Unknown job and un-recorded daemons are clean errors, not torn bodies.
+	if err := rc.FetchRecord("ghost", io.Discard); err == nil {
+		t.Fatal("FetchRecord of unknown job did not error")
+	}
+
+	// Finish the run, close out, and replay the finalized artifact.
+	srv.Advance(10 * time.Second)
+	if err := srv.CloseRecorders(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "trace.mycrec"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := Replay(bytes.NewReader(data), ReplayOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !final.Complete {
+		t.Fatal("finalized artifact incomplete")
+	}
+	if d := DiffOutcomes(final.Recorded, final.Replayed); !d.Zero() {
+		t.Fatalf("daemon-recorded artifact drifted on replay:\n%s", d.Render())
+	}
+	// The recorder slot frees after CloseRecorders; downloads now error.
+	if err := rc.FetchRecord("trace", io.Discard); err == nil {
+		t.Fatal("FetchRecord after CloseRecorders did not error")
 	}
 }

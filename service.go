@@ -42,6 +42,7 @@ type Service struct {
 	jobs    map[JobID]*JobHandle
 	order   []JobID
 	started bool
+	seed    int64
 
 	// streamsMu guards the subscription list alone: a consumer goroutine may
 	// Subscribe or Close a Stream while the engine dispatches (the daemon
@@ -71,7 +72,7 @@ func NewService(opts ServiceOptions) *Service {
 	case staleAfter < 0:
 		staleAfter = 0 // monitoring disabled
 	}
-	s := &Service{Eng: sim.NewEngine(opts.Seed), jobs: make(map[JobID]*JobHandle), staleAfter: staleAfter}
+	s := &Service{Eng: sim.NewEngine(opts.Seed), jobs: make(map[JobID]*JobHandle), staleAfter: staleAfter, seed: opts.Seed}
 	s.initMetrics()
 	return s
 }
@@ -282,6 +283,7 @@ type JobHandle struct {
 	started  bool
 	remedy   *remedy.Engine
 	isolated []Rank
+	recorder *Recorder
 
 	// Heartbeat state, owned by the service's health monitor. lastIngest is
 	// the virtual time records last reached the store.
