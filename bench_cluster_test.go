@@ -1,0 +1,79 @@
+package mycroft
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"mycroft/internal/cluster"
+)
+
+// runClusterRouteBench measures job→peer placement on the consistent-hash
+// ring — the hot path of every routed client call and every replication
+// round. Mirrors internal/cluster's BenchmarkClusterRoute so the emitter
+// below can run it from here.
+func runClusterRouteBench(b *testing.B) {
+	ring := cluster.NewRing([]string{"p1", "p2", "p3", "p4", "p5"}, 0)
+	keys := make([]string, 128)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("job-%d", i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := ring.Candidates(keys[i%len(keys)], 3); len(got) != 3 {
+			b.Fatal("short placement")
+		}
+	}
+}
+
+// benchRow is one benchmark's result in BENCH_cluster.json.
+type benchRow struct {
+	Name        string             `json:"name"`
+	Iterations  int                `json:"iterations"`
+	NsPerOp     int64              `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
+}
+
+// TestEmitClusterBench regenerates BENCH_cluster.json, the committed
+// perf-trajectory artifact for the cluster subsystem. Guarded by env so a
+// plain `go test` stays fast and deterministic:
+//
+//	MYCROFT_BENCH_OUT=BENCH_cluster.json go test -run TestEmitClusterBench .
+func TestEmitClusterBench(t *testing.T) {
+	out := os.Getenv("MYCROFT_BENCH_OUT")
+	if out == "" {
+		t.Skip("set MYCROFT_BENCH_OUT to (re)write BENCH_cluster.json")
+	}
+	rows := []benchRow{
+		toRow("BenchmarkClusterRoute", testing.Benchmark(runClusterRouteBench)),
+		toRow("BenchmarkReplicationLag", testing.Benchmark(runReplicationLagBench)),
+	}
+	data, err := json.MarshalIndent(struct {
+		Benchmarks []benchRow `json:"benchmarks"`
+	}{rows}, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", out)
+}
+
+func toRow(name string, r testing.BenchmarkResult) benchRow {
+	row := benchRow{
+		Name: name, Iterations: r.N, NsPerOp: r.NsPerOp(),
+		BytesPerOp: r.AllocedBytesPerOp(), AllocsPerOp: r.AllocsPerOp(),
+	}
+	if len(r.Extra) > 0 {
+		row.Extra = make(map[string]float64, len(r.Extra))
+		for k, v := range r.Extra {
+			row.Extra[k] = v
+		}
+	}
+	return row
+}

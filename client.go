@@ -58,6 +58,9 @@ type JobInfo struct {
 	Isolated []Rank
 	// Policy names the attached remediation policy ("" when none).
 	Policy string
+	// Source marks a row not hosted by the answering daemon: "replica" when
+	// it came from a cluster peer's replicated snapshot ("" = live local).
+	Source string
 }
 
 // JobsResult is the job listing plus the service's current virtual time.

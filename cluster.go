@@ -1,0 +1,684 @@
+package mycroft
+
+import (
+	"fmt"
+	"net/http"
+	"slices"
+	"sort"
+	"sync"
+	"time"
+
+	"mycroft/internal/api"
+	"mycroft/internal/cluster"
+	"mycroft/internal/obs"
+)
+
+// Cluster mode: N mycroft-serve daemons form one diagnosis plane. A
+// consistent-hash ring (internal/cluster) places every job on a primary
+// peer; the primary appends each job event to a seq-numbered log and
+// asynchronously replicates the log, periodic snapshots and a best-effort
+// trace mirror to the job's R ring successors over /v1/cluster/*. Replicas
+// answer queries for followed jobs from the replicated state, and serve the
+// same seq-resumable event tail the primary does — which is what lets a
+// DialCluster client fail a live subscription over to a replica with exact
+// drop accounting (drops are the seq gaps, nothing else).
+
+// ClusterConfig enables cluster mode on a Server.
+type ClusterConfig struct {
+	// ID names the cluster; peers refuse requests carrying a different one.
+	ID string
+	// Self is this peer's name in Peers; SelfAddr its advertised base URL.
+	Self     string
+	SelfAddr string
+	// Peers maps every member name (including self) to its base URL.
+	Peers map[string]string
+	// Replicas is R: how many ring successors each job replicates to.
+	// Clamped to len(Peers)-1.
+	Replicas int
+	// VNodes tunes ring smoothness (0 = cluster.DefaultVNodes).
+	VNodes int
+	// LogCap bounds each per-job event log (0 = cluster.DefaultLogCap). The
+	// log is the failover window: a resuming subscriber can only replay what
+	// is still held, and anything older surfaces as counted drops.
+	LogCap int
+	// TraceMirror bounds the per-job trace mirror on replicas
+	// (0 = cluster.DefaultTraceMirror).
+	TraceMirror int
+	// Batch caps entries and trace records per replication batch (0 = 512).
+	Batch int
+}
+
+// serverCluster is the per-Server cluster state: ring membership, the local
+// jobs' event logs, the replica store for followed jobs, and replication
+// cursors per (peer, job).
+type serverCluster struct {
+	cfg   ClusterConfig
+	node  *cluster.Node
+	store *cluster.ReplicaStore
+	tap   *Stream                     // unbounded feed of local job events
+	logs  map[JobID]*cluster.EventLog // one per hosted job; immutable map
+	hc    *http.Client
+
+	ackMu sync.Mutex
+	acks  map[string]*peerAck // "peer/job" → cursors
+
+	reg           *obs.Registry
+	mReplEvents   *obs.Counter
+	mReplBatches  *obs.Counter
+	mReplFailures *obs.Counter
+	mHandoffs     *obs.Counter
+	mTail         map[string]*obs.Counter // by source
+}
+
+type peerAck struct {
+	seq     uint64
+	traceNs int64
+}
+
+// EnableCluster turns this server into a cluster peer. Call after every job
+// is added (the per-job logs are fixed here) and before the drive loop
+// starts. Requires an in-process Service (a proxy has no engine to tap).
+func (sv *Server) EnableCluster(cfg ClusterConfig) error {
+	if sv.svc == nil {
+		return fmt.Errorf("mycroft: cluster mode requires an in-process service")
+	}
+	peers := make(map[string]string, len(cfg.Peers))
+	for name, addr := range cfg.Peers {
+		peers[name] = normalizeBase(addr)
+	}
+	cfg.SelfAddr = normalizeBase(cfg.SelfAddr)
+	node, err := cluster.NewNode(cfg.ID, cfg.Self, cfg.SelfAddr, peers, cfg.Replicas, cfg.VNodes)
+	if err != nil {
+		return err
+	}
+	if cfg.Batch <= 0 {
+		cfg.Batch = 512
+	}
+	cl := &serverCluster{
+		cfg: cfg, node: node,
+		store: cluster.NewReplicaStore(cfg.LogCap, cfg.TraceMirror),
+		logs:  make(map[JobID]*cluster.EventLog),
+		hc:    &http.Client{Timeout: 10 * time.Second},
+		acks:  make(map[string]*peerAck),
+	}
+	res, err := sv.svc.ListJobs()
+	if err != nil {
+		return err
+	}
+	for _, j := range res.Jobs {
+		cl.logs[j.ID] = cluster.NewEventLog(cfg.LogCap)
+	}
+	cl.tap = sv.svc.Subscribe(EventFilter{}) // Buffer 0: in-process, unbounded
+
+	reg := sv.svc.Metrics()
+	cl.reg = reg
+	cl.mReplEvents = reg.Counter("mycroft_cluster_replicated_events_total", "Event-log entries shipped to followers.")
+	cl.mReplBatches = reg.Counter("mycroft_cluster_replication_batches_total", "Replication batches acknowledged by followers.")
+	cl.mReplFailures = reg.Counter("mycroft_cluster_replication_failures_total", "Replication batches that failed to reach a follower.")
+	cl.mHandoffs = reg.Counter("mycroft_cluster_handoffs_total", "Clean-shutdown job handoffs completed.")
+	cl.mTail = map[string]*obs.Counter{}
+	for _, src := range []string{"primary", "replica", "promoted"} {
+		cl.mTail[src] = reg.Counter("mycroft_cluster_tails_total",
+			"Tail pages served, by answering role — the replica series climbing is the server-visible failover signal.",
+			obs.L("source", src))
+	}
+	for _, state := range []string{api.PeerAlive, api.PeerSuspect, api.PeerDead} {
+		st := state
+		reg.GaugeFunc("mycroft_cluster_peers", "Cluster peers by health state, from this peer's table.",
+			func() float64 {
+				n := 0
+				for _, row := range node.View() {
+					if row.State == st {
+						n++
+					}
+				}
+				return float64(n)
+			}, obs.L("state", st))
+	}
+
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	if sv.cluster != nil {
+		cl.tap.Close()
+		return fmt.Errorf("mycroft: cluster mode already enabled")
+	}
+	sv.cluster = cl
+	return nil
+}
+
+// loadCluster reads the cluster state without assuming the caller holds
+// sv.mu (it takes it briefly).
+func (sv *Server) loadCluster() *serverCluster {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	return sv.cluster
+}
+
+// ClusterNode exposes this server's membership view (nil when cluster mode
+// is disabled); cmd/mycroft-serve uses it for placement logging.
+func (sv *Server) ClusterNode() *cluster.Node {
+	if cl := sv.loadCluster(); cl != nil {
+		return cl.node
+	}
+	return nil
+}
+
+// drainTap moves every event the engine has dispatched since the last drain
+// into the per-job logs, in dispatch order. It runs after each Advance and
+// before each replication round, so the logs are exactly as fresh as the
+// engine the moment either completes.
+func (cl *serverCluster) drainTap() {
+	for {
+		e, ok := cl.tap.Next()
+		if !ok {
+			return
+		}
+		if log := cl.logs[e.Job]; log != nil {
+			log.Append(eventToWire(e))
+		}
+	}
+}
+
+func (cl *serverCluster) ack(peer string, job JobID) *peerAck {
+	cl.ackMu.Lock()
+	defer cl.ackMu.Unlock()
+	key := peer + "/" + string(job)
+	a := cl.acks[key]
+	if a == nil {
+		a = &peerAck{}
+		cl.acks[key] = a
+	}
+	return a
+}
+
+// ReplicateNow runs one synchronous replication round: drain the tap, then
+// for every hosted job ship the log suffix past each follower's ack, the
+// trace window past its trace watermark, and a fresh snapshot. It returns
+// the first error per unreachable follower; reaching every follower returns
+// nil. The daemon calls this on a timer (StartCluster); tests call it
+// directly for deterministic replication.
+func (sv *Server) ReplicateNow() []error {
+	cl := sv.loadCluster()
+	if cl == nil {
+		return nil
+	}
+	cl.drainTap()
+	var errs []error
+	for _, job := range sortedJobs(cl.logs) {
+		log := cl.logs[job]
+		_, replicas := cl.node.Placement(string(job))
+		for _, peer := range replicas {
+			if err := sv.replicateTo(cl, peer, job, log); err != nil {
+				errs = append(errs, fmt.Errorf("replicating %s to %s: %w", job, peer, err))
+			}
+		}
+	}
+	return errs
+}
+
+func sortedJobs(logs map[JobID]*cluster.EventLog) []JobID {
+	out := make([]JobID, 0, len(logs))
+	for id := range logs {
+		out = append(out, id)
+	}
+	slices.Sort(out)
+	return out
+}
+
+func (sv *Server) replicateTo(cl *serverCluster, peer string, job JobID, log *cluster.EventLog) error {
+	a := cl.ack(peer, job)
+	entries, wm := log.TailAfter(a.seq, cl.cfg.Batch)
+
+	sv.mu.Lock()
+	snap := sv.snapshotLocked(job)
+	trace, traceWM := sv.traceSinceLocked(job, a.traceNs, cl.cfg.Batch)
+	sv.mu.Unlock()
+
+	req := api.ReplicateRequest{
+		ClusterID: cl.cfg.ID, From: cl.cfg.Self, Job: string(job),
+		Entries: entries, Trace: trace, TraceWatermarkNs: traceWM,
+		Snapshot: snap, Watermark: wm,
+	}
+	var resp api.ReplicateResponse
+	err := clusterPost(cl.hc, cl.node.Addr(peer), "/cluster/replicate", req, &resp)
+	cl.node.MarkContact(peer, err == nil)
+	if err != nil {
+		cl.mReplFailures.Inc()
+		return err
+	}
+	cl.ackMu.Lock()
+	a.seq = resp.AckSeq
+	if resp.TraceAckNs > a.traceNs {
+		a.traceNs = resp.TraceAckNs
+	}
+	cl.ackMu.Unlock()
+	cl.mReplBatches.Inc()
+	cl.mReplEvents.Add(uint64(len(entries)))
+	lag := uint64(0)
+	if wm > resp.AckSeq {
+		lag = wm - resp.AckSeq
+	}
+	cl.reg.Gauge("mycroft_cluster_replication_lag_events",
+		"Event-log entries a follower is behind this primary, per job and peer.",
+		obs.L("job", string(job)), obs.L("peer", peer)).Set(int64(lag))
+	return nil
+}
+
+// snapshotLocked builds the coarse replicated state for one job. Callers
+// hold sv.mu.
+func (sv *Server) snapshotLocked(job JobID) *api.ClusterSnapshot {
+	jobs, err := sv.c.ListJobs()
+	if err != nil {
+		return nil
+	}
+	w := jobsResultToWire(jobs)
+	snap := api.ClusterSnapshot{NowNs: w.NowNs}
+	found := false
+	for _, j := range w.Jobs {
+		if j.ID == string(job) {
+			snap.Job = j
+			found = true
+		}
+	}
+	if !found {
+		return nil
+	}
+	if health, err := sv.c.Health(); err == nil {
+		hw := healthResultToWire(health)
+		for _, jh := range hw.Jobs {
+			if jh.Job == string(job) {
+				snap.Health = jh
+			}
+		}
+	}
+	return &snap
+}
+
+// traceSinceLocked returns the trace window (afterNs, ...] for one job,
+// capped at limit records, plus the new watermark (max record time shipped;
+// afterNs when nothing matched). Callers hold sv.mu. Records sharing the
+// boundary timestamp with the watermark can be skipped on the next window —
+// the mirror is documented best-effort; the event log is the exact record.
+func (sv *Server) traceSinceLocked(job JobID, afterNs int64, limit int) ([]api.TraceRecord, int64) {
+	q, err := traceQueryFromWire(api.TraceRequest{Job: string(job), FromNs: afterNs + 1, Limit: limit})
+	if err != nil {
+		return nil, afterNs
+	}
+	res, err := sv.c.QueryTrace(q)
+	if err != nil {
+		return nil, afterNs
+	}
+	w := traceResultToWire(res)
+	wm := afterNs
+	for _, r := range w.Records {
+		if r.TimeNs > wm {
+			wm = r.TimeNs
+		}
+	}
+	return w.Records, wm
+}
+
+// JoinPeers announces this peer to every other member once, merging the
+// views that come back. Unreachable peers are marked and retried by the
+// gossip loop; join is best-effort because membership is static anyway.
+func (sv *Server) JoinPeers() {
+	cl := sv.loadCluster()
+	if cl == nil {
+		return
+	}
+	for _, peer := range cl.node.Others() {
+		var resp api.JoinResponse
+		err := clusterPost(cl.hc, cl.node.Addr(peer), "/cluster/join",
+			api.JoinRequest{ClusterID: cl.cfg.ID, Name: cl.cfg.Self, Addr: cl.cfg.SelfAddr}, &resp)
+		cl.node.MarkContact(peer, err == nil)
+		if err == nil {
+			cl.node.Merge(resp.Peers)
+		}
+	}
+}
+
+// GossipOnce exchanges health views with every other peer and merges the
+// responses by freshest LastSeen.
+func (sv *Server) GossipOnce() {
+	cl := sv.loadCluster()
+	if cl == nil {
+		return
+	}
+	view := cl.node.View()
+	for _, peer := range cl.node.Others() {
+		var resp api.GossipResponse
+		err := clusterPost(cl.hc, cl.node.Addr(peer), "/cluster/gossip",
+			api.GossipRequest{ClusterID: cl.cfg.ID, From: cl.cfg.Self, Peers: view}, &resp)
+		cl.node.MarkContact(peer, err == nil)
+		if err == nil {
+			cl.node.Merge(resp.Peers)
+		}
+	}
+}
+
+// StartCluster launches the wall-clock cluster loops — one join sweep, then
+// replication every replicateEvery and gossip every gossipEvery — and
+// returns a stop function. Use from a daemon; tests drive ReplicateNow and
+// GossipOnce directly for determinism.
+func (sv *Server) StartCluster(replicateEvery, gossipEvery time.Duration) (stop func()) {
+	if replicateEvery <= 0 {
+		replicateEvery = 250 * time.Millisecond
+	}
+	if gossipEvery <= 0 {
+		gossipEvery = time.Second
+	}
+	done := make(chan struct{})
+	go func() {
+		sv.JoinPeers()
+		rt := time.NewTicker(replicateEvery)
+		gt := time.NewTicker(gossipEvery)
+		defer rt.Stop()
+		defer gt.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-rt.C:
+				sv.ReplicateNow()
+			case <-gt.C:
+				sv.GossipOnce()
+			}
+		}
+	}()
+	return func() { close(done) }
+}
+
+// HandoffAll is the clean-shutdown path: flush one final replication round,
+// then tell the first reachable follower of every hosted job that it now
+// answers authoritatively. It returns how many jobs were handed off.
+func (sv *Server) HandoffAll() int {
+	cl := sv.loadCluster()
+	if cl == nil {
+		return 0
+	}
+	sv.ReplicateNow()
+	n := 0
+	for _, job := range sortedJobs(cl.logs) {
+		log := cl.logs[job]
+		_, replicas := cl.node.Placement(string(job))
+		for _, peer := range replicas {
+			if !cl.node.Alive(peer) {
+				continue
+			}
+			var resp api.HandoffResponse
+			err := clusterPost(cl.hc, cl.node.Addr(peer), "/cluster/handoff",
+				api.HandoffRequest{ClusterID: cl.cfg.ID, From: cl.cfg.Self, Job: string(job), Watermark: log.Watermark()}, &resp)
+			cl.node.MarkContact(peer, err == nil)
+			if err == nil && resp.Accepted {
+				cl.mHandoffs.Inc()
+				n++
+				break
+			}
+		}
+	}
+	return n
+}
+
+// clusterPost is the peer-to-peer call: one JSON POST, no retries — the
+// health ladder (MarkContact) is the retry policy.
+func clusterPost(hc *http.Client, base, path string, in, out any) error {
+	if base == "" {
+		return fmt.Errorf("mycroft: no address for peer")
+	}
+	c := &RemoteClient{base: base, hc: hc}
+	return c.post(api.Prefix+path, in, out)
+}
+
+// --- /v1/cluster/* backend endpoints -------------------------------------
+
+var errClusterDisabled = fmt.Errorf("mycroft: cluster mode disabled on this daemon")
+
+func (b *apiBackend) ClusterInfo() (api.ClusterInfoResponse, error) {
+	cl := b.sv.loadCluster()
+	if cl == nil {
+		return api.ClusterInfoResponse{}, errClusterDisabled
+	}
+	resp := api.ClusterInfoResponse{
+		ClusterID: cl.cfg.ID, Self: cl.node.Self,
+		Replicas: cl.node.Replicas, VNodes: cl.node.VNodes,
+		Peers: cl.node.View(),
+	}
+	for _, job := range sortedJobs(cl.logs) {
+		p, reps := cl.node.Placement(string(job))
+		resp.Jobs = append(resp.Jobs, api.ClusterJob{
+			ID: string(job), Primary: p, Replicas: reps,
+			Local: true, Watermark: cl.logs[job].Watermark(),
+		})
+	}
+	for _, id := range cl.store.Jobs() {
+		row := cl.store.Job(id).Describe()
+		row.Primary, row.Replicas = cl.node.Placement(id)
+		resp.Jobs = append(resp.Jobs, row)
+	}
+	sort.Slice(resp.Jobs, func(i, j int) bool { return resp.Jobs[i].ID < resp.Jobs[j].ID })
+	return resp, nil
+}
+
+func (cl *serverCluster) checkID(id string) error {
+	if id != cl.cfg.ID {
+		return fmt.Errorf("mycroft: cluster id mismatch: peer says %q, this daemon is %q", id, cl.cfg.ID)
+	}
+	return nil
+}
+
+func (b *apiBackend) ClusterJoin(req api.JoinRequest) (api.JoinResponse, error) {
+	cl := b.sv.loadCluster()
+	if cl == nil {
+		return api.JoinResponse{}, errClusterDisabled
+	}
+	if err := cl.checkID(req.ClusterID); err != nil {
+		return api.JoinResponse{}, err
+	}
+	cl.node.Heard(req.Name)
+	return api.JoinResponse{Accepted: true, Self: cl.node.Self, Peers: cl.node.View()}, nil
+}
+
+func (b *apiBackend) ClusterGossip(req api.GossipRequest) (api.GossipResponse, error) {
+	cl := b.sv.loadCluster()
+	if cl == nil {
+		return api.GossipResponse{}, errClusterDisabled
+	}
+	if err := cl.checkID(req.ClusterID); err != nil {
+		return api.GossipResponse{}, err
+	}
+	cl.node.Heard(req.From)
+	cl.node.Merge(req.Peers)
+	return api.GossipResponse{Peers: cl.node.View()}, nil
+}
+
+func (b *apiBackend) ClusterReplicate(req api.ReplicateRequest) (api.ReplicateResponse, error) {
+	cl := b.sv.loadCluster()
+	if cl == nil {
+		return api.ReplicateResponse{}, errClusterDisabled
+	}
+	if err := cl.checkID(req.ClusterID); err != nil {
+		return api.ReplicateResponse{}, err
+	}
+	cl.node.Heard(req.From)
+	return cl.store.Apply(req), nil
+}
+
+// ClusterTail serves the seq-resumable event tail. On the job's primary it
+// reads the live log; on a follower, the replicated one — same request,
+// same semantics, which is exactly what lets a subscription move between
+// peers. The long-poll parks outside the server mutex.
+func (b *apiBackend) ClusterTail(req api.TailRequest) (api.TailResponse, error) {
+	cl := b.sv.loadCluster()
+	if cl == nil {
+		return api.TailResponse{}, errClusterDisabled
+	}
+	timeout := time.Duration(req.TimeoutMs) * time.Millisecond
+	if timeout > 30*time.Second {
+		timeout = 30 * time.Second
+	}
+	if log := cl.logs[JobID(req.Job)]; log != nil {
+		entries, wm := log.TailWait(req.AfterSeq, req.Max, timeout)
+		cl.mTail["primary"].Inc()
+		return api.TailResponse{Job: req.Job, Entries: entries, Watermark: wm, Source: "primary"}, nil
+	}
+	rj := cl.store.Job(req.Job)
+	if rj == nil {
+		return api.TailResponse{}, fmt.Errorf("mycroft: peer %s neither hosts nor follows job %q", cl.cfg.Self, req.Job)
+	}
+	entries, wm := rj.Log.TailWait(req.AfterSeq, req.Max, timeout)
+	source := "replica"
+	if rj.Promoted() {
+		source = "promoted"
+	}
+	cl.mTail[source].Inc()
+	return api.TailResponse{Job: req.Job, Entries: entries, Watermark: wm, Source: source}, nil
+}
+
+func (b *apiBackend) ClusterHandoff(req api.HandoffRequest) (api.HandoffResponse, error) {
+	cl := b.sv.loadCluster()
+	if cl == nil {
+		return api.HandoffResponse{}, errClusterDisabled
+	}
+	if err := cl.checkID(req.ClusterID); err != nil {
+		return api.HandoffResponse{}, err
+	}
+	cl.node.Heard(req.From)
+	lag, err := cl.store.Promote(req.Job, req.From, req.Watermark)
+	if err != nil {
+		return api.HandoffResponse{}, err
+	}
+	return api.HandoffResponse{Accepted: true, Lag: lag}, nil
+}
+
+// --- replica-backed query fallbacks --------------------------------------
+//
+// A peer asked about jobs it does not host answers from its replica store
+// when every requested job is followed here; otherwise the live path (and
+// its "unknown job" error) stands. DialCluster routes per job, so in
+// practice these see exactly one job per request.
+
+// replicaJobsFor resolves the request's job list against the replica store.
+// It returns nil unless every listed job is non-local and followed here.
+func (cl *serverCluster) replicaJobsFor(jobs []string) []*cluster.ReplicaJob {
+	if cl == nil || len(jobs) == 0 {
+		return nil
+	}
+	out := make([]*cluster.ReplicaJob, 0, len(jobs))
+	for _, j := range jobs {
+		if _, local := cl.logs[JobID(j)]; local {
+			return nil
+		}
+		rj := cl.store.Job(j)
+		if rj == nil {
+			return nil
+		}
+		out = append(out, rj)
+	}
+	return out
+}
+
+func (b *apiBackend) replicaTriggers(req api.TriggersRequest) (api.TriggersResponse, bool) {
+	rjs := b.sv.loadCluster().replicaJobsFor(req.Jobs)
+	if rjs == nil {
+		return api.TriggersResponse{}, false
+	}
+	if len(rjs) == 1 {
+		return rjs[0].QueryTriggers(req), true
+	}
+	full := req
+	full.Offset, full.Limit = 0, 0
+	var all []api.JobTrigger
+	for _, rj := range rjs {
+		all = append(all, rj.QueryTriggers(full).Triggers...)
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].Trigger.AtNs < all[j].Trigger.AtNs })
+	lo, hi, next := cluster.Page(len(all), req.Offset, req.Limit)
+	return api.TriggersResponse{Triggers: all[lo:hi], Total: len(all), NextOffset: next}, true
+}
+
+func (b *apiBackend) replicaReports(req api.ReportsRequest) (api.ReportsResponse, bool) {
+	rjs := b.sv.loadCluster().replicaJobsFor(req.Jobs)
+	if rjs == nil {
+		return api.ReportsResponse{}, false
+	}
+	if len(rjs) == 1 {
+		return rjs[0].QueryReports(req), true
+	}
+	full := req
+	full.Offset, full.Limit = 0, 0
+	var all []api.JobReport
+	for _, rj := range rjs {
+		all = append(all, rj.QueryReports(full).Reports...)
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].Report.AnalyzedAtNs < all[j].Report.AnalyzedAtNs })
+	lo, hi, next := cluster.Page(len(all), req.Offset, req.Limit)
+	return api.ReportsResponse{Reports: all[lo:hi], Total: len(all), NextOffset: next}, true
+}
+
+func (b *apiBackend) replicaRemediations(req api.RemediationsRequest) (api.RemediationsResponse, bool) {
+	rjs := b.sv.loadCluster().replicaJobsFor(req.Jobs)
+	if rjs == nil {
+		return api.RemediationsResponse{}, false
+	}
+	if len(rjs) == 1 {
+		return rjs[0].QueryRemediations(req), true
+	}
+	full := req
+	full.Offset, full.Limit = 0, 0
+	var all []api.JobAttempt
+	for _, rj := range rjs {
+		all = append(all, rj.QueryRemediations(full).Attempts...)
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].Attempt.ReportedAtNs < all[j].Attempt.ReportedAtNs })
+	lo, hi, next := cluster.Page(len(all), req.Offset, req.Limit)
+	return api.RemediationsResponse{Attempts: all[lo:hi], Total: len(all), NextOffset: next}, true
+}
+
+func (b *apiBackend) replicaTrace(req api.TraceRequest) (api.TraceResponse, bool) {
+	if req.Job == "" {
+		return api.TraceResponse{}, false
+	}
+	rjs := b.sv.loadCluster().replicaJobsFor([]string{req.Job})
+	if rjs == nil {
+		return api.TraceResponse{}, false
+	}
+	return rjs[0].QueryTrace(req), true
+}
+
+func (b *apiBackend) replicaTriage(job string) (api.TriageResponse, bool) {
+	if job == "" {
+		return api.TriageResponse{}, false
+	}
+	rjs := b.sv.loadCluster().replicaJobsFor([]string{job})
+	if rjs == nil {
+		return api.TriageResponse{}, false
+	}
+	events := rjs[0].Events()
+	for i := len(events) - 1; i >= 0; i-- {
+		if rep := events[i].Event.Report; rep != nil {
+			return api.TriageResponse{
+				Job: job, Source: "mycroft", Rank: rep.Suspect,
+				Summary: fmt.Sprintf("replicated verdict: %s at rank %d via %s", rep.Category, rep.Suspect, rep.Via),
+				OK:      false,
+			}, true
+		}
+	}
+	return api.TriageResponse{Job: job, Source: "mycroft", Summary: "no incident in replicated window", OK: true}, true
+}
+
+// replicaGraphErr answers the endpoints a replica cannot serve: dependency
+// graphs live only in the primary's engine.
+func (cl *serverCluster) replicaGraphErr(job string) error {
+	if cl == nil || job == "" {
+		return nil
+	}
+	if _, local := cl.logs[JobID(job)]; local {
+		return nil
+	}
+	if cl.store.Job(job) == nil {
+		return nil
+	}
+	primary, _ := cl.node.Placement(job)
+	return fmt.Errorf("mycroft: job %q is served from a replica here; dependency graphs are not replicated — ask its primary %s at %s",
+		job, primary, cl.node.Addr(primary))
+}

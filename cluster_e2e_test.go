@@ -1,0 +1,454 @@
+package mycroft
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mycroft/internal/api"
+	"mycroft/internal/cluster"
+)
+
+// TestDialRetriesThenUnreachable covers both halves of the dial-backoff
+// contract: a daemon that is down for every attempt yields a typed
+// ErrUnreachable, and one that comes up between attempts is dialed
+// successfully without the caller doing anything.
+func TestDialRetriesThenUnreachable(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	start := time.Now()
+	if _, err := Dial(addr, DialAttempts(3)); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("dial to dead addr: got %v, want ErrUnreachable", err)
+	}
+	// 3 attempts back off 50ms then 100ms between them.
+	if took := time.Since(start); took < 100*time.Millisecond {
+		t.Fatalf("3 attempts finished in %v; backoff did not happen", took)
+	}
+
+	// Late-starting daemon: the listener appears while Dial is still
+	// retrying the same address.
+	svc := faultedService(t)
+	srv := NewServer(svc)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		time.Sleep(120 * time.Millisecond)
+		ln2, err := net.Listen("tcp", addr)
+		if err != nil {
+			return // port raced away; the dial below will fail loudly
+		}
+		go http.Serve(ln2, srv.Handler())
+	}()
+	rc, err := Dial(addr)
+	if err != nil {
+		t.Fatalf("dial to late-starting daemon: %v", err)
+	}
+	if id, _ := rc.ServerInfo(); id == "" {
+		t.Fatal("dial succeeded but ping metadata is empty")
+	}
+	<-done
+}
+
+// TestDialNonTransportErrorFailsFast: an address that answers HTTP but is
+// not a mycroft daemon must fail immediately — retrying a handshake
+// mismatch would just hide a misconfiguration for seconds.
+func TestDialNonTransportErrorFailsFast(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "nope", http.StatusTeapot)
+	}))
+	defer ts.Close()
+	start := time.Now()
+	_, err := Dial(ts.URL)
+	if err == nil {
+		t.Fatal("dial to non-daemon succeeded")
+	}
+	if errors.Is(err, ErrUnreachable) {
+		t.Fatalf("application-level failure misreported as ErrUnreachable: %v", err)
+	}
+	if took := time.Since(start); took > 500*time.Millisecond {
+		t.Fatalf("non-transport failure took %v; should not have retried", took)
+	}
+}
+
+// TestShutdownAnnouncesBeforeClose: a daemon going down must tell its live
+// subscribers so — the last event on every stream is the server-shutdown
+// lifecycle marker, and the stream then ends cleanly rather than erroring.
+func TestShutdownAnnouncesBeforeClose(t *testing.T) {
+	svc := faultedService(t)
+	srv := NewServer(svc)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	rc, err := Dial(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := rc.Subscribe(EventFilter{})
+	if err := st.Err(); err != nil {
+		t.Fatal(err)
+	}
+	srv.Advance(20 * time.Second) // some real traffic first
+
+	if n := srv.AnnounceShutdown(); n != 1 {
+		t.Fatalf("AnnounceShutdown reached %d subscription(s), want 1", n)
+	}
+	srv.CloseSubscriptions()
+
+	var last Event
+	got := 0
+	for {
+		e, ok := st.NextWait(5 * time.Second)
+		if !ok {
+			break
+		}
+		last, got = e, got+1
+	}
+	if got == 0 {
+		t.Fatal("stream delivered nothing")
+	}
+	if last.Kind != EventLifecycle || last.Phase != PhaseServerShutdown {
+		t.Fatalf("final event is %v, want lifecycle %q", last, PhaseServerShutdown)
+	}
+	if err := st.Err(); err != nil {
+		t.Fatalf("announced shutdown still errored the stream: %v", err)
+	}
+}
+
+// TestLostSubscriptionTyped: when a long-poll client's subscription id
+// vanishes (daemon restarted), the stream must fail with the typed
+// ErrSubscriptionLost — not a bare 404 the caller has to string-match.
+func TestLostSubscriptionTyped(t *testing.T) {
+	srvA := NewServer(faultedService(t))
+	var handler atomic.Value
+	handler.Store(srvA.Handler())
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		handler.Load().(http.Handler).ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+
+	rc, err := Dial(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := rc.Subscribe(EventFilter{})
+	if err := st.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": same address, fresh server, no subscriptions.
+	handler.Store(NewServer(faultedService(t)).Handler())
+
+	deadline := time.Now().Add(10 * time.Second)
+	for st.Err() == nil && time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err := st.Err(); !errors.Is(err, ErrSubscriptionLost) {
+		t.Fatalf("stream error after restart: %v, want ErrSubscriptionLost", err)
+	}
+}
+
+// clusterPeer is one mycroft-serve stand-in for the failover tests: a real
+// Server with cluster mode enabled, listening on loopback.
+type clusterPeer struct {
+	name    string
+	addr    string
+	svc     *Service
+	srv     *Server
+	hs      *http.Server
+	handles map[JobID]*JobHandle
+}
+
+// startCluster boots a fleet of peers sharding jobs by ring primary,
+// exactly as `mycroft-serve -cluster-id` does, and returns them keyed by
+// name. replicas is the R passed to every peer.
+func startCluster(t *testing.T, peerNames []string, jobs []JobID, replicas int) map[string]*clusterPeer {
+	t.Helper()
+	addrs := make(map[string]string, len(peerNames))
+	lns := make(map[string]net.Listener, len(peerNames))
+	for _, name := range peerNames {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[name] = ln
+		addrs[name] = ln.Addr().String()
+	}
+	ring := cluster.NewRing(peerNames, 0)
+	peers := make(map[string]*clusterPeer, len(peerNames))
+	for _, name := range peerNames {
+		p := &clusterPeer{name: name, addr: addrs[name], handles: make(map[JobID]*JobHandle)}
+		p.svc = NewService(ServiceOptions{Seed: 1})
+		for _, job := range jobs {
+			if ring.Primary(string(job)) != name {
+				continue
+			}
+			h, err := p.svc.AddJob(job, JobOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			p.handles[job] = h
+		}
+		p.srv = NewServer(p.svc)
+		err := p.srv.EnableCluster(ClusterConfig{
+			ID: "test", Self: name, SelfAddr: addrs[name],
+			Peers: addrs, Replicas: replicas,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.svc.Start()
+		p.hs = &http.Server{Handler: p.srv.Handler()}
+		go p.hs.Serve(lns[name])
+		peers[name] = p
+		t.Cleanup(func() { p.hs.Close() })
+	}
+	return peers
+}
+
+// TestClusterFailover is the tentpole acceptance test: with replication
+// factor 2, kill -9 the primary of a job mid-subscription and the
+// DialCluster client must keep answering queries for that job from a
+// replica AND resume the live event stream there, with drops bounded and
+// reported via Stream.Dropped.
+func TestClusterFailover(t *testing.T) {
+	jobs := []JobID{"job-0", "job-1", "job-2", "job-3"}
+	peers := startCluster(t, []string{"p1", "p2", "p3"}, jobs, 2)
+
+	// Pinned placement (asserted by TestRingPinnedPlacement): job-0's
+	// primary is p2 — the peer this test kills.
+	primary := peers["p2"]
+	h, ok := primary.handles["job-0"]
+	if !ok {
+		t.Fatal("placement drifted: p2 no longer hosts job-0")
+	}
+	h.Inject(Fault{Kind: NICDown, Rank: 5, At: 15 * time.Second})
+
+	cc, err := DialCluster([]string{peers["p1"].addr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cc.Close()
+
+	st := cc.Subscribe(EventFilter{Jobs: []JobID{"job-0"}})
+	if err := st.Err(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(300 * time.Millisecond) // let the tail prime at "now"
+
+	// Drive every engine 40 virtual seconds, replicating after each step so
+	// the followers stay caught up — the daemon's replication loop, made
+	// deterministic.
+	for i := 0; i < 40; i++ {
+		for _, p := range peers {
+			p.srv.Advance(time.Second)
+			if errs := p.srv.ReplicateNow(); len(errs) > 0 {
+				t.Fatalf("replication: %v", errs[0])
+			}
+		}
+	}
+
+	// Mid-subscription: at least one live event has arrived from the
+	// primary before it dies.
+	if _, ok := st.NextWait(5 * time.Second); !ok {
+		t.Fatal("no events before failover")
+	}
+
+	// kill -9 the primary: listener and every open connection die at once.
+	primary.hs.Close()
+
+	// Queries for job-0 must fail over to a replica and keep answering.
+	trig, err := cc.QueryTriggers(TriggerQuery{Jobs: []JobID{"job-0"}})
+	if err != nil {
+		t.Fatalf("triggers after primary death: %v", err)
+	}
+	if len(trig.Triggers) == 0 {
+		t.Fatal("replica served no triggers for job-0")
+	}
+	tri, err := cc.Triage("job-0")
+	if err != nil {
+		t.Fatalf("triage after primary death: %v", err)
+	}
+	if tri.Summary == "" {
+		t.Fatal("replica triage returned an empty summary")
+	}
+	if cc.Failovers() == 0 {
+		t.Fatal("failover happened but Failovers() is 0")
+	}
+
+	// The event stream resumes on the replica: drain what the replicated
+	// log still holds and confirm the incident made it through.
+	var sawTrigger, sawReport bool
+	for !(sawTrigger && sawReport) {
+		e, ok := st.NextWait(5 * time.Second)
+		if !ok {
+			break
+		}
+		switch e.Kind {
+		case EventTrigger:
+			sawTrigger = true
+		case EventReport:
+			sawReport = true
+		}
+	}
+	if err := st.Err(); err != nil {
+		t.Fatalf("stream errored across failover: %v", err)
+	}
+	if !sawTrigger || !sawReport {
+		t.Fatalf("incident lost across failover: trigger=%v report=%v dropped=%d",
+			sawTrigger, sawReport, st.Dropped())
+	}
+	// Followers were replicated after every advance, so the bounded drop
+	// count is exactly zero here; a lagging replica would surface the gap.
+	if d := st.Dropped(); d != 0 {
+		t.Fatalf("fully-replicated failover reported %d drops", d)
+	}
+
+	// The replica answers the raw tail endpoint for the dead primary's job
+	// from seq 1 — this is the primitive the resumed subscription rides on.
+	var tail api.TailResponse
+	postJSON(t, "http://"+peers["p1"].addr+api.Prefix+"/cluster/tail",
+		api.TailRequest{Job: "job-0", AfterSeq: 0, Max: 10}, &tail)
+	if len(tail.Entries) == 0 {
+		t.Fatal("replica tail returned no entries")
+	}
+	if tail.Source != "replica" && tail.Source != "promoted" {
+		t.Fatalf("tail source %q, want replica or promoted", tail.Source)
+	}
+	if tail.Entries[0].Seq == 0 {
+		t.Fatal("replicated entries lost their primary-assigned seqs")
+	}
+
+	// ClusterInfo reflects reality: the killed peer reads as dead.
+	info, err := cc.ClusterInfo()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p2State string
+	for _, p := range info.Peers {
+		if p.Name == "p2" {
+			p2State = p.State
+		}
+	}
+	if p2State != api.PeerDead {
+		t.Fatalf("killed peer reads %q in ClusterInfo, want dead", p2State)
+	}
+}
+
+// TestClusterHandoffPromotesReplica: a clean SIGTERM path — the draining
+// primary flushes replication and hands its jobs off, after which the
+// follower answers as "promoted" and its triage carries the verdict.
+func TestClusterHandoffPromotesReplica(t *testing.T) {
+	jobs := []JobID{"job-0", "job-1", "job-2", "job-3"}
+	peers := startCluster(t, []string{"p1", "p2", "p3"}, jobs, 2)
+	peers["p2"].handles["job-0"].Inject(Fault{Kind: NICDown, Rank: 5, At: 15 * time.Second})
+
+	for i := 0; i < 40; i++ {
+		for _, p := range peers {
+			p.srv.Advance(time.Second)
+			p.srv.ReplicateNow()
+		}
+	}
+	if n := peers["p2"].srv.HandoffAll(); n == 0 {
+		t.Fatal("handoff transferred nothing")
+	}
+	peers["p2"].hs.Close()
+
+	var tail api.TailResponse
+	postJSON(t, "http://"+peers["p1"].addr+api.Prefix+"/cluster/tail",
+		api.TailRequest{Job: "job-0", AfterSeq: 0, Max: 10}, &tail)
+	if tail.Source != "promoted" {
+		t.Fatalf("post-handoff tail source %q, want promoted", tail.Source)
+	}
+}
+
+func postJSON(t *testing.T, url string, in, out any) {
+	t.Helper()
+	body, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("%s: HTTP %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// BenchmarkReplicationLag measures one full replication round over loopback
+// HTTP: drain the primary's tap after one virtual second of fleet activity
+// and ship the event-log suffix, trace window, and snapshot to the
+// follower. The reported events/op is how much log each round moved.
+func BenchmarkReplicationLag(b *testing.B) { runReplicationLagBench(b) }
+
+// runReplicationLagBench is the body, shared with the BENCH_cluster.json
+// emitter (TestEmitClusterBench).
+func runReplicationLagBench(b *testing.B) {
+	names := []string{"a", "b"}
+	ring := cluster.NewRing(names, 0)
+	primaryName := ring.Primary("trace")
+
+	addrs := make(map[string]string, 2)
+	lns := make(map[string]net.Listener, 2)
+	for _, name := range names {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		lns[name] = ln
+		addrs[name] = ln.Addr().String()
+	}
+	var primary *Server
+	for _, name := range names {
+		svc := NewService(ServiceOptions{Seed: 1})
+		if name == primaryName {
+			h, err := svc.AddJob("trace", JobOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer h.Stop()
+		}
+		srv := NewServer(svc)
+		err := srv.EnableCluster(ClusterConfig{
+			ID: "bench", Self: name, SelfAddr: addrs[name], Peers: addrs, Replicas: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		svc.Start()
+		hs := &http.Server{Handler: srv.Handler()}
+		go hs.Serve(lns[name])
+		defer hs.Close()
+		if name == primaryName {
+			primary = srv
+		}
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		primary.Advance(time.Second)
+		if errs := primary.ReplicateNow(); len(errs) > 0 {
+			b.Fatal(errs[0])
+		}
+	}
+	b.StopTimer()
+	if cl := primary.loadCluster(); cl != nil {
+		b.ReportMetric(float64(cl.mReplEvents.Value())/float64(b.N), "events/op")
+	}
+}

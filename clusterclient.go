@@ -1,0 +1,597 @@
+package mycroft
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mycroft/internal/api"
+	"mycroft/internal/cluster"
+)
+
+// ClusterClient is the cluster-aware Client: it rebuilds the fleet's
+// consistent-hash ring from one peer's /v1/cluster/info and routes every
+// call to the owning primary by JobID — no proxy hop, no coordination
+// traffic. When a primary stops answering at the transport layer the call
+// retries on the job's replicas in ring order (the same placement every
+// peer computed), and live subscriptions resume their event tail on a
+// replica from the exact sequence number they had reached; anything the
+// replica never received surfaces as a counted drop on Stream.Dropped,
+// never as silence.
+type ClusterClient struct {
+	clusterID string
+	ring      *cluster.Ring
+	replicas  int
+	addrs     map[string]string // peer name → base URL
+	hc        *http.Client
+
+	mu        sync.Mutex
+	clients   map[string]*RemoteClient
+	downUntil map[string]time.Time
+
+	failovers atomic.Uint64
+}
+
+// downCooldown is how long a peer that failed at the transport layer is
+// deprioritized before the client tries it first again.
+const downCooldown = 3 * time.Second
+
+// DialCluster connects to a fleet through any subset of its peers: the
+// first reachable address answers /v1/cluster/info, and that one response
+// (cluster id, peer list, vnodes, replication factor) is enough to rebuild
+// the exact placement every peer uses. Dial retry behavior (and
+// ErrUnreachable) matches Dial.
+func DialCluster(addrs []string, opts ...DialOption) (*ClusterClient, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("mycroft: DialCluster needs at least one address")
+	}
+	hc := &http.Client{Timeout: 60 * time.Second}
+	var lastErr error
+	for _, addr := range addrs {
+		rc, err := Dial(addr, opts...)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		var info api.ClusterInfoResponse
+		if err := rc.get(api.Prefix+"/cluster/info", &info); err != nil {
+			lastErr = fmt.Errorf("mycroft: %s: %w", addr, err)
+			continue
+		}
+		cc := &ClusterClient{
+			clusterID: info.ClusterID,
+			ring:      cluster.NewRing(peerNames(info.Peers), info.VNodes),
+			replicas:  info.Replicas,
+			addrs:     make(map[string]string, len(info.Peers)),
+			hc:        hc,
+			clients:   make(map[string]*RemoteClient),
+			downUntil: make(map[string]time.Time),
+		}
+		for _, p := range info.Peers {
+			cc.addrs[p.Name] = normalizeBase(p.Addr)
+		}
+		return cc, nil
+	}
+	return nil, fmt.Errorf("mycroft: no cluster peer reachable: %w", lastErr)
+}
+
+func peerNames(peers []api.ClusterPeer) []string {
+	out := make([]string, 0, len(peers))
+	for _, p := range peers {
+		out = append(out, p.Name)
+	}
+	return out
+}
+
+// Failovers reports how many times a call or tail moved off an unreachable
+// peer onto the next candidate since dial.
+func (cc *ClusterClient) Failovers() uint64 { return cc.failovers.Load() }
+
+// Close releases idle transport connections.
+func (cc *ClusterClient) Close() error {
+	cc.hc.CloseIdleConnections()
+	return nil
+}
+
+// client returns (creating lazily) the single-peer transport for name. No
+// ping: the fleet's wire version was verified once at DialCluster.
+func (cc *ClusterClient) client(name string) *RemoteClient {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	rc := cc.clients[name]
+	if rc == nil {
+		rc = &RemoteClient{base: cc.addrs[name], hc: cc.hc}
+		cc.clients[name] = rc
+	}
+	return rc
+}
+
+func (cc *ClusterClient) markDown(name string) {
+	cc.mu.Lock()
+	cc.downUntil[name] = time.Now().Add(downCooldown)
+	cc.mu.Unlock()
+}
+
+func (cc *ClusterClient) markUp(name string) {
+	cc.mu.Lock()
+	delete(cc.downUntil, name)
+	cc.mu.Unlock()
+}
+
+// candidates orders a job's primary + replicas for a call: ring order, with
+// peers inside their down-cooldown moved to the back (still tried — a
+// cooldown is a hint, not a verdict).
+func (cc *ClusterClient) candidates(job string) []string {
+	peers := cc.ring.Candidates(job, 1+cc.replicas)
+	now := time.Now()
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	up := make([]string, 0, len(peers))
+	var down []string
+	for _, p := range peers {
+		if until, bad := cc.downUntil[p]; bad && now.Before(until) {
+			down = append(down, p)
+		} else {
+			up = append(up, p)
+		}
+	}
+	return append(up, down...)
+}
+
+// allPeers lists every fleet member, up first.
+func (cc *ClusterClient) allPeers() []string {
+	names := cc.ring.Peers()
+	now := time.Now()
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	up := make([]string, 0, len(names))
+	var down []string
+	for _, p := range names {
+		if until, bad := cc.downUntil[p]; bad && now.Before(until) {
+			down = append(down, p)
+		} else {
+			up = append(up, p)
+		}
+	}
+	return append(up, down...)
+}
+
+// routed runs fn against the job's primary, failing over to its replicas on
+// transport errors. Application errors return immediately — the answering
+// peer is authoritative for them.
+func (cc *ClusterClient) routed(job JobID, fn func(*RemoteClient) error) error {
+	peers := cc.candidates(string(job))
+	if len(peers) == 0 {
+		return fmt.Errorf("mycroft: empty cluster ring")
+	}
+	var lastErr error
+	for i, p := range peers {
+		err := fn(cc.client(p))
+		if err == nil {
+			cc.markUp(p)
+			return nil
+		}
+		if !isTransportErr(err) {
+			return err
+		}
+		cc.markDown(p)
+		if i < len(peers)-1 {
+			cc.failovers.Add(1)
+		}
+		lastErr = err
+	}
+	return fmt.Errorf("mycroft: job %s: every candidate peer failed: %w: %v", job, ErrUnreachable, lastErr)
+}
+
+// eachPeer runs fn against every reachable peer, collecting successes;
+// transport failures mark the peer down and are skipped. It errors only
+// when no peer answered.
+func (cc *ClusterClient) eachPeer(fn func(peer string, rc *RemoteClient) error) error {
+	answered := 0
+	var lastErr error
+	for _, p := range cc.allPeers() {
+		err := fn(p, cc.client(p))
+		if err == nil {
+			cc.markUp(p)
+			answered++
+			continue
+		}
+		if isTransportErr(err) {
+			cc.markDown(p)
+		}
+		lastErr = err
+	}
+	if answered == 0 {
+		return fmt.Errorf("mycroft: no cluster peer answered: %w: %v", ErrUnreachable, lastErr)
+	}
+	return nil
+}
+
+// resolveJob fills an empty job selector the way a single daemon does:
+// allowed only when the fleet hosts exactly one live job.
+func (cc *ClusterClient) resolveJob(job JobID) (JobID, error) {
+	if job != "" {
+		return job, nil
+	}
+	res, err := cc.ListJobs()
+	if err != nil {
+		return "", err
+	}
+	var live []JobID
+	for _, j := range res.Jobs {
+		if j.Source == "" {
+			live = append(live, j.ID)
+		}
+	}
+	if len(live) == 1 {
+		return live[0], nil
+	}
+	return "", fmt.Errorf("mycroft: cluster hosts %d jobs; specify one", len(live))
+}
+
+// ListJobs merges every peer's view: live rows win over replicated
+// snapshots of the same job, and Now is the furthest virtual clock.
+func (cc *ClusterClient) ListJobs() (JobsResult, error) {
+	var out JobsResult
+	byID := make(map[JobID]JobInfo)
+	err := cc.eachPeer(func(_ string, rc *RemoteClient) error {
+		res, err := rc.ListJobs()
+		if err != nil {
+			return err
+		}
+		if res.Now > out.Now {
+			out.Now = res.Now
+		}
+		for _, j := range res.Jobs {
+			if have, ok := byID[j.ID]; !ok || (have.Source != "" && j.Source == "") {
+				byID[j.ID] = j
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return JobsResult{}, err
+	}
+	for _, j := range byID {
+		out.Jobs = append(out.Jobs, j)
+	}
+	sort.Slice(out.Jobs, func(i, j int) bool { return out.Jobs[i].ID < out.Jobs[j].ID })
+	return out, nil
+}
+
+// Health merges every peer's health: one row per job (the peer that hosts
+// it wins), summed subscription stats, furthest clock, longest uptime.
+func (cc *ClusterClient) Health() (HealthResult, error) {
+	var out HealthResult
+	seen := make(map[JobID]bool)
+	peersAnswered := 0
+	err := cc.eachPeer(func(_ string, rc *RemoteClient) error {
+		res, err := rc.Health()
+		if err != nil {
+			return err
+		}
+		peersAnswered++
+		if res.Now > out.Now {
+			out.Now = res.Now
+		}
+		if res.Uptime > out.Uptime {
+			out.Uptime = res.Uptime
+		}
+		out.Subs.Active += res.Subs.Active
+		out.Subs.Delivered += res.Subs.Delivered
+		out.Subs.Dropped += res.Subs.Dropped
+		for _, j := range res.Jobs {
+			if !seen[j.Job] {
+				seen[j.Job] = true
+				out.Jobs = append(out.Jobs, j)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return HealthResult{}, err
+	}
+	sort.Slice(out.Jobs, func(i, j int) bool { return out.Jobs[i].Job < out.Jobs[j].Job })
+	out.Server = fmt.Sprintf("mycroft-cluster/%d peers=%d", api.Version, peersAnswered)
+	return out, nil
+}
+
+// QueryTrace routes by the query's job.
+func (cc *ClusterClient) QueryTrace(q TraceQuery) (TraceResult, error) {
+	job, err := cc.resolveJob(q.Job)
+	if err != nil {
+		return TraceResult{}, err
+	}
+	q.Job = job
+	var out TraceResult
+	err = cc.routed(job, func(rc *RemoteClient) error {
+		var e error
+		out, e = rc.QueryTrace(q)
+		return e
+	})
+	return out, err
+}
+
+// QueryTriggers routes single-job queries by job; multi-job (or all-job)
+// queries fan out to every peer and merge, paginating the merged set.
+func (cc *ClusterClient) QueryTriggers(q TriggerQuery) (TriggerResult, error) {
+	if len(q.Jobs) == 1 {
+		var out TriggerResult
+		err := cc.routed(q.Jobs[0], func(rc *RemoteClient) error {
+			var e error
+			out, e = rc.QueryTriggers(q)
+			return e
+		})
+		return out, err
+	}
+	full := q
+	full.Offset, full.Limit = 0, 0
+	var all []JobTrigger
+	err := cc.eachPeer(func(_ string, rc *RemoteClient) error {
+		res, err := rc.QueryTriggers(full)
+		if err != nil {
+			return err
+		}
+		all = append(all, res.Triggers...)
+		return nil
+	})
+	if err != nil {
+		return TriggerResult{}, err
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].At < all[j].At })
+	page := paginate(all, q.Offset, q.Limit)
+	return TriggerResult{Triggers: page, Total: len(all), NextOffset: nextOffset(q.Offset, len(page), len(all))}, nil
+}
+
+// QueryReports mirrors QueryTriggers' routing.
+func (cc *ClusterClient) QueryReports(q ReportQuery) (ReportResult, error) {
+	if len(q.Jobs) == 1 {
+		var out ReportResult
+		err := cc.routed(q.Jobs[0], func(rc *RemoteClient) error {
+			var e error
+			out, e = rc.QueryReports(q)
+			return e
+		})
+		return out, err
+	}
+	full := q
+	full.Offset, full.Limit = 0, 0
+	var all []JobReport
+	err := cc.eachPeer(func(_ string, rc *RemoteClient) error {
+		res, err := rc.QueryReports(full)
+		if err != nil {
+			return err
+		}
+		all = append(all, res.Reports...)
+		return nil
+	})
+	if err != nil {
+		return ReportResult{}, err
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].AnalyzedAt < all[j].AnalyzedAt })
+	page := paginate(all, q.Offset, q.Limit)
+	return ReportResult{Reports: page, Total: len(all), NextOffset: nextOffset(q.Offset, len(page), len(all))}, nil
+}
+
+// QueryRemediations mirrors QueryTriggers' routing.
+func (cc *ClusterClient) QueryRemediations(q RemediationQuery) (RemediationResult, error) {
+	if len(q.Jobs) == 1 {
+		var out RemediationResult
+		err := cc.routed(q.Jobs[0], func(rc *RemoteClient) error {
+			var e error
+			out, e = rc.QueryRemediations(q)
+			return e
+		})
+		return out, err
+	}
+	full := q
+	full.Offset, full.Limit = 0, 0
+	var all []JobRemediation
+	err := cc.eachPeer(func(_ string, rc *RemoteClient) error {
+		res, err := rc.QueryRemediations(full)
+		if err != nil {
+			return err
+		}
+		all = append(all, res.Attempts...)
+		return nil
+	})
+	if err != nil {
+		return RemediationResult{}, err
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].ReportedAt < all[j].ReportedAt })
+	page := paginate(all, q.Offset, q.Limit)
+	return RemediationResult{Attempts: page, Total: len(all), NextOffset: nextOffset(q.Offset, len(page), len(all))}, nil
+}
+
+// QueryDependencies routes by the query's job. Dependency graphs are not
+// replicated, so with the primary down this returns the replica's explicit
+// refusal rather than inventing edges.
+func (cc *ClusterClient) QueryDependencies(q DependencyQuery) (DependencyResult, error) {
+	job, err := cc.resolveJob(q.Job)
+	if err != nil {
+		return DependencyResult{}, err
+	}
+	q.Job = job
+	var out DependencyResult
+	err = cc.routed(job, func(rc *RemoteClient) error {
+		var e error
+		out, e = rc.QueryDependencies(q)
+		return e
+	})
+	return out, err
+}
+
+// BlastRadius routes by job.
+func (cc *ClusterClient) BlastRadius(job JobID, suspect Rank) ([]Rank, error) {
+	job, err := cc.resolveJob(job)
+	if err != nil {
+		return nil, err
+	}
+	var out []Rank
+	err = cc.routed(job, func(rc *RemoteClient) error {
+		var e error
+		out, e = rc.BlastRadius(job, suspect)
+		return e
+	})
+	return out, err
+}
+
+// Triage routes by job; a replica answers from its replicated verdicts.
+func (cc *ClusterClient) Triage(job JobID) (TriageResult, error) {
+	job, err := cc.resolveJob(job)
+	if err != nil {
+		return TriageResult{}, err
+	}
+	var out TriageResult
+	err = cc.routed(job, func(rc *RemoteClient) error {
+		var e error
+		out, e = rc.Triage(job)
+		return e
+	})
+	return out, err
+}
+
+// ClusterInfo merges the fleet's own view with this client's direct
+// observations: the first answering peer's table is the base, every peer
+// the client cannot reach right now is overridden to dead, and job rows are
+// merged across peers preferring the hosting (Local) row.
+func (cc *ClusterClient) ClusterInfo() (api.ClusterInfoResponse, error) {
+	var base *api.ClusterInfoResponse
+	reached := make(map[string]bool)
+	jobs := make(map[string]api.ClusterJob)
+	err := cc.eachPeer(func(peer string, rc *RemoteClient) error {
+		var info api.ClusterInfoResponse
+		if err := rc.get(api.Prefix+"/cluster/info", &info); err != nil {
+			return err
+		}
+		reached[info.Self] = true
+		if base == nil {
+			base = &info
+		}
+		for _, row := range info.Jobs {
+			have, ok := jobs[row.ID]
+			if !ok || (!have.Local && row.Local) || (!have.Local && !have.Promoted && row.Promoted) {
+				jobs[row.ID] = row
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return api.ClusterInfoResponse{}, err
+	}
+	resp := *base
+	for i, p := range resp.Peers {
+		if !reached[p.Name] {
+			resp.Peers[i].State = api.PeerDead
+		}
+	}
+	resp.Jobs = resp.Jobs[:0]
+	for _, row := range jobs {
+		resp.Jobs = append(resp.Jobs, row)
+	}
+	sort.Slice(resp.Jobs, func(i, j int) bool { return resp.Jobs[i].ID < resp.Jobs[j].ID })
+	return resp, nil
+}
+
+// Subscribe returns a live stream fed by one seq-cursored tail per job.
+// Each tail starts at its primary's current watermark ("now") and survives
+// the primary dying: it re-issues the same cursor against the job's
+// replicas, and any entries the replica never received show up as an exact,
+// bounded count on Stream.Dropped — computed from the sequence gaps, never
+// guessed. Filter matching happens client-side, so the filter semantics are
+// identical to a single-daemon subscription.
+func (cc *ClusterClient) Subscribe(f EventFilter) *Stream {
+	st := newStream(nil, f)
+	jobs := f.Jobs
+	if len(jobs) == 0 {
+		res, err := cc.ListJobs()
+		if err != nil {
+			st.fail(err)
+			return st
+		}
+		for _, j := range res.Jobs {
+			if j.Source == "" {
+				jobs = append(jobs, j.ID)
+			}
+		}
+	}
+	if len(jobs) == 0 {
+		st.fail(fmt.Errorf("mycroft: cluster hosts no jobs to subscribe to"))
+		return st
+	}
+	for _, job := range jobs {
+		go cc.tailLoop(string(job), st)
+	}
+	return st
+}
+
+// tailLoop follows one job's event log across whatever peer currently
+// serves it.
+func (cc *ClusterClient) tailLoop(job string, st *Stream) {
+	var last uint64
+	primed := false
+	for !st.isClosed() {
+		progressed := false
+		for _, p := range cc.candidates(job) {
+			if st.isClosed() {
+				return
+			}
+			rc := cc.client(p)
+			req := api.TailRequest{Job: job, AfterSeq: last, TimeoutMs: 1000, Max: 256}
+			if !primed {
+				// Priming probe: learn the current watermark without
+				// replaying history — a live subscription starts "now".
+				req.AfterSeq = math.MaxUint64
+				req.TimeoutMs = 0
+			}
+			var resp api.TailResponse
+			err := rc.post(api.Prefix+"/cluster/tail", req, &resp)
+			if err != nil {
+				if isTransportErr(err) {
+					cc.markDown(p)
+					cc.failovers.Add(1)
+				}
+				// Application errors (peer neither hosts nor follows) also
+				// fall through to the next candidate: after a handoff the
+				// authoritative peer may not be the ring primary.
+				continue
+			}
+			cc.markUp(p)
+			if !primed {
+				last = resp.Watermark
+				primed = true
+				progressed = true
+				break
+			}
+			for _, se := range resp.Entries {
+				if se.Seq <= last {
+					continue
+				}
+				// A jump in the sequence is the drop accounting: entries the
+				// serving peer no longer has (trimmed log) or never got
+				// (replication gap after failover).
+				st.addDropped(se.Seq - last - 1)
+				last = se.Seq
+				e, err := eventFromWire(se.Event)
+				if err != nil {
+					st.fail(err)
+					return
+				}
+				if st.filter.matches(e) {
+					st.deliver(e)
+				}
+			}
+			progressed = true
+			break
+		}
+		if !progressed {
+			// Every candidate refused; back off briefly and retry — the
+			// fleet may be mid-failover.
+			time.Sleep(250 * time.Millisecond)
+		}
+	}
+}

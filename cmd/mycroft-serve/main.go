@@ -19,8 +19,20 @@
 //	curl -s -X POST localhost:7466/v1/subscribe -d '{"filter":{}}'
 //	curl -N localhost:7466/v1/subscriptions/sub-1/sse
 //
-// SIGINT/SIGTERM shut the daemon down cleanly: in-flight requests finish,
-// live subscriptions close, and the process exits 0.
+// SIGINT/SIGTERM shut the daemon down cleanly: live subscribers receive a
+// terminal server-shutdown lifecycle event, in-flight requests finish, and
+// the process exits 0.
+//
+// Cluster mode shards a scenario fleet across N daemons that replicate to
+// each other and fail over together:
+//
+//	mycroft-serve -addr :7471 -scenario multi-job-shared \
+//	  -cluster-id demo -self p1 -peers p1=:7471,p2=:7472,p3=:7473
+//
+// Every peer runs the same command with its own -self: placement is the
+// shared consistent-hash ring, so each daemon hosts exactly the jobs it
+// owns and follows the ones it replicates. Attach with
+// mycroft-trace -addr :7471,:7472,:7473 for job-aware routing and failover.
 package main
 
 import (
@@ -32,10 +44,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"mycroft"
+	"mycroft/internal/cluster"
 	"mycroft/internal/scenario"
 	"mycroft/internal/seedjob"
 )
@@ -54,8 +68,34 @@ func main() {
 		step      = flag.Duration("step", time.Second, "virtual time advanced per tick")
 		tick      = flag.Duration("tick", 20*time.Millisecond, "wall-time pause between ticks (0 = drive flat out)")
 		recordDir = flag.String("record", "", "record per-job incident artifacts to this directory (download live at /v1/jobs/{id}/record)")
+
+		clusterID = flag.String("cluster-id", "", "enable cluster mode under this cluster name (requires -scenario, -self, -peers)")
+		selfName  = flag.String("self", "", "this peer's name in -peers")
+		peerList  = flag.String("peers", "", "comma-separated name=addr list of every cluster member, including self")
+		replicas  = flag.Int("replicas", 1, "replication factor R: ring successors each job replicates to")
+		vnodes    = flag.Int("vnodes", 0, "virtual nodes per peer on the placement ring (0 = default)")
+		replEvery = flag.Duration("replicate-every", 250*time.Millisecond, "wall-time between replication pushes")
+		gossEvery = flag.Duration("gossip-every", time.Second, "wall-time between peer-health gossip rounds")
 	)
 	flag.Parse()
+
+	var clusterCfg *mycroft.ClusterConfig
+	if *clusterID != "" {
+		peers, err := parsePeers(*peerList)
+		if err != nil {
+			die(err)
+		}
+		if *selfName == "" || peers[*selfName] == "" {
+			die(fmt.Errorf("cluster mode needs -self naming an entry in -peers"))
+		}
+		if *scen == "" {
+			die(fmt.Errorf("cluster mode shards a fleet; use -scenario"))
+		}
+		clusterCfg = &mycroft.ClusterConfig{
+			ID: *clusterID, Self: *selfName, SelfAddr: peers[*selfName],
+			Peers: peers, Replicas: *replicas, VNodes: *vnodes,
+		}
+	}
 
 	// Recording must attach before the first simulated instant for the
 	// artifacts to replay byte-for-byte, so both seeding modes defer their
@@ -71,7 +111,15 @@ func main() {
 		if err != nil {
 			die(err)
 		}
-		p, err := scenario.Prepare(spec, *seed)
+		// In cluster mode each peer hosts only the fleet members it owns on
+		// the shared ring; identity is preserved, so the shards' union is
+		// exactly the full fleet.
+		var keep func(index int, id string) bool
+		if clusterCfg != nil {
+			ring := cluster.NewRing(peerNames(clusterCfg.Peers), clusterCfg.VNodes)
+			keep = func(_ int, id string) bool { return ring.Primary(id) == clusterCfg.Self }
+		}
+		p, err := scenario.PrepareSubset(spec, *seed, keep)
 		if err != nil {
 			die(err)
 		}
@@ -79,6 +127,10 @@ func main() {
 		start = p.Start
 		runFor = p.Horizon()
 		jobDesc = fmt.Sprintf("scenario %s, %d job(s)", spec.Name, len(p.Handles))
+		if clusterCfg != nil {
+			jobDesc = fmt.Sprintf("scenario %s, %d/%d job(s) on peer %s",
+				spec.Name, len(p.Handles), spec.JobCount(), clusterCfg.Self)
+		}
 	} else {
 		var err error
 		svc, start, err = seedjob.Assemble(mycroft.JobID(*jobID), *seed, *faultName, *rank, *at, *remedy)
@@ -89,6 +141,11 @@ func main() {
 	}
 
 	srv := mycroft.NewServer(svc)
+	if clusterCfg != nil {
+		if err := srv.EnableCluster(*clusterCfg); err != nil {
+			die(err)
+		}
+	}
 	if *recordDir != "" {
 		if err := srv.RecordTo(*recordDir); err != nil {
 			die(err)
@@ -114,6 +171,14 @@ func main() {
 		}
 	}()
 
+	stopCluster := func() {}
+	if clusterCfg != nil {
+		srv.JoinPeers()
+		stopCluster = srv.StartCluster(*replEvery, *gossEvery)
+		fmt.Fprintf(os.Stderr, "mycroft-serve: cluster %q peer %s (R=%d, %d peer(s))\n",
+			clusterCfg.ID, clusterCfg.Self, clusterCfg.Replicas, len(clusterCfg.Peers))
+	}
+
 	// Drive loop: advance virtual time in steps so subscribers attached
 	// early watch the run unfold, then idle serving the final state.
 	go func() {
@@ -132,6 +197,17 @@ func main() {
 	}()
 
 	<-ctx.Done()
+	stopCluster()
+	if clusterCfg != nil {
+		// Final replication push plus explicit handoff, so a replica is
+		// promoted (and queryable) before this peer's listener dies.
+		if n := srv.HandoffAll(); n > 0 {
+			fmt.Fprintf(os.Stderr, "mycroft-serve: handed off %d job(s)\n", n)
+		}
+	}
+	// Subscribers get a terminal server-shutdown event before their streams
+	// close — a watcher sees the daemon leave, not a silent hangup.
+	srv.AnnounceShutdown()
 	closed := srv.CloseSubscriptions()
 	if err := srv.CloseRecorders(); err != nil {
 		fmt.Fprintln(os.Stderr, "mycroft-serve: finalizing recordings:", err)
@@ -154,6 +230,34 @@ func loadSpec(arg string) (scenario.Spec, error) {
 		return spec, nil
 	}
 	return scenario.Spec{}, fmt.Errorf("mycroft-serve: no file or builtin scenario %q", arg)
+}
+
+// parsePeers reads the -peers list: "p1=host:port,p2=host:port,...".
+func parsePeers(list string) (map[string]string, error) {
+	out := make(map[string]string)
+	for _, part := range strings.Split(list, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, addr, ok := strings.Cut(part, "=")
+		if !ok || name == "" || addr == "" {
+			return nil, fmt.Errorf("bad -peers entry %q (want name=addr)", part)
+		}
+		out[name] = addr
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("cluster mode needs -peers name=addr[,name=addr...]")
+	}
+	return out, nil
+}
+
+func peerNames(peers map[string]string) []string {
+	out := make([]string, 0, len(peers))
+	for name := range peers {
+		out = append(out, name)
+	}
+	return out
 }
 
 func die(err error) {

@@ -54,6 +54,7 @@ import (
 	"io"
 	"os"
 	"slices"
+	"strings"
 	"time"
 
 	"mycroft"
@@ -70,7 +71,7 @@ func main() {
 		dumpN     = flag.Int("n", 20, "records to dump with -dump")
 		pageSize  = flag.Int("page", 512, "query page size for the dump")
 		seed      = flag.Int64("seed", 1, "simulation seed")
-		addr      = flag.String("addr", "", "query a live mycroft-serve daemon instead of simulating in-process")
+		addr      = flag.String("addr", "", "query a live mycroft-serve daemon instead of simulating in-process (comma-separated list dials a cluster: job-aware routing with failover)")
 		jobFlag   = flag.String("job", "", "job id to query (default: the daemon's sole job)")
 		withRem   = flag.Bool("remedy", false, "status mode, in-process: attach the self-healing policy (parity with a daemon started -remedy)")
 		watch     = flag.Bool("watch", false, "status mode: re-render until interrupted")
@@ -92,7 +93,17 @@ func main() {
 	flag.CommandLine.Parse(args)
 
 	var c mycroft.Client
-	if *addr != "" {
+	var cc *mycroft.ClusterClient
+	if strings.Contains(*addr, ",") {
+		// A comma-separated -addr is a cluster: route by job, fail over to
+		// replicas when a peer dies.
+		var err error
+		cc, err = mycroft.DialCluster(strings.Split(*addr, ","))
+		if err != nil {
+			die(err)
+		}
+		c = cc
+	} else if *addr != "" {
 		rc, err := mycroft.Dial(*addr)
 		if err != nil {
 			die(err)
@@ -115,11 +126,20 @@ func main() {
 	var err error
 	switch {
 	case statusMode:
-		err = dumpStatus(c, job, os.Stdout)
+		render := func() error {
+			if e := dumpStatus(c, job, os.Stdout); e != nil {
+				return e
+			}
+			if cc != nil {
+				return dumpClusterStatus(cc, os.Stdout)
+			}
+			return nil
+		}
+		err = render()
 		for err == nil && *watch {
 			time.Sleep(*every)
 			fmt.Println()
-			err = dumpStatus(c, job, os.Stdout)
+			err = render()
 		}
 	case remedyMode:
 		err = dumpRemedy(c, job, os.Stdout)
@@ -415,6 +435,45 @@ func dumpStatus(c mycroft.Client, job mycroft.JobID, w io.Writer) error {
 	}
 	if job != "" && shown == 0 {
 		return fmt.Errorf("no job %q", job)
+	}
+	return nil
+}
+
+// dumpClusterStatus renders the fleet's membership and placement under the
+// per-job status: one row per peer (the client's own reachability overrides
+// the gossip view — a peer nobody can dial is dead no matter what it last
+// said), then one row per job showing where it lives and how far its
+// replicas have caught up.
+func dumpClusterStatus(cc *mycroft.ClusterClient, w io.Writer) error {
+	info, err := cc.ClusterInfo()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\ncluster %q: %d peer(s), R=%d\n", info.ClusterID, len(info.Peers), info.Replicas)
+	fmt.Fprintf(w, "  %-8s %-22s %-8s %s\n", "PEER", "ADDR", "STATE", "LAST-SEEN")
+	for _, p := range info.Peers {
+		last := "-"
+		if p.LastSeenUnixMs > 0 {
+			last = time.Since(time.UnixMilli(p.LastSeenUnixMs)).Round(time.Second).String() + " ago"
+		}
+		fmt.Fprintf(w, "  %-8s %-22s %-8s %s\n", p.Name, p.Addr, p.State, last)
+	}
+	if len(info.Jobs) > 0 {
+		fmt.Fprintf(w, "  %-10s %-8s %-14s %-10s %s\n", "JOB", "PRIMARY", "REPLICAS", "WHERE", "WATERMARK")
+		for _, j := range info.Jobs {
+			where := "replicated"
+			switch {
+			case j.Promoted:
+				where = "promoted"
+			case j.Local:
+				where = "primary"
+			}
+			fmt.Fprintf(w, "  %-10s %-8s %-14s %-10s %d\n",
+				j.ID, j.Primary, strings.Join(j.Replicas, ","), where, j.Watermark)
+		}
+	}
+	if n := cc.Failovers(); n > 0 {
+		fmt.Fprintf(w, "  failovers this session: %d\n", n)
 	}
 	return nil
 }

@@ -35,6 +35,10 @@ const (
 	PhaseJobStopped     = "job-stopped"
 	PhaseBackendStarted = core.PhaseBackendStarted
 	PhaseBackendStopped = core.PhaseBackendStopped
+	// PhaseServerShutdown is the terminal lifecycle event a draining daemon
+	// delivers to every live subscription (Server.AnnounceShutdown), so
+	// clients can tell a clean shutdown from a crash.
+	PhaseServerShutdown = "server-shutdown"
 )
 
 // Event is one observation delivered to a subscription: which hosted job it
@@ -361,6 +365,17 @@ func (st *Stream) Dropped() uint64 {
 func (st *Stream) setRemoteDropped(n uint64) {
 	st.mu.Lock()
 	st.remoteDropped = n
+	st.mu.Unlock()
+}
+
+// addDropped counts events known lost before delivery — the cluster client
+// calls it with the exact seq gaps its tails observe across a failover.
+func (st *Stream) addDropped(n uint64) {
+	if n == 0 {
+		return
+	}
+	st.mu.Lock()
+	st.dropped += n
 	st.mu.Unlock()
 }
 

@@ -1,0 +1,195 @@
+package api
+
+import "fmt"
+
+// Cluster-mode wire types: the /v1/cluster/* endpoint set that turns N
+// mycroft-serve daemons into one diagnosis plane. Peers replicate each
+// job's event stream (plus periodic snapshots and a best-effort trace
+// mirror) from its primary to R followers, exchange health views by
+// gossip, and serve a seq-resumable event tail that a cluster-aware client
+// uses to fail a live subscription over from a dead primary to a replica
+// with exact drop accounting.
+
+// Peer health states on the wire. The ladder is alive → suspect (one missed
+// contact) → dead (MissesBeforeDead consecutive misses).
+const (
+	PeerAlive   = "alive"
+	PeerSuspect = "suspect"
+	PeerDead    = "dead"
+)
+
+// ParsePeerState validates a peer state from the wire.
+func ParsePeerState(s string) (string, error) {
+	switch s {
+	case PeerAlive, PeerSuspect, PeerDead:
+		return s, nil
+	}
+	return "", fmt.Errorf("api: unknown peer state %q", s)
+}
+
+// ClusterPeer is one member of the cluster as seen by the answering peer.
+type ClusterPeer struct {
+	Name string `json:"name"`
+	Addr string `json:"addr"`
+	// State is the answering peer's verdict: alive, suspect or dead.
+	State string `json:"state"`
+	// LastSeenUnixMs is when the answering peer last heard from this peer
+	// directly or via gossip (wall clock; 0 = never).
+	LastSeenUnixMs int64 `json:"last_seen_unix_ms,omitempty"`
+	// Self marks the answering peer's own row.
+	Self bool `json:"self,omitempty"`
+}
+
+// ClusterJob is one placed job: where the ring puts it and what the
+// answering peer holds for it.
+type ClusterJob struct {
+	ID string `json:"id"`
+	// Primary and Replicas are the ring placement (names).
+	Primary  string   `json:"primary"`
+	Replicas []string `json:"replicas,omitempty"`
+	// Local reports that the answering peer hosts the live engine for this
+	// job; Replicated that it holds a replica store for it.
+	Local      bool `json:"local,omitempty"`
+	Replicated bool `json:"replicated,omitempty"`
+	// Promoted reports that the answering peer received a handoff for this
+	// job and now answers authoritatively for it.
+	Promoted bool `json:"promoted,omitempty"`
+	// Watermark is the answering peer's event-log high sequence for the job
+	// (its own log when local, the replicated log otherwise).
+	Watermark uint64 `json:"watermark,omitempty"`
+}
+
+// ClusterInfoResponse answers GET /v1/cluster/info: identity, ring
+// parameters, the answering peer's health view and the job placement table.
+// A client rebuilds the exact placement from ClusterID+Peers+VNodes alone.
+type ClusterInfoResponse struct {
+	ClusterID string `json:"cluster_id"`
+	Self      string `json:"self"`
+	// Replicas is R: how many followers each job's primary replicates to.
+	Replicas int           `json:"replicas"`
+	VNodes   int           `json:"vnodes"`
+	Peers    []ClusterPeer `json:"peers"`
+	Jobs     []ClusterJob  `json:"jobs,omitempty"`
+}
+
+// JoinRequest announces a peer to another peer (POST /v1/cluster/join).
+// Membership is static (the -peers flag); join validates agreement and
+// freshens the health tables on both sides.
+type JoinRequest struct {
+	ClusterID string `json:"cluster_id"`
+	Name      string `json:"name"`
+	Addr      string `json:"addr,omitempty"`
+}
+
+// JoinResponse acks a join with the receiver's identity and current view,
+// so the joiner leaves the exchange with a fresh table.
+type JoinResponse struct {
+	Accepted bool          `json:"accepted"`
+	Self     string        `json:"self"`
+	Peers    []ClusterPeer `json:"peers,omitempty"`
+}
+
+// GossipRequest exchanges health views (POST /v1/cluster/gossip): the
+// sender's table goes in, the receiver's comes back, and both merge by
+// freshest LastSeen.
+type GossipRequest struct {
+	ClusterID string        `json:"cluster_id"`
+	From      string        `json:"from"`
+	Peers     []ClusterPeer `json:"peers,omitempty"`
+}
+
+// GossipResponse is the receiver's view.
+type GossipResponse struct {
+	Peers []ClusterPeer `json:"peers"`
+}
+
+// SeqEvent is one event-log entry: the primary-assigned, per-job,
+// gap-free-ascending sequence number plus the event itself. Sequence
+// numbers are what make tails resumable across peers and drops countable.
+type SeqEvent struct {
+	Seq   uint64 `json:"seq"`
+	Event Event  `json:"event"`
+}
+
+// ClusterSnapshot is the periodically replicated coarse job state: enough
+// for a replica to answer ListJobs/Health/status for the job.
+type ClusterSnapshot struct {
+	NowNs  int64         `json:"now_ns"`
+	Job    JobInfo       `json:"job"`
+	Health JobHealthInfo `json:"health"`
+}
+
+// ReplicateRequest is one asynchronous replication batch from a job's
+// primary to a follower (POST /v1/cluster/replicate): the event-log entries
+// past the follower's last ack, a best-effort trace-record mirror window,
+// and the current snapshot. Watermark is the primary's log head so the
+// follower can measure its own lag.
+type ReplicateRequest struct {
+	ClusterID string     `json:"cluster_id"`
+	From      string     `json:"from"`
+	Job       string     `json:"job"`
+	Entries   []SeqEvent `json:"entries,omitempty"`
+	// Trace is the mirror window: records with Time > the follower's last
+	// acked trace watermark, capped per batch. The mirror is best-effort
+	// (exactness lives in the event log); equal-timestamp boundary records
+	// can be skipped and the window is capped by the primary's retention.
+	Trace []TraceRecord `json:"trace,omitempty"`
+	// TraceWatermarkNs is the max record Time in Trace (0 = none shipped).
+	TraceWatermarkNs int64            `json:"trace_watermark_ns,omitempty"`
+	Snapshot         *ClusterSnapshot `json:"snapshot,omitempty"`
+	Watermark        uint64           `json:"watermark"`
+}
+
+// ReplicateResponse acks a batch: the follower's new event-log head and
+// trace watermark, which the primary uses as the next batch's start.
+type ReplicateResponse struct {
+	AckSeq     uint64 `json:"ack_seq"`
+	TraceAckNs int64  `json:"trace_ack_ns"`
+	// Gap counts event sequence numbers the follower detected as missing
+	// when applying this batch (should stay 0: batches are sent in order).
+	Gap uint64 `json:"gap,omitempty"`
+}
+
+// TailRequest reads a job's event log past a sequence number
+// (POST /v1/cluster/tail). It long-polls like /v1/poll: waits up to
+// TimeoutMs for the log to grow past AfterSeq, then returns up to Max
+// entries. It works identically on the job's primary (live log) and on a
+// replica (replicated log), which is exactly what lets a subscription
+// resume on another peer: the client re-issues the same request with the
+// last seq it saw.
+type TailRequest struct {
+	Job       string `json:"job"`
+	AfterSeq  uint64 `json:"after_seq"`
+	TimeoutMs int    `json:"timeout_ms,omitempty"`
+	Max       int    `json:"max,omitempty"`
+}
+
+// TailResponse is one tail page. Source reports which role answered
+// ("primary", "replica" or "promoted"); a client counts drops from the seq
+// gaps between consecutive entries (a trimmed or lagging log shows up as a
+// jump), so there is no separate dropped field to trust.
+type TailResponse struct {
+	Job       string     `json:"job"`
+	Entries   []SeqEvent `json:"entries,omitempty"`
+	Watermark uint64     `json:"watermark"`
+	Source    string     `json:"source"`
+}
+
+// HandoffRequest is the clean-shutdown transfer (POST /v1/cluster/handoff):
+// a draining primary flushes its replication queues, then tells a follower
+// it is now the authoritative answerer for the job.
+type HandoffRequest struct {
+	ClusterID string `json:"cluster_id"`
+	From      string `json:"from"`
+	Job       string `json:"job"`
+	// Watermark is the primary's final event-log head; the follower can
+	// compare it with its own to report how clean the handoff was.
+	Watermark uint64 `json:"watermark"`
+}
+
+// HandoffResponse acks a handoff. Lag is how many log entries the follower
+// was missing at handoff time (final flush should make it 0).
+type HandoffResponse struct {
+	Accepted bool   `json:"accepted"`
+	Lag      uint64 `json:"lag"`
+}

@@ -37,6 +37,17 @@ type Backend interface {
 	// snapshot: a valid, possibly footer-less capture) to w. It errors when
 	// the job is unknown or the daemon is not recording it.
 	Record(job string, w io.Writer) error
+
+	// Cluster endpoints: peer membership, health gossip, replication and the
+	// seq-resumable event tail ride the same /v1 transport queries use. A
+	// standalone daemon answers every one with a "cluster disabled" error.
+	// ClusterTail may block like Poll (up to its request's timeout).
+	ClusterInfo() (ClusterInfoResponse, error)
+	ClusterJoin(JoinRequest) (JoinResponse, error)
+	ClusterGossip(GossipRequest) (GossipResponse, error)
+	ClusterReplicate(ReplicateRequest) (ReplicateResponse, error)
+	ClusterTail(TailRequest) (TailResponse, error)
+	ClusterHandoff(HandoffRequest) (HandoffResponse, error)
 }
 
 // NewHandler mounts the /v1 wire protocol over a Backend:
@@ -55,6 +66,12 @@ type Backend interface {
 //	POST   /v1/poll                     → PollResponse (long poll)
 //	DELETE /v1/subscriptions/{id}       → 204
 //	GET    /v1/subscriptions/{id}/sse   → text/event-stream
+//	GET    /v1/cluster/info             → ClusterInfoResponse
+//	POST   /v1/cluster/join             → JoinResponse
+//	POST   /v1/cluster/gossip           → GossipResponse
+//	POST   /v1/cluster/replicate        → ReplicateResponse
+//	POST   /v1/cluster/tail             → TailResponse (long poll)
+//	POST   /v1/cluster/handoff          → HandoffResponse
 //
 // Requests are JSON bodies; errors come back as ErrorResponse with a 400.
 func NewHandler(b Backend) http.Handler { return NewInstrumentedHandler(b, nil) }
@@ -114,6 +131,15 @@ func NewInstrumentedHandler(b Backend, reg *obs.Registry) http.Handler {
 	handle("GET", "/subscriptions/{id}/sse", "/v1/subscriptions/{id}/sse", func(w http.ResponseWriter, r *http.Request) {
 		serveSSE(b, w, r)
 	})
+	handle("GET", "/cluster/info", "/v1/cluster/info", func(w http.ResponseWriter, r *http.Request) {
+		resp, err := b.ClusterInfo()
+		answer(w, resp, err)
+	})
+	post(handle, "/cluster/join", b.ClusterJoin)
+	post(handle, "/cluster/gossip", b.ClusterGossip)
+	post(handle, "/cluster/replicate", b.ClusterReplicate)
+	post(handle, "/cluster/tail", b.ClusterTail)
+	post(handle, "/cluster/handoff", b.ClusterHandoff)
 	return mux
 }
 

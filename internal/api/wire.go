@@ -516,6 +516,9 @@ type JobInfo struct {
 	Store      StoreStats `json:"store"`
 	Isolated   []int      `json:"isolated,omitempty"`
 	Policy     string     `json:"policy,omitempty"`
+	// Source marks a row not hosted by the answering daemon: "replica" when
+	// it comes from a cluster peer's replicated snapshot ("" = live local).
+	Source string `json:"source,omitempty"`
 }
 
 // JobsResponse answers GET /v1/jobs.
@@ -698,6 +701,11 @@ type PollResponse struct {
 	Events  []Event `json:"events"`
 	Dropped uint64  `json:"dropped"`
 	Closed  bool    `json:"closed"`
+	// Lost marks an ID the server does not know — the subscription is gone
+	// for good (typically a daemon restart wiped it), as opposed to a clean
+	// Closed whose buffered events were still drainable. Clients surface it
+	// as ErrSubscriptionLost.
+	Lost bool `json:"lost,omitempty"`
 }
 
 // ErrorResponse is the body of every non-200 endpoint answer.

@@ -1,0 +1,305 @@
+package cluster
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"mycroft/internal/api"
+)
+
+func TestRingDeterministicPlacement(t *testing.T) {
+	a := NewRing([]string{"alpha", "beta", "gamma"}, 64)
+	b := NewRing([]string{"gamma", "alpha", "beta", "alpha"}, 64) // order + dups must not matter
+	if a.Size() != 3 || b.Size() != 3 {
+		t.Fatalf("size: %d / %d", a.Size(), b.Size())
+	}
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("job-%d", i)
+		ca, cb := a.Candidates(key, 3), b.Candidates(key, 3)
+		if !reflect.DeepEqual(ca, cb) {
+			t.Fatalf("placement diverged for %s: %v vs %v", key, ca, cb)
+		}
+		if len(ca) != 3 {
+			t.Fatalf("want 3 distinct candidates, got %v", ca)
+		}
+		seen := map[string]bool{}
+		for _, p := range ca {
+			if seen[p] {
+				t.Fatalf("duplicate candidate in %v", ca)
+			}
+			seen[p] = true
+		}
+	}
+}
+
+func TestRingSpreadsLoad(t *testing.T) {
+	r := NewRing([]string{"alpha", "beta", "gamma"}, 64)
+	counts := map[string]int{}
+	for i := 0; i < 300; i++ {
+		counts[r.Primary(fmt.Sprintf("job-%d", i))]++
+	}
+	for _, p := range r.Peers() {
+		if counts[p] == 0 {
+			t.Fatalf("peer %s owns nothing: %v", p, counts)
+		}
+	}
+}
+
+// TestRingPinnedPlacement pins the FNV-1a placement for the exact peer
+// names and job ids the CI 3-peer smoke uses. If this test's expectations
+// ever change, .github/workflows/ci.yml's cluster-smoke step (which
+// hardcodes the primary it kills) must change with it.
+func TestRingPinnedPlacement(t *testing.T) {
+	r := NewRing([]string{"p1", "p2", "p3"}, DefaultVNodes)
+	want := map[string][]string{
+		"job-0": {"p2", "p1"},
+		"job-1": {"p2", "p3"},
+		"job-2": {"p1", "p2"},
+		"job-3": {"p3", "p2"},
+	}
+	for key, exp := range want {
+		if got := r.Candidates(key, 2); !reflect.DeepEqual(got, exp) {
+			t.Fatalf("placement moved: %s -> %v (CI expects %v)", key, got, exp)
+		}
+	}
+	if p := r.Primary("job-0"); p != "p2" {
+		t.Fatalf("job-0 primary moved: %s (CI kills p2)", p)
+	}
+}
+
+func TestEventLogAppendAndTail(t *testing.T) {
+	l := NewEventLog(0)
+	for i := 0; i < 10; i++ {
+		seq := l.Append(api.Event{Job: "j", Kind: "trigger", AtNs: int64(i)})
+		if seq != uint64(i+1) {
+			t.Fatalf("seq %d != %d", seq, i+1)
+		}
+	}
+	out, wm := l.TailAfter(7, 100)
+	if wm != 10 || len(out) != 3 || out[0].Seq != 8 {
+		t.Fatalf("tail: wm=%d out=%v", wm, out)
+	}
+	out, _ = l.TailAfter(0, 2)
+	if len(out) != 2 || out[1].Seq != 2 {
+		t.Fatalf("max clamp: %v", out)
+	}
+}
+
+func TestEventLogTrimSurfacesAsSeqJump(t *testing.T) {
+	l := NewEventLog(4)
+	for i := 0; i < 10; i++ {
+		l.Append(api.Event{Job: "j", AtNs: int64(i)})
+	}
+	if l.Len() != 4 || l.Trimmed() != 6 {
+		t.Fatalf("len=%d trimmed=%d", l.Len(), l.Trimmed())
+	}
+	// A reader whose cursor predates the trim sees the jump, never a lie.
+	out, wm := l.TailAfter(2, 100)
+	if wm != 10 || len(out) != 4 || out[0].Seq != 7 {
+		t.Fatalf("post-trim tail: wm=%d out=%v", wm, out)
+	}
+}
+
+func TestEventLogAppendEntriesGapAccounting(t *testing.T) {
+	l := NewEventLog(0)
+	gap := l.AppendEntries([]api.SeqEvent{{Seq: 1}, {Seq: 2}, {Seq: 3}})
+	if gap != 0 || l.Watermark() != 3 {
+		t.Fatalf("clean apply: gap=%d wm=%d", gap, l.Watermark())
+	}
+	// Duplicate redelivery is idempotent.
+	if gap := l.AppendEntries([]api.SeqEvent{{Seq: 2}, {Seq: 3}}); gap != 0 || l.Len() != 3 {
+		t.Fatalf("dup apply: gap=%d len=%d", gap, l.Len())
+	}
+	// A lost batch shows up as an exact gap count.
+	if gap := l.AppendEntries([]api.SeqEvent{{Seq: 7}}); gap != 3 {
+		t.Fatalf("want gap 3 (seqs 4,5,6), got %d", gap)
+	}
+	// A fresh follower joining late counts the missed prefix.
+	l2 := NewEventLog(0)
+	if gap := l2.AppendEntries([]api.SeqEvent{{Seq: 5}}); gap != 4 {
+		t.Fatalf("late join: want gap 4, got %d", gap)
+	}
+}
+
+func TestEventLogTailWait(t *testing.T) {
+	l := NewEventLog(0)
+	done := make(chan []api.SeqEvent, 1)
+	go func() {
+		out, _ := l.TailWait(0, 10, 2*time.Second)
+		done <- out
+	}()
+	time.Sleep(20 * time.Millisecond)
+	l.Append(api.Event{Job: "j", Kind: "trigger"})
+	select {
+	case out := <-done:
+		if len(out) != 1 || out[0].Seq != 1 {
+			t.Fatalf("woke with %v", out)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("TailWait never woke")
+	}
+	// Expired wait returns empty, not an error.
+	out, wm := l.TailWait(5, 10, 10*time.Millisecond)
+	if len(out) != 0 || wm != 1 {
+		t.Fatalf("expired wait: %v wm=%d", out, wm)
+	}
+}
+
+func TestReplicaStoreApplyAndQueries(t *testing.T) {
+	rs := NewReplicaStore(0, 0)
+	resp := rs.Apply(api.ReplicateRequest{
+		From: "p1", Job: "job-0",
+		Entries: []api.SeqEvent{
+			{Seq: 1, Event: api.Event{Job: "job-0", Kind: "trigger", AtNs: 100, Trigger: &api.Trigger{Kind: "timeout", Rank: 5, AtNs: 100}}},
+			{Seq: 2, Event: api.Event{Job: "job-0", Kind: "report", AtNs: 200, Report: &api.Report{Suspect: 5, Category: "nic", AnalyzedAtNs: 200}}},
+			{Seq: 3, Event: api.Event{Job: "job-0", Kind: "remedy", AtNs: 300, Action: &api.Attempt{Action: api.Action{Kind: "isolate", Rank: 5}, Outcome: "resolved", ReportedAtNs: 300}}},
+		},
+		Trace:            []api.TraceRecord{{Kind: "op", TimeNs: 50, Rank: 1}, {Kind: "op", TimeNs: 150, Rank: 5}},
+		TraceWatermarkNs: 150,
+		Snapshot:         &api.ClusterSnapshot{NowNs: 400, Job: api.JobInfo{ID: "job-0", WorldSize: 8}},
+		Watermark:        3,
+	})
+	if resp.AckSeq != 3 || resp.Gap != 0 || resp.TraceAckNs != 150 {
+		t.Fatalf("ack: %+v", resp)
+	}
+	rj := rs.Job("job-0")
+	if rj == nil {
+		t.Fatal("job not stored")
+	}
+	if s := rj.Snapshot(); s == nil || s.Job.WorldSize != 8 {
+		t.Fatalf("snapshot: %+v", s)
+	}
+
+	tr := rj.QueryTriggers(api.TriggersRequest{Ranks: []int{5}})
+	if tr.Total != 1 || len(tr.Triggers) != 1 || tr.Triggers[0].Trigger.Kind != "timeout" {
+		t.Fatalf("triggers: %+v", tr)
+	}
+	if tr := rj.QueryTriggers(api.TriggersRequest{Ranks: []int{6}}); tr.Total != 0 {
+		t.Fatalf("rank filter leak: %+v", tr)
+	}
+	rp := rj.QueryReports(api.ReportsRequest{Categories: []string{"nic"}})
+	if rp.Total != 1 || rp.Reports[0].Report.Suspect != 5 {
+		t.Fatalf("reports: %+v", rp)
+	}
+	rm := rj.QueryRemediations(api.RemediationsRequest{Outcomes: []string{"resolved"}})
+	if rm.Total != 1 || rm.Attempts[0].Attempt.Action.Kind != "isolate" {
+		t.Fatalf("remediations: %+v", rm)
+	}
+	tq := rj.QueryTrace(api.TraceRequest{FromNs: 100})
+	if tq.Total != 1 || tq.Records[0].TimeNs != 150 {
+		t.Fatalf("trace window: %+v", tq)
+	}
+
+	// Pagination conventions match the live side: NextOffset -1 when done.
+	page := rj.QueryTriggers(api.TriggersRequest{Limit: 1})
+	if page.NextOffset != -1 || len(page.Triggers) != 1 {
+		t.Fatalf("page: %+v", page)
+	}
+}
+
+func TestReplicaStorePromote(t *testing.T) {
+	rs := NewReplicaStore(0, 0)
+	rs.Apply(api.ReplicateRequest{From: "p1", Job: "j", Entries: []api.SeqEvent{{Seq: 1}, {Seq: 2}}, Watermark: 2})
+	lag, err := rs.Promote("j", "p1", 5)
+	if err != nil || lag != 3 {
+		t.Fatalf("lag=%d err=%v", lag, err)
+	}
+	if !rs.Job("j").Promoted() {
+		t.Fatal("not promoted")
+	}
+	// Handoff for a never-seen job still succeeds (empty follower).
+	if lag, err := rs.Promote("ghost", "p1", 4); err != nil || lag != 4 {
+		t.Fatalf("ghost handoff: lag=%d err=%v", lag, err)
+	}
+}
+
+func TestNodePlacementAndHealthLadder(t *testing.T) {
+	peers := map[string]string{"p1": "127.0.0.1:1", "p2": "127.0.0.1:2", "p3": "127.0.0.1:3"}
+	n, err := NewNode("c1", "p2", "127.0.0.1:2", peers, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, reps := n.Placement("job-0")
+	if p == "" || len(reps) != 1 || reps[0] == p {
+		t.Fatalf("placement: %s %v", p, reps)
+	}
+	if n.Owns("job-0") != (p == "p2") {
+		t.Fatal("Owns disagrees with Placement")
+	}
+
+	// Ladder: alive → suspect on one miss → dead on the third → alive on success.
+	if n.State("p1") != api.PeerAlive {
+		t.Fatalf("initial: %s", n.State("p1"))
+	}
+	n.MarkContact("p1", false)
+	if n.State("p1") != api.PeerSuspect || !n.Alive("p1") {
+		t.Fatalf("after 1 miss: %s", n.State("p1"))
+	}
+	n.MarkContact("p1", false)
+	n.MarkContact("p1", false)
+	if n.State("p1") != api.PeerDead || n.Alive("p1") {
+		t.Fatalf("after 3 misses: %s", n.State("p1"))
+	}
+	n.MarkContact("p1", true)
+	if n.State("p1") != api.PeerAlive {
+		t.Fatalf("after recovery: %s", n.State("p1"))
+	}
+	if n.State("p2") != api.PeerAlive { // self
+		t.Fatal("self must read alive")
+	}
+}
+
+func TestNodeGossipMergeByFreshness(t *testing.T) {
+	peers := map[string]string{"p1": "a", "p2": "b", "p3": "c"}
+	n, _ := NewNode("c1", "p1", "a", peers, 1, 0)
+	n.MarkContact("p3", false)
+	n.MarkContact("p3", false)
+	n.MarkContact("p3", false)
+	if n.State("p3") != api.PeerDead {
+		t.Fatal("setup: p3 should be dead")
+	}
+	// A fresher gossip row saying p3 recovered wins.
+	n.Merge([]api.ClusterPeer{{Name: "p3", State: api.PeerAlive, LastSeenUnixMs: time.Now().Add(time.Second).UnixMilli()}})
+	if n.State("p3") != api.PeerAlive {
+		t.Fatalf("merge did not revive: %s", n.State("p3"))
+	}
+	// A stale row (LastSeen zero or older) is ignored.
+	n.Merge([]api.ClusterPeer{{Name: "p3", State: api.PeerDead}})
+	if n.State("p3") != api.PeerAlive {
+		t.Fatal("stale row overwrote fresh state")
+	}
+	// Rows about self or strangers are ignored.
+	n.Merge([]api.ClusterPeer{
+		{Name: "p1", State: api.PeerDead, LastSeenUnixMs: time.Now().UnixMilli()},
+		{Name: "nobody", State: api.PeerDead, LastSeenUnixMs: time.Now().UnixMilli()},
+	})
+	if n.State("p1") != api.PeerAlive {
+		t.Fatal("self row applied")
+	}
+}
+
+func TestNodeReplicasClamped(t *testing.T) {
+	n, _ := NewNode("c1", "solo", "a", map[string]string{"solo": "a"}, 2, 0)
+	if n.Replicas != 0 {
+		t.Fatalf("solo cluster must clamp R to 0, got %d", n.Replicas)
+	}
+	_, reps := n.Placement("job-0")
+	if len(reps) != 0 {
+		t.Fatalf("solo replicas: %v", reps)
+	}
+}
+
+func BenchmarkClusterRoute(b *testing.B) {
+	r := NewRing([]string{"p1", "p2", "p3", "p4", "p5"}, DefaultVNodes)
+	keys := make([]string, 128)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("job-%d", i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Candidates(keys[i%len(keys)], 3)
+	}
+}

@@ -1,0 +1,153 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+
+	"mycroft/internal/api"
+)
+
+// DefaultLogCap bounds a per-job event log when the caller does not say.
+// The log is the failover window: a subscriber that resumes on another peer
+// can only replay what the log still holds, and anything trimmed past its
+// cursor is counted (exactly, via the seq gap) as dropped.
+const DefaultLogCap = 4096
+
+// EventLog is one job's sequence-numbered event history. A primary appends
+// domain events as they dispatch (Append assigns gap-free ascending seqs);
+// a replica applies replicated entries preserving the primary's seqs
+// (AppendEntries). TailAfter reads past a cursor, and waiters park on a
+// broadcast channel so a tail long-poll costs nothing while the log is
+// quiet.
+type EventLog struct {
+	mu      sync.Mutex
+	cap     int
+	entries []api.SeqEvent
+	lastSeq uint64        // highest seq held (or assigned)
+	trimmed uint64        // entries aged out of the front, lifetime
+	wake    chan struct{} // closed to broadcast growth; re-armed each time
+}
+
+// NewEventLog builds a log holding at most cap entries (<=0 = DefaultLogCap).
+func NewEventLog(cap int) *EventLog {
+	if cap <= 0 {
+		cap = DefaultLogCap
+	}
+	return &EventLog{cap: cap, wake: make(chan struct{})}
+}
+
+// Append assigns the next sequence number to e and stores it, trimming the
+// front when the log is full. It returns the assigned seq.
+func (l *EventLog) Append(e api.Event) uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.lastSeq++
+	l.push(api.SeqEvent{Seq: l.lastSeq, Event: e})
+	return l.lastSeq
+}
+
+// AppendEntries applies replicated entries, preserving their primary-
+// assigned seqs. Entries at or below the current head are duplicates of an
+// already-applied batch and are skipped. It returns how many sequence
+// numbers were skipped over (a gap means a batch was lost in transit —
+// the sender's cursor protocol should keep this 0).
+func (l *EventLog) AppendEntries(entries []api.SeqEvent) (gap uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, se := range entries {
+		if se.Seq <= l.lastSeq {
+			continue
+		}
+		if l.lastSeq != 0 || len(l.entries) > 0 {
+			gap += se.Seq - l.lastSeq - 1
+		} else if se.Seq > 1 {
+			// First entry ever: seqs 1..Seq-1 happened before this replica
+			// started following. That is lag, not loss in transit; count it
+			// so the caller can decide.
+			gap += se.Seq - 1
+		}
+		l.lastSeq = se.Seq
+		l.push(se)
+	}
+	return gap
+}
+
+// push stores one entry and trims. Callers hold l.mu.
+func (l *EventLog) push(se api.SeqEvent) {
+	l.entries = append(l.entries, se)
+	if over := len(l.entries) - l.cap; over > 0 {
+		l.entries = append(l.entries[:0], l.entries[over:]...)
+		l.trimmed += uint64(over)
+	}
+	close(l.wake)
+	l.wake = make(chan struct{})
+}
+
+// Watermark is the highest sequence number the log has seen.
+func (l *EventLog) Watermark() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lastSeq
+}
+
+// Len reports how many entries the log currently holds.
+func (l *EventLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.entries)
+}
+
+// Trimmed reports how many entries have aged out of the front, lifetime.
+func (l *EventLog) Trimmed() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.trimmed
+}
+
+// TailAfter returns up to max entries with Seq > after, plus the current
+// watermark. The caller detects trimming (and replication gaps) from the
+// sequence jump between its cursor and the first returned entry — the log
+// never hides a discontinuity.
+func (l *EventLog) TailAfter(after uint64, max int) (out []api.SeqEvent, watermark uint64) {
+	if max <= 0 {
+		max = 256
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, se := range l.entries {
+		if se.Seq <= after {
+			continue
+		}
+		out = append(out, se)
+		if len(out) >= max {
+			break
+		}
+	}
+	return out, l.lastSeq
+}
+
+// TailWait is TailAfter with a bounded wait: when nothing is past the
+// cursor it parks until the log grows or the timeout lapses, so a tail
+// long-poll does not busy-spin. The wait is wall-clock.
+func (l *EventLog) TailWait(after uint64, max int, timeout time.Duration) ([]api.SeqEvent, uint64) {
+	deadline := time.Now().Add(timeout)
+	for {
+		out, wm := l.TailAfter(after, max)
+		if len(out) > 0 || timeout <= 0 {
+			return out, wm
+		}
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return out, wm
+		}
+		l.mu.Lock()
+		wake := l.wake
+		l.mu.Unlock()
+		timer := time.NewTimer(remain)
+		select {
+		case <-wake:
+		case <-timer.C:
+		}
+		timer.Stop()
+	}
+}

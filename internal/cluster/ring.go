@@ -1,0 +1,122 @@
+// Package cluster is the coordination layer that turns N independent
+// mycroft-serve processes into one diagnosis plane: a consistent-hash ring
+// that places jobs on peers, a seq-numbered event log that makes a job's
+// event stream resumable across peers, a replica store that holds the
+// asynchronously replicated state of jobs a peer follows, and a peer table
+// with a gossip-fed health ladder.
+//
+// Everything here is deterministic given the same inputs: the ring hashes
+// with FNV-1a (splitmix64-finished) over stable strings, so every peer (and every DialCluster
+// client) computes the identical placement from the same peer list without
+// any coordination traffic. The package deliberately speaks only wire types
+// (internal/api) — it never touches the engine — so both the serving and the
+// dialing side can share it without an import cycle.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// DefaultVNodes is how many virtual nodes each peer contributes to the ring
+// when the caller does not say. More vnodes smooth placement at the cost of
+// a larger (still tiny) sorted point table.
+const DefaultVNodes = 64
+
+// Ring is a consistent-hash ring with virtual nodes. Placement is a pure
+// function of (peer names, vnodes): every participant that agrees on the
+// membership list computes identical primaries and replica sets, which is
+// what lets clients route without asking anyone.
+type Ring struct {
+	vnodes int
+	peers  []string
+	points []ringPoint // ascending by hash
+}
+
+type ringPoint struct {
+	hash uint64
+	peer string
+}
+
+// NewRing builds the ring. Peer order does not matter; duplicates are
+// collapsed. vnodes <= 0 means DefaultVNodes.
+func NewRing(peers []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	seen := make(map[string]bool, len(peers))
+	r := &Ring{vnodes: vnodes}
+	for _, p := range peers {
+		if p == "" || seen[p] {
+			continue
+		}
+		seen[p] = true
+		r.peers = append(r.peers, p)
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: hash64(fmt.Sprintf("%s#%d", p, v)), peer: p})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].peer < r.points[j].peer // total order even on hash ties
+	})
+	sort.Strings(r.peers)
+	return r
+}
+
+// Peers lists the ring members, sorted.
+func (r *Ring) Peers() []string { return append([]string(nil), r.peers...) }
+
+// Size reports how many peers the ring holds.
+func (r *Ring) Size() int { return len(r.peers) }
+
+// Primary names the peer that owns key. Empty ring returns "".
+func (r *Ring) Primary(key string) string {
+	c := r.Candidates(key, 1)
+	if len(c) == 0 {
+		return ""
+	}
+	return c[0]
+}
+
+// Candidates returns up to n distinct peers for key in preference order:
+// the primary first, then the successor peers clockwise around the ring —
+// the job's replica set. n larger than the membership returns every peer.
+func (r *Ring) Candidates(key string, n int) []string {
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.peers) {
+		n = len(r.peers)
+	}
+	h := hash64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)].peer
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	// FNV-1a barely diffuses the last byte of short shared-prefix keys
+	// ("job-0".."job-99" hash into one narrow band, collapsing placement onto
+	// one peer), so finish with a splitmix64 mix.
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -129,7 +129,7 @@ func RunWith(spec Spec, seed int64, opts RunOptions) (*Result, error) {
 	res := &Result{Name: spec.Name, Seed: seed}
 	jobs := resolveFleet(spec.Fleet, seed)
 	if spec.Fleet.SharedEngine {
-		p, err := prepare(spec, jobs, seed)
+		p, err := prepare(spec, jobs, seed, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -214,8 +214,9 @@ type Prepared struct {
 	Service *mycroft.Service
 	Handles []*mycroft.JobHandle
 
-	jobs  []jobSpec
-	plans []faults.Plan
+	jobs    []jobSpec
+	plans   []faults.Plan
+	indices []int // original fleet index of each hosted member
 }
 
 // Prepare validates the spec and builds the whole fleet on one Service,
@@ -231,27 +232,53 @@ func Prepare(spec Spec, seed int64) (*Prepared, error) {
 	if seed == 0 {
 		seed = 1
 	}
-	return prepare(spec, resolveFleet(spec.Fleet, seed), seed)
+	return prepare(spec, resolveFleet(spec.Fleet, seed), seed, nil)
 }
 
-// prepare builds the shared Service for an already-resolved fleet.
-func prepare(spec Spec, jobs []jobSpec, seed int64) (*Prepared, error) {
-	svc := mycroft.NewService(mycroft.ServiceOptions{Seed: seed})
-	p := &Prepared{
-		Spec: spec, Seed: seed, Service: svc,
-		Handles: make([]*mycroft.JobHandle, len(jobs)),
-		jobs:    jobs, plans: make([]faults.Plan, len(jobs)),
+// PrepareSubset builds only the fleet members keep selects, preserving each
+// member's identity: a kept job carries the same id ("job-N"), topology,
+// policies, and injection-schedule seed it would have in the full fleet.
+// That invariant is what lets a cluster shard a scenario: every
+// mycroft-serve peer calls PrepareSubset with the same spec and seed but
+// its own placement predicate, and the union of the shards is
+// byte-identical to one engine hosting everything. keep == nil keeps all;
+// a peer that owns no members gets an empty (but valid) Service.
+func PrepareSubset(spec Spec, seed int64, keep func(index int, id string) bool) (*Prepared, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
 	}
+	if seed == 0 {
+		seed = spec.Seed
+	}
+	if seed == 0 {
+		seed = 1
+	}
+	return prepare(spec, resolveFleet(spec.Fleet, seed), seed, keep)
+}
+
+// prepare builds the shared Service for an already-resolved fleet,
+// hosting only the members keep selects (nil keeps all). Per-member
+// identity is derived from the original fleet index regardless of the
+// subset, so shards agree with the full fleet.
+func prepare(spec Spec, jobs []jobSpec, seed int64, keep func(index int, id string) bool) (*Prepared, error) {
+	svc := mycroft.NewService(mycroft.ServiceOptions{Seed: seed})
+	p := &Prepared{Spec: spec, Seed: seed, Service: svc}
 	for i, js := range jobs {
-		h, err := svc.AddJob(mycroft.JobID(fmt.Sprintf("job-%d", i)), jobOptions(js))
+		id := fmt.Sprintf("job-%d", i)
+		if keep != nil && !keep(i, id) {
+			continue
+		}
+		h, err := svc.AddJob(mycroft.JobID(id), jobOptions(js))
 		if err != nil {
 			return nil, fmt.Errorf("scenario %s: job %d: %w", spec.Name, i, err)
 		}
-		p.Handles[i] = h
 		if err := attachPolicies(spec, i, svc, h); err != nil {
 			return nil, err
 		}
-		p.plans[i] = schedule(spec, i, mix(seed, int64(i)), h)
+		p.Handles = append(p.Handles, h)
+		p.jobs = append(p.jobs, js)
+		p.plans = append(p.plans, schedule(spec, i, mix(seed, int64(i)), h))
+		p.indices = append(p.indices, i)
 	}
 	return p, nil
 }
@@ -266,7 +293,7 @@ func (p *Prepared) Horizon() time.Duration { return p.Spec.runFor() }
 func (p *Prepared) Collect() []JobResult {
 	out := make([]JobResult, 0, len(p.jobs))
 	for i, js := range p.jobs {
-		out = append(out, collect(js, i, p.Handles[i], p.plans[i]))
+		out = append(out, collect(js, p.indices[i], p.Handles[i], p.plans[i]))
 	}
 	return out
 }

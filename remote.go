@@ -3,14 +3,29 @@ package mycroft
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
+	"net/url"
 	"strings"
+	"syscall"
 	"time"
 
 	"mycroft/internal/api"
 )
+
+// ErrUnreachable marks a dial (or cluster route) that exhausted its
+// connection retries: every attempt was refused, reset or timed out at the
+// transport layer. Test with errors.Is.
+var ErrUnreachable = errors.New("daemon unreachable")
+
+// ErrSubscriptionLost marks a subscription whose server-side half is gone
+// for good — typically the daemon restarted and wiped its subscription
+// table. The stream closes with this as its Err; resubscribe to continue.
+// Test with errors.Is.
+var ErrSubscriptionLost = errors.New("subscription lost")
 
 // RemoteClient is the Client implementation that speaks the /v1 wire
 // protocol to a mycroft-serve daemon. Every query converts to the versioned
@@ -29,18 +44,91 @@ type RemoteClient struct {
 	serverStarted time.Time
 }
 
-// Dial connects to a daemon at addr ("host:port" or a full http:// URL),
-// verifying the wire-protocol version via /v1/ping.
-func Dial(addr string) (*RemoteClient, error) {
+// DialOption tunes Dial's connection-retry behavior.
+type DialOption func(*dialConfig)
+
+type dialConfig struct {
+	attempts  int
+	baseDelay time.Duration
+	maxDelay  time.Duration
+}
+
+// DialAttempts sets how many connection attempts Dial makes before giving
+// up with ErrUnreachable (default 4; minimum 1). Only refused/reset/timeout
+// transport errors are retried — a daemon that answers with the wrong wire
+// version fails immediately.
+func DialAttempts(n int) DialOption {
+	return func(c *dialConfig) {
+		if n >= 1 {
+			c.attempts = n
+		}
+	}
+}
+
+// normalizeBase turns "host:port" or an http URL into a canonical base URL.
+func normalizeBase(addr string) string {
 	base := addr
+	if base == "" {
+		return ""
+	}
 	if !strings.Contains(base, "://") {
 		base = "http://" + base
 	}
-	base = strings.TrimRight(base, "/")
-	c := &RemoteClient{base: base, hc: &http.Client{Timeout: 60 * time.Second}}
+	return strings.TrimRight(base, "/")
+}
+
+// isTransportErr reports whether err is a connection-layer failure
+// (refused, reset, dial timeout) rather than an application answer —
+// exactly the class worth retrying or failing over.
+func isTransportErr(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, syscall.ECONNREFUSED) || errors.Is(err, syscall.ECONNRESET) || errors.Is(err, syscall.EPIPE) {
+		return true
+	}
+	// A peer dying mid-request surfaces as a bare EOF on the reused
+	// connection — as much "unreachable" as a refused dial.
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return true
+	}
+	var ue *url.Error
+	if errors.As(err, &ue) && ue.Timeout() {
+		return true
+	}
+	var oe *net.OpError
+	return errors.As(err, &oe)
+}
+
+// Dial connects to a daemon at addr ("host:port" or a full http:// URL),
+// verifying the wire-protocol version via /v1/ping. Refused or reset
+// connections are retried with capped exponential backoff (a daemon that is
+// still binding its port wins the race within a few attempts); exhausting
+// the retries returns an error wrapping ErrUnreachable.
+func Dial(addr string, opts ...DialOption) (*RemoteClient, error) {
+	cfg := dialConfig{attempts: 4, baseDelay: 50 * time.Millisecond, maxDelay: time.Second}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	c := &RemoteClient{base: normalizeBase(addr), hc: &http.Client{Timeout: 60 * time.Second}}
 	var ping api.PingResponse
-	if err := c.get(api.Prefix+"/ping", &ping); err != nil {
-		return nil, fmt.Errorf("mycroft: dialing %s: %w", addr, err)
+	var err error
+	delay := cfg.baseDelay
+	for attempt := 1; ; attempt++ {
+		err = c.get(api.Prefix+"/ping", &ping)
+		if err == nil {
+			break
+		}
+		if !isTransportErr(err) || attempt >= cfg.attempts {
+			if isTransportErr(err) {
+				return nil, fmt.Errorf("mycroft: dialing %s (%d attempts): %w: %v", addr, attempt, ErrUnreachable, err)
+			}
+			return nil, fmt.Errorf("mycroft: dialing %s: %w", addr, err)
+		}
+		time.Sleep(delay)
+		if delay *= 2; delay > cfg.maxDelay {
+			delay = cfg.maxDelay
+		}
 	}
 	if ping.Version != api.Version {
 		return nil, fmt.Errorf("mycroft: daemon at %s speaks wire version %d, this client speaks %d", addr, ping.Version, api.Version)
@@ -210,6 +298,13 @@ func (c *RemoteClient) pollLoop(id string, st *Stream) {
 			st.deliver(e)
 		}
 		st.setRemoteDropped(resp.Dropped)
+		if resp.Lost {
+			// The server does not know this ID at all — a restart wiped it.
+			// Unlike a clean Closed there is nothing left to drain; surface
+			// the typed error so callers know to resubscribe.
+			st.fail(fmt.Errorf("mycroft: subscription %s: %w", id, ErrSubscriptionLost))
+			return
+		}
 		if resp.Closed {
 			st.Close()
 			return

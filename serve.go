@@ -37,6 +37,10 @@ type Server struct {
 	// what they connected to.
 	identity string
 	started  time.Time
+
+	// cluster is non-nil once EnableCluster ran: this daemon is one peer of
+	// a sharded/replicated fleet (see cluster.go).
+	cluster *serverCluster
 }
 
 // servedRecord is one job's live incident capture: the recorder plus the
@@ -182,18 +186,47 @@ func (sv *Server) Advance(d time.Duration) bool {
 	sv.mu.Lock()
 	defer sv.mu.Unlock()
 	sv.svc.Run(d)
+	if sv.cluster != nil {
+		// Move everything this step dispatched into the per-job event logs
+		// while still serialized, so tails and replication see a log exactly
+		// as fresh as the engine.
+		sv.cluster.drainTap()
+	}
 	return true
 }
 
+// AnnounceShutdown delivers a terminal lifecycle event (Phase
+// PhaseServerShutdown) to every live wire subscription, so clients can
+// distinguish a clean daemon shutdown from a crash. Call it before
+// CloseSubscriptions — a closed stream no longer accepts deliveries. It
+// returns how many subscriptions were notified.
+func (sv *Server) AnnounceShutdown() int {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	e := Event{Kind: EventLifecycle, Phase: PhaseServerShutdown}
+	if sv.svc != nil {
+		e.At = sv.svc.Now()
+	}
+	for _, ws := range sv.subs {
+		ws.st.deliver(e)
+	}
+	return len(sv.subs)
+}
+
 // CloseSubscriptions closes every live wire subscription (daemon shutdown)
-// and reports how many were force-closed.
+// and reports how many were force-closed. The map entries stay: a final
+// poll still drains buffered events (including AnnounceShutdown's terminal
+// one) and then sees a clean Closed — only an ID the server has never
+// issued (a restart wiped the map) reports Lost.
 func (sv *Server) CloseSubscriptions() int {
 	sv.mu.Lock()
 	defer sv.mu.Unlock()
-	n := len(sv.subs)
-	for id, ws := range sv.subs {
+	n := 0
+	for _, ws := range sv.subs {
+		if !ws.st.isClosed() {
+			n++
+		}
 		ws.st.Close()
-		delete(sv.subs, id)
 	}
 	return n
 }
@@ -227,6 +260,13 @@ func (b *apiBackend) Health() (api.HealthResponse, error) {
 	// The serving process, not the wrapped client, owns uptime and identity.
 	w.UptimeMs = time.Since(b.sv.started).Milliseconds()
 	w.Server = b.sv.identity
+	if cl := b.sv.cluster; cl != nil {
+		for _, id := range cl.store.Jobs() {
+			if snap := cl.store.Job(id).Snapshot(); snap != nil && snap.Health.Job != "" {
+				w.Jobs = append(w.Jobs, snap.Health)
+			}
+		}
+	}
 	return w, nil
 }
 
@@ -237,10 +277,25 @@ func (b *apiBackend) ListJobs() (api.JobsResponse, error) {
 	if err != nil {
 		return api.JobsResponse{}, err
 	}
-	return jobsResultToWire(res), nil
+	w := jobsResultToWire(res)
+	if cl := b.sv.cluster; cl != nil {
+		// Followed jobs ride along from their latest replicated snapshot,
+		// marked so clients can tell live from mirrored rows.
+		for _, id := range cl.store.Jobs() {
+			if snap := cl.store.Job(id).Snapshot(); snap != nil {
+				ji := snap.Job
+				ji.Source = "replica"
+				w.Jobs = append(w.Jobs, ji)
+			}
+		}
+	}
+	return w, nil
 }
 
 func (b *apiBackend) QueryTrace(req api.TraceRequest) (api.TraceResponse, error) {
+	if resp, ok := b.replicaTrace(req); ok {
+		return resp, nil
+	}
 	q, err := traceQueryFromWire(req)
 	if err != nil {
 		return api.TraceResponse{}, err
@@ -255,6 +310,9 @@ func (b *apiBackend) QueryTrace(req api.TraceRequest) (api.TraceResponse, error)
 }
 
 func (b *apiBackend) QueryTriggers(req api.TriggersRequest) (api.TriggersResponse, error) {
+	if resp, ok := b.replicaTriggers(req); ok {
+		return resp, nil
+	}
 	q, err := triggerQueryFromWire(req)
 	if err != nil {
 		return api.TriggersResponse{}, err
@@ -269,6 +327,9 @@ func (b *apiBackend) QueryTriggers(req api.TriggersRequest) (api.TriggersRespons
 }
 
 func (b *apiBackend) QueryReports(req api.ReportsRequest) (api.ReportsResponse, error) {
+	if resp, ok := b.replicaReports(req); ok {
+		return resp, nil
+	}
 	b.sv.mu.Lock()
 	defer b.sv.mu.Unlock()
 	res, err := b.sv.c.QueryReports(reportQueryFromWire(req))
@@ -279,6 +340,9 @@ func (b *apiBackend) QueryReports(req api.ReportsRequest) (api.ReportsResponse, 
 }
 
 func (b *apiBackend) QueryDependencies(req api.DependenciesRequest) (api.DependenciesResponse, error) {
+	if err := b.sv.loadCluster().replicaGraphErr(req.Job); err != nil {
+		return api.DependenciesResponse{}, err
+	}
 	b.sv.mu.Lock()
 	defer b.sv.mu.Unlock()
 	res, err := b.sv.c.QueryDependencies(dependencyQueryFromWire(req))
@@ -289,6 +353,9 @@ func (b *apiBackend) QueryDependencies(req api.DependenciesRequest) (api.Depende
 }
 
 func (b *apiBackend) BlastRadius(req api.BlastRadiusRequest) (api.BlastRadiusResponse, error) {
+	if err := b.sv.loadCluster().replicaGraphErr(req.Job); err != nil {
+		return api.BlastRadiusResponse{}, err
+	}
 	b.sv.mu.Lock()
 	defer b.sv.mu.Unlock()
 	victims, err := b.sv.c.BlastRadius(JobID(req.Job), Rank(req.Suspect))
@@ -299,6 +366,9 @@ func (b *apiBackend) BlastRadius(req api.BlastRadiusRequest) (api.BlastRadiusRes
 }
 
 func (b *apiBackend) QueryRemediations(req api.RemediationsRequest) (api.RemediationsResponse, error) {
+	if resp, ok := b.replicaRemediations(req); ok {
+		return resp, nil
+	}
 	q, err := remediationQueryFromWire(req)
 	if err != nil {
 		return api.RemediationsResponse{}, err
@@ -313,6 +383,9 @@ func (b *apiBackend) QueryRemediations(req api.RemediationsRequest) (api.Remedia
 }
 
 func (b *apiBackend) Triage(req api.TriageRequest) (api.TriageResponse, error) {
+	if resp, ok := b.replicaTriage(req.Job); ok {
+		return resp, nil
+	}
 	b.sv.mu.Lock()
 	defer b.sv.mu.Unlock()
 	res, err := b.sv.c.Triage(JobID(req.Job))
@@ -364,9 +437,11 @@ func (b *apiBackend) Poll(req api.PollRequest) (api.PollResponse, error) {
 	}
 	b.sv.mu.Unlock()
 	if st == nil {
-		// Unknown, already-unsubscribed or reaped: tell the poller to stop,
-		// rather than erroring a benign shutdown race.
-		return api.PollResponse{Closed: true}, nil
+		// An ID this server never issued (or already reaped): the
+		// subscription is gone for good — most often a daemon restart wiped
+		// it. Lost tells the client to surface ErrSubscriptionLost instead
+		// of treating this like a clean close.
+		return api.PollResponse{Closed: true, Lost: true}, nil
 	}
 	max := req.Max
 	if max <= 0 {

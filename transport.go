@@ -310,7 +310,7 @@ func jobsResultToWire(res JobsResult) api.JobsResponse {
 		resp.Jobs = append(resp.Jobs, api.JobInfo{
 			ID: string(j.ID), WorldSize: j.WorldSize, Iterations: j.Iterations,
 			Records: j.Records, Store: api.FromStats(j.Store),
-			Isolated: ranksToInts(j.Isolated), Policy: j.Policy,
+			Isolated: ranksToInts(j.Isolated), Policy: j.Policy, Source: j.Source,
 		})
 	}
 	return resp
@@ -322,7 +322,7 @@ func jobsResultFromWire(resp api.JobsResponse) JobsResult {
 		res.Jobs = append(res.Jobs, JobInfo{
 			ID: JobID(j.ID), WorldSize: j.WorldSize, Iterations: j.Iterations,
 			Records: j.Records, Store: j.Store.Stats(),
-			Isolated: intsToRanks(j.Isolated), Policy: j.Policy,
+			Isolated: intsToRanks(j.Isolated), Policy: j.Policy, Source: j.Source,
 		})
 	}
 	return res
