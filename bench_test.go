@@ -21,6 +21,7 @@ import (
 	"mycroft/internal/experiments"
 	"mycroft/internal/faults"
 	"mycroft/internal/obs"
+	"mycroft/internal/otrace"
 	"mycroft/internal/scenario"
 	"mycroft/internal/sim"
 	"mycroft/internal/topo"
@@ -483,12 +484,13 @@ func BenchmarkObsCounter(b *testing.B) {
 	}
 }
 
-// BenchmarkIngestInstrumented prices the metrics hooks on the M4 ingest
-// path: identical 64-record batch ingest with and without instruments on
-// the store. The acceptance budget for the instrumented path is a ≤5%
+// BenchmarkIngestInstrumented prices the observability hooks on the M4
+// ingest path: identical 64-record batch ingest bare, with metrics
+// instruments on the store, and with the pipeline span tracer attached on
+// top. The acceptance budget for each instrumented path is a ≤5%
 // regression over bare.
 func BenchmarkIngestInstrumented(b *testing.B) {
-	run := func(b *testing.B, instrumented bool) {
+	run := func(b *testing.B, instrumented, spanned bool) {
 		eng := sim.NewEngine(1)
 		db := clouddb.New(eng, 0)
 		if instrumented {
@@ -502,6 +504,9 @@ func BenchmarkIngestInstrumented(b *testing.B) {
 				QueryLatency: reg.Histogram("mycroft_query_latency_seconds", "Query latency.", obs.LatencyBuckets),
 			})
 		}
+		if spanned {
+			db.SetTracer(otrace.NewTracer(otrace.NewRecorder(otrace.DefaultCapacity, eng.Now), "bench"))
+		}
 		batch := make([]trace.Record, 64)
 		ts := sim.Time(0)
 		b.ReportAllocs()
@@ -514,8 +519,9 @@ func BenchmarkIngestInstrumented(b *testing.B) {
 			db.Ingest(batch)
 		}
 	}
-	b.Run("bare", func(b *testing.B) { run(b, false) })
-	b.Run("instrumented", func(b *testing.B) { run(b, true) })
+	b.Run("bare", func(b *testing.B) { run(b, false, false) })
+	b.Run("instrumented", func(b *testing.B) { run(b, true, false) })
+	b.Run("instrumented+spans", func(b *testing.B) { run(b, true, true) })
 }
 
 // Ablation benches for the backend's design knobs (§9 heuristics): virtual

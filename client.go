@@ -30,6 +30,9 @@ type Client interface {
 	BlastRadius(job JobID, suspect Rank) ([]Rank, error)
 	// QueryRemediations pages the remediation audit log across hosted jobs.
 	QueryRemediations(RemediationQuery) (RemediationResult, error)
+	// QuerySpans reads a job's pipeline span ring: per-incident latency
+	// attribution from ingest to remediation.
+	QuerySpans(SpanQuery) (SpanResult, error)
 	// Triage runs the Fig. 6 integration pipeline over a job's latest report.
 	Triage(job JobID) (TriageResult, error)
 	// Health reports per-job heartbeat state and subscription fan-out.

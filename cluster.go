@@ -11,6 +11,8 @@ import (
 	"mycroft/internal/api"
 	"mycroft/internal/cluster"
 	"mycroft/internal/obs"
+	"mycroft/internal/otrace"
+	"mycroft/internal/sim"
 )
 
 // Cluster mode: N mycroft-serve daemons form one diagnosis plane. A
@@ -232,7 +234,25 @@ func (sv *Server) replicateTo(cl *serverCluster, peer string, job JobID, log *cl
 	sv.mu.Lock()
 	snap := sv.snapshotLocked(job)
 	trace, traceWM := sv.traceSinceLocked(job, a.traceNs, cl.cfg.Batch)
+	// Replication runs off-engine, so the virtual instant and the job's
+	// tracer are captured while serialized with the drive loop.
+	var tracer *otrace.Tracer
+	var vnow sim.Time
+	if sv.svc != nil {
+		tracer = sv.svc.Tracer(job)
+		vnow = sv.svc.Eng.Now()
+	}
 	sv.mu.Unlock()
+
+	// One replicate-ship span per non-empty batch, labeled with the target
+	// peer; if an incident is open it joins that tree, so per-peer fan-out
+	// segments show up alongside detection and remediation stages.
+	var span otrace.SpanID
+	if tracer != nil && len(entries) > 0 {
+		parent, cause := tracer.Incident()
+		span = tracer.Recorder().BeginAt(string(job), otrace.StageReplicate, cause, parent, vnow)
+		tracer.Annotate(span, peer, "")
+	}
 
 	req := api.ReplicateRequest{
 		ClusterID: cl.cfg.ID, From: cl.cfg.Self, Job: string(job),
@@ -244,7 +264,15 @@ func (sv *Server) replicateTo(cl *serverCluster, peer string, job JobID, log *cl
 	cl.node.MarkContact(peer, err == nil)
 	if err != nil {
 		cl.mReplFailures.Inc()
+		if span != 0 {
+			tracer.Annotate(span, "", fmt.Sprintf("%d event(s) after seq %d: ship failed: %v", len(entries), a.seq, err))
+			tracer.Recorder().EndAt(span, vnow)
+		}
 		return err
+	}
+	if span != 0 {
+		tracer.Annotate(span, "", fmt.Sprintf("%d event(s) shipped, ack seq %d", len(entries), resp.AckSeq))
+		tracer.Recorder().EndAt(span, vnow)
 	}
 	cl.ackMu.Lock()
 	a.seq = resp.AckSeq
@@ -442,6 +470,15 @@ func (b *apiBackend) ClusterInfo() (api.ClusterInfoResponse, error) {
 		ClusterID: cl.cfg.ID, Self: cl.node.Self,
 		Replicas: cl.node.Replicas, VNodes: cl.node.VNodes,
 		Peers: cl.node.View(),
+		Stats: &api.ClusterStats{
+			ReplicatedEvents:    cl.mReplEvents.Value(),
+			ReplicationBatches:  cl.mReplBatches.Value(),
+			ReplicationFailures: cl.mReplFailures.Value(),
+			Handoffs:            cl.mHandoffs.Value(),
+			TailPrimary:         cl.mTail["primary"].Value(),
+			TailReplica:         cl.mTail["replica"].Value(),
+			TailPromoted:        cl.mTail["promoted"].Value(),
+		},
 	}
 	for _, job := range sortedJobs(cl.logs) {
 		p, reps := cl.node.Placement(string(job))
@@ -632,6 +669,20 @@ func (b *apiBackend) replicaRemediations(req api.RemediationsRequest) (api.Remed
 	sort.SliceStable(all, func(i, j int) bool { return all[i].Attempt.ReportedAtNs < all[j].Attempt.ReportedAtNs })
 	lo, hi, next := cluster.Page(len(all), req.Offset, req.Limit)
 	return api.RemediationsResponse{Attempts: all[lo:hi], Total: len(all), NextOffset: next}, true
+}
+
+// replicaSpans answers a span query for a followed (non-local) job. Span
+// rings live only in the primary's engine — a replica answers with an empty
+// page rather than an error so a CLI riding a failover degrades gracefully.
+func (b *apiBackend) replicaSpans(req api.SpansRequest) (api.SpansResponse, bool) {
+	if req.Job == "" {
+		return api.SpansResponse{}, false
+	}
+	rjs := b.sv.loadCluster().replicaJobsFor([]string{req.Job})
+	if rjs == nil {
+		return api.SpansResponse{}, false
+	}
+	return api.SpansResponse{Job: req.Job}, true
 }
 
 func (b *apiBackend) replicaTrace(req api.TraceRequest) (api.TraceResponse, bool) {

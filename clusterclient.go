@@ -440,6 +440,25 @@ func (cc *ClusterClient) BlastRadius(job JobID, suspect Rank) ([]Rank, error) {
 	return out, err
 }
 
+// QuerySpans routes by job. Span rings live in the primary's engine — the
+// whole incident tree, including the peer-labeled replicate-ship spans, is
+// answered from one place; a replica reached via failover answers an empty
+// page.
+func (cc *ClusterClient) QuerySpans(q SpanQuery) (SpanResult, error) {
+	job, err := cc.resolveJob(q.Job)
+	if err != nil {
+		return SpanResult{}, err
+	}
+	q.Job = job
+	var out SpanResult
+	err = cc.routed(job, func(rc *RemoteClient) error {
+		var e error
+		out, e = rc.QuerySpans(q)
+		return e
+	})
+	return out, err
+}
+
 // Triage routes by job; a replica answers from its replicated verdicts.
 func (cc *ClusterClient) Triage(job JobID) (TriageResult, error) {
 	job, err := cc.resolveJob(job)
@@ -463,6 +482,8 @@ func (cc *ClusterClient) ClusterInfo() (api.ClusterInfoResponse, error) {
 	var base *api.ClusterInfoResponse
 	reached := make(map[string]bool)
 	jobs := make(map[string]api.ClusterJob)
+	var stats api.ClusterStats
+	statsSeen := false
 	err := cc.eachPeer(func(peer string, rc *RemoteClient) error {
 		var info api.ClusterInfoResponse
 		if err := rc.get(api.Prefix+"/cluster/info", &info); err != nil {
@@ -471,6 +492,16 @@ func (cc *ClusterClient) ClusterInfo() (api.ClusterInfoResponse, error) {
 		reached[info.Self] = true
 		if base == nil {
 			base = &info
+		}
+		if s := info.Stats; s != nil {
+			statsSeen = true
+			stats.ReplicatedEvents += s.ReplicatedEvents
+			stats.ReplicationBatches += s.ReplicationBatches
+			stats.ReplicationFailures += s.ReplicationFailures
+			stats.Handoffs += s.Handoffs
+			stats.TailPrimary += s.TailPrimary
+			stats.TailReplica += s.TailReplica
+			stats.TailPromoted += s.TailPromoted
 		}
 		for _, row := range info.Jobs {
 			have, ok := jobs[row.ID]
@@ -484,6 +515,10 @@ func (cc *ClusterClient) ClusterInfo() (api.ClusterInfoResponse, error) {
 		return api.ClusterInfoResponse{}, err
 	}
 	resp := *base
+	if statsSeen {
+		// Fleet-wide counters: the sum across every answering peer.
+		resp.Stats = &stats
+	}
 	for i, p := range resp.Peers {
 		if !reached[p.Name] {
 			resp.Peers[i].State = api.PeerDead

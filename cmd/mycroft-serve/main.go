@@ -42,6 +42,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -68,6 +69,8 @@ func main() {
 		step      = flag.Duration("step", time.Second, "virtual time advanced per tick")
 		tick      = flag.Duration("tick", 20*time.Millisecond, "wall-time pause between ticks (0 = drive flat out)")
 		recordDir = flag.String("record", "", "record per-job incident artifacts to this directory (download live at /v1/jobs/{id}/record)")
+		pprofOn   = flag.Bool("pprof", true, "mount net/http/pprof under /debug/pprof/")
+		slowOp    = flag.Duration("slow-op", 0, "log pipeline spans whose wall-clock cost exceeds this threshold (0 = off)")
 
 		clusterID = flag.String("cluster-id", "", "enable cluster mode under this cluster name (requires -scenario, -self, -peers)")
 		selfName  = flag.String("self", "", "this peer's name in -peers")
@@ -159,7 +162,18 @@ func main() {
 	if err != nil {
 		die(err)
 	}
-	hs := &http.Server{Handler: srv.Handler()}
+	outer := http.NewServeMux()
+	outer.Handle("/", srv.Handler())
+	if *pprofOn {
+		// Explicit mounts keep the daemon's mux self-contained instead of
+		// leaning on http.DefaultServeMux.
+		outer.HandleFunc("GET /debug/pprof/", pprof.Index)
+		outer.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		outer.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		outer.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		outer.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
+	hs := &http.Server{Handler: outer}
 	fmt.Fprintf(os.Stderr, "mycroft-serve: listening on http://%s (%s, horizon %v, seed %d)\n",
 		ln.Addr(), jobDesc, runFor, *seed)
 
@@ -182,6 +196,7 @@ func main() {
 	// Drive loop: advance virtual time in steps so subscribers attached
 	// early watch the run unfold, then idle serving the final state.
 	go func() {
+		scan := slowOpScanner(svc, *slowOp)
 		for driven := time.Duration(0); driven < runFor; {
 			d := *step
 			if rem := runFor - driven; d > rem {
@@ -189,10 +204,12 @@ func main() {
 			}
 			srv.Advance(d)
 			driven += d
+			scan()
 			if *tick > 0 {
 				time.Sleep(*tick)
 			}
 		}
+		scan()
 		fmt.Fprintf(os.Stderr, "mycroft-serve: horizon %v reached; serving final state\n", runFor)
 	}()
 
@@ -217,6 +234,35 @@ func main() {
 	defer cancel()
 	if err := hs.Shutdown(shutdownCtx); err != nil {
 		hs.Close()
+	}
+}
+
+// slowOpScanner returns a closure that logs pipeline spans whose wall-clock
+// cost crossed the -slow-op threshold. Each call scans every job's recorder
+// incrementally (spans past the last one seen) between engine advances, so
+// the scan never races the simulation. Threshold 0 disables it.
+func slowOpScanner(svc *mycroft.Service, threshold time.Duration) func() {
+	if threshold <= 0 {
+		return func() {}
+	}
+	last := make(map[mycroft.JobID]mycroft.SpanID)
+	return func() {
+		for _, id := range svc.Jobs() {
+			res, err := svc.QuerySpans(mycroft.SpanQuery{Job: id, AfterID: last[id]})
+			if err != nil {
+				continue
+			}
+			for _, s := range res.Spans {
+				last[id] = s.ID
+				// Spans still open here are waiting on virtual time (incident
+				// roots, pending remedies): their wall span is dominated by
+				// tick pacing, not processing cost, so only closed spans count.
+				if s.WallEnd != 0 && s.WallDur() >= threshold {
+					fmt.Fprintf(os.Stderr, "mycroft-serve: slow-op job=%s span=%d stage=%s cause=%s wall=%v virt=%v\n",
+						id, s.ID, s.Stage, s.Cause, s.WallDur(), s.Dur())
+				}
+			}
+		}
 	}
 }
 

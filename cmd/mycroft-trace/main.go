@@ -38,6 +38,16 @@
 //	mycroft-trace status -fault nic-down -rank 5
 //	mycroft-trace status -addr 127.0.0.1:7466 -watch
 //
+// The "spans" subcommand renders the per-incident latency waterfall: every
+// pipeline span the job recorded — ingest batches, detection, RCA, report
+// publish, stream fan-out, remedy attempts and cluster replication — grouped
+// into causal trees and drawn against each incident's own time window, so
+// one glance shows where an incident's end-to-end latency went. Pass
+// -incident to restrict to one tree:
+//
+//	mycroft-trace spans -fault gpu-hang -rank 9 -remedy -for 70s
+//	mycroft-trace spans -addr 127.0.0.1:7466 -incident trigger-1
+//
 // The "replay" subcommand re-drives a recorded incident artifact (produced
 // by -record on mycroft-serve or mycroft-scenario run, or downloaded live
 // from a daemon) through a fresh analysis stack — faithfully, or under
@@ -59,6 +69,7 @@ import (
 
 	"mycroft"
 	"mycroft/internal/seedjob"
+	"mycroft/internal/sim"
 )
 
 func main() {
@@ -73,9 +84,10 @@ func main() {
 		seed      = flag.Int64("seed", 1, "simulation seed")
 		addr      = flag.String("addr", "", "query a live mycroft-serve daemon instead of simulating in-process (comma-separated list dials a cluster: job-aware routing with failover)")
 		jobFlag   = flag.String("job", "", "job id to query (default: the daemon's sole job)")
-		withRem   = flag.Bool("remedy", false, "status mode, in-process: attach the self-healing policy (parity with a daemon started -remedy)")
+		withRem   = flag.Bool("remedy", false, "status/spans mode, in-process: attach the self-healing policy (parity with a daemon started -remedy)")
 		watch     = flag.Bool("watch", false, "status mode: re-render until interrupted")
 		every     = flag.Duration("every", time.Second, "status mode: wall-time interval between -watch renders")
+		incident  = flag.String("incident", "", "spans mode: restrict to one incident's causal tree (cause label, e.g. trigger-1)")
 	)
 	args := os.Args[1:]
 	if len(args) > 0 && args[0] == "replay" {
@@ -87,7 +99,8 @@ func main() {
 	graphMode := len(args) > 0 && args[0] == "graph"
 	remedyMode := len(args) > 0 && args[0] == "remedy"
 	statusMode := len(args) > 0 && args[0] == "status"
-	if graphMode || remedyMode || statusMode {
+	spansMode := len(args) > 0 && args[0] == "spans"
+	if graphMode || remedyMode || statusMode || spansMode {
 		args = args[1:]
 	}
 	flag.CommandLine.Parse(args)
@@ -114,7 +127,7 @@ func main() {
 		}
 		c = rc
 	} else {
-		svc, err := buildService(*seed, *faultName, *rank, *at, remedyMode || (statusMode && *withRem))
+		svc, err := buildService(*seed, *faultName, *rank, *at, remedyMode || ((statusMode || spansMode) && *withRem))
 		if err != nil {
 			die(err)
 		}
@@ -143,6 +156,8 @@ func main() {
 		}
 	case remedyMode:
 		err = dumpRemedy(c, job, os.Stdout)
+	case spansMode:
+		err = dumpSpans(c, job, *incident, os.Stdout)
 	case graphMode:
 		err = dumpGraph(c, job, os.Stdout, os.Stderr)
 	default:
@@ -367,6 +382,132 @@ func dumpRemedy(c mycroft.Client, job mycroft.JobID, w io.Writer) error {
 	return nil
 }
 
+// dumpSpans renders the per-incident latency waterfall: spans grouped into
+// causal trees (children indented under their parent), each with a
+// proportional bar over its tree's own time window. Only virtual timestamps
+// are printed, so the same run renders byte-identically in-process and
+// against a daemon; the wall-clock fields exist for profiling (see -slow-op
+// on mycroft-serve) and never reach this surface.
+func dumpSpans(c mycroft.Client, job mycroft.JobID, incident string, w io.Writer) error {
+	jobs, info, err := jobInfo(c, job)
+	if err != nil {
+		return err
+	}
+	res, err := c.QuerySpans(mycroft.SpanQuery{Job: info.ID, Incident: incident})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "pipeline spans for job %q after %v: %d span(s)", info.ID, jobs.Now, res.Total)
+	if res.Dropped > 0 {
+		fmt.Fprintf(w, ", %d overwritten", res.Dropped)
+	}
+	fmt.Fprintln(w)
+
+	present := make(map[mycroft.SpanID]bool, len(res.Spans))
+	for _, s := range res.Spans {
+		present[s.ID] = true
+	}
+	children := make(map[mycroft.SpanID][]mycroft.Span)
+	var roots []mycroft.Span
+	for _, s := range res.Spans {
+		if s.Parent != 0 && present[s.Parent] {
+			children[s.Parent] = append(children[s.Parent], s)
+		} else {
+			roots = append(roots, s)
+		}
+	}
+
+	rendered := 0
+	for _, root := range roots {
+		// Only incident-rooted trees draw; per-batch ingest spans that never
+		// joined an incident are summarized below instead of spamming the
+		// waterfall.
+		if root.Stage != mycroft.StageIncident {
+			continue
+		}
+		// The tree's time window: bars scale to [earliest start, latest end]
+		// across the whole tree, so adopted ingest spans that began before
+		// the trigger still land on the canvas.
+		start, end := root.Start, root.End
+		var measure func(s mycroft.Span)
+		measure = func(s mycroft.Span) {
+			if s.Start < start {
+				start = s.Start
+			}
+			if s.End > end {
+				end = s.End
+			}
+			for _, ch := range children[s.ID] {
+				measure(ch)
+			}
+		}
+		measure(root)
+
+		fmt.Fprintf(w, "\nincident %s: %v -> ", root.Cause, root.Start)
+		if root.End == 0 {
+			fmt.Fprint(w, "open\n")
+		} else {
+			fmt.Fprintf(w, "%v (%v end-to-end)\n", root.End, root.Dur())
+		}
+		var walk func(s mycroft.Span, depth int)
+		walk = func(s mycroft.Span, depth int) {
+			rendered++
+			times := fmt.Sprintf("%v -> open", s.Start)
+			if s.End != 0 {
+				times = fmt.Sprintf("%v -> %v (%v)", s.Start, s.End, s.Dur())
+			}
+			extra := ""
+			if s.Peer != "" {
+				extra += " peer=" + s.Peer
+			}
+			if s.Detail != "" {
+				extra += " — " + s.Detail
+			}
+			fmt.Fprintf(w, "  #%-4d %-22s %s %s%s\n",
+				s.ID, strings.Repeat("  ", depth)+s.Stage, spanBar(s, start, end.Sub(start)), times, extra)
+			for _, ch := range children[s.ID] {
+				walk(ch, depth+1)
+			}
+		}
+		walk(root, 0)
+	}
+	if out := len(res.Spans) - rendered; out > 0 {
+		fmt.Fprintf(w, "\n%d span(s) outside incident trees (unadopted ingest/upload batches)\n", out)
+	}
+	return nil
+}
+
+// spanBar draws one span's proportional bar on a fixed-width canvas scaled
+// to its tree's time window: '#' for duration, '|' for an instantaneous
+// span, '+' running to the edge for a span still open, '.' for empty canvas.
+func spanBar(s mycroft.Span, start sim.Time, total time.Duration) string {
+	const width = 24
+	b := []byte(strings.Repeat(".", width))
+	if total <= 0 {
+		b[0] = '|'
+		return string(b)
+	}
+	cell := func(d time.Duration) int {
+		i := int(float64(d) / float64(total) * width)
+		return max(0, min(width-1, i))
+	}
+	from := cell(s.Start.Sub(start))
+	switch {
+	case s.End == 0:
+		for i := from; i < width; i++ {
+			b[i] = '+'
+		}
+	case s.Dur() <= 0:
+		b[from] = '|'
+	default:
+		to := cell(s.Start.Sub(start) + s.Dur())
+		for i := from; i <= to; i++ {
+			b[i] = '#'
+		}
+	}
+	return string(b)
+}
+
 // dumpStatus renders the operator console: the service clock, subscription
 // fan-out, and each job's heartbeat verdict, ingest watermark, store
 // occupancy and recent remediation outcomes. Every printed value derives
@@ -471,6 +612,12 @@ func dumpClusterStatus(cc *mycroft.ClusterClient, w io.Writer) error {
 			fmt.Fprintf(w, "  %-10s %-8s %-14s %-10s %d\n",
 				j.ID, j.Primary, strings.Join(j.Replicas, ","), where, j.Watermark)
 		}
+	}
+	if s := info.Stats; s != nil {
+		fmt.Fprintf(w, "  replication: %d event(s) in %d batch(es), %d failure(s), %d handoff(s)\n",
+			s.ReplicatedEvents, s.ReplicationBatches, s.ReplicationFailures, s.Handoffs)
+		fmt.Fprintf(w, "  tail pages served: %d primary, %d replica, %d promoted\n",
+			s.TailPrimary, s.TailReplica, s.TailPromoted)
 	}
 	if n := cc.Failovers(); n > 0 {
 		fmt.Fprintf(w, "  failovers this session: %d\n", n)

@@ -120,6 +120,37 @@ func TestRemoteOutputByteIdentical(t *testing.T) {
 		}
 	})
 
+	t.Run("spans", func(t *testing.T) {
+		// Remedy mode over the full horizon so the waterfall covers the whole
+		// pipeline: ingest -> detect -> rca -> publish -> remedy -> verified.
+		const spansHorizon = 70 * time.Second
+		local, err := buildService(seed, fault, rank, at, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		local.Run(spansHorizon)
+		remote := dialTestDaemon(t, seed, fault, rank, at, spansHorizon, true)
+
+		for _, incident := range []string{"", "trigger-1"} {
+			var inproc, overWire bytes.Buffer
+			if err := dumpSpans(local, "", incident, &inproc); err != nil {
+				t.Fatal(err)
+			}
+			if err := dumpSpans(remote, "", incident, &overWire); err != nil {
+				t.Fatal(err)
+			}
+			if inproc.String() != overWire.String() {
+				t.Errorf("spans waterfall (incident=%q) differs in-process vs -addr:\n--- in-process ---\n%s\n--- over wire ---\n%s",
+					incident, inproc.String(), overWire.String())
+			}
+			for _, want := range []string{"incident trigger-1", "rca", "remedy-verify"} {
+				if !bytes.Contains(inproc.Bytes(), []byte(want)) {
+					t.Errorf("spans output (incident=%q) missing %q:\n%s", incident, want, inproc.String())
+				}
+			}
+		}
+	})
+
 	t.Run("remedy", func(t *testing.T) {
 		const remedyHorizon = 70 * time.Second
 		local, err := buildService(seed, fault, rank, at, true)

@@ -59,6 +59,25 @@ type ClusterJob struct {
 	Watermark uint64 `json:"watermark,omitempty"`
 }
 
+// ClusterStats is the answering peer's lifetime replication and failover
+// counters: the numeric story of how much the fleet has shipped and how
+// often followers had to answer.
+type ClusterStats struct {
+	// ReplicatedEvents and ReplicationBatches count event-log entries shipped
+	// to followers and batches acknowledged; ReplicationFailures counts
+	// batches that never reached their follower.
+	ReplicatedEvents    uint64 `json:"replicated_events"`
+	ReplicationBatches  uint64 `json:"replication_batches"`
+	ReplicationFailures uint64 `json:"replication_failures,omitempty"`
+	// Handoffs counts clean-shutdown job transfers this peer completed.
+	Handoffs uint64 `json:"handoffs,omitempty"`
+	// Tail pages served by answering role: the replica/promoted series
+	// climbing is the server-visible failover signal.
+	TailPrimary  uint64 `json:"tail_primary,omitempty"`
+	TailReplica  uint64 `json:"tail_replica,omitempty"`
+	TailPromoted uint64 `json:"tail_promoted,omitempty"`
+}
+
 // ClusterInfoResponse answers GET /v1/cluster/info: identity, ring
 // parameters, the answering peer's health view and the job placement table.
 // A client rebuilds the exact placement from ClusterID+Peers+VNodes alone.
@@ -70,6 +89,10 @@ type ClusterInfoResponse struct {
 	VNodes   int           `json:"vnodes"`
 	Peers    []ClusterPeer `json:"peers"`
 	Jobs     []ClusterJob  `json:"jobs,omitempty"`
+	// Stats carries the answering peer's replication/failover counters
+	// (merged by summation in a cluster-aware client; omitted by peers
+	// predating it).
+	Stats *ClusterStats `json:"stats,omitempty"`
 }
 
 // JoinRequest announces a peer to another peer (POST /v1/cluster/join).

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"time"
 
 	"mycroft/internal/obs"
@@ -29,6 +30,7 @@ type Backend interface {
 	QueryDependencies(DependenciesRequest) (DependenciesResponse, error)
 	BlastRadius(BlastRadiusRequest) (BlastRadiusResponse, error)
 	QueryRemediations(RemediationsRequest) (RemediationsResponse, error)
+	QuerySpans(SpansRequest) (SpansResponse, error)
 	Triage(TriageRequest) (TriageResponse, error)
 	Subscribe(SubscribeRequest) (SubscribeResponse, error)
 	Poll(PollRequest) (PollResponse, error)
@@ -61,6 +63,7 @@ type Backend interface {
 //	POST   /v1/dependencies/query       → DependenciesResponse
 //	POST   /v1/blast-radius             → BlastRadiusResponse
 //	POST   /v1/remediations/query       → RemediationsResponse
+//	GET    /v1/jobs/{id}/spans          → SpansResponse
 //	POST   /v1/triage                   → TriageResponse
 //	POST   /v1/subscribe                → SubscribeResponse
 //	POST   /v1/poll                     → PollResponse (long poll)
@@ -120,6 +123,32 @@ func NewInstrumentedHandler(b Backend, reg *obs.Registry) http.Handler {
 		w.Header().Set("Content-Type", "application/octet-stream")
 		w.Header().Set("Content-Length", fmt.Sprint(buf.Len()))
 		io.Copy(w, &buf)
+	})
+	handle("GET", "/jobs/{id}/spans", "/v1/jobs/{id}/spans", func(w http.ResponseWriter, r *http.Request) {
+		req := SpansRequest{Job: r.PathValue("id")}
+		q := r.URL.Query()
+		req.Incident, req.Stage = q.Get("incident"), q.Get("stage")
+		var err error
+		if v := q.Get("after_id"); v != "" {
+			if req.AfterID, err = strconv.ParseUint(v, 10, 64); err != nil {
+				fail(w, fmt.Errorf("api: bad after_id %q", v))
+				return
+			}
+		}
+		if v := q.Get("min_wall_ns"); v != "" {
+			if req.MinWallNs, err = strconv.ParseInt(v, 10, 64); err != nil {
+				fail(w, fmt.Errorf("api: bad min_wall_ns %q", v))
+				return
+			}
+		}
+		if v := q.Get("limit"); v != "" {
+			if req.Limit, err = strconv.Atoi(v); err != nil {
+				fail(w, fmt.Errorf("api: bad limit %q", v))
+				return
+			}
+		}
+		resp, err := b.QuerySpans(req)
+		answer(w, resp, err)
 	})
 	handle("DELETE", "/subscriptions/{id}", "/v1/subscriptions/{id}", func(w http.ResponseWriter, r *http.Request) {
 		if err := b.Unsubscribe(r.PathValue("id")); err != nil {

@@ -18,6 +18,7 @@ import (
 	"mycroft/internal/clouddb"
 	"mycroft/internal/core"
 	"mycroft/internal/depgraph"
+	"mycroft/internal/otrace"
 	"mycroft/internal/remedy"
 	"mycroft/internal/sim"
 	"mycroft/internal/topo"
@@ -343,6 +344,67 @@ func (a Attempt) Attempt() (remedy.Attempt, error) {
 		ReportedAt: simTime(a.ReportedAtNs), AppliedAt: simTime(a.AppliedAtNs), ResolvedAt: simTime(a.ResolvedAtNs),
 		Outcome: outcome, Detail: a.Detail,
 	}, nil
+}
+
+// Span is the wire form of one pipeline span: one stage of an incident's
+// causal tree, with virtual (deterministic) and wall-clock (profiling)
+// timestamps. A span with wall_end_ns 0 is still open.
+type Span struct {
+	ID     uint64 `json:"id"`
+	Parent uint64 `json:"parent,omitempty"`
+	Job    string `json:"job"`
+	Stage  string `json:"stage"`
+	Cause  string `json:"cause,omitempty"`
+	Peer   string `json:"peer,omitempty"`
+	Detail string `json:"detail,omitempty"`
+	// StartNs and EndNs are virtual nanoseconds; WallStartNs and WallEndNs
+	// are wall-clock unix nanoseconds (nondeterministic — deterministic
+	// consumers render only the virtual fields).
+	StartNs     int64 `json:"start_ns"`
+	EndNs       int64 `json:"end_ns"`
+	WallStartNs int64 `json:"wall_start_ns,omitempty"`
+	WallEndNs   int64 `json:"wall_end_ns,omitempty"`
+}
+
+// FromSpan converts a domain span to its wire form.
+func FromSpan(s otrace.Span) Span {
+	return Span{
+		ID: uint64(s.ID), Parent: uint64(s.Parent), Job: s.Job, Stage: s.Stage,
+		Cause: s.Cause, Peer: s.Peer, Detail: s.Detail,
+		StartNs: int64(s.Start), EndNs: int64(s.End),
+		WallStartNs: s.WallStart, WallEndNs: s.WallEnd,
+	}
+}
+
+// Span converts back to the domain type.
+func (s Span) Span() otrace.Span {
+	return otrace.Span{
+		ID: otrace.SpanID(s.ID), Parent: otrace.SpanID(s.Parent), Job: s.Job, Stage: s.Stage,
+		Cause: s.Cause, Peer: s.Peer, Detail: s.Detail,
+		Start: simTime(s.StartNs), End: simTime(s.EndNs),
+		WallStart: s.WallStartNs, WallEnd: s.WallEndNs,
+	}
+}
+
+// SpansRequest asks GET /v1/jobs/{id}/spans for pipeline spans. Over HTTP
+// the filters ride the query string (incident, stage, after_id, min_wall_ns,
+// limit); the JSON form exists for symmetry and tests.
+type SpansRequest struct {
+	Job       string `json:"job,omitempty"`
+	Incident  string `json:"incident,omitempty"`
+	Stage     string `json:"stage,omitempty"`
+	AfterID   uint64 `json:"after_id,omitempty"`
+	MinWallNs int64  `json:"min_wall_ns,omitempty"`
+	Limit     int    `json:"limit,omitempty"`
+}
+
+// SpansResponse is one span query's answer: matches ascending by ID, the
+// total matched before Limit, and the ring's lifetime overwrite count.
+type SpansResponse struct {
+	Job     string `json:"job"`
+	Spans   []Span `json:"spans"`
+	Total   int    `json:"total"`
+	Dropped uint64 `json:"dropped,omitempty"`
 }
 
 // Node is the wire form of one dependency-graph node.

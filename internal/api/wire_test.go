@@ -10,6 +10,7 @@ import (
 
 	"mycroft/internal/core"
 	"mycroft/internal/depgraph"
+	"mycroft/internal/otrace"
 	"mycroft/internal/remedy"
 	"mycroft/internal/topo"
 	"mycroft/internal/trace"
@@ -60,6 +61,15 @@ func fixtureAttempt() remedy.Attempt {
 	}
 }
 
+func fixtureSpan() otrace.Span {
+	return otrace.Span{
+		ID: 893, Parent: 891, Job: "llm-70b", Stage: otrace.StageRCA,
+		Cause: "trigger-1", Peer: "p2", Detail: "suspect rank 5 (gpu-hang): chain=3 victims=7",
+		Start: 21_000_000_000, End: 27_000_000_000,
+		WallStart: 1_700_000_000_123_456_789, WallEnd: 1_700_000_000_123_500_000,
+	}
+}
+
 // golden marshals v with stable indentation and compares it (or rewrites
 // it, under -update) against testdata/<name>.golden.json.
 func golden(t *testing.T, name string, v any) {
@@ -103,6 +113,12 @@ func TestGoldenWireFormat(t *testing.T) {
 	golden(t, "event_action", Event{Job: "llm-70b", Kind: "action", AtNs: 19_000_000_000, Action: ptr(FromAttempt(fixtureAttempt()))})
 	golden(t, "event_health", Event{Job: "llm-70b", Kind: "health", AtNs: 42_000_000_000, Health: ptr(fixtureHealthChange())})
 	golden(t, "health", fixtureHealthResponse())
+	golden(t, "span", FromSpan(fixtureSpan()))
+	golden(t, "spans_response", SpansResponse{
+		Job:   "llm-70b",
+		Spans: []Span{FromSpan(fixtureSpan())},
+		Total: 3068, Dropped: 12,
+	})
 }
 
 func fixtureHealthChange() HealthChange {
@@ -139,6 +155,9 @@ func TestWireRoundTrip(t *testing.T) {
 	})
 	t.Run("attempt", func(t *testing.T) {
 		roundTrip(t, fixtureAttempt(), FromAttempt, Attempt.Attempt)
+	})
+	t.Run("span", func(t *testing.T) {
+		roundTrip(t, fixtureSpan(), FromSpan, func(w Span) (otrace.Span, error) { return w.Span(), nil })
 	})
 	t.Run("edge", func(t *testing.T) {
 		roundTrip(t, depgraph.Edge{

@@ -14,6 +14,7 @@ import (
 	"sort"
 	"time"
 
+	"mycroft/internal/otrace"
 	"mycroft/internal/sim"
 	"mycroft/internal/topo"
 	"mycroft/internal/trace"
@@ -67,7 +68,15 @@ type DB struct {
 
 	observers []func([]trace.Record)
 	metrics   *Metrics
+	spans     *otrace.Tracer
 }
+
+// SetTracer attaches a pipeline span tracer: every subsequent Ingest batch
+// records one StageIngest span covering store, prune and observers (the
+// dependency-graph update rides the observer list, so its cost lands inside
+// the span's wall window). Nil detaches. Like SetMetrics, the hot path pays
+// one pointer check when no tracer is attached.
+func (db *DB) SetTracer(t *otrace.Tracer) { db.spans = t }
 
 // New creates a DB with the given retention horizon (0 = keep forever) and
 // the default shard count.
@@ -122,6 +131,7 @@ func (db *DB) Ingest(batch []trace.Record) {
 	if len(batch) == 0 {
 		return
 	}
+	span := db.spans.Batch(otrace.StageIngest)
 	var (
 		series  *rankSeries
 		sh      *shard
@@ -165,6 +175,7 @@ func (db *DB) Ingest(batch []trace.Record) {
 	for _, fn := range db.observers {
 		fn(batch)
 	}
+	db.spans.End(span)
 }
 
 // AddIngestObserver registers fn to run on every batch, after it is stored

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"time"
 
+	"mycroft/internal/otrace"
 	"mycroft/internal/sim"
 	"mycroft/internal/trace"
 )
@@ -57,7 +58,13 @@ type Agent struct {
 	batches       uint64
 	recordsSent   uint64
 	bytesUploaded uint64
+	spans         *otrace.Tracer
 }
+
+// SetTracer attaches a pipeline span tracer: each drained batch records one
+// StageUpload span covering the drain→ingest pipeline hop, whose virtual
+// width is exactly the configured UploadLatency. Nil detaches.
+func (a *Agent) SetTracer(t *otrace.Tracer) { a.spans = t }
 
 // NewAgent starts an agent over the host ring. It begins draining
 // immediately.
@@ -76,7 +83,11 @@ func (a *Agent) drain() {
 	a.batches++
 	a.recordsSent += uint64(len(batch))
 	a.bytesUploaded += uint64(len(batch)) * trace.WireSize
-	a.eng.After(a.cfg.UploadLatency, func() { a.db.Ingest(batch) })
+	span := a.spans.Batch(otrace.StageUpload)
+	a.eng.After(a.cfg.UploadLatency, func() {
+		a.db.Ingest(batch)
+		a.spans.End(span)
+	})
 }
 
 // Stop halts the drain loop (host decommissioned).

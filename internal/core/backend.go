@@ -6,6 +6,7 @@ import (
 
 	"mycroft/internal/clouddb"
 	"mycroft/internal/depgraph"
+	"mycroft/internal/otrace"
 	"mycroft/internal/sim"
 	"mycroft/internal/stats"
 	"mycroft/internal/topo"
@@ -60,6 +61,7 @@ type Backend struct {
 	publish func(Event)
 	evalObs func(sim.Time)
 	metrics *Metrics
+	spans   *otrace.Tracer
 
 	// OnTrigger fires on every Algorithm 1 firing, before analysis.
 	//
@@ -284,6 +286,13 @@ func (b *Backend) implicatedComm(rank topo.Rank, t sim.Time) uint64 {
 
 // fire records a trigger, publishes it, runs Algorithm 2, and mutes the
 // backend while the fault is being handled.
+//
+// With a tracer attached this is also where an incident's span tree is
+// rooted: the trigger opens the incident, the freshest upload/ingest spans
+// are adopted as its first children (the batch that carried the evidence),
+// a zero-width detect span marks the firing pass, and an rca span opens
+// here to be closed by deliver at verdict time — so the trigger→verdict
+// stage reads straight off the tree, including the straggler settle window.
 func (b *Backend) fire(tr Trigger) {
 	b.triggers = append(b.triggers, tr)
 	b.muteUntil = tr.At.Add(b.cfg.RearmDelay)
@@ -292,17 +301,27 @@ func (b *Backend) fire(tr Trigger) {
 			c.Inc()
 		}
 	}
+	var rcaSpan otrace.SpanID
+	if t := b.spans; t != nil {
+		t.OpenIncident(fmt.Sprintf("trigger-%d", len(b.triggers)), tr.At)
+		t.AdoptLatest(otrace.StageUpload)
+		t.AdoptLatest(otrace.StageIngest)
+		det := t.StageAt(otrace.StageDetect, tr.At)
+		t.Annotate(det, "", fmt.Sprintf("%s rank %d: %s", tr.Kind, tr.Rank, tr.Reason))
+		t.EndAt(det, tr.At)
+		rcaSpan = t.StageAt(otrace.StageRCA, tr.At)
+	}
 	b.emit(Event{Kind: EventTrigger, At: tr.At, Trigger: &tr})
 	switch tr.Kind {
 	case TriggerFailure:
-		b.deliver(b.timedAnalysis(func() Report { return b.AnalyzeFailure(tr) }))
+		b.deliver(b.timedAnalysis(rcaSpan, func() Report { return b.AnalyzeFailure(tr) }))
 	default:
 		// Let post-onset evidence (late launches, pressured flows) land in
 		// the store before analyzing a performance anomaly.
 		b.eng.After(b.cfg.StragglerSettle, func() {
 			at := tr
 			at.At = b.eng.Now()
-			rep := b.timedAnalysis(func() Report {
+			rep := b.timedAnalysis(rcaSpan, func() Report {
 				rep := b.AnalyzeStraggler(at)
 				if rep.Suspect < 0 {
 					// No straggler pattern: the slowdown may be a failure in
@@ -325,6 +344,14 @@ func (b *Backend) deliver(rep Report) {
 	if m := b.metrics; m != nil {
 		m.Reports.Inc()
 		m.ChainDepth.Observe(float64(len(rep.Chain)))
+	}
+	if t := b.spans; t != nil {
+		if id := t.Recorder().LastOpen(otrace.StageRCA); id != 0 {
+			t.Annotate(id, "", fmt.Sprintf("suspect rank %d (%s): chain=%d victims=%d", rep.Suspect, rep.Category, len(rep.Chain), len(rep.Victims)))
+			t.EndAt(id, rep.AnalyzedAt)
+		}
+		pub := t.StageAt(otrace.StagePublish, rep.AnalyzedAt)
+		defer t.EndAt(pub, rep.AnalyzedAt)
 	}
 	b.emit(Event{Kind: EventReport, At: rep.AnalyzedAt, Report: &rep})
 }

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"mycroft/internal/obs"
+	"mycroft/internal/otrace"
 )
 
 // Metrics is the instrument set a Backend updates when one is attached with
@@ -21,16 +22,24 @@ type Metrics struct {
 // before Start, like the publisher.
 func (b *Backend) SetMetrics(m *Metrics) { b.metrics = m }
 
+// SetTracer attaches (or with nil, detaches) a pipeline span tracer. Each
+// trigger firing then opens an incident span tree — detect, rca and publish
+// stages — that the hosting layer extends with fan-out, remediation and
+// replication spans. Wire it up before Start, like the publisher.
+func (b *Backend) SetTracer(t *otrace.Tracer) { b.spans = t }
+
 // timedAnalysis runs one Algorithm 2 analysis under the RCA wall-clock
 // histogram. Virtual time never moves inside fn, so wall clock is the only
-// meaningful latency here.
-func (b *Backend) timedAnalysis(fn func() Report) Report {
+// meaningful latency here. The rca span (0 when tracing is off) is recorded
+// as the histogram observation's exemplar, linking the worst bucket hit to
+// the concrete graph walk that caused it.
+func (b *Backend) timedAnalysis(span otrace.SpanID, fn func() Report) Report {
 	m := b.metrics
 	if m == nil {
 		return fn()
 	}
 	start := time.Now()
 	rep := fn()
-	m.RCALatency.Observe(time.Since(start).Seconds())
+	m.RCALatency.ObserveExemplar(time.Since(start).Seconds(), uint64(span))
 	return rep
 }

@@ -62,6 +62,14 @@ type Histogram struct {
 	counts []atomic.Uint64
 	sum    atomic.Uint64 // float64 bits, CAS-accumulated
 	count  atomic.Uint64
+	ex     atomic.Pointer[exemplar]
+}
+
+// exemplar is the worst exemplared observation so far: its value and the
+// caller-supplied reference (a pipeline span ID).
+type exemplar struct {
+	value float64
+	ref   uint64
 }
 
 func newHistogram(bounds []float64) *Histogram {
@@ -85,6 +93,38 @@ func (h *Histogram) Observe(v float64) {
 			return
 		}
 	}
+}
+
+// ObserveExemplar records v and, when v is the largest exemplared
+// observation the series has seen, remembers ref (a span ID from
+// internal/otrace) as the series' exemplar. The exemplar renders on the
+// matching bucket line in OpenMetrics style, so a scrape links the worst
+// bucket hit back to the concrete pipeline span that caused it. Observe's
+// hot path is untouched; the CAS here allocates only on a new maximum.
+func (h *Histogram) ObserveExemplar(v float64, ref uint64) {
+	h.Observe(v)
+	if ref == 0 {
+		return
+	}
+	for {
+		old := h.ex.Load()
+		if old != nil && old.value >= v {
+			return
+		}
+		if h.ex.CompareAndSwap(old, &exemplar{value: v, ref: ref}) {
+			return
+		}
+	}
+}
+
+// Exemplar returns the worst exemplared observation and its span reference
+// (ok false when no exemplared observation has been recorded).
+func (h *Histogram) Exemplar() (value float64, ref uint64, ok bool) {
+	e := h.ex.Load()
+	if e == nil {
+		return 0, 0, false
+	}
+	return e.value, e.ref, true
 }
 
 // Count returns how many values have been observed.
@@ -256,13 +296,29 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		case kindGaugeFunc:
 			fmt.Fprintf(&b, "%s%s %s\n", m.name, m.lstr, formatFloat(m.gaugeFn()))
 		case kindHistogram:
+			// The exemplar (worst exemplared observation + its span ID)
+			// renders OpenMetrics-style on the one bucket line it fell into.
+			exBucket := -1
+			var exSuffix string
+			if v, ref, ok := m.hist.Exemplar(); ok {
+				exBucket = sort.SearchFloat64s(m.hist.bounds, v)
+				exSuffix = fmt.Sprintf(" # {span_id=\"%d\"} %s", ref, formatFloat(v))
+			}
 			var cum uint64
 			for i, bound := range m.hist.bounds {
 				cum += m.hist.counts[i].Load()
-				fmt.Fprintf(&b, "%s_bucket%s %d\n", m.name, labelString(m.labels, "le", formatFloat(bound)), cum)
+				suffix := ""
+				if i == exBucket {
+					suffix = exSuffix
+				}
+				fmt.Fprintf(&b, "%s_bucket%s %d%s\n", m.name, labelString(m.labels, "le", formatFloat(bound)), cum, suffix)
 			}
 			cum += m.hist.counts[len(m.hist.bounds)].Load()
-			fmt.Fprintf(&b, "%s_bucket%s %d\n", m.name, labelString(m.labels, "le", "+Inf"), cum)
+			suffix := ""
+			if exBucket == len(m.hist.bounds) {
+				suffix = exSuffix
+			}
+			fmt.Fprintf(&b, "%s_bucket%s %d%s\n", m.name, labelString(m.labels, "le", "+Inf"), cum, suffix)
 			fmt.Fprintf(&b, "%s_sum%s %s\n", m.name, m.lstr, formatFloat(m.hist.Sum()))
 			fmt.Fprintf(&b, "%s_count%s %d\n", m.name, m.lstr, cum)
 		}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"mycroft/internal/core"
+	"mycroft/internal/otrace"
 	"mycroft/internal/sim"
 	"mycroft/internal/topo"
 )
@@ -41,7 +42,26 @@ type Engine struct {
 
 	state map[topo.Rank]*rankState
 	log   []Attempt
+
+	tracer *otrace.Tracer
+	// spans tracks the open apply/verify spans per audit-log index, plus the
+	// incident cause active when the attempt started — so a terminal
+	// transition closes exactly its own incident root, not a newer trigger's.
+	spans map[int]*attemptSpans
 }
+
+// attemptSpans is the span bookkeeping for one in-flight attempt.
+type attemptSpans struct {
+	apply  otrace.SpanID
+	verify otrace.SpanID
+	cause  string
+}
+
+// SetTracer attaches (or with nil, detaches) a pipeline span tracer: each
+// attempt then records a remedy-apply span (verdict→action, the backoff
+// window) and a remedy-verify span (action→outcome, the quiet window), and
+// a terminal outcome closes the owning incident's root span.
+func (e *Engine) SetTracer(t *otrace.Tracer) { e.tracer = t }
 
 // New builds an engine for one job. The policy must have been Validated;
 // emit (optional) observes every audit-log transition — the service layer
@@ -50,7 +70,7 @@ func New(eng *sim.Engine, p Policy, apply Applier, emit func(Attempt)) *Engine {
 	if apply == nil {
 		panic("remedy: nil applier")
 	}
-	return &Engine{eng: eng, policy: p.withDefaults(), apply: apply, emit: emit, state: make(map[topo.Rank]*rankState)}
+	return &Engine{eng: eng, policy: p.withDefaults(), apply: apply, emit: emit, state: make(map[topo.Rank]*rankState), spans: make(map[int]*attemptSpans)}
 }
 
 // Policy returns the effective (defaulted) policy.
@@ -79,6 +99,38 @@ func (e *Engine) transition(idx int, outcome Outcome, detail string) {
 	}
 	if e.emit != nil {
 		e.emit(*a)
+	}
+	// Spans close after emit so the terminal EventAction's own fan-out span
+	// still parents under the incident tree it resolves.
+	if outcome != OutcomePending {
+		e.closeSpans(idx, a.ResolvedAt, outcome)
+	}
+}
+
+// closeSpans ends an attempt's open apply/verify spans at its resolution
+// time and, when the attempt belongs to the currently active incident,
+// closes the incident root — the end of the tree the trigger opened.
+func (e *Engine) closeSpans(idx int, at sim.Time, outcome Outcome) {
+	t := e.tracer
+	if t == nil {
+		return
+	}
+	if as := e.spans[idx]; as != nil {
+		if as.apply != 0 {
+			t.EndAt(as.apply, at)
+		}
+		if as.verify != 0 {
+			t.Annotate(as.verify, "", fmt.Sprint(outcome))
+			t.EndAt(as.verify, at)
+		}
+		if _, cause := t.Incident(); cause != "" && cause == as.cause {
+			t.CloseIncident(at)
+		}
+		delete(e.spans, idx)
+	} else if _, cause := t.Incident(); cause != "" {
+		// An attempt with no spans of its own (an escalation) still ends
+		// the incident it answered.
+		t.CloseIncident(at)
 	}
 }
 
@@ -139,6 +191,12 @@ func (e *Engine) ObserveReport(rep core.Report) {
 		ReportedAt: rep.AnalyzedAt, Outcome: OutcomePending,
 	})
 	st.pending = idx
+	if t := e.tracer; t != nil {
+		_, cause := t.Incident()
+		id := t.StageAt(otrace.StageApply, rep.AnalyzedAt)
+		t.Annotate(id, "", fmt.Sprintf("%s: %s rank %d (try %d)", rule.Name, rule.Action, rep.Suspect, st.fails[rule.Name]+1))
+		e.spans[idx] = &attemptSpans{apply: id, cause: cause}
+	}
 	now := e.eng.Now()
 	if st.nextAllowed > now {
 		e.eng.After(st.nextAllowed.Sub(now), func() { e.applyAttempt(idx, rule) })
@@ -159,6 +217,13 @@ func (e *Engine) applyAttempt(idx int, rule Rule) {
 	if err := e.apply(a.Action); err != nil {
 		e.failPending(a.Action.Rank, fmt.Sprintf("executor rejected: %v", err))
 		return
+	}
+	if t := e.tracer; t != nil {
+		if as := e.spans[idx]; as != nil {
+			t.EndAt(as.apply, a.AppliedAt)
+			as.apply = 0
+			as.verify = t.StageAt(otrace.StageVerify, a.AppliedAt)
+		}
 	}
 	e.transition(idx, OutcomePending, "") // applied: publish the pending entry
 	e.eng.After(rule.VerifyWindow, func() {

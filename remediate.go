@@ -101,6 +101,7 @@ func (s *Service) AttachPolicy(job JobID, p RemedyPolicy) error {
 		s.observeRemedyMetrics(h.ID, a)
 		s.dispatch(Event{Job: h.ID, Kind: EventAction, At: s.Now(), Action: &a})
 	})
+	h.remedy.SetTracer(h.tracer)
 	return nil
 }
 

@@ -9,6 +9,7 @@ import (
 	"net"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -226,6 +227,48 @@ func (c *RemoteClient) QueryRemediations(q RemediationQuery) (RemediationResult,
 		return RemediationResult{}, err
 	}
 	return remediationResultFromWire(resp)
+}
+
+// QuerySpans implements Client over the wire: the filters ride the query
+// string of GET /v1/jobs/{id}/spans. An empty Job resolves against the
+// daemon's job list, mirroring the in-process "sole hosted job" rule.
+func (c *RemoteClient) QuerySpans(q SpanQuery) (SpanResult, error) {
+	job := string(q.Job)
+	if job == "" {
+		res, err := c.ListJobs()
+		if err != nil {
+			return SpanResult{}, err
+		}
+		if len(res.Jobs) != 1 {
+			return SpanResult{}, fmt.Errorf("mycroft: query needs a Job id (daemon hosts %d jobs)", len(res.Jobs))
+		}
+		job = string(res.Jobs[0].ID)
+	}
+	params := url.Values{}
+	if q.Incident != "" {
+		params.Set("incident", q.Incident)
+	}
+	if q.Stage != "" {
+		params.Set("stage", q.Stage)
+	}
+	if q.AfterID != 0 {
+		params.Set("after_id", strconv.FormatUint(uint64(q.AfterID), 10))
+	}
+	if q.MinWall > 0 {
+		params.Set("min_wall_ns", strconv.FormatInt(int64(q.MinWall), 10))
+	}
+	if q.Limit > 0 {
+		params.Set("limit", strconv.Itoa(q.Limit))
+	}
+	path := api.Prefix + "/jobs/" + url.PathEscape(job) + "/spans"
+	if enc := params.Encode(); enc != "" {
+		path += "?" + enc
+	}
+	var resp api.SpansResponse
+	if err := c.get(path, &resp); err != nil {
+		return SpanResult{}, err
+	}
+	return spanResultFromWire(resp), nil
 }
 
 // Triage implements Client over the wire.

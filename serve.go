@@ -6,10 +6,12 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sync"
 	"time"
 
 	"mycroft/internal/api"
+	"mycroft/internal/obs"
 )
 
 // Server exposes any Client over the versioned /v1 wire protocol — the
@@ -68,11 +70,23 @@ const subIdleTTL = 10 * time.Minute
 // NewServer wraps a Client for HTTP exposure.
 func NewServer(c Client) *Server {
 	svc, _ := c.(*Service)
-	return &Server{
+	sv := &Server{
 		c: c, svc: svc, subs: make(map[string]*wireSub),
 		records:  make(map[JobID]*servedRecord),
 		identity: fmt.Sprintf("mycroft-serve/%d", api.Version), started: time.Now(),
 	}
+	if svc != nil {
+		// The serving process stamps its identity and uptime on the service
+		// registry (idempotent: re-wrapping the same Service replaces the
+		// callbacks, so the newest server wins).
+		reg := svc.Metrics()
+		reg.GaugeFunc("mycroft_build_info", "Serving process identity; value is always 1.",
+			func() float64 { return 1 },
+			obs.L("server", sv.identity), obs.L("go", runtime.Version()))
+		reg.GaugeFunc("mycroft_uptime_seconds", "Wall-clock seconds since the serving process started.",
+			func() float64 { return time.Since(sv.started).Seconds() })
+	}
+	return sv
 }
 
 // RecordTo attaches an incident recorder to every hosted job, writing one
@@ -380,6 +394,26 @@ func (b *apiBackend) QueryRemediations(req api.RemediationsRequest) (api.Remedia
 		return api.RemediationsResponse{}, err
 	}
 	return remediationResultToWire(res), nil
+}
+
+func (b *apiBackend) QuerySpans(req api.SpansRequest) (api.SpansResponse, error) {
+	if resp, ok := b.replicaSpans(req); ok {
+		return resp, nil
+	}
+	b.sv.mu.Lock()
+	defer b.sv.mu.Unlock()
+	res, err := b.sv.c.QuerySpans(SpanQuery{
+		Job: JobID(req.Job), Incident: req.Incident, Stage: req.Stage,
+		AfterID: SpanID(req.AfterID), MinWall: time.Duration(req.MinWallNs), Limit: req.Limit,
+	})
+	if err != nil {
+		return api.SpansResponse{}, err
+	}
+	w := api.SpansResponse{Job: string(res.Job), Total: res.Total, Dropped: res.Dropped}
+	for _, s := range res.Spans {
+		w.Spans = append(w.Spans, api.FromSpan(s))
+	}
+	return w, nil
 }
 
 func (b *apiBackend) Triage(req api.TriageRequest) (api.TriageResponse, error) {

@@ -11,6 +11,7 @@ import (
 	"mycroft/internal/experiments"
 	"mycroft/internal/faults"
 	"mycroft/internal/obs"
+	"mycroft/internal/otrace"
 	"mycroft/internal/remedy"
 	"mycroft/internal/sim"
 	"mycroft/internal/trace"
@@ -151,6 +152,16 @@ func (s *Service) AddJob(id JobID, opts JobOptions) (*JobHandle, error) {
 	}
 	bk := core.NewBackend(s.Eng, job.DB, sampled, opts.Backend)
 	h := &JobHandle{ID: id, svc: s, Job: job, Backend: bk, health: HealthStopped}
+	// One span recorder per job: every pipeline layer — collector upload,
+	// store ingest, detection, RCA, publish, fan-out, remediation — threads
+	// its stage spans through the same tracer so an incident reads as one
+	// causal tree.
+	h.tracer = otrace.NewTracer(otrace.NewRecorder(otrace.DefaultCapacity, s.Eng.Now), string(id))
+	job.DB.SetTracer(h.tracer)
+	bk.SetTracer(h.tracer)
+	for _, agent := range job.Agents {
+		agent.SetTracer(h.tracer)
+	}
 	bk.SetPublisher(func(ev core.Event) {
 		s.dispatch(Event{
 			Job: id, Kind: ev.Kind, At: time.Duration(ev.At),
@@ -176,6 +187,16 @@ func (s *Service) MustAddJob(id JobID, opts JobOptions) *JobHandle {
 		panic(err)
 	}
 	return h
+}
+
+// Tracer returns a hosted job's pipeline span tracer (nil for unknown jobs).
+// Hosting layers — the cluster node's replicator, say — use it to extend an
+// incident's tree with their own stages.
+func (s *Service) Tracer(job JobID) *otrace.Tracer {
+	if h, ok := s.jobs[job]; ok {
+		return h.tracer
+	}
+	return nil
 }
 
 // Job returns the handle for a hosted job.
@@ -220,12 +241,24 @@ func (s *Service) dispatch(e Event) {
 	s.streamsMu.Lock()
 	streams := slices.Clone(s.streams)
 	s.streamsMu.Unlock()
+	matched := 0
 	for _, st := range streams {
 		if st.filter.matches(e) {
 			st.deliver(e)
+			matched++
 		}
 	}
 	if h := s.jobs[e.Job]; h != nil {
+		// Pipeline events (not lifecycle/health chatter) record a deliver span
+		// under the incident tree: virtually instantaneous, wall-timed.
+		switch e.Kind {
+		case EventTrigger, EventReport, EventAction:
+			if t := h.tracer; t != nil {
+				span := t.StageAt(otrace.StageDeliver, sim.Time(e.At))
+				t.Annotate(span, "", fmt.Sprintf("%s fan-out to %d stream(s)", e.Kind, matched))
+				t.EndAt(span, sim.Time(e.At))
+			}
+		}
 		h.observeRemedy(e)
 	}
 }
@@ -284,6 +317,7 @@ type JobHandle struct {
 	remedy   *remedy.Engine
 	isolated []Rank
 	recorder *Recorder
+	tracer   *otrace.Tracer
 
 	// Heartbeat state, owned by the service's health monitor. lastIngest is
 	// the virtual time records last reached the store.

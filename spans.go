@@ -1,0 +1,69 @@
+package mycroft
+
+import (
+	"time"
+
+	"mycroft/internal/otrace"
+)
+
+// Span re-exports the pipeline span record so downstream users need only
+// this package. Spans carry both virtual (Start/End) and wall-clock
+// (WallStart/WallEnd) timestamps; deterministic surfaces render only the
+// virtual fields.
+type Span = otrace.Span
+
+// SpanID identifies one recorded span (monotonic per job; 0 = none).
+type SpanID = otrace.SpanID
+
+// Pipeline stage labels, re-exported for query filters and renderers.
+const (
+	StageIncident  = otrace.StageIncident
+	StageUpload    = otrace.StageUpload
+	StageIngest    = otrace.StageIngest
+	StageDetect    = otrace.StageDetect
+	StageRCA       = otrace.StageRCA
+	StagePublish   = otrace.StagePublish
+	StageDeliver   = otrace.StageDeliver
+	StageApply     = otrace.StageApply
+	StageVerify    = otrace.StageVerify
+	StageReplicate = otrace.StageReplicate
+)
+
+// SpanQuery asks for pipeline spans from one job's recorder.
+type SpanQuery struct {
+	// Job addresses the hosted job (empty = the sole hosted job).
+	Job JobID
+	// Incident restricts to one causal tree by its cause label ("trigger-1").
+	Incident string
+	// Stage restricts to one pipeline stage ("rca", "remedy-apply", ...).
+	Stage string
+	// AfterID restricts to spans with ID > AfterID (incremental tailing).
+	AfterID SpanID
+	// MinWall keeps only closed spans at least this wall-clock wide — the
+	// slow-op scan shape.
+	MinWall time.Duration
+	// Limit caps the returned page (0 = everything); Total still counts all.
+	Limit int
+}
+
+// SpanResult is one query's answer: matching spans ascending by ID (record
+// order), the total matched before Limit, and how many spans the ring has
+// overwritten over the recorder's lifetime.
+type SpanResult struct {
+	Job     JobID
+	Spans   []Span
+	Total   int
+	Dropped uint64
+}
+
+// QuerySpans answers a SpanQuery against the job's span recorder.
+func (s *Service) QuerySpans(q SpanQuery) (SpanResult, error) {
+	h, err := s.resolveJob(q.Job)
+	if err != nil {
+		return SpanResult{}, err
+	}
+	res := h.tracer.Recorder().Spans(otrace.Query{
+		Cause: q.Incident, Stage: q.Stage, AfterID: q.AfterID, MinWall: q.MinWall, Limit: q.Limit,
+	})
+	return SpanResult{Job: h.ID, Spans: res.Spans, Total: res.Total, Dropped: res.Dropped}, nil
+}

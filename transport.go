@@ -302,6 +302,16 @@ func remediationResultFromWire(resp api.RemediationsResponse) (RemediationResult
 	return res, nil
 }
 
+// --- spans ---
+
+func spanResultFromWire(resp api.SpansResponse) SpanResult {
+	res := SpanResult{Job: JobID(resp.Job), Total: resp.Total, Dropped: resp.Dropped}
+	for _, s := range resp.Spans {
+		res.Spans = append(res.Spans, s.Span())
+	}
+	return res
+}
+
 // --- jobs ---
 
 func jobsResultToWire(res JobsResult) api.JobsResponse {
