@@ -1,0 +1,85 @@
+package mycroft
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+
+	"mycroft/internal/core"
+	"mycroft/internal/logdiag"
+	"mycroft/internal/sim"
+	"mycroft/internal/topo"
+)
+
+// runLogIngestBench mirrors internal/logdiag's BenchmarkLogIngest so the
+// emitter below can run it from here: one tokenized line folded into the
+// template index — the per-line cost of the log channel's hot path.
+func runLogIngestBench(b *testing.B) {
+	d := logdiag.New(32, logdiag.Config{})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.Ingest(logdiag.Line{
+			Rank: topo.Rank(i % 32), At: sim.Time(i) * sim.Time(time.Millisecond),
+			Level: "info", Text: "iteration 1234 done in 2.5s loss 0.25",
+		})
+	}
+}
+
+// runTemplateClusterBench mirrors internal/logdiag's BenchmarkTemplateCluster:
+// the tokenize-and-mask step alone, over a representative line mix.
+func runTemplateClusterBench(b *testing.B) {
+	lines := []string{
+		"iteration 1234 done in 2.5s loss 0.25",
+		"NIC rnic5 down: send queue stalled wr=17",
+		"GPU gpu3 xid 79 fallen off the bus",
+		"checkpoint shard 12 written in 1.2s",
+		"allreduce comm 7 seq 42 launched",
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = logdiag.TemplateID(logdiag.TemplateOf(lines[i%len(lines)]))
+	}
+}
+
+// runFusionBench mirrors internal/core's BenchmarkFusion: one Observe plus
+// one Finalize per op — the extra work evidence fusion adds to every
+// delivered verdict.
+func runFusionBench(b *testing.B) {
+	f := core.NewFusion(core.FusionConfig{})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		at := sim.Time(time.Duration(i) * time.Millisecond)
+		f.Observe(core.Evidence{Channel: core.ModalityLog, Rank: 5, Category: core.CatNetworkSendPath, At: at})
+		rep := core.Report{Suspect: 5, Category: core.CatNetworkSendPath, AnalyzedAt: at}
+		f.Finalize(&rep, core.Evidence{Channel: core.ModalityTracepoint, Rank: 5, Category: core.CatNetworkSendPath, At: at}, at)
+	}
+}
+
+// TestEmitModalityBench regenerates BENCH_modality.json, the committed
+// perf-trajectory artifact for the multi-modal diagnosis channels: log-line
+// ingest, template clustering and evidence fusion. Guarded by env so a
+// plain `go test` stays fast and deterministic:
+//
+//	MYCROFT_BENCH_OUT=BENCH_modality.json go test -run TestEmitModalityBench .
+func TestEmitModalityBench(t *testing.T) {
+	out := os.Getenv("MYCROFT_BENCH_OUT")
+	if out == "" {
+		t.Skip("set MYCROFT_BENCH_OUT to (re)write BENCH_modality.json")
+	}
+	rows := []benchRow{
+		toRow("BenchmarkLogIngest", testing.Benchmark(runLogIngestBench)),
+		toRow("BenchmarkTemplateCluster", testing.Benchmark(runTemplateClusterBench)),
+		toRow("BenchmarkFusion", testing.Benchmark(runFusionBench)),
+	}
+	data, err := json.MarshalIndent(struct {
+		Benchmarks []benchRow `json:"benchmarks"`
+	}{rows}, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", out)
+}

@@ -37,6 +37,15 @@ type Client interface {
 	Triage(job JobID) (TriageResult, error)
 	// Health reports per-job heartbeat state and subscription fan-out.
 	Health() (HealthResult, error)
+	// IngestLogs feeds structured training-log lines into a job's log
+	// diagnosis channel (the tracepoint-free ingest path).
+	IngestLogs(job JobID, lines []LogLine) (IngestResult, error)
+	// IngestTimings feeds per-rank iteration timestamps into a job's
+	// black-box perf channel.
+	IngestTimings(job JobID, samples []IterationSample) (IngestResult, error)
+	// ChannelStats reports a job's per-channel diagnosis counters and fusion
+	// summary.
+	ChannelStats(job JobID) (ChannelStatsResult, error)
 	// Subscribe attaches a typed event subscription as a streaming cursor.
 	Subscribe(EventFilter) *Stream
 }

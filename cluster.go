@@ -319,6 +319,10 @@ func (sv *Server) snapshotLocked(job JobID) *api.ClusterSnapshot {
 			}
 		}
 	}
+	if stats, err := sv.c.ChannelStats(job); err == nil {
+		cw := channelStatsToWire(stats)
+		snap.Channels = &cw
+	}
 	return &snap
 }
 
@@ -694,6 +698,21 @@ func (b *apiBackend) replicaTrace(req api.TraceRequest) (api.TraceResponse, bool
 		return api.TraceResponse{}, false
 	}
 	return rjs[0].QueryTrace(req), true
+}
+
+func (b *apiBackend) replicaChannels(job string) (api.ChannelsResponse, bool) {
+	if job == "" {
+		return api.ChannelsResponse{}, false
+	}
+	rjs := b.sv.loadCluster().replicaJobsFor([]string{job})
+	if rjs == nil {
+		return api.ChannelsResponse{}, false
+	}
+	snap := rjs[0].Snapshot()
+	if snap == nil || snap.Channels == nil {
+		return api.ChannelsResponse{}, false
+	}
+	return *snap.Channels, true
 }
 
 func (b *apiBackend) replicaTriage(job string) (api.TriageResponse, bool) {

@@ -459,6 +459,53 @@ func (cc *ClusterClient) QuerySpans(q SpanQuery) (SpanResult, error) {
 	return out, err
 }
 
+// IngestLogs routes channel ingest to the job's primary (replicas cannot
+// analyze; a failed-over replica promoted to primary can).
+func (cc *ClusterClient) IngestLogs(job JobID, lines []LogLine) (IngestResult, error) {
+	job, err := cc.resolveJob(job)
+	if err != nil {
+		return IngestResult{}, err
+	}
+	var out IngestResult
+	err = cc.routed(job, func(rc *RemoteClient) error {
+		var e error
+		out, e = rc.IngestLogs(job, lines)
+		return e
+	})
+	return out, err
+}
+
+// IngestTimings routes channel ingest to the job's primary.
+func (cc *ClusterClient) IngestTimings(job JobID, samples []IterationSample) (IngestResult, error) {
+	job, err := cc.resolveJob(job)
+	if err != nil {
+		return IngestResult{}, err
+	}
+	var out IngestResult
+	err = cc.routed(job, func(rc *RemoteClient) error {
+		var e error
+		out, e = rc.IngestTimings(job, samples)
+		return e
+	})
+	return out, err
+}
+
+// ChannelStats routes by job; a replica answers from its replicated
+// snapshot's channel mirror.
+func (cc *ClusterClient) ChannelStats(job JobID) (ChannelStatsResult, error) {
+	job, err := cc.resolveJob(job)
+	if err != nil {
+		return ChannelStatsResult{}, err
+	}
+	var out ChannelStatsResult
+	err = cc.routed(job, func(rc *RemoteClient) error {
+		var e error
+		out, e = rc.ChannelStats(job)
+		return e
+	})
+	return out, err
+}
+
 // Triage routes by job; a replica answers from its replicated verdicts.
 func (cc *ClusterClient) Triage(job JobID) (TriageResult, error) {
 	job, err := cc.resolveJob(job)

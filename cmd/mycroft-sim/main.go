@@ -4,9 +4,18 @@
 // service hosts N identical training jobs on one deterministic engine and
 // the fault is injected into job 0 only — the others must stay quiet.
 //
-// Example:
+// With -log-only the trace instrumentation is disabled entirely: not one
+// 112-byte record is emitted. The run instead feeds the two black-box
+// channels — synthetic training-log lines (fleet-wide info chatter plus
+// error lines on the faulted rank once the fault lands) and per-rank
+// iteration-completion timestamps wired straight off the workload — and the
+// verdict, remediation and triage all come from those. It demonstrates that
+// the diagnosis loop closes with zero tracepoint coverage.
+//
+// Examples:
 //
 //	mycroft-sim -fault nic-down -rank 5 -at 15s -for 60s -jobs 2
+//	mycroft-sim -fault nic-down -rank 5 -log-only -for 75s
 package main
 
 import (
@@ -16,6 +25,7 @@ import (
 	"time"
 
 	"mycroft"
+	"mycroft/internal/experiments"
 	"mycroft/internal/faults"
 	"mycroft/internal/sim"
 )
@@ -35,6 +45,7 @@ func main() {
 		dp        = flag.Int("dp", 2, "data parallel size")
 		commHeavy = flag.Bool("comm-heavy", false, "weight iterations toward communication")
 		jobs      = flag.Int("jobs", 1, "concurrent jobs hosted on the service")
+		logOnly   = flag.Bool("log-only", false, "tracepoint-free mode: disable trace instrumentation and diagnose through the log and timing channels alone")
 	)
 	flag.Parse()
 	if *jobs < 1 {
@@ -46,6 +57,15 @@ func main() {
 	opts := mycroft.JobOptions{
 		Topo:      mycroft.TopoConfig{Nodes: *nodes, GPUsPerNode: *gpus, TP: *tp, PP: *pp, DP: *dp},
 		CommHeavy: *commHeavy,
+	}
+	if *logOnly {
+		profile := experiments.ComputeHeavy
+		if *commHeavy {
+			profile = experiments.CommHeavy
+		}
+		tc := experiments.JobConfig(opts.Topo, profile)
+		tc.DisableTracing = true
+		opts.Train = &tc
 	}
 	handles := make([]*mycroft.JobHandle, *jobs)
 	for i := range handles {
@@ -63,16 +83,28 @@ func main() {
 			fmt.Printf("[%8v] job %s iteration %d done (%v)\n", end, lead.ID, i, end.Sub(start).Round(time.Millisecond))
 		}
 	}
-	svc.Subscribe(mycroft.EventFilter{
-		Kinds: []mycroft.EventKind{mycroft.EventTrigger, mycroft.EventReport},
-	}).Each(func(e mycroft.Event) {
+	kinds := []mycroft.EventKind{mycroft.EventTrigger, mycroft.EventReport}
+	if *logOnly {
+		kinds = append(kinds, mycroft.EventLogAnomaly)
+	}
+	svc.Subscribe(mycroft.EventFilter{Kinds: kinds}).Each(func(e mycroft.Event) {
 		switch e.Kind {
 		case mycroft.EventTrigger:
 			fmt.Printf("[%8v] TRIGGER  %v\n", e.At, e)
 		case mycroft.EventReport:
 			fmt.Printf("[%8v] VERDICT  %v\n", e.At, e)
+		case mycroft.EventLogAnomaly:
+			fmt.Printf("[%8v] ANOMALY  %v\n", e.At, e)
 		}
 	})
+
+	if *logOnly {
+		// The black-box timing feed: per-rank iteration completions, wired
+		// straight off the workload into the perf channel's ingest path.
+		lead.Job.OnRankIteration = func(r mycroft.Rank, iter int, at sim.Time) {
+			svc.IngestTimings(lead.ID, []mycroft.IterationSample{{Rank: r, Iter: iter, At: time.Duration(at)}})
+		}
+	}
 
 	fmt.Printf("service: %d job(s), each %d nodes × %d GPUs (TP=%d PP=%d DP=%d), sampled ranks: %v\n",
 		*jobs, *nodes, *gpus, *tp, *pp, *dp, lead.Backend.Sampled())
@@ -83,6 +115,9 @@ func main() {
 		fmt.Printf("injecting into job %s: %v\n", lead.ID, spec)
 		lead.Inject(spec)
 	}
+	if *logOnly {
+		scheduleLogFeed(svc, lead, *faultName, *rank, *at)
+	}
 	svc.Run(*horizon)
 
 	fmt.Printf("\n--- summary after %v virtual ---\n", *horizon)
@@ -91,10 +126,58 @@ func main() {
 		fmt.Printf("job %s: %d iterations, %d trace records (%0.1f MB, %d shards), %d trigger(s), %d report(s)\n",
 			h.ID, h.Job.IterationsDone(), st.Ingested, float64(st.BytesIngested)/1e6, len(st.Shards),
 			len(h.Triggers()), len(h.Reports()))
+		if !*logOnly {
+			continue
+		}
+		if cs, err := svc.ChannelStats(h.ID); err == nil {
+			for _, ch := range cs.Channels {
+				if ch.Ingested == 0 && ch.Anomalies == 0 && ch.Reports == 0 {
+					continue
+				}
+				fmt.Printf("  channel %s: ingested=%d anomalies=%d reports=%d\n",
+					ch.Channel, ch.Ingested, ch.Anomalies, ch.Reports)
+			}
+		}
 	}
 	if source, suspect, summary, ok := lead.Triage(); ok {
 		fmt.Printf("triage: resolved by %s → rank %d\n  %s\n", source, suspect, summary)
 	} else {
 		fmt.Println("triage: no anomaly reported")
+	}
+}
+
+// scheduleLogFeed arms the synthetic training-log stream for -log-only runs:
+// fleet-wide info chatter (what a healthy framework prints — it must NOT
+// trip the detector), and, once the injected fault has had a moment to bite,
+// a burst of error lines on the faulted rank, the way a real send path
+// failure surfaces in framework logs. Everything lands through the public
+// IngestLogs path, so clustering, events, fusion and escalation run exactly
+// as they would for an external log shipper.
+func scheduleLogFeed(svc *mycroft.Service, lead *mycroft.JobHandle, faultName string, rank int, at time.Duration) {
+	eng := lead.Job.Eng
+	world := lead.WorldSize()
+	for rep := 0; rep < 8; rep++ {
+		iter := rep
+		eng.After(5*time.Second+time.Duration(rep)*5*time.Second, func() {
+			lines := make([]mycroft.LogLine, 0, world)
+			for r := 0; r < world; r++ {
+				lines = append(lines, mycroft.LogLine{
+					Rank: mycroft.Rank(r), Level: "info",
+					Text: fmt.Sprintf("iteration %d loss 2.31 lr 0.0003", iter),
+				})
+			}
+			svc.IngestLogs(lead.ID, lines)
+		})
+	}
+	if faultName == "none" {
+		return
+	}
+	for rep := 0; rep < 6; rep++ {
+		eng.After(at+5*time.Second+time.Duration(rep)*2*time.Second, func() {
+			svc.IngestLogs(lead.ID, []mycroft.LogLine{{
+				Rank: mycroft.Rank(rank), Level: "error",
+				Text: "NET/IB rdma qp 17 timeout on port 1, completion queue stalled",
+			}})
+		})
 	}
 }

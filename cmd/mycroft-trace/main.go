@@ -48,6 +48,16 @@
 //	mycroft-trace spans -fault gpu-hang -rank 9 -remedy -for 70s
 //	mycroft-trace spans -addr 127.0.0.1:7466 -incident trigger-1
 //
+// The "channels" subcommand renders the multi-modal diagnosis surface: one
+// row per channel (tracepoint / log / perf) with its native ingest count,
+// published anomalies and delivered verdicts, plus the evidence-fusion
+// summary — outcome counts and the latest verdict's fused confidence. Like
+// status, every value derives from virtual time, so in-process and -addr
+// output are byte-identical for the same run:
+//
+//	mycroft-trace channels -fault nic-down -rank 5 -remedy
+//	mycroft-trace channels -addr 127.0.0.1:7466
+//
 // The "replay" subcommand re-drives a recorded incident artifact (produced
 // by -record on mycroft-serve or mycroft-scenario run, or downloaded live
 // from a daemon) through a fresh analysis stack — faithfully, or under
@@ -100,7 +110,8 @@ func main() {
 	remedyMode := len(args) > 0 && args[0] == "remedy"
 	statusMode := len(args) > 0 && args[0] == "status"
 	spansMode := len(args) > 0 && args[0] == "spans"
-	if graphMode || remedyMode || statusMode || spansMode {
+	channelsMode := len(args) > 0 && args[0] == "channels"
+	if graphMode || remedyMode || statusMode || spansMode || channelsMode {
 		args = args[1:]
 	}
 	flag.CommandLine.Parse(args)
@@ -127,7 +138,7 @@ func main() {
 		}
 		c = rc
 	} else {
-		svc, err := buildService(*seed, *faultName, *rank, *at, remedyMode || ((statusMode || spansMode) && *withRem))
+		svc, err := buildService(*seed, *faultName, *rank, *at, remedyMode || ((statusMode || spansMode || channelsMode) && *withRem))
 		if err != nil {
 			die(err)
 		}
@@ -158,6 +169,8 @@ func main() {
 		err = dumpRemedy(c, job, os.Stdout)
 	case spansMode:
 		err = dumpSpans(c, job, *incident, os.Stdout)
+	case channelsMode:
+		err = dumpChannels(c, job, os.Stdout)
 	case graphMode:
 		err = dumpGraph(c, job, os.Stdout, os.Stderr)
 	default:
@@ -576,6 +589,47 @@ func dumpStatus(c mycroft.Client, job mycroft.JobID, w io.Writer) error {
 	}
 	if job != "" && shown == 0 {
 		return fmt.Errorf("no job %q", job)
+	}
+	return nil
+}
+
+// dumpChannels renders the multi-modal diagnosis surface: per-channel ingest
+// and finding counters in canonical order, then the fusion summary. Outcome
+// counts print in the fixed single/corroborated/conflicted order (never map
+// order) and only virtual timestamps appear, so the same run renders
+// byte-identically in-process and against a daemon.
+func dumpChannels(c mycroft.Client, job mycroft.JobID, w io.Writer) error {
+	jobs, info, err := jobInfo(c, job)
+	if err != nil {
+		return err
+	}
+	res, err := c.ChannelStats(info.ID)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "diagnosis channels for job %q after %v:\n", info.ID, jobs.Now)
+	fmt.Fprintf(w, "  %-11s %10s %10s %8s\n", "CHANNEL", "INGESTED", "ANOMALIES", "REPORTS")
+	for _, ch := range res.Channels {
+		fmt.Fprintf(w, "  %-11s %10d %10d %8d", ch.Channel, ch.Ingested, ch.Anomalies, ch.Reports)
+		if ch.Channel == mycroft.ModalityLog {
+			fmt.Fprintf(w, "  %d template cluster(s)", ch.Templates)
+		}
+		fmt.Fprintln(w)
+	}
+	fu := res.Fusion
+	var delivered uint64
+	for _, n := range fu.Outcomes {
+		delivered += n
+	}
+	fmt.Fprintf(w, "fusion (window %v): %d delivered report(s)", fu.Window, delivered)
+	for _, out := range []string{mycroft.FusionSingle, mycroft.FusionCorroborated, mycroft.FusionConflicted} {
+		if n := fu.Outcomes[out]; n > 0 {
+			fmt.Fprintf(w, " %s=%d", out, n)
+		}
+	}
+	fmt.Fprintln(w)
+	if fu.LastOutcome != "" {
+		fmt.Fprintf(w, "  last verdict: %s (confidence %.2f)\n", fu.LastOutcome, fu.LastConfidence)
 	}
 	return nil
 }

@@ -26,6 +26,10 @@ const (
 	// EventHealth carries a job health transition from the heartbeat monitor
 	// (Event.Health names the states and why the job moved).
 	EventHealth = core.EventHealth
+	// EventLogAnomaly carries a non-tracepoint channel finding — a log-template
+	// divergence or a timing-envelope breach — as it is detected, before (and
+	// whether or not) it escalates into a report (Event.LogAnomaly).
+	EventLogAnomaly = core.EventLogAnomaly
 )
 
 // Lifecycle phases a Service publishes. Backend phases re-export the core
@@ -49,11 +53,12 @@ type Event struct {
 	Kind EventKind
 	At   time.Duration
 
-	Trigger *Trigger       // EventTrigger
-	Report  *Report        // EventReport
-	Phase   string         // EventLifecycle
-	Action  *RemedyAttempt // EventAction
-	Health  *HealthChange  // EventHealth
+	Trigger    *Trigger        // EventTrigger
+	Report     *Report         // EventReport
+	Phase      string          // EventLifecycle
+	Action     *RemedyAttempt  // EventAction
+	Health     *HealthChange   // EventHealth
+	LogAnomaly *ChannelAnomaly // EventLogAnomaly
 }
 
 func (e Event) String() string {
@@ -68,6 +73,8 @@ func (e Event) String() string {
 		return fmt.Sprintf("job %s: %v", e.Job, *e.Action)
 	case EventHealth:
 		return fmt.Sprintf("job %s: [%v] health %v", e.Job, e.At, *e.Health)
+	case EventLogAnomaly:
+		return fmt.Sprintf("job %s: %v", e.Job, *e.LogAnomaly)
 	default:
 		return fmt.Sprintf("job %s: %v", e.Job, e.Kind)
 	}
@@ -127,6 +134,8 @@ func (f EventFilter) matches(e Event) bool {
 			r = e.Report.Suspect
 		case e.Action != nil:
 			r = e.Action.Action.Rank
+		case e.LogAnomaly != nil:
+			r = e.LogAnomaly.Rank
 		default:
 			return false
 		}

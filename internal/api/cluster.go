@@ -140,6 +140,10 @@ type ClusterSnapshot struct {
 	NowNs  int64         `json:"now_ns"`
 	Job    JobInfo       `json:"job"`
 	Health JobHealthInfo `json:"health"`
+	// Channels mirrors the job's per-channel diagnosis counters and fusion
+	// state so a replica can answer GET /jobs/{id}/channels after failover
+	// (omitted by pre-fusion primaries).
+	Channels *ChannelsResponse `json:"channels,omitempty"`
 }
 
 // ReplicateRequest is one asynchronous replication batch from a job's

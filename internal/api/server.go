@@ -40,6 +40,12 @@ type Backend interface {
 	// the job is unknown or the daemon is not recording it.
 	Record(job string, w io.Writer) error
 
+	// Diagnosis channels: log and timing ingest feed a job's non-tracepoint
+	// detectors; Channels reports per-channel counters and fusion state.
+	IngestLogs(job string, req LogsRequest) (IngestChannelResponse, error)
+	IngestTimings(job string, req TimingsRequest) (IngestChannelResponse, error)
+	Channels(job string) (ChannelsResponse, error)
+
 	// Cluster endpoints: peer membership, health gossip, replication and the
 	// seq-resumable event tail ride the same /v1 transport queries use. A
 	// standalone daemon answers every one with a "cluster disabled" error.
@@ -64,6 +70,9 @@ type Backend interface {
 //	POST   /v1/blast-radius             → BlastRadiusResponse
 //	POST   /v1/remediations/query       → RemediationsResponse
 //	GET    /v1/jobs/{id}/spans          → SpansResponse
+//	POST   /v1/jobs/{id}/logs           → IngestChannelResponse
+//	POST   /v1/jobs/{id}/timings        → IngestChannelResponse
+//	GET    /v1/jobs/{id}/channels       → ChannelsResponse
 //	POST   /v1/triage                   → TriageResponse
 //	POST   /v1/subscribe                → SubscribeResponse
 //	POST   /v1/poll                     → PollResponse (long poll)
@@ -150,6 +159,26 @@ func NewInstrumentedHandler(b Backend, reg *obs.Registry) http.Handler {
 		resp, err := b.QuerySpans(req)
 		answer(w, resp, err)
 	})
+	handle("POST", "/jobs/{id}/logs", "/v1/jobs/{id}/logs", func(w http.ResponseWriter, r *http.Request) {
+		var req LogsRequest
+		if !decodeBody(w, r, &req) {
+			return
+		}
+		resp, err := b.IngestLogs(r.PathValue("id"), req)
+		answer(w, resp, err)
+	})
+	handle("POST", "/jobs/{id}/timings", "/v1/jobs/{id}/timings", func(w http.ResponseWriter, r *http.Request) {
+		var req TimingsRequest
+		if !decodeBody(w, r, &req) {
+			return
+		}
+		resp, err := b.IngestTimings(r.PathValue("id"), req)
+		answer(w, resp, err)
+	})
+	handle("GET", "/jobs/{id}/channels", "/v1/jobs/{id}/channels", func(w http.ResponseWriter, r *http.Request) {
+		resp, err := b.Channels(r.PathValue("id"))
+		answer(w, resp, err)
+	})
 	handle("DELETE", "/subscriptions/{id}", "/v1/subscriptions/{id}", func(w http.ResponseWriter, r *http.Request) {
 		if err := b.Unsubscribe(r.PathValue("id")); err != nil {
 			fail(w, err)
@@ -170,6 +199,23 @@ func NewInstrumentedHandler(b Backend, reg *obs.Registry) http.Handler {
 	post(handle, "/cluster/tail", b.ClusterTail)
 	post(handle, "/cluster/handoff", b.ClusterHandoff)
 	return mux
+}
+
+// decodeBody reads and decodes a JSON request body, answering the error
+// itself; it returns false when the caller should stop.
+func decodeBody(w http.ResponseWriter, r *http.Request, into any) bool {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 4<<20))
+	if err != nil {
+		fail(w, fmt.Errorf("api: reading request: %w", err))
+		return false
+	}
+	if len(body) > 0 {
+		if err := json.Unmarshal(body, into); err != nil {
+			fail(w, fmt.Errorf("api: decoding request: %w", err))
+			return false
+		}
+	}
+	return true
 }
 
 // post mounts one decode→call→encode JSON-RPC style endpoint.

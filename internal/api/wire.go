@@ -60,8 +60,21 @@ func ParseEventKind(s string) (core.EventKind, error) {
 		return core.EventAction, nil
 	case "health":
 		return core.EventHealth, nil
+	case "log-anomaly":
+		return core.EventLogAnomaly, nil
 	}
 	return 0, fmt.Errorf("api: unknown event kind %q", s)
+}
+
+// ParseModality validates a diagnosis-channel name from the wire. The
+// channel set is part of the protocol: "tracepoint", "log", "perf".
+func ParseModality(s string) (core.Modality, error) {
+	for _, m := range core.Modalities() {
+		if string(m) == s {
+			return m, nil
+		}
+	}
+	return "", fmt.Errorf("api: unknown channel %q (valid: %v)", s, core.Modalities())
 }
 
 // ParseHealthState validates a job health state from the wire. The state
@@ -181,18 +194,55 @@ type Hop struct {
 	Edge    string `json:"edge,omitempty"`
 }
 
-// Report is the wire form of an Algorithm 2 root-cause verdict.
+// Evidence is the wire form of one channel's contribution to a fused
+// verdict.
+type Evidence struct {
+	Channel  string  `json:"channel"`
+	Rank     int     `json:"rank"`
+	Category string  `json:"category"`
+	Weight   float64 `json:"weight"`
+	Score    float64 `json:"score,omitempty"`
+	AtNs     int64   `json:"at_ns"`
+	Detail   string  `json:"detail,omitempty"`
+	Conflict bool    `json:"conflict,omitempty"`
+}
+
+// FromEvidence converts domain evidence to its wire form.
+func FromEvidence(e core.Evidence) Evidence {
+	return Evidence{
+		Channel: string(e.Channel), Rank: int(e.Rank), Category: string(e.Category),
+		Weight: e.Weight, Score: e.Score, AtNs: int64(e.At), Detail: e.Detail, Conflict: e.Conflict,
+	}
+}
+
+// Evidence converts back to the domain type.
+func (e Evidence) Evidence() (core.Evidence, error) {
+	m, err := ParseModality(e.Channel)
+	if err != nil {
+		return core.Evidence{}, err
+	}
+	return core.Evidence{
+		Channel: m, Rank: topo.Rank(e.Rank), Category: core.Category(e.Category),
+		Weight: e.Weight, Score: e.Score, At: simTime(e.AtNs), Detail: e.Detail, Conflict: e.Conflict,
+	}, nil
+}
+
+// Report is the wire form of an Algorithm 2 root-cause verdict. Evidence and
+// Confidence carry the fused per-channel attribution (append-only additions;
+// absent on pre-fusion servers).
 type Report struct {
-	Trigger      Trigger `json:"trigger"`
-	Suspect      int     `json:"suspect"`
-	SuspectIP    string  `json:"suspect_ip"`
-	CommID       uint64  `json:"comm_id"`
-	Category     string  `json:"category"`
-	Via          string  `json:"via"`
-	AnalyzedAtNs int64   `json:"analyzed_at_ns"`
-	Details      string  `json:"details"`
-	Chain        []Hop   `json:"chain,omitempty"`
-	Victims      []int   `json:"victims,omitempty"`
+	Trigger      Trigger    `json:"trigger"`
+	Suspect      int        `json:"suspect"`
+	SuspectIP    string     `json:"suspect_ip"`
+	CommID       uint64     `json:"comm_id"`
+	Category     string     `json:"category"`
+	Via          string     `json:"via"`
+	AnalyzedAtNs int64      `json:"analyzed_at_ns"`
+	Details      string     `json:"details"`
+	Chain        []Hop      `json:"chain,omitempty"`
+	Victims      []int      `json:"victims,omitempty"`
+	Evidence     []Evidence `json:"evidence,omitempty"`
+	Confidence   float64    `json:"confidence,omitempty"`
 }
 
 // FromReport converts a domain report to its wire form.
@@ -200,13 +250,16 @@ func FromReport(r core.Report) Report {
 	w := Report{
 		Trigger: FromTrigger(r.Trigger), Suspect: int(r.Suspect), SuspectIP: string(r.SuspectIP),
 		CommID: r.CommID, Category: string(r.Category), Via: string(r.Via),
-		AnalyzedAtNs: int64(r.AnalyzedAt), Details: r.Details,
+		AnalyzedAtNs: int64(r.AnalyzedAt), Details: r.Details, Confidence: r.Confidence,
 	}
 	for _, h := range r.Chain {
 		w.Chain = append(w.Chain, Hop{Comm: h.Comm, Suspect: int(h.Suspect), Via: string(h.Via), Edge: string(h.Edge)})
 	}
 	for _, v := range r.Victims {
 		w.Victims = append(w.Victims, int(v))
+	}
+	for _, e := range r.Evidence {
+		w.Evidence = append(w.Evidence, FromEvidence(e))
 	}
 	return w
 }
@@ -232,6 +285,14 @@ func (r Report) Report() (core.Report, error) {
 	for _, v := range r.Victims {
 		out.Victims = append(out.Victims, topo.Rank(v))
 	}
+	for _, e := range r.Evidence {
+		ev, err := e.Evidence()
+		if err != nil {
+			return core.Report{}, err
+		}
+		out.Evidence = append(out.Evidence, ev)
+	}
+	out.Confidence = r.Confidence
 	return out, nil
 }
 
@@ -451,17 +512,64 @@ type HealthChange struct {
 	Reason       string `json:"reason,omitempty"`
 }
 
+// LogAnomaly is the wire form of one non-tracepoint channel finding: a
+// log-template divergence or a timing-envelope breach. Template doubles as
+// the finding kind for perf findings.
+type LogAnomaly struct {
+	Channel  string  `json:"channel"`
+	Rank     int     `json:"rank"`
+	Ranks    []int   `json:"ranks,omitempty"`
+	Template string  `json:"template"`
+	Level    string  `json:"level,omitempty"`
+	Count    int     `json:"count,omitempty"`
+	Fleet    int     `json:"fleet,omitempty"`
+	Score    float64 `json:"score"`
+	Category string  `json:"category"`
+	AtNs     int64   `json:"at_ns"`
+}
+
+// FromLogAnomaly converts a domain channel finding to its wire form.
+func FromLogAnomaly(a core.LogAnomaly) LogAnomaly {
+	w := LogAnomaly{
+		Channel: string(a.Channel), Rank: int(a.Rank), Template: a.Template,
+		Level: a.Level, Count: a.Count, Fleet: a.Fleet, Score: a.Score,
+		Category: string(a.Category), AtNs: int64(a.At),
+	}
+	for _, r := range a.Ranks {
+		w.Ranks = append(w.Ranks, int(r))
+	}
+	return w
+}
+
+// LogAnomaly converts back to the domain type.
+func (a LogAnomaly) LogAnomaly() (core.LogAnomaly, error) {
+	m, err := ParseModality(a.Channel)
+	if err != nil {
+		return core.LogAnomaly{}, err
+	}
+	out := core.LogAnomaly{
+		Channel: m, Rank: topo.Rank(a.Rank), Template: a.Template,
+		Level: a.Level, Count: a.Count, Fleet: a.Fleet, Score: a.Score,
+		Category: core.Category(a.Category), At: simTime(a.AtNs),
+	}
+	for _, r := range a.Ranks {
+		out.Ranks = append(out.Ranks, topo.Rank(r))
+	}
+	return out, nil
+}
+
 // Event is the wire form of one subscription event. Exactly one of Trigger,
-// Report, Phase, Action or Health is set, matching Kind.
+// Report, Phase, Action, Health or LogAnomaly is set, matching Kind.
 type Event struct {
-	Job     string        `json:"job"`
-	Kind    string        `json:"kind"`
-	AtNs    int64         `json:"at_ns"`
-	Trigger *Trigger      `json:"trigger,omitempty"`
-	Report  *Report       `json:"report,omitempty"`
-	Phase   string        `json:"phase,omitempty"`
-	Action  *Attempt      `json:"action,omitempty"`
-	Health  *HealthChange `json:"health,omitempty"`
+	Job        string        `json:"job"`
+	Kind       string        `json:"kind"`
+	AtNs       int64         `json:"at_ns"`
+	Trigger    *Trigger      `json:"trigger,omitempty"`
+	Report     *Report       `json:"report,omitempty"`
+	Phase      string        `json:"phase,omitempty"`
+	Action     *Attempt      `json:"action,omitempty"`
+	Health     *HealthChange `json:"health,omitempty"`
+	LogAnomaly *LogAnomaly   `json:"log_anomaly,omitempty"`
 }
 
 // EventFilter is the wire form of a subscription filter. Buffer 0 does not
@@ -768,6 +876,67 @@ type PollResponse struct {
 	// Closed whose buffered events were still drainable. Clients surface it
 	// as ErrSubscriptionLost.
 	Lost bool `json:"lost,omitempty"`
+}
+
+// LogLine is one structured training-log line on the wire. at_ns 0 means
+// "the server's current virtual time".
+type LogLine struct {
+	Rank  int    `json:"rank"`
+	AtNs  int64  `json:"at_ns,omitempty"`
+	Level string `json:"level,omitempty"`
+	Text  string `json:"text"`
+}
+
+// LogsRequest asks POST /v1/jobs/{id}/logs to fold log lines into the job's
+// log-diagnosis channel (the tracepoint-free ingest path).
+type LogsRequest struct {
+	Lines []LogLine `json:"lines"`
+}
+
+// TimingSample is one per-rank iteration-completion timestamp on the wire.
+type TimingSample struct {
+	Rank int   `json:"rank"`
+	Iter int   `json:"iter"`
+	AtNs int64 `json:"at_ns,omitempty"`
+}
+
+// TimingsRequest asks POST /v1/jobs/{id}/timings to feed the black-box perf
+// channel.
+type TimingsRequest struct {
+	Samples []TimingSample `json:"samples"`
+}
+
+// IngestChannelResponse answers a channel ingest: how many items were folded
+// in and how many anomalies the triggered analysis pass currently sees.
+type IngestChannelResponse struct {
+	Job       string `json:"job"`
+	Accepted  int    `json:"accepted"`
+	Anomalies int    `json:"anomalies"`
+}
+
+// ChannelInfo is one diagnosis channel's counters on the wire.
+type ChannelInfo struct {
+	Channel   string `json:"channel"`
+	Ingested  uint64 `json:"ingested"`
+	Anomalies uint64 `json:"anomalies"`
+	Reports   uint64 `json:"reports"`
+	Templates int    `json:"templates,omitempty"`
+}
+
+// FusionInfo summarizes evidence fusion for one job on the wire.
+type FusionInfo struct {
+	WindowNs       int64             `json:"window_ns"`
+	Outcomes       map[string]uint64 `json:"outcomes,omitempty"`
+	LastOutcome    string            `json:"last_outcome,omitempty"`
+	LastConfidence float64           `json:"last_confidence,omitempty"`
+}
+
+// ChannelsResponse answers GET /v1/jobs/{id}/channels: per-channel counters
+// in canonical order plus the job's fusion summary.
+type ChannelsResponse struct {
+	Job      string        `json:"job"`
+	Channels []ChannelInfo `json:"channels"`
+	Fusion   FusionInfo    `json:"fusion"`
 }
 
 // ErrorResponse is the body of every non-200 endpoint answer.

@@ -38,6 +38,43 @@ func fixtureReport() core.Report {
 			{Comm: 7, Suspect: 5, Via: core.ViaMinData},
 		},
 		Victims: []topo.Rank{1, 3, 9},
+		// The fused attribution: tracepoint and log agree, perf points away.
+		Confidence: 0.9,
+		Evidence: []core.Evidence{
+			{Channel: core.ModalityTracepoint, Rank: 5, Category: core.CatNetworkSendPath,
+				Weight: 0.75, At: 19_000_000_000, Detail: "min-data"},
+			{Channel: core.ModalityLog, Rank: 5, Category: core.CatNetworkSendPath,
+				Weight: 0.6, Score: 0.88, At: 18_000_000_000,
+				Detail: "NET/IB rdma qp <*> timeout on port <*>"},
+			{Channel: core.ModalityPerf, Rank: 2, Category: core.CatComputeStraggler,
+				Weight: 0.5, Score: 1.42, At: 17_000_000_000, Detail: "straggler", Conflict: true},
+		},
+	}
+}
+
+func fixtureLogAnomaly() core.LogAnomaly {
+	return core.LogAnomaly{
+		Channel: core.ModalityLog, Rank: 5, Ranks: []topo.Rank{5, 7},
+		Template: "NET/IB rdma qp <*> timeout on port <*>", Level: "error",
+		Count: 6, Fleet: 8, Score: 0.88, Category: core.CatNetworkSendPath,
+		At: 18_000_000_000,
+	}
+}
+
+func fixtureChannelsResponse() ChannelsResponse {
+	return ChannelsResponse{
+		Job: "llm-70b",
+		Channels: []ChannelInfo{
+			{Channel: "tracepoint", Ingested: 7516, Anomalies: 2, Reports: 1},
+			{Channel: "log", Ingested: 70, Anomalies: 4, Reports: 1, Templates: 2},
+			{Channel: "perf", Ingested: 38},
+		},
+		Fusion: FusionInfo{
+			WindowNs:       60_000_000_000,
+			Outcomes:       map[string]uint64{"corroborated": 1, "single": 1},
+			LastOutcome:    "corroborated",
+			LastConfidence: 0.9,
+		},
 	}
 }
 
@@ -112,6 +149,9 @@ func TestGoldenWireFormat(t *testing.T) {
 	golden(t, "event_lifecycle", Event{Job: "llm-70b", Kind: "lifecycle", AtNs: 0, Phase: "job-started"})
 	golden(t, "event_action", Event{Job: "llm-70b", Kind: "action", AtNs: 19_000_000_000, Action: ptr(FromAttempt(fixtureAttempt()))})
 	golden(t, "event_health", Event{Job: "llm-70b", Kind: "health", AtNs: 42_000_000_000, Health: ptr(fixtureHealthChange())})
+	golden(t, "log_anomaly", FromLogAnomaly(fixtureLogAnomaly()))
+	golden(t, "event_log_anomaly", Event{Job: "llm-70b", Kind: "log-anomaly", AtNs: 18_000_000_000, LogAnomaly: ptr(FromLogAnomaly(fixtureLogAnomaly()))})
+	golden(t, "channels_response", fixtureChannelsResponse())
 	golden(t, "health", fixtureHealthResponse())
 	golden(t, "span", FromSpan(fixtureSpan()))
 	golden(t, "spans_response", SpansResponse{
@@ -155,6 +195,12 @@ func TestWireRoundTrip(t *testing.T) {
 	})
 	t.Run("attempt", func(t *testing.T) {
 		roundTrip(t, fixtureAttempt(), FromAttempt, Attempt.Attempt)
+	})
+	t.Run("log_anomaly", func(t *testing.T) {
+		roundTrip(t, fixtureLogAnomaly(), FromLogAnomaly, LogAnomaly.LogAnomaly)
+	})
+	t.Run("evidence", func(t *testing.T) {
+		roundTrip(t, fixtureReport().Evidence[2], FromEvidence, Evidence.Evidence)
 	})
 	t.Run("span", func(t *testing.T) {
 		roundTrip(t, fixtureSpan(), FromSpan, func(w Span) (otrace.Span, error) { return w.Span(), nil })
@@ -222,5 +268,16 @@ func TestParseRejectsUnknownEnums(t *testing.T) {
 	}
 	if _, err := ParseOutcome("shrug"); err == nil {
 		t.Error("ParseOutcome accepted unknown outcome")
+	}
+	if k, err := ParseEventKind("log-anomaly"); err != nil || k != core.EventLogAnomaly {
+		t.Errorf("ParseEventKind(log-anomaly) = %v, %v; want EventLogAnomaly", k, err)
+	}
+	if _, err := ParseModality("telepathy"); err == nil {
+		t.Error("ParseModality accepted unknown channel")
+	}
+	for _, m := range core.Modalities() {
+		if got, err := ParseModality(string(m)); err != nil || got != m {
+			t.Errorf("ParseModality(%q) = %q, %v", m, got, err)
+		}
 	}
 }

@@ -62,6 +62,7 @@ type Backend struct {
 	evalObs func(sim.Time)
 	metrics *Metrics
 	spans   *otrace.Tracer
+	fusion  *Fusion
 
 	// OnTrigger fires on every Algorithm 1 firing, before analysis.
 	//
@@ -339,7 +340,54 @@ func (b *Backend) fire(tr Trigger) {
 	}
 }
 
+// SetFusion attaches an evidence-fusion state: every verdict the backend
+// delivers (its own tracepoint analyses and DeliverExternal channel reports)
+// is fused against the other channels' recent findings before publishing.
+func (b *Backend) SetFusion(f *Fusion) { b.fusion = f }
+
+// Fusion returns the attached fusion state (nil when none).
+func (b *Backend) Fusion() *Fusion { return b.fusion }
+
+// DeliverExternal routes a channel-sourced verdict (log or perf diagnosis)
+// through the standard report path: fusion, the report ledger, metrics, the
+// publish span, and the EventReport emit — so subscribers, remediation and
+// the cluster replicator cannot tell it from a tracepoint verdict. The
+// report's first Evidence entry names the producing channel. Returns the
+// fused report as published.
+func (b *Backend) DeliverExternal(rep Report, own Evidence) Report {
+	b.fuse(&rep, own)
+	b.reports = append(b.reports, rep)
+	if m := b.metrics; m != nil {
+		m.Reports.Inc()
+		m.ChainDepth.Observe(float64(len(rep.Chain)))
+	}
+	if t := b.spans; t != nil {
+		pub := t.StageAt(otrace.StagePublish, rep.AnalyzedAt)
+		defer t.EndAt(pub, rep.AnalyzedAt)
+	}
+	b.emit(Event{Kind: EventReport, At: rep.AnalyzedAt, Report: &rep})
+	return rep
+}
+
+// fuse attaches evidence and confidence to a report about to be delivered.
+func (b *Backend) fuse(rep *Report, own Evidence) {
+	if b.fusion == nil {
+		if own.Weight <= 0 {
+			own.Weight = FusionConfig{}.withDefaults().ChannelWeight(own.Channel)
+		}
+		rep.Evidence = []Evidence{own}
+		rep.Confidence = own.Weight
+		return
+	}
+	b.fusion.Observe(own)
+	b.fusion.Finalize(rep, own, rep.AnalyzedAt)
+}
+
 func (b *Backend) deliver(rep Report) {
+	b.fuse(&rep, Evidence{
+		Channel: ModalityTracepoint, Rank: rep.Suspect, Category: rep.Category,
+		At: rep.AnalyzedAt, Detail: string(rep.Via),
+	})
 	b.reports = append(b.reports, rep)
 	if m := b.metrics; m != nil {
 		m.Reports.Inc()

@@ -130,6 +130,12 @@ type Report struct {
 	// Victims is the blast radius: every rank the dependency graph shows
 	// transitively blocked by the suspect (suspect excluded, sorted).
 	Victims []topo.Rank
+	// Evidence is the per-channel attribution behind this verdict (empty on
+	// backends without fusion attached). Confidence is the fused belief in
+	// (0,1]: it rises above any single channel's prior when independent
+	// channels corroborate, and takes a penalty when they conflict.
+	Evidence   []Evidence
+	Confidence float64
 }
 
 func (r Report) String() string {

@@ -26,6 +26,11 @@ const (
 	// emits it when a job's ingest watermark goes quiet past the staleness
 	// threshold.
 	EventHealth
+	// EventLogAnomaly carries a channel finding (log-template divergence or
+	// timing-envelope breach) the moment a diagnosis channel spots it —
+	// before, and independent of, any report it escalates into. Service-layer,
+	// like EventAction and EventHealth.
+	EventLogAnomaly
 )
 
 func (k EventKind) String() string {
@@ -40,6 +45,8 @@ func (k EventKind) String() string {
 		return "action"
 	case EventHealth:
 		return "health"
+	case EventLogAnomaly:
+		return "log-anomaly"
 	default:
 		return fmt.Sprintf("event(%d)", uint8(k))
 	}
@@ -59,6 +66,8 @@ type Event struct {
 	Trigger *Trigger
 	Report  *Report
 	Phase   string
+	// LogAnomaly is set for EventLogAnomaly (channel findings).
+	LogAnomaly *LogAnomaly
 }
 
 // SetPublisher routes every subsequent event (triggers, reports, lifecycle

@@ -1,0 +1,266 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"mycroft/internal/sim"
+	"mycroft/internal/topo"
+)
+
+// Modality names a diagnosis channel: where the evidence behind a verdict
+// came from. The tracepoint channel is the paper's Coll-level trace pipeline;
+// the log and perf channels diagnose without any tracepoints at all.
+type Modality string
+
+const (
+	// ModalityTracepoint: the 112-byte Coll-level trace records (Algorithm 1/2).
+	ModalityTracepoint Modality = "tracepoint"
+	// ModalityLog: template-clustered training-log divergence (logdiag).
+	ModalityLog Modality = "log"
+	// ModalityPerf: black-box iteration-timing envelopes (perfdiag).
+	ModalityPerf Modality = "perf"
+)
+
+// Modalities returns the valid channel set, in canonical order.
+func Modalities() []Modality {
+	return []Modality{ModalityTracepoint, ModalityLog, ModalityPerf}
+}
+
+// Vias for channel-sourced verdicts.
+const (
+	ViaLogTemplate  Via = "log-template"
+	ViaPerfEnvelope Via = "perf-envelope"
+)
+
+// Evidence is one channel's contribution to a fused verdict.
+type Evidence struct {
+	Channel  Modality
+	Rank     topo.Rank
+	Category Category
+	// Weight is the channel's prior reliability in (0,1): how much one
+	// uncorroborated finding from it is worth.
+	Weight float64
+	// Score is the channel-native anomaly strength (divergence score,
+	// envelope ratio, ...), informational.
+	Score  float64
+	At     sim.Time
+	Detail string
+	// Conflict marks evidence that points away from the fused suspect.
+	Conflict bool
+}
+
+func (e Evidence) String() string {
+	s := fmt.Sprintf("%s: rank %d %s (w=%.2f)", e.Channel, e.Rank, e.Category, e.Weight)
+	if e.Conflict {
+		s += " [conflict]"
+	}
+	return s
+}
+
+// Fusion outcomes, for metrics and assertions.
+const (
+	FusionSingle       = "single"
+	FusionCorroborated = "corroborated"
+	FusionConflicted   = "conflicted"
+)
+
+// FusionConfig tunes evidence fusion. Zero values take defaults.
+type FusionConfig struct {
+	// Window is how long channel evidence stays eligible for fusion.
+	// Default 60 s.
+	Window time.Duration
+	// TracepointWeight, LogWeight, PerfWeight are the per-channel priors.
+	// Defaults 0.75 / 0.6 / 0.5.
+	TracepointWeight float64
+	LogWeight        float64
+	PerfWeight       float64
+	// ConflictPenalty multiplies confidence when channels disagree on the
+	// suspect. Default 0.6.
+	ConflictPenalty float64
+}
+
+func (c FusionConfig) withDefaults() FusionConfig {
+	if c.Window <= 0 {
+		c.Window = 60 * time.Second
+	}
+	if c.TracepointWeight <= 0 {
+		c.TracepointWeight = 0.75
+	}
+	if c.LogWeight <= 0 {
+		c.LogWeight = 0.6
+	}
+	if c.PerfWeight <= 0 {
+		c.PerfWeight = 0.5
+	}
+	if c.ConflictPenalty <= 0 {
+		c.ConflictPenalty = 0.6
+	}
+	return c
+}
+
+// ChannelWeight returns the configured prior for a channel.
+func (c FusionConfig) ChannelWeight(m Modality) float64 {
+	switch m {
+	case ModalityLog:
+		return c.LogWeight
+	case ModalityPerf:
+		return c.PerfWeight
+	default:
+		return c.TracepointWeight
+	}
+}
+
+// Fusion merges evidence from the diagnosis channels into one verdict.
+// Confidence follows noisy-OR over the distinct corroborating channels —
+// independent channels agreeing on a suspect push confidence strictly above
+// any single channel's prior — and takes a penalty when channels point at
+// different ranks, with the dissenters attached and flagged rather than
+// dropped.
+type Fusion struct {
+	cfg    FusionConfig
+	recent []Evidence
+}
+
+// NewFusion builds a fusion state with the given config.
+func NewFusion(cfg FusionConfig) *Fusion {
+	return &Fusion{cfg: cfg.withDefaults()}
+}
+
+// Config returns the effective fusion configuration.
+func (f *Fusion) Config() FusionConfig { return f.cfg }
+
+// Observe records one channel finding for future corroboration. Only the
+// freshest finding per (channel, rank) is kept.
+func (f *Fusion) Observe(ev Evidence) {
+	if ev.Weight <= 0 {
+		ev.Weight = f.cfg.ChannelWeight(ev.Channel)
+	}
+	ev.Conflict = false
+	kept := f.recent[:0]
+	cut := ev.At.Add(-sim.Duration(f.cfg.Window))
+	for _, e := range f.recent {
+		if e.At < cut {
+			continue
+		}
+		if e.Channel == ev.Channel && e.Rank == ev.Rank {
+			continue // superseded
+		}
+		kept = append(kept, e)
+	}
+	f.recent = append(kept, ev)
+}
+
+// compatibleCategory reports whether two verdict categories can describe the
+// same underlying fault — exact match, either side unknown, or both on the
+// network path (a NIC failure reads as send-path from traces and as degrade
+// from coarser channels).
+func compatibleCategory(a, b Category) bool {
+	if a == b || a == CatUnknown || b == CatUnknown {
+		return true
+	}
+	netish := func(c Category) bool {
+		return c == CatNetworkSendPath || c == CatNetworkDegrade
+	}
+	if netish(a) && netish(b) {
+		return true
+	}
+	// A straggler verdict is compatible with any hardware degradation — slow
+	// hardware is what makes a straggler.
+	slowish := func(c Category) bool {
+		return c == CatComputeStraggler || c == CatPCIeDegrade || c == CatNetworkDegrade || c == CatGPUHang
+	}
+	return slowish(a) && slowish(b)
+}
+
+// Finalize fuses the in-window evidence into rep: own is the delivering
+// channel's evidence (always attached first), corroborating channels lift
+// confidence by noisy-OR, dissenting channels attach flagged and penalize
+// it. Returns the fusion outcome (FusionSingle/Corroborated/Conflicted).
+func (f *Fusion) Finalize(rep *Report, own Evidence, now sim.Time) string {
+	if own.Weight <= 0 {
+		own.Weight = f.cfg.ChannelWeight(own.Channel)
+	}
+	own.Conflict = false
+	evs := []Evidence{own}
+	cut := now.Add(-sim.Duration(f.cfg.Window))
+	corroborated, conflicted := false, false
+	disbelief := 1 - own.Weight
+	for _, e := range f.recent {
+		if e.At < cut || e.Channel == own.Channel {
+			continue
+		}
+		if e.Rank == rep.Suspect && compatibleCategory(e.Category, rep.Category) {
+			corroborated = true
+			disbelief *= 1 - e.Weight
+			evs = append(evs, e)
+		} else if e.Rank != rep.Suspect {
+			conflicted = true
+			e.Conflict = true
+			evs = append(evs, e)
+		}
+	}
+	confidence := 1 - disbelief
+	outcome := FusionSingle
+	if corroborated {
+		outcome = FusionCorroborated
+	}
+	if conflicted {
+		outcome = FusionConflicted
+		confidence *= f.cfg.ConflictPenalty
+	}
+	rep.Evidence = evs
+	rep.Confidence = confidence
+	return outcome
+}
+
+// FusionOutcome classifies a fused report by its attached evidence: any
+// flagged dissenter makes it conflicted, two or more agreeing channels make
+// it corroborated, else single.
+func (r Report) FusionOutcome() string {
+	agree := 0
+	for _, e := range r.Evidence {
+		if e.Conflict {
+			return FusionConflicted
+		}
+		agree++
+	}
+	if agree >= 2 {
+		return FusionCorroborated
+	}
+	return FusionSingle
+}
+
+// HasEvidence reports whether a report carries evidence from channel m
+// (non-conflicting).
+func (r Report) HasEvidence(m Modality) bool {
+	for _, e := range r.Evidence {
+		if e.Channel == m && !e.Conflict {
+			return true
+		}
+	}
+	return false
+}
+
+// LogAnomaly is the payload of an EventLogAnomaly: one channel finding,
+// published as it happens (before, and independent of, any report it may
+// escalate into). The log and perf channels share the shape; Channel
+// distinguishes them, and Template doubles as the finding text for perf
+// findings.
+type LogAnomaly struct {
+	Channel  Modality
+	Rank     topo.Rank
+	Ranks    []topo.Rank
+	Template string
+	Level    string
+	Count    int
+	Fleet    int
+	Score    float64
+	Category Category
+	At       sim.Time
+}
+
+func (a LogAnomaly) String() string {
+	return fmt.Sprintf("[%v] %s anomaly: %q on rank %d (score %.2f) → %s",
+		a.At, a.Channel, a.Template, a.Rank, a.Score, a.Category)
+}

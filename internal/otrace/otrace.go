@@ -49,6 +49,12 @@ const (
 	// StageReplicate is one primary→peer replication batch, ship to ack.
 	// Replication spans carry the target peer in Peer.
 	StageReplicate = "replicate-ship"
+	// StageLogAnalyze is one log-channel analysis pass over a freshly
+	// ingested batch of training-log lines.
+	StageLogAnalyze = "log-analyze"
+	// StagePerfAnalyze is one perf-channel analysis pass over a freshly
+	// ingested batch of iteration timings.
+	StagePerfAnalyze = "perf-analyze"
 )
 
 // Span is one recorded pipeline stage. Start/End are virtual time;

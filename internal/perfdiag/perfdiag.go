@@ -1,0 +1,219 @@
+// Package perfdiag is the black-box timing-envelope diagnosis channel: it
+// sees nothing but per-rank iteration completion timestamps — no op-level
+// trace, no logs — and still catches the failures that hide from both: the
+// persistent straggler whose collectives all complete (slowly) and the
+// stage imbalance where a whole group of ranks drifts off the fleet's
+// cadence. Per-rank iteration durations feed rolling quantile envelopes
+// (internal/stats.WindowQuantile); a rank whose median sits persistently
+// above the fleet envelope is a straggler, and a coherent group of such
+// ranks is stage imbalance — the LLMPrism observation (PAPERS.md) that
+// iteration timing alone diagnoses silent slowdowns.
+package perfdiag
+
+import (
+	"fmt"
+	"sort"
+
+	"mycroft/internal/sim"
+	"mycroft/internal/stats"
+	"mycroft/internal/topo"
+)
+
+// Sample is one per-rank iteration completion timestamp.
+type Sample struct {
+	Rank topo.Rank
+	Iter int
+	At   sim.Time
+}
+
+// Config tunes the detector. Zero values take defaults.
+type Config struct {
+	// Window is the per-rank duration window (samples). Default 16.
+	Window int
+	// MinSamples per rank before envelopes arm. Default 6.
+	MinSamples int
+	// StragglerFactor: a rank whose windowed median exceeds this multiple of
+	// the fleet median is anomalous. Default 1.3.
+	StragglerFactor float64
+	// Persist: consecutive anomalous analyses before a finding is reported.
+	// Default 3.
+	Persist int
+	// ImbalanceFrac: when more than this fraction of the world is anomalous
+	// together, the finding is stage imbalance, not a lone straggler.
+	// Default 0.25.
+	ImbalanceFrac float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Window <= 0 {
+		c.Window = 16
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = 6
+	}
+	if c.StragglerFactor <= 1 {
+		c.StragglerFactor = 1.3
+	}
+	if c.Persist <= 0 {
+		c.Persist = 3
+	}
+	if c.ImbalanceFrac <= 0 {
+		c.ImbalanceFrac = 0.25
+	}
+	return c
+}
+
+// FindingKind discriminates what the envelope caught.
+type FindingKind string
+
+const (
+	// KindStraggler: one rank (or a small set) persistently above envelope.
+	KindStraggler FindingKind = "persistent-straggler"
+	// KindImbalance: a coherent group of ranks off the fleet cadence.
+	KindImbalance FindingKind = "stage-imbalance"
+)
+
+// Finding is one timing-envelope anomaly.
+type Finding struct {
+	Kind FindingKind
+	// Rank is the worst offender (highest median/fleet ratio; lowest rank
+	// breaks ties). Ranks is the full anomalous set, sorted.
+	Rank  topo.Rank
+	Ranks []topo.Rank
+	// RankMedian and FleetMedian are the windowed medians (seconds).
+	RankMedian  float64
+	FleetMedian float64
+	// Ratio is RankMedian / FleetMedian for the worst offender.
+	Ratio float64
+	// Persisted counts consecutive anomalous analyses behind this finding.
+	Persisted int
+	At        sim.Time
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("[%v] %s: rank %d median %.3gs vs fleet %.3gs (×%.2f, %d consecutive)",
+		f.At, f.Kind, f.Rank, f.RankMedian, f.FleetMedian, f.Ratio, f.Persisted)
+}
+
+type rankEnvelope struct {
+	lastAt  sim.Time
+	hasLast bool
+	window  *stats.WindowQuantile
+	streak  int // consecutive anomalous analyses
+}
+
+// Detector maintains per-rank timing envelopes over iteration timestamps.
+type Detector struct {
+	world    int
+	cfg      Config
+	ranks    []*rankEnvelope
+	ingested uint64
+	lastAt   sim.Time
+}
+
+// New builds a detector for a world-size-rank job.
+func New(world int, cfg Config) *Detector {
+	if world < 1 {
+		world = 1
+	}
+	cfg = cfg.withDefaults()
+	d := &Detector{world: world, cfg: cfg, ranks: make([]*rankEnvelope, world)}
+	for i := range d.ranks {
+		d.ranks[i] = &rankEnvelope{window: stats.NewWindowQuantile(cfg.Window)}
+	}
+	return d
+}
+
+// Ingest folds one iteration completion timestamp in. The duration sample is
+// the gap to the rank's previous completion, so the channel needs only
+// timestamps, never explicit durations.
+func (d *Detector) Ingest(s Sample) {
+	if int(s.Rank) < 0 || int(s.Rank) >= d.world {
+		return
+	}
+	d.ingested++
+	if s.At > d.lastAt {
+		d.lastAt = s.At
+	}
+	env := d.ranks[s.Rank]
+	if env.hasLast && s.At > env.lastAt {
+		env.window.Add(s.At.Sub(env.lastAt).Seconds())
+	}
+	env.lastAt, env.hasLast = s.At, true
+}
+
+// Ingested returns lifetime samples folded in.
+func (d *Detector) Ingested() uint64 { return d.ingested }
+
+// Analyze compares every armed rank's windowed median against the fleet
+// median and returns the findings that have persisted long enough, worst
+// first. A nil return means every rank is inside the envelope.
+func (d *Detector) Analyze(now sim.Time) []Finding {
+	medians := make([]float64, d.world)
+	armed := make([]bool, d.world)
+	var fleet stats.Sample
+	for r, env := range d.ranks {
+		if env.window.N() < d.cfg.MinSamples {
+			continue
+		}
+		armed[r] = true
+		medians[r] = env.window.Median()
+		fleet.Add(medians[r])
+	}
+	if fleet.N() < 2 {
+		return nil
+	}
+	fleetMedian := fleet.Quantile(0.5)
+	if fleetMedian <= 0 {
+		return nil
+	}
+
+	type offender struct {
+		rank  topo.Rank
+		ratio float64
+	}
+	var over []offender
+	for r := 0; r < d.world; r++ {
+		env := d.ranks[r]
+		if !armed[r] {
+			continue
+		}
+		if medians[r] > d.cfg.StragglerFactor*fleetMedian {
+			env.streak++
+			over = append(over, offender{topo.Rank(r), medians[r] / fleetMedian})
+		} else {
+			env.streak = 0
+		}
+	}
+	if len(over) == 0 {
+		return nil
+	}
+	sort.Slice(over, func(i, j int) bool {
+		if over[i].ratio != over[j].ratio {
+			return over[i].ratio > over[j].ratio
+		}
+		return over[i].rank < over[j].rank
+	})
+
+	// The finding only fires once the worst offender's streak persists.
+	worst := over[0]
+	if d.ranks[worst.rank].streak < d.cfg.Persist {
+		return nil
+	}
+	ranks := make([]topo.Rank, 0, len(over))
+	for _, o := range over {
+		if d.ranks[o.rank].streak >= d.cfg.Persist {
+			ranks = append(ranks, o.rank)
+		}
+	}
+	sort.Slice(ranks, func(i, j int) bool { return ranks[i] < ranks[j] })
+	kind := KindStraggler
+	if float64(len(ranks)) > d.cfg.ImbalanceFrac*float64(d.world) {
+		kind = KindImbalance
+	}
+	return []Finding{{
+		Kind: kind, Rank: worst.rank, Ranks: ranks,
+		RankMedian: medians[worst.rank], FleetMedian: fleetMedian,
+		Ratio: worst.ratio, Persisted: d.ranks[worst.rank].streak, At: now,
+	}}
+}

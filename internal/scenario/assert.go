@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"slices"
 
+	"mycroft/internal/core"
 	"mycroft/internal/faults"
 	"mycroft/internal/remedy"
 	"mycroft/internal/sim"
@@ -191,6 +192,57 @@ func checkJob(a Assertion, j *JobResult) string {
 		}
 		if matches < min {
 			return fmt.Sprintf("%d matching remediation attempt(s), want >= %d (log has %d)", matches, min, len(j.remediations))
+		}
+		return ""
+
+	case AssertChannel:
+		info, ok := j.channelInfo(a.Channel)
+		if !ok {
+			return fmt.Sprintf("no %q channel stats (job reported %d channels)", a.Channel, len(j.channels.Channels))
+		}
+		if a.None {
+			if info.Anomalies != 0 || info.Reports != 0 {
+				return fmt.Sprintf("channel %s not quiet: %d anomalies, %d reports", a.Channel, info.Anomalies, info.Reports)
+			}
+			return ""
+		}
+		min := a.Min
+		if min <= 0 {
+			min = 1
+		}
+		if info.Anomalies < uint64(min) {
+			return fmt.Sprintf("channel %s saw %d anomalies, want >= %d", a.Channel, info.Anomalies, min)
+		}
+		if info.Reports < uint64(a.Reports) {
+			return fmt.Sprintf("channel %s delivered %d reports, want >= %d", a.Channel, info.Reports, a.Reports)
+		}
+		return ""
+
+	case AssertModality:
+		m := core.Modality(a.Channel)
+		var last string
+		for _, rep := range j.reports {
+			if !rep.HasEvidence(m) {
+				continue
+			}
+			if a.MinConfidence > 0 && rep.Confidence < a.MinConfidence {
+				last = fmt.Sprintf("confidence %.3f below %.3f", rep.Confidence, a.MinConfidence)
+				continue
+			}
+			if a.Outcome != "" && rep.FusionOutcome() != a.Outcome {
+				last = fmt.Sprintf("fusion outcome %s, want %s", rep.FusionOutcome(), a.Outcome)
+				continue
+			}
+			return ""
+		}
+		if last == "" {
+			last = fmt.Sprintf("no report carries %s evidence (%d reports)", a.Channel, len(j.reports))
+		}
+		return fmt.Sprintf("no report satisfies the %s-evidence expectation: %s", a.Channel, last)
+
+	case AssertNoRecords:
+		if j.Records != 0 {
+			return fmt.Sprintf("%d trace records ingested, want a tracepoint-free run", j.Records)
 		}
 		return ""
 

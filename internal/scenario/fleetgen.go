@@ -15,6 +15,7 @@ type jobSpec struct {
 	Window          Dur
 	MaxSampled      int
 	Rearm           Dur
+	NoTracing       bool
 }
 
 // resolveFleet expands the fleet declaration into concrete job specs. For a
@@ -30,6 +31,7 @@ func resolveFleet(f Fleet, seed int64) []jobSpec {
 			Template: "default", Topo: t, CommHeavy: f.CommHeavy,
 			CheckpointEvery: f.CheckpointEvery, UploadLatency: f.UploadLatency,
 			Window: f.Window, MaxSampled: f.MaxSampled, Rearm: f.Rearm,
+			NoTracing: f.NoTracing,
 		}}
 	}
 	rng := rand.New(rand.NewSource(mix(seed, 0x666c656574))) // "fleet"
@@ -46,6 +48,7 @@ func resolveFleet(f Fleet, seed int64) []jobSpec {
 			Template: tpl.Name, Topo: tpl.Topo, CommHeavy: tpl.CommHeavy || f.CommHeavy,
 			CheckpointEvery: f.CheckpointEvery, UploadLatency: f.UploadLatency,
 			Window: f.Window, MaxSampled: f.MaxSampled, Rearm: f.Rearm,
+			NoTracing: f.NoTracing,
 		})
 	}
 	return out

@@ -43,6 +43,9 @@ func Builtins() []Spec {
 		selfHealStragglerScenario(),
 		flappingEscalateScenario(),
 		multiJobPolicyScenario(),
+		logOnlyNICDownScenario(),
+		silentStragglerPerfScenario(),
+		corroboratedCascadeScenario(),
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
@@ -450,6 +453,83 @@ func multiJobPolicyScenario() Spec {
 			{Kind: AssertRecovered, Job: 0, Rank: 5},
 			{Kind: AssertRemediation, Job: 1, None: true, Rank: -1},
 			{Kind: AssertMinIterations, Job: 0, Min: 10}, // job 0 resumed; job 1's dead NIC pins it lower
+		},
+	}
+}
+
+// logOnlyNICDownScenario is the tracepoint-free acceptance path: tracing is
+// disabled entirely (zero 112-byte records reach the cloud DB), a NIC dies,
+// and the rank's RDMA driver complaints — against a backdrop of fleet-wide
+// info chatter — must localize, categorize and self-heal the fault through
+// the log channel alone.
+func logOnlyNICDownScenario() Spec {
+	return Spec{
+		Name:        "log-only-nic-down",
+		Description: "Tracing disabled: rank 5's RDMA error lines alone must localize the dead NIC, reach a network-send-path verdict and drive recovery — zero trace records end to end.",
+		RunFor:      Dur(75 * time.Second),
+		Fleet:       Fleet{NoTracing: true, Rearm: Dur(10 * time.Second)},
+		Events:      []Event{injectAt(warmup, faults.NICDown, 5, 0, 0)},
+		Logs: []Logs{
+			// Fleet-wide phase chatter every rank emits: the divergence score
+			// must read it as a phase change, never a fault.
+			{At: Dur(5 * time.Second), Rank: -1, Level: "info", Text: "iteration 12 loss 2.31 lr 0.0003", Count: 9, Every: Dur(5 * time.Second)},
+			// The failing NIC's driver complains shortly after the fault.
+			{At: Dur(20 * time.Second), Rank: 5, Level: "error", Text: "NET/IB rdma qp 17 timeout on port 1, completion queue stalled", Count: 6, Every: Dur(2 * time.Second)},
+		},
+		Remediate: []Remediate{{Name: "self-heal", Rules: selfHealRules()}},
+		Assertions: []Assertion{
+			{Kind: AssertNoRecords},
+			{Kind: AssertChannel, Channel: "tracepoint", None: true},
+			{Kind: AssertChannel, Channel: "log", Min: 1, Reports: 1},
+			{Kind: AssertCategory, Categories: []core.Category{core.CatNetworkSendPath}},
+			{Kind: AssertSuspect, Rank: 5},
+			{Kind: AssertModality, Channel: "log"},
+			{Kind: AssertRemediation, Action: remedy.ActRecoverFault, Outcomes: []remedy.Outcome{remedy.OutcomeSucceeded}, Rank: 5},
+		},
+	}
+}
+
+// silentStragglerPerfScenario is the black-box channel's acceptance path: no
+// fault is injected and tracing stays on, but a synthetic timing feed shows
+// rank 3 drifting 1.8× slower mid-run. The perf channel alone must convict
+// it while the tracepoint channel stays completely quiet.
+func silentStragglerPerfScenario() Spec {
+	return Spec{
+		Name:        "silent-straggler-perf",
+		Description: "No fault, tracing healthy: iteration timestamps alone show rank 3 drifting 1.8× slower; the perf envelope convicts it while the tracepoint channel stays silent.",
+		RunFor:      Dur(90 * time.Second),
+		Timings:     []Timings{{Start: Dur(5 * time.Second), Period: Dur(2 * time.Second), Count: 30, Rank: 3, Factor: 1.8, After: 8}},
+		Assertions: []Assertion{
+			{Kind: AssertNoFalseTrigger},
+			{Kind: AssertChannel, Channel: "tracepoint", None: true},
+			{Kind: AssertChannel, Channel: "perf", Min: 1, Reports: 1},
+			{Kind: AssertCategory, Categories: []core.Category{core.CatComputeStraggler}},
+			{Kind: AssertSuspect, Rank: 3},
+			{Kind: AssertModality, Channel: "perf"},
+		},
+	}
+}
+
+// corroboratedCascadeScenario is the fusion showcase: the same dead NIC is
+// seen independently by the tracepoint pipeline and the rank's driver log.
+// The fused verdict must carry evidence from both channels and a confidence
+// strictly above either channel's single prior (noisy-OR of 0.75 and 0.6 is
+// 0.9, so the 0.8 bound separates corroboration from any single channel).
+func corroboratedCascadeScenario() Spec {
+	return Spec{
+		Name:        "corroborated-cascade",
+		Description: "A NIC dies while the rank's driver logs scream: tracepoint and log evidence fuse, and the verdict's confidence rises strictly above either channel alone.",
+		RunFor:      Dur(75 * time.Second),
+		Events:      []Event{injectAt(warmup, faults.NICDown, 5, 0, 0)},
+		Logs: []Logs{
+			{At: Dur(16 * time.Second), Rank: 5, Level: "error", Text: "NET/IB rnic 5 completion error on qp 9", Count: 6, Every: Dur(2 * time.Second)},
+		},
+		Assertions: []Assertion{
+			{Kind: AssertNoFalseTrigger},
+			{Kind: AssertDetected, Within: Dur(30 * time.Second)},
+			{Kind: AssertDiagnosed},
+			{Kind: AssertModality, Channel: "tracepoint", Outcome: "corroborated", MinConfidence: 0.8},
+			{Kind: AssertModality, Channel: "log", MinConfidence: 0.8},
 		},
 	}
 }

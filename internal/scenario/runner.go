@@ -43,11 +43,25 @@ type JobResult struct {
 	// Remediations is the job's audit log: every detect→act→verify attempt
 	// the attached policy made (empty without a remediate stanza).
 	Remediations []string `json:"remediations,omitempty"`
+	// Channels renders the diagnosis channels that saw anomalies or
+	// delivered verdicts (quiet channels are omitted).
+	Channels []string `json:"channels,omitempty"`
 
 	injected     faults.Plan
 	triggers     []core.Trigger
 	reports      []core.Report
 	remediations []remedy.Attempt
+	channels     mycroft.ChannelStatsResult
+}
+
+// channelInfo finds one channel's counters in the job's stats.
+func (j *JobResult) channelInfo(name string) (mycroft.ChannelInfo, bool) {
+	for _, c := range j.channels.Channels {
+		if string(c.Channel) == name {
+			return c, true
+		}
+	}
+	return mycroft.ChannelInfo{}, false
 }
 
 // Result is the structured pass/fail outcome of one scenario run. Every
@@ -89,6 +103,9 @@ func (r *Result) Render() string {
 		}
 		for _, rem := range j.Remediations {
 			fmt.Fprintf(&b, "    remedy:  %s\n", rem)
+		}
+		for _, ch := range j.Channels {
+			fmt.Fprintf(&b, "    channel: %s\n", ch)
 		}
 	}
 	fmt.Fprintf(&b, "  assertions: %d checked, %d failed\n", r.Asserted, len(r.Failures))
@@ -278,6 +295,7 @@ func prepare(spec Spec, jobs []jobSpec, seed int64, keep func(index int, id stri
 		p.Handles = append(p.Handles, h)
 		p.jobs = append(p.jobs, js)
 		p.plans = append(p.plans, schedule(spec, i, mix(seed, int64(i)), h))
+		scheduleFeeds(spec, i, svc, h)
 		p.indices = append(p.indices, i)
 	}
 	return p, nil
@@ -293,7 +311,7 @@ func (p *Prepared) Horizon() time.Duration { return p.Spec.runFor() }
 func (p *Prepared) Collect() []JobResult {
 	out := make([]JobResult, 0, len(p.jobs))
 	for i, js := range p.jobs {
-		out = append(out, collect(js, p.indices[i], p.Handles[i], p.plans[i]))
+		out = append(out, collect(js, p.indices[i], p.Service, p.Handles[i], p.plans[i]))
 	}
 	return out
 }
@@ -341,7 +359,7 @@ func jobOptions(js jobSpec) mycroft.JobOptions {
 	if js.Rearm > 0 {
 		opts.Backend.RearmDelay = js.Rearm.D()
 	}
-	if js.CheckpointEvery > 0 || js.UploadLatency > 0 {
+	if js.CheckpointEvery > 0 || js.UploadLatency > 0 || js.NoTracing {
 		profile := experiments.ComputeHeavy
 		if js.CommHeavy {
 			profile = experiments.CommHeavy
@@ -351,9 +369,77 @@ func jobOptions(js jobSpec) mycroft.JobOptions {
 		if js.UploadLatency > 0 {
 			tc.Collector.UploadLatency = js.UploadLatency.D()
 		}
+		tc.DisableTracing = js.NoTracing
 		opts.Train = &tc
 	}
 	return opts
+}
+
+// scheduleFeeds arms one fleet member's synthetic channel feeds (the
+// logs:/timings: stanzas) on the engine clock. Every batch lands through
+// the same Service ingest path external agents use, so analysis, events,
+// fusion and metrics all fire exactly as they would in production.
+func scheduleFeeds(spec Spec, idx int, svc *mycroft.Service, h *mycroft.JobHandle) {
+	eng := h.Job.Eng
+	world := h.WorldSize()
+	for _, lg := range spec.Logs {
+		if lg.Job != -1 && lg.Job != idx {
+			continue
+		}
+		lg := lg
+		count := lg.Count
+		if count <= 0 {
+			count = 1
+		}
+		every := lg.Every.D()
+		if every <= 0 {
+			every = time.Second
+		}
+		for rep := 0; rep < count; rep++ {
+			eng.After(lg.At.D()+time.Duration(rep)*every, func() {
+				var lines []mycroft.LogLine
+				if lg.Rank < 0 {
+					for r := 0; r < world; r++ {
+						lines = append(lines, mycroft.LogLine{Rank: mycroft.Rank(r), Level: lg.Level, Text: lg.Text})
+					}
+				} else {
+					lines = []mycroft.LogLine{{Rank: mycroft.Rank(lg.Rank), Level: lg.Level, Text: lg.Text}}
+				}
+				svc.IngestLogs(h.ID, lines)
+			})
+		}
+	}
+	for _, tm := range spec.Timings {
+		if tm.Job != -1 && tm.Job != idx {
+			continue
+		}
+		tm := tm
+		period := tm.Period.D()
+		straggles := tm.Factor > 1
+		for i := 0; i < tm.Count; i++ {
+			iter := i
+			// Healthy ranks complete iteration i on cadence; the straggler
+			// shares the batch until its onset, then falls behind on its own
+			// stretched clock.
+			eng.After(tm.Start.D()+time.Duration(i+1)*period, func() {
+				var batch []mycroft.IterationSample
+				for r := 0; r < world; r++ {
+					if straggles && r == tm.Rank && iter >= tm.After {
+						continue
+					}
+					batch = append(batch, mycroft.IterationSample{Rank: mycroft.Rank(r), Iter: iter})
+				}
+				svc.IngestTimings(h.ID, batch)
+			})
+			if straggles && iter >= tm.After {
+				slow := time.Duration(float64(period) * tm.Factor)
+				at := tm.Start.D() + time.Duration(tm.After)*period + time.Duration(iter-tm.After+1)*slow
+				eng.After(at, func() {
+					svc.IngestTimings(h.ID, []mycroft.IterationSample{{Rank: mycroft.Rank(tm.Rank), Iter: iter}})
+				})
+			}
+		}
+	}
 }
 
 // schedule compiles one job's timed schedule — explicit events targeting
@@ -411,11 +497,21 @@ func schedule(spec Spec, idx int, jobSeed int64, h *mycroft.JobHandle) faults.Pl
 }
 
 // collect builds the per-job result after the horizon.
-func collect(js jobSpec, idx int, h *mycroft.JobHandle, plan faults.Plan) JobResult {
+func collect(js jobSpec, idx int, svc *mycroft.Service, h *mycroft.JobHandle, plan faults.Plan) JobResult {
 	jr := JobResult{
 		Index: idx, JobID: string(h.ID), Template: js.Template, Topo: js.Topo, CommHeavy: js.CommHeavy,
 		WorldSize: h.WorldSize(), Iterations: h.Job.IterationsDone(), Records: h.RecordsIngested(),
 		injected: plan, triggers: h.Triggers(), reports: h.Reports(), remediations: h.RemediationLog(),
+	}
+	if stats, err := svc.ChannelStats(h.ID); err == nil {
+		jr.channels = stats
+		for _, c := range stats.Channels {
+			if c.Anomalies == 0 && c.Reports == 0 {
+				continue
+			}
+			jr.Channels = append(jr.Channels, fmt.Sprintf("%s: ingested=%d anomalies=%d reports=%d",
+				c.Channel, c.Ingested, c.Anomalies, c.Reports))
+		}
 	}
 	for _, s := range plan {
 		jr.Injected = append(jr.Injected, s.String())
@@ -459,6 +555,7 @@ func runJob(spec Spec, js jobSpec, idx int, seed int64, opts RunOptions) (JobRes
 		return JobResult{}, err
 	}
 	plan := schedule(spec, idx, seed, h)
+	scheduleFeeds(spec, idx, svc, h)
 	closeRec, err := record(svc, []*mycroft.JobHandle{h}, opts.RecordDir)
 	if err != nil {
 		return JobResult{}, err
@@ -469,7 +566,7 @@ func runJob(spec Spec, js jobSpec, idx int, seed int64, opts RunOptions) (JobRes
 		return JobResult{}, err
 	}
 	defer svc.Stop()
-	return collect(js, idx, h, plan), nil
+	return collect(js, idx, svc, h, plan), nil
 }
 
 // accuracy scores the run: the fraction of injections for which some verdict

@@ -2,11 +2,13 @@ package scenario
 
 import (
 	"encoding/json"
+	"errors"
 	"math/rand"
 	"strings"
 	"testing"
 	"time"
 
+	"mycroft"
 	"mycroft/internal/core"
 	"mycroft/internal/faults"
 	"mycroft/internal/remedy"
@@ -249,6 +251,16 @@ func TestValidateRejects(t *testing.T) {
 			{Rules: []RemedyRule{{Action: remedy.ActEscalate}}},
 		}}, "already has a policy"},
 		{"remediation none with min", Spec{Name: "x", Assertions: []Assertion{{Kind: AssertRemediation, None: true, Min: 2}}}, "both none and min"},
+		{"channel none with min", Spec{Name: "x", Assertions: []Assertion{{Kind: AssertChannel, Channel: "log", None: true, Min: 1}}}, "both none and min"},
+		{"modality confidence out of range", Spec{Name: "x", Assertions: []Assertion{{Kind: AssertModality, Channel: "log", MinConfidence: 1.5}}}, "outside [0, 1]"},
+		{"modality unknown outcome", Spec{Name: "x", Assertions: []Assertion{{Kind: AssertModality, Channel: "log", Outcome: "vibes"}}}, "unknown fusion outcome"},
+		{"logs without text", Spec{Name: "x", Logs: []Logs{{At: Dur(time.Second), Rank: 0}}}, "missing text"},
+		{"logs rank out of range", Spec{Name: "x", Logs: []Logs{{At: Dur(time.Second), Rank: 99, Text: "boom"}}}, "out of range"},
+		{"logs past horizon", Spec{Name: "x", RunFor: Dur(30 * time.Second), Logs: []Logs{{At: Dur(40 * time.Second), Rank: 0, Text: "late"}}}, "beyond run_for"},
+		{"timings zero period", Spec{Name: "x", Timings: []Timings{{Start: Dur(time.Second), Count: 5}}}, "period must be > 0"},
+		{"timings zero count", Spec{Name: "x", Timings: []Timings{{Start: Dur(time.Second), Period: Dur(time.Second)}}}, "count must be > 0"},
+		{"timings sub-unit factor", Spec{Name: "x", Timings: []Timings{{Start: Dur(time.Second), Period: Dur(time.Second), Count: 5, Rank: 1, Factor: 0.5}}}, "factor must be >= 1"},
+		{"timings straggler rank out of range", Spec{Name: "x", Timings: []Timings{{Start: Dur(time.Second), Period: Dur(time.Second), Count: 5, Rank: 99, Factor: 2}}}, "out of range"},
 		{"remediation unknown action", Spec{Name: "x", Assertions: []Assertion{{Kind: AssertRemediation, Action: "warp"}}}, "unknown action"},
 		{"remediation unknown outcome", Spec{Name: "x", Assertions: []Assertion{{Kind: AssertRemediation, Outcomes: []remedy.Outcome{"shrugged"}}}}, "unknown outcome"},
 		{"recovered rank out of range", Spec{Name: "x", Assertions: []Assertion{{Kind: AssertRecovered, Rank: 99}}}, "out of range"},
@@ -405,6 +417,122 @@ func TestRemediationAssertionEvaluation(t *testing.T) {
 	j.reports = append(j.reports, core.Report{Suspect: 5, AnalyzedAt: at(61)})
 	if msg := checkJob(Assertion{Kind: AssertRecovered, Rank: 5}, j); !strings.Contains(msg, "re-detected") {
 		t.Fatalf("post-verification report not caught: %q", msg)
+	}
+}
+
+// TestUnknownModalityTypedError: an expect_channel/expect_modality
+// assertion naming a channel outside the modality vocabulary fails
+// validation with the typed UnknownModalityError, whose message (and
+// fields) name the valid set — the error `mycroft-scenario validate -all`
+// surfaces for a typo'd spec.
+func TestUnknownModalityTypedError(t *testing.T) {
+	cases := []struct {
+		name string
+		a    Assertion
+		bad  string
+	}{
+		{"expect_channel typo", Assertion{Kind: AssertChannel, Channel: "logz"}, "logz"},
+		{"expect_channel empty", Assertion{Kind: AssertChannel}, ""},
+		{"expect_modality typo", Assertion{Kind: AssertModality, Channel: "telepathy"}, "telepathy"},
+		{"expect_modality wrong case", Assertion{Kind: AssertModality, Channel: "Tracepoint"}, "Tracepoint"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			spec := Spec{Name: "x", Assertions: []Assertion{c.a}}
+			err := spec.Validate()
+			if err == nil {
+				t.Fatalf("unknown channel %q validated", c.bad)
+			}
+			var ume *UnknownModalityError
+			if !errors.As(err, &ume) {
+				t.Fatalf("error %T is not an UnknownModalityError: %v", err, err)
+			}
+			if ume.Got != c.bad {
+				t.Errorf("Got = %q, want %q", ume.Got, c.bad)
+			}
+			if len(ume.Valid) != len(core.Modalities()) {
+				t.Errorf("Valid = %v, want the full modality set %v", ume.Valid, core.Modalities())
+			}
+			for _, m := range core.Modalities() {
+				if !strings.Contains(err.Error(), string(m)) {
+					t.Errorf("message %q does not name valid channel %q", err, m)
+				}
+			}
+		})
+	}
+	// The whole vocabulary is accepted on both kinds.
+	for _, m := range core.Modalities() {
+		spec := Spec{Name: "x", Assertions: []Assertion{
+			{Kind: AssertChannel, Channel: string(m), None: true},
+			{Kind: AssertModality, Channel: string(m)},
+		}}
+		if err := spec.Validate(); err != nil {
+			t.Errorf("valid channel %q rejected: %v", m, err)
+		}
+	}
+}
+
+// TestChannelAssertionEvaluation pins expect_channel / expect_modality /
+// no-records semantics against a fabricated job result.
+func TestChannelAssertionEvaluation(t *testing.T) {
+	j := &JobResult{
+		Records: 0,
+		channels: mycroft.ChannelStatsResult{Channels: []mycroft.ChannelInfo{
+			{Channel: "tracepoint", Ingested: 0, Anomalies: 0, Reports: 0},
+			{Channel: "log", Ingested: 40, Anomalies: 3, Reports: 1},
+			{Channel: "perf", Ingested: 120, Anomalies: 0, Reports: 0},
+		}},
+		reports: []core.Report{{
+			Suspect: 5, Category: core.CatNetworkSendPath, Confidence: 0.9,
+			Evidence: []core.Evidence{
+				{Channel: core.ModalityLog, Rank: 5},
+				{Channel: core.ModalityTracepoint, Rank: 5},
+				{Channel: core.ModalityPerf, Rank: 2, Conflict: true},
+			},
+		}},
+	}
+	if msg := checkJob(Assertion{Kind: AssertChannel, Channel: "log", Min: 3, Reports: 1}, j); msg != "" {
+		t.Fatalf("log channel expectation failed: %s", msg)
+	}
+	if msg := checkJob(Assertion{Kind: AssertChannel, Channel: "log", Min: 4}, j); !strings.Contains(msg, "want >= 4") {
+		t.Fatalf("anomaly-min failure message: %q", msg)
+	}
+	if msg := checkJob(Assertion{Kind: AssertChannel, Channel: "log", Reports: 2}, j); !strings.Contains(msg, "want >= 2") {
+		t.Fatalf("report-min failure message: %q", msg)
+	}
+	if msg := checkJob(Assertion{Kind: AssertChannel, Channel: "tracepoint", None: true}, j); msg != "" {
+		t.Fatalf("quiet tracepoint channel rejected: %s", msg)
+	}
+	if msg := checkJob(Assertion{Kind: AssertChannel, Channel: "log", None: true}, j); !strings.Contains(msg, "not quiet") {
+		t.Fatalf("noisy-channel none failure message: %q", msg)
+	}
+	// Perf ingested samples but found nothing: quiet means no findings, not
+	// no traffic.
+	if msg := checkJob(Assertion{Kind: AssertChannel, Channel: "perf", None: true}, j); msg != "" {
+		t.Fatalf("perf channel with ingest but no findings rejected: %s", msg)
+	}
+	if msg := checkJob(Assertion{Kind: AssertModality, Channel: "log", MinConfidence: 0.8}, j); msg != "" {
+		t.Fatalf("log-evidence expectation failed: %s", msg)
+	}
+	if msg := checkJob(Assertion{Kind: AssertModality, Channel: "log", MinConfidence: 0.95}, j); !strings.Contains(msg, "below") {
+		t.Fatalf("confidence failure message: %q", msg)
+	}
+	// Conflicting evidence does not satisfy the modality expectation.
+	if msg := checkJob(Assertion{Kind: AssertModality, Channel: "perf"}, j); !strings.Contains(msg, "no report") {
+		t.Fatalf("conflicted perf evidence satisfied expect_modality: %q", msg)
+	}
+	if msg := checkJob(Assertion{Kind: AssertModality, Channel: "tracepoint", Outcome: core.FusionConflicted}, j); msg != "" {
+		t.Fatalf("outcome filter failed: %s", msg)
+	}
+	if msg := checkJob(Assertion{Kind: AssertModality, Channel: "tracepoint", Outcome: core.FusionSingle}, j); !strings.Contains(msg, "outcome") {
+		t.Fatalf("outcome mismatch message: %q", msg)
+	}
+	if msg := checkJob(Assertion{Kind: AssertNoRecords}, j); msg != "" {
+		t.Fatalf("zero-record job rejected: %s", msg)
+	}
+	j.Records = 7
+	if msg := checkJob(Assertion{Kind: AssertNoRecords}, j); !strings.Contains(msg, "tracepoint-free") {
+		t.Fatalf("record-count failure message: %q", msg)
 	}
 }
 

@@ -110,6 +110,11 @@ type Fleet struct {
 	// scenarios tighten it so a failed mitigation is re-detected (and the
 	// verify window can stay short).
 	Rearm Dur `json:"rearm,omitempty"`
+	// NoTracing disables the Mycroft tracepoints on every fleet member: the
+	// job emits zero trace records and the tracepoint channel is blind, so
+	// only the log/perf diagnosis channels (the logs:/timings: stanzas) can
+	// reach a verdict.
+	NoTracing bool `json:"no_tracing,omitempty"`
 	// Gen generates a fleet instead of a single job.
 	Gen *FleetGen `json:"gen,omitempty"`
 	// SharedEngine hosts every fleet member on one mycroft.Service (one
@@ -175,6 +180,52 @@ type Event struct {
 	// every job. Default 0.
 	Job   int    `json:"job,omitempty"`
 	Fault *Fault `json:"fault,omitempty"`
+}
+
+// Logs is one scheduled batch of synthetic training-log lines fed into a
+// job's log diagnosis channel: Count repetitions spaced Every apart,
+// starting at At, on one rank or the whole fleet. It is how a scenario
+// scripts the tracepoint-free signal (driver complaints, fleet-wide phase
+// chatter) the logdiag channel clusters and scores.
+type Logs struct {
+	// Job selects the fleet member the lines feed; -1 feeds every job.
+	// Default 0.
+	Job int `json:"job,omitempty"`
+	// At is when the first batch lands.
+	At Dur `json:"at"`
+	// Rank is the emitting rank; -1 emits the line on every rank (phase
+	// chatter the divergence score must not convict).
+	Rank int `json:"rank"`
+	// Level is "info", "warn" or "error" (default info).
+	Level string `json:"level,omitempty"`
+	Text  string `json:"text"`
+	// Count repeats the batch (default 1), Every apart (default 1 s).
+	Count int `json:"count,omitempty"`
+	Every Dur `json:"every,omitempty"`
+}
+
+// Timings is one scheduled synthetic iteration-timestamp feed into a job's
+// black-box perf channel: every rank completes Count iterations on a fixed
+// Period cadence starting at Start, except Rank, which from iteration After
+// on takes Factor times longer per iteration — the silent straggler whose
+// collectives all still complete.
+type Timings struct {
+	// Job selects the fleet member the samples feed; -1 feeds every job.
+	// Default 0.
+	Job int `json:"job,omitempty"`
+	// Start is when the feed's clock begins; the first completions land one
+	// Period later.
+	Start Dur `json:"start"`
+	// Period is the healthy per-iteration duration.
+	Period Dur `json:"period"`
+	// Count is how many iterations the feed covers.
+	Count int `json:"count"`
+	// Rank straggles when Factor > 1: from iteration After on, its period is
+	// multiplied by Factor. With Factor 0 the feed is uniformly healthy and
+	// Rank/After are ignored.
+	Rank   int     `json:"rank,omitempty"`
+	Factor float64 `json:"factor,omitempty"`
+	After  int     `json:"after,omitempty"`
 }
 
 // RemedyRule is the file-format form of one remediation-policy rule.
@@ -259,7 +310,40 @@ const (
 	// re-detected (no trigger on the rank, no report naming it) after that
 	// attempt's verification.
 	AssertRecovered AssertKind = "expect_recovered"
+	// AssertChannel: the Channel diagnosis channel produced at least Min
+	// anomalies (default 1) and at least Reports verdicts — or, with None,
+	// stayed completely quiet (zero anomalies, zero reports).
+	AssertChannel AssertKind = "expect_channel"
+	// AssertModality: some report carries non-conflicting evidence from
+	// Channel, with fused confidence >= MinConfidence and (when Outcome is
+	// set) the given fusion outcome.
+	AssertModality AssertKind = "expect_modality"
+	// AssertNoRecords: zero trace records reached the cloud DB — the proof a
+	// verdict was reached tracepoint-free.
+	AssertNoRecords AssertKind = "no-records"
 )
+
+// UnknownModalityError is the typed validation error for an assertion
+// naming a channel outside the diagnosis-modality vocabulary.
+type UnknownModalityError struct {
+	Got   string
+	Valid []core.Modality
+}
+
+func (e *UnknownModalityError) Error() string {
+	return fmt.Sprintf("unknown channel %q (valid: %v)", e.Got, e.Valid)
+}
+
+// parseChannel resolves an assertion's channel name against the modality
+// vocabulary.
+func parseChannel(s string) (core.Modality, error) {
+	for _, m := range core.Modalities() {
+		if string(m) == s {
+			return m, nil
+		}
+	}
+	return "", &UnknownModalityError{Got: s, Valid: core.Modalities()}
+}
 
 // Assertion is one declarative check evaluated after the run.
 type Assertion struct {
@@ -284,9 +368,20 @@ type Assertion struct {
 	// Outcomes restricts expect_remediation to attempts with one of these
 	// audited fates (nil = any).
 	Outcomes []remedy.Outcome `json:"outcomes,omitempty"`
-	// None inverts expect_remediation: the job must have NO matching
-	// attempt (the multi-tenant policy-isolation check).
+	// None inverts expect_remediation (the job must have NO matching
+	// attempt) and expect_channel (the channel must stay quiet).
 	None bool `json:"none,omitempty"`
+	// Channel names the diagnosis modality for expect_channel and
+	// expect_modality ("tracepoint", "log" or "perf").
+	Channel string `json:"channel,omitempty"`
+	// Reports is the minimum verdict count expect_channel requires from the
+	// channel (0 = don't care).
+	Reports int `json:"reports,omitempty"`
+	// MinConfidence bounds the fused confidence expect_modality requires.
+	MinConfidence float64 `json:"min_confidence,omitempty"`
+	// Outcome restricts expect_modality to reports with one fusion outcome
+	// ("single", "corroborated" or "conflicted"; "" = any).
+	Outcome string `json:"outcome,omitempty"`
 }
 
 // Spec is a complete declarative scenario.
@@ -296,10 +391,13 @@ type Spec struct {
 	// Seed is the default seed (overridable at run time). Default 1.
 	Seed int64 `json:"seed,omitempty"`
 	// RunFor is the virtual time the scenario simulates. Default 75 s.
-	RunFor     Dur         `json:"run_for,omitempty"`
-	Fleet      Fleet       `json:"fleet"`
-	Events     []Event     `json:"events,omitempty"`
-	Chaos      *Chaos      `json:"chaos,omitempty"`
+	RunFor Dur     `json:"run_for,omitempty"`
+	Fleet  Fleet   `json:"fleet"`
+	Events []Event `json:"events,omitempty"`
+	Chaos  *Chaos  `json:"chaos,omitempty"`
+	// Logs and Timings script the synthetic log/perf channel feeds.
+	Logs       []Logs      `json:"logs,omitempty"`
+	Timings    []Timings   `json:"timings,omitempty"`
 	Remediate  []Remediate `json:"remediate,omitempty"`
 	Assertions []Assertion `json:"assertions,omitempty"`
 }
@@ -503,6 +601,52 @@ func (s Spec) Validate() error {
 			}
 		}
 	}
+	for i, lg := range s.Logs {
+		if lg.Job < -1 || lg.Job >= jobs {
+			return fmt.Errorf("scenario %s: logs %d: job %d out of range (fleet has %d)", s.Name, i, lg.Job, jobs)
+		}
+		if lg.At < 0 {
+			return fmt.Errorf("scenario %s: logs %d: negative time", s.Name, i)
+		}
+		if lg.At.D() >= s.runFor() {
+			return fmt.Errorf("scenario %s: logs %d at %v, at or beyond run_for %v", s.Name, i, lg.At, Dur(s.runFor()))
+		}
+		if lg.Text == "" {
+			return fmt.Errorf("scenario %s: logs %d: missing text", s.Name, i)
+		}
+		if lg.Rank < -1 || lg.Rank >= world {
+			return fmt.Errorf("scenario %s: logs %d: rank %d out of range (world %d)", s.Name, i, lg.Rank, world)
+		}
+		if lg.Count < 0 || lg.Every < 0 {
+			return fmt.Errorf("scenario %s: logs %d: negative repeat schedule", s.Name, i)
+		}
+	}
+	for i, tm := range s.Timings {
+		if tm.Job < -1 || tm.Job >= jobs {
+			return fmt.Errorf("scenario %s: timings %d: job %d out of range (fleet has %d)", s.Name, i, tm.Job, jobs)
+		}
+		if tm.Start < 0 {
+			return fmt.Errorf("scenario %s: timings %d: negative start", s.Name, i)
+		}
+		if tm.Start.D() >= s.runFor() {
+			return fmt.Errorf("scenario %s: timings %d starts at %v, at or beyond run_for %v", s.Name, i, tm.Start, Dur(s.runFor()))
+		}
+		if tm.Period <= 0 {
+			return fmt.Errorf("scenario %s: timings %d: period must be > 0", s.Name, i)
+		}
+		if tm.Count <= 0 {
+			return fmt.Errorf("scenario %s: timings %d: count must be > 0", s.Name, i)
+		}
+		if tm.Factor < 0 || (tm.Factor > 0 && tm.Factor < 1) {
+			return fmt.Errorf("scenario %s: timings %d: straggler factor must be >= 1 (or 0 for a healthy feed)", s.Name, i)
+		}
+		if tm.Factor > 0 && (tm.Rank < 0 || tm.Rank >= world) {
+			return fmt.Errorf("scenario %s: timings %d: straggler rank %d out of range (world %d)", s.Name, i, tm.Rank, world)
+		}
+		if tm.After < 0 {
+			return fmt.Errorf("scenario %s: timings %d: negative straggler onset", s.Name, i)
+		}
+	}
 	for i, rem := range s.Remediate {
 		if rem.Job < -1 || rem.Job >= jobs {
 			return fmt.Errorf("scenario %s: remediate %d: job %d out of range (fleet has %d)", s.Name, i, rem.Job, jobs)
@@ -581,6 +725,29 @@ func (s Spec) Validate() error {
 			if a.Rank >= world {
 				return fmt.Errorf("scenario %s: assertion %d: rank %d out of range (world %d)", s.Name, i, a.Rank, world)
 			}
+		case AssertChannel:
+			if _, err := parseChannel(a.Channel); err != nil {
+				return fmt.Errorf("scenario %s: assertion %d: %w", s.Name, i, err)
+			}
+			if a.None && (a.Min > 0 || a.Reports > 0) {
+				return fmt.Errorf("scenario %s: assertion %d: expect_channel cannot set both none and min/reports", s.Name, i)
+			}
+			if a.Min < 0 || a.Reports < 0 {
+				return fmt.Errorf("scenario %s: assertion %d: negative channel expectation", s.Name, i)
+			}
+		case AssertModality:
+			if _, err := parseChannel(a.Channel); err != nil {
+				return fmt.Errorf("scenario %s: assertion %d: %w", s.Name, i, err)
+			}
+			if a.MinConfidence < 0 || a.MinConfidence > 1 {
+				return fmt.Errorf("scenario %s: assertion %d: min_confidence %v outside [0, 1]", s.Name, i, a.MinConfidence)
+			}
+			switch a.Outcome {
+			case "", core.FusionSingle, core.FusionCorroborated, core.FusionConflicted:
+			default:
+				return fmt.Errorf("scenario %s: assertion %d: unknown fusion outcome %q", s.Name, i, a.Outcome)
+			}
+		case AssertNoRecords:
 		default:
 			return fmt.Errorf("scenario %s: assertion %d: unknown kind %q", s.Name, i, a.Kind)
 		}

@@ -138,6 +138,10 @@ type Job struct {
 	doneRanks map[int]int
 	// OnIteration fires when every rank finishes iteration i.
 	OnIteration func(i int, start, end sim.Time)
+	// OnRankIteration fires as each individual rank finishes an iteration —
+	// the black-box timing feed: per-rank completion timestamps and nothing
+	// else, which is exactly what the perf diagnosis channel consumes.
+	OnRankIteration func(rank topo.Rank, iter int, at sim.Time)
 
 	// Per-op metrics for bandwidth accounting.
 	dpOpDur  []time.Duration

@@ -109,6 +109,9 @@ func (rd *rankDriver) runIteration() {
 					rd.maybeCheckpoint(iter, func() {
 						now := j.Eng.Now()
 						j.iterDone[rd.rank]++
+						if j.OnRankIteration != nil {
+							j.OnRankIteration(rd.rank, iter, now)
+						}
 						j.doneRanks[iter]++
 						if j.doneRanks[iter] == j.Cluster.WorldSize() {
 							j.iterEnd[iter] = now

@@ -271,6 +271,69 @@ func (c *RemoteClient) QuerySpans(q SpanQuery) (SpanResult, error) {
 	return spanResultFromWire(resp), nil
 }
 
+// resolveRemoteJob fills an empty job selector against the daemon's job
+// list, mirroring the in-process "sole hosted job" rule.
+func (c *RemoteClient) resolveRemoteJob(job JobID) (string, error) {
+	if job != "" {
+		return string(job), nil
+	}
+	res, err := c.ListJobs()
+	if err != nil {
+		return "", err
+	}
+	if len(res.Jobs) != 1 {
+		return "", fmt.Errorf("mycroft: query needs a Job id (daemon hosts %d jobs)", len(res.Jobs))
+	}
+	return string(res.Jobs[0].ID), nil
+}
+
+// IngestLogs implements Client over the wire (POST /v1/jobs/{id}/logs).
+func (c *RemoteClient) IngestLogs(job JobID, lines []LogLine) (IngestResult, error) {
+	id, err := c.resolveRemoteJob(job)
+	if err != nil {
+		return IngestResult{}, err
+	}
+	req := api.LogsRequest{Lines: make([]api.LogLine, 0, len(lines))}
+	for _, l := range lines {
+		req.Lines = append(req.Lines, api.LogLine{Rank: int(l.Rank), AtNs: int64(l.At), Level: l.Level, Text: l.Text})
+	}
+	var resp api.IngestChannelResponse
+	if err := c.post(api.Prefix+"/jobs/"+url.PathEscape(id)+"/logs", req, &resp); err != nil {
+		return IngestResult{}, err
+	}
+	return IngestResult{Job: JobID(resp.Job), Accepted: resp.Accepted, Anomalies: resp.Anomalies}, nil
+}
+
+// IngestTimings implements Client over the wire (POST /v1/jobs/{id}/timings).
+func (c *RemoteClient) IngestTimings(job JobID, samples []IterationSample) (IngestResult, error) {
+	id, err := c.resolveRemoteJob(job)
+	if err != nil {
+		return IngestResult{}, err
+	}
+	req := api.TimingsRequest{Samples: make([]api.TimingSample, 0, len(samples))}
+	for _, s := range samples {
+		req.Samples = append(req.Samples, api.TimingSample{Rank: int(s.Rank), Iter: s.Iter, AtNs: int64(s.At)})
+	}
+	var resp api.IngestChannelResponse
+	if err := c.post(api.Prefix+"/jobs/"+url.PathEscape(id)+"/timings", req, &resp); err != nil {
+		return IngestResult{}, err
+	}
+	return IngestResult{Job: JobID(resp.Job), Accepted: resp.Accepted, Anomalies: resp.Anomalies}, nil
+}
+
+// ChannelStats implements Client over the wire (GET /v1/jobs/{id}/channels).
+func (c *RemoteClient) ChannelStats(job JobID) (ChannelStatsResult, error) {
+	id, err := c.resolveRemoteJob(job)
+	if err != nil {
+		return ChannelStatsResult{}, err
+	}
+	var resp api.ChannelsResponse
+	if err := c.get(api.Prefix+"/jobs/"+url.PathEscape(id)+"/channels", &resp); err != nil {
+		return ChannelStatsResult{}, err
+	}
+	return channelStatsFromWire(resp)
+}
+
 // Triage implements Client over the wire.
 func (c *RemoteClient) Triage(job JobID) (TriageResult, error) {
 	var resp api.TriageResponse

@@ -429,6 +429,47 @@ func (b *apiBackend) Triage(req api.TriageRequest) (api.TriageResponse, error) {
 	return api.TriageResponse{Job: string(res.Job), Source: res.Source, Rank: int(res.Rank), Summary: res.Summary, OK: res.OK}, nil
 }
 
+func (b *apiBackend) IngestLogs(job string, req api.LogsRequest) (api.IngestChannelResponse, error) {
+	lines := make([]LogLine, 0, len(req.Lines))
+	for _, l := range req.Lines {
+		lines = append(lines, LogLine{Rank: Rank(l.Rank), At: time.Duration(l.AtNs), Level: l.Level, Text: l.Text})
+	}
+	b.sv.mu.Lock()
+	defer b.sv.mu.Unlock()
+	res, err := b.sv.c.IngestLogs(JobID(job), lines)
+	if err != nil {
+		return api.IngestChannelResponse{}, err
+	}
+	return api.IngestChannelResponse{Job: string(res.Job), Accepted: res.Accepted, Anomalies: res.Anomalies}, nil
+}
+
+func (b *apiBackend) IngestTimings(job string, req api.TimingsRequest) (api.IngestChannelResponse, error) {
+	samples := make([]IterationSample, 0, len(req.Samples))
+	for _, s := range req.Samples {
+		samples = append(samples, IterationSample{Rank: Rank(s.Rank), Iter: s.Iter, At: time.Duration(s.AtNs)})
+	}
+	b.sv.mu.Lock()
+	defer b.sv.mu.Unlock()
+	res, err := b.sv.c.IngestTimings(JobID(job), samples)
+	if err != nil {
+		return api.IngestChannelResponse{}, err
+	}
+	return api.IngestChannelResponse{Job: string(res.Job), Accepted: res.Accepted, Anomalies: res.Anomalies}, nil
+}
+
+func (b *apiBackend) Channels(job string) (api.ChannelsResponse, error) {
+	if resp, ok := b.replicaChannels(job); ok {
+		return resp, nil
+	}
+	b.sv.mu.Lock()
+	defer b.sv.mu.Unlock()
+	res, err := b.sv.c.ChannelStats(JobID(job))
+	if err != nil {
+		return api.ChannelsResponse{}, err
+	}
+	return channelStatsToWire(res), nil
+}
+
 // defaultWireBuffer caps a wire subscription whose filter asks for an
 // unbounded buffer. An in-process subscriber with Buffer 0 owns its own
 // memory, but a remote one that stops polling (crashed client, abandoned

@@ -166,9 +166,16 @@ func (s *Service) AddJob(id JobID, opts JobOptions) (*JobHandle, error) {
 		s.dispatch(Event{
 			Job: id, Kind: ev.Kind, At: time.Duration(ev.At),
 			Trigger: ev.Trigger, Report: ev.Report, Phase: ev.Phase,
+			LogAnomaly: ev.LogAnomaly,
 		})
 	})
+	// The non-tracepoint channels and the evidence fusion every channel —
+	// including the backend's own tracepoint verdicts — reports through.
+	fusion := core.NewFusion(core.FusionConfig{})
+	bk.SetFusion(fusion)
+	h.channels = newJobChannels(job.Cluster.WorldSize(), fusion)
 	s.registerJobMetrics(h)
+	s.registerChannelMetrics(h)
 	// The heartbeat watermark: any batch reaching the store proves the job's
 	// agents are alive right now (virtual time).
 	job.DB.AddIngestObserver(func([]trace.Record) { h.lastIngest = s.Now() })
@@ -259,6 +266,9 @@ func (s *Service) dispatch(e Event) {
 				t.EndAt(span, sim.Time(e.At))
 			}
 		}
+		if e.Kind == EventReport && e.Report != nil {
+			h.observeFusion(*e.Report)
+		}
 		h.observeRemedy(e)
 	}
 }
@@ -318,6 +328,7 @@ type JobHandle struct {
 	isolated []Rank
 	recorder *Recorder
 	tracer   *otrace.Tracer
+	channels *jobChannels
 
 	// Heartbeat state, owned by the service's health monitor. lastIngest is
 	// the virtual time records last reached the store.

@@ -17,16 +17,18 @@ type SpanID = otrace.SpanID
 
 // Pipeline stage labels, re-exported for query filters and renderers.
 const (
-	StageIncident  = otrace.StageIncident
-	StageUpload    = otrace.StageUpload
-	StageIngest    = otrace.StageIngest
-	StageDetect    = otrace.StageDetect
-	StageRCA       = otrace.StageRCA
-	StagePublish   = otrace.StagePublish
-	StageDeliver   = otrace.StageDeliver
-	StageApply     = otrace.StageApply
-	StageVerify    = otrace.StageVerify
-	StageReplicate = otrace.StageReplicate
+	StageIncident    = otrace.StageIncident
+	StageUpload      = otrace.StageUpload
+	StageIngest      = otrace.StageIngest
+	StageDetect      = otrace.StageDetect
+	StageRCA         = otrace.StageRCA
+	StagePublish     = otrace.StagePublish
+	StageDeliver     = otrace.StageDeliver
+	StageApply       = otrace.StageApply
+	StageVerify      = otrace.StageVerify
+	StageReplicate   = otrace.StageReplicate
+	StageLogAnalyze  = otrace.StageLogAnalyze
+	StagePerfAnalyze = otrace.StagePerfAnalyze
 )
 
 // SpanQuery asks for pipeline spans from one job's recorder.

@@ -462,6 +462,10 @@ func eventToWire(e Event) api.Event {
 		h := healthChangeToWire(*e.Health)
 		w.Health = &h
 	}
+	if e.LogAnomaly != nil {
+		a := api.FromLogAnomaly(*e.LogAnomaly)
+		w.LogAnomaly = &a
+	}
 	return w
 }
 
@@ -499,5 +503,62 @@ func eventFromWire(w api.Event) (Event, error) {
 		}
 		e.Health = &h
 	}
+	if w.LogAnomaly != nil {
+		a, err := w.LogAnomaly.LogAnomaly()
+		if err != nil {
+			return Event{}, err
+		}
+		e.LogAnomaly = &a
+	}
 	return e, nil
+}
+
+// channelStatsToWire converts a ChannelStats answer to its wire form.
+func channelStatsToWire(res ChannelStatsResult) api.ChannelsResponse {
+	w := api.ChannelsResponse{
+		Job: string(res.Job),
+		Fusion: api.FusionInfo{
+			WindowNs: int64(res.Fusion.Window), LastOutcome: res.Fusion.LastOutcome,
+			LastConfidence: res.Fusion.LastConfidence,
+		},
+	}
+	if len(res.Fusion.Outcomes) > 0 {
+		w.Fusion.Outcomes = make(map[string]uint64, len(res.Fusion.Outcomes))
+		for k, v := range res.Fusion.Outcomes {
+			w.Fusion.Outcomes[k] = v
+		}
+	}
+	for _, c := range res.Channels {
+		w.Channels = append(w.Channels, api.ChannelInfo{
+			Channel: string(c.Channel), Ingested: c.Ingested,
+			Anomalies: c.Anomalies, Reports: c.Reports, Templates: c.Templates,
+		})
+	}
+	return w
+}
+
+// channelStatsFromWire converts a wire channels response back to the domain.
+func channelStatsFromWire(w api.ChannelsResponse) (ChannelStatsResult, error) {
+	res := ChannelStatsResult{
+		Job: JobID(w.Job),
+		Fusion: FusionInfo{
+			Window: time.Duration(w.Fusion.WindowNs), LastOutcome: w.Fusion.LastOutcome,
+			LastConfidence: w.Fusion.LastConfidence,
+			Outcomes:       make(map[string]uint64, len(w.Fusion.Outcomes)),
+		},
+	}
+	for k, v := range w.Fusion.Outcomes {
+		res.Fusion.Outcomes[k] = v
+	}
+	for _, c := range w.Channels {
+		m, err := api.ParseModality(c.Channel)
+		if err != nil {
+			return ChannelStatsResult{}, err
+		}
+		res.Channels = append(res.Channels, ChannelInfo{
+			Channel: m, Ingested: c.Ingested,
+			Anomalies: c.Anomalies, Reports: c.Reports, Templates: c.Templates,
+		})
+	}
+	return res, nil
 }
